@@ -1,0 +1,65 @@
+// Ablation (ours): DUP under node churn. The paper describes the arrival,
+// departure and failure handling of Section III-C but does not evaluate it;
+// this bench measures the cost of staying consistent under increasing churn
+// and audits the propagation state after every run.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "experiment/driver.h"
+#include "util/check.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Ablation — DUP under churn (Section III-C mechanisms)",
+              settings);
+
+  const std::vector<double> churn_rates = {0.0, 0.01, 0.05, 0.1, 0.2};
+  experiment::TableReport table(
+      "network-wide churn events/s (split evenly join/leave/fail)",
+      {"churn rate", "events", "latency", "cost", "control hops/query",
+       "audit"});
+  for (double rate : churn_rates) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.scheme = experiment::Scheme::kDup;
+    config.num_nodes = 1024;  // Keep the audit cheap.
+    config.lambda = 5.0;
+    config.churn.join_rate = rate / 3;
+    config.churn.leave_rate = rate / 3;
+    config.churn.fail_rate = rate / 3;
+    config.churn.detect_delay = 30.0;
+
+    experiment::SimulationDriver driver(config);
+    DUP_CHECK_OK(driver.Init());
+    driver.RunToCompletion();
+    driver.engine().Run();  // Drain before auditing.
+    const auto metrics = driver.Collect();
+    const auto audit = driver.dup_protocol()->ValidatePropagationState();
+    DUP_CHECK(audit.ok()) << audit.ToString();
+    const double control_per_query =
+        metrics.queries == 0
+            ? 0.0
+            : static_cast<double>(metrics.hops.control()) /
+                  static_cast<double>(metrics.queries);
+    table.AddRow(
+        {util::StrFormat("%g", rate),
+         util::StrFormat(
+             "%llu", static_cast<unsigned long long>(
+                         driver.churn_events_applied())),
+         util::StrFormat("%.3f", metrics.avg_latency_hops),
+         util::StrFormat("%.3f", metrics.avg_cost_hops),
+         util::StrFormat("%.4f", control_per_query), "ok"});
+  }
+  table.Print();
+  MaybeWriteCsv(table, "ablation_churn");
+  PrintExpectation(
+      "(not in the paper) repair traffic grows with churn but stays a small "
+      "fraction of the total cost, and the propagation-tree audit passes at "
+      "every churn level — the Section III-C repair rules keep every "
+      "interested node connected.");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation (ours): CUP's per-hop push-decision heuristic ("based on the
+// benefit and the overhead of pushing the updates" — the part of
+// Roussopoulos & Baker the DUP paper summarises in one sentence). Three
+// policies are compared against DUP at the same operating points.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Ablation — CUP push-decision policies", settings);
+
+  struct Variant {
+    const char* label;
+    proto::CupPushPolicy policy;
+  };
+  const std::vector<Variant> variants = {
+      {"CUP demand-window", proto::CupPushPolicy::kDemandWindow},
+      {"CUP popularity>=3", proto::CupPushPolicy::kPopularityThreshold},
+      {"CUP investment-return", proto::CupPushPolicy::kInvestmentReturn},
+  };
+  const std::vector<double> lambdas = {1.0, 10.0};
+
+  experiment::TableReport table(
+      "CUP policy variants vs DUP (n=4096)",
+      {"lambda", "variant", "latency", "cost", "push hops/query"});
+  for (double lambda : lambdas) {
+    for (const Variant& variant : variants) {
+      experiment::ExperimentConfig config = PaperDefaults(settings);
+      config.scheme = experiment::Scheme::kCup;
+      config.lambda = lambda;
+      config.cup.policy = variant.policy;
+      const auto summary = MustRun(config, settings.replications);
+      uint64_t queries = 0, push = 0;
+      for (const auto& run : summary.runs) {
+        queries += run.queries;
+        push += run.hops.push();
+      }
+      table.AddRow(
+          {util::StrFormat("%g", lambda), variant.label,
+           util::StrFormat("%.3f", summary.latency.mean),
+           util::StrFormat("%.3f", summary.cost.mean),
+           util::StrFormat("%.4f", queries == 0
+                                       ? 0.0
+                                       : static_cast<double>(push) /
+                                             static_cast<double>(queries))});
+    }
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.scheme = experiment::Scheme::kDup;
+    config.lambda = lambda;
+    const auto dup = MustRun(config, settings.replications);
+    uint64_t queries = 0, push = 0;
+    for (const auto& run : dup.runs) {
+      queries += run.queries;
+      push += run.hops.push();
+    }
+    table.AddRow(
+        {util::StrFormat("%g", lambda), "DUP (reference)",
+         util::StrFormat("%.3f", dup.latency.mean),
+         util::StrFormat("%.3f", dup.cost.mean),
+         util::StrFormat("%.4f", queries == 0
+                                     ? 0.0
+                                     : static_cast<double>(push) /
+                                           static_cast<double>(queries))});
+    table.AddSeparator();
+  }
+  table.Print();
+  MaybeWriteCsv(table, "ablation_cup_policy");
+  PrintExpectation(
+      "(not in the paper) conservative CUP (popularity threshold) pushes "
+      "less but cuts interested nodes off more often, raising latency and "
+      "cost; the demand-window policy oscillates (the weakness the DUP "
+      "paper targets). Notably, the investment-return policy — credit "
+      "earned by demand, spent by pushes — can even edge out DUP on raw "
+      "cost here: its hop-by-hop pushes blanket-warm whole paths, which "
+      "our no-pass-through query model rewards. It does so with ~2x the "
+      "push traffic of demand-window CUP and a heuristic that keeps "
+      "pushing to branches long after interest died; DUP achieves its "
+      "numbers with explicit, exact membership and degree-bounded state. "
+      "This nuance suggests the paper's CUP baseline was closer to the "
+      "demand-window flavour.");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Ablation (ours): how the DUP propagation tree forms and breathes over
+// time — interested nodes, virtual-path relays and actual DUP-tree members
+// sampled at every update cycle from a cold start. The paper presents the
+// tree statically (Figure 2); this shows its dynamics.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiment/driver.h"
+#include "util/check.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Ablation — DUP tree dynamics from a cold start", settings);
+
+  experiment::ExperimentConfig config = PaperDefaults(settings);
+  config.scheme = experiment::Scheme::kDup;
+  config.lambda = 10.0;
+  config.warmup_time = 0.0;  // Observe the transient explicitly.
+  config.measure_time = 8 * 3540.0;
+
+  experiment::SimulationDriver driver(config);
+  DUP_CHECK_OK(driver.Init());
+
+  experiment::TableReport table(
+      "sampled at each update-cycle boundary (n=4096, lambda=10)",
+      {"t (s)", "interested", "virtual path", "DUP tree", "branch points",
+       "max S_list"});
+  for (int cycle = 0; cycle <= 8; ++cycle) {
+    const double t = cycle * 3540.0;
+    driver.RunUntil(t);
+    const auto stats = driver.dup_protocol()->ComputeTreeStats();
+    table.AddRow({util::StrFormat("%.0f", t),
+                  util::StrFormat("%zu", stats.interested),
+                  util::StrFormat("%zu", stats.virtual_path),
+                  util::StrFormat("%zu", stats.dup_tree),
+                  util::StrFormat("%zu", stats.branch_points),
+                  util::StrFormat(
+                      "%zu", driver.dup_protocol()->MaxSubscriberListSize())});
+  }
+  table.Print();
+  MaybeWriteCsv(table, "ablation_tree_dynamics");
+
+  driver.engine().Run();
+  DUP_CHECK_OK(driver.dup_protocol()->ValidatePropagationState());
+  std::printf("final propagation-state audit: ok\n");
+
+  PrintExpectation(
+      "(not in the paper) the tree ramps up within the first TTL window as "
+      "nodes cross the interest threshold, then stabilises: the DUP tree "
+      "stays a small fraction of the virtual path, and every S_list "
+      "respects the degree bound — the 'low overhead' claim of Section "
+      "III-B, observed over time.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation (ours): the paper's evaluation issues updates exactly one
+// minute before the previous index expires — a best case for push schemes,
+// whose pushes land just in time. The paper's *system model* (Section
+// II-A) instead has the index change whenever hosting nodes change. This
+// bench replays Figure 4's comparison with Poisson (host-driven) update
+// times at the same long-run rate, measuring how much of DUP's advantage
+// survives unsynchronised updates.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Ablation — TTL-aligned vs host-driven index updates",
+              settings);
+
+  const std::vector<double> lambdas = {1.0, 10.0};
+  experiment::TableReport table(
+      "same mean update rate (1 per 3540 s), different timing",
+      {"lambda", "updates", "PCX lat.", "DUP lat.", "CUP cost/PCX",
+       "DUP cost/PCX", "PCX stale", "DUP stale"});
+  for (double lambda : lambdas) {
+    for (auto mode : {experiment::UpdateMode::kTtlAligned,
+                      experiment::UpdateMode::kHostDriven}) {
+      experiment::ExperimentConfig config = PaperDefaults(settings);
+      config.lambda = lambda;
+      config.update_mode = mode;
+      const auto cmp = MustCompare(config, settings.replications);
+      table.AddRow(
+          {util::StrFormat("%g", lambda),
+           std::string(experiment::UpdateModeToString(mode)),
+           util::StrFormat("%.3f", cmp.pcx.latency.mean),
+           util::StrFormat("%.3f", cmp.dup.latency.mean),
+           experiment::PercentCell(cmp.cup_cost_relative_to_pcx()),
+           experiment::PercentCell(cmp.dup_cost_relative_to_pcx()),
+           experiment::PercentCell(cmp.pcx.stale_rate.mean),
+           experiment::PercentCell(cmp.dup.stale_rate.mean)});
+    }
+    table.AddSeparator();
+  }
+  table.Print();
+  MaybeWriteCsv(table, "ablation_updates");
+  PrintExpectation(
+      "(not in the paper) the paper's TTL-aligned schedule flatters push "
+      "schemes: each push lands exactly one minute before every copy would "
+      "expire, so subscribers never miss. With Poisson update times a "
+      "subscriber's copy can expire mid-interval before any push arrives, "
+      "so DUP's advantage shrinks (though it still wins on latency, cost "
+      "and especially stale reads, which DUP fixes within one hop of the "
+      "change). Worth knowing when transplanting the paper's numbers to a "
+      "deployment whose data does not change on a timer.");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::bench {
+
+BenchSettings BenchSettings::FromEnv() {
+  BenchSettings settings;
+  const char* full = std::getenv("DUP_BENCH_FULL");
+  if (full != nullptr && std::string(full) == "1") {
+    settings.full = true;
+    settings.replications = 5;
+    settings.warmup_time = 2 * 3540.0;
+    settings.measure_time = 180000.0;  // The paper's horizon.
+  }
+  if (const char* reps = std::getenv("DUP_BENCH_REPS")) {
+    int64_t value = 0;
+    if (util::ParseInt64(reps, &value) && value > 0) {
+      settings.replications = static_cast<size_t>(value);
+    }
+  }
+  return settings;
+}
+
+void BenchSettings::Apply(experiment::ExperimentConfig* config) const {
+  config->warmup_time = warmup_time;
+  config->measure_time = measure_time;
+}
+
+experiment::ExperimentConfig PaperDefaults(const BenchSettings& settings) {
+  experiment::ExperimentConfig config;  // Table I defaults built in.
+  settings.Apply(&config);
+  return config;
+}
+
+void PrintHeader(const std::string& exhibit, const BenchSettings& settings) {
+  std::printf("=== Reproducing %s (DUP, Yin & Cao, ICDE 2005) ===\n",
+              exhibit.c_str());
+  std::printf(
+      "mode=%s reps=%zu warmup=%.0fs measure=%.0fs "
+      "(DUP_BENCH_FULL=1 for the paper-scale horizon)\n\n",
+      settings.full ? "full" : "quick", settings.replications,
+      settings.warmup_time, settings.measure_time);
+}
+
+void PrintExpectation(const std::string& text) {
+  std::printf("\npaper's reported shape: %s\n\n", text.c_str());
+}
+
+experiment::SchemeComparison MustCompare(
+    const experiment::ExperimentConfig& config, size_t replications) {
+  auto comparison = experiment::CompareSchemes(config, replications);
+  DUP_CHECK(comparison.ok()) << comparison.status().ToString();
+  return std::move(*comparison);
+}
+
+metrics::ReplicationSummary MustRun(
+    const experiment::ExperimentConfig& config, size_t replications) {
+  auto summary = experiment::Replicator::Run(config, replications);
+  DUP_CHECK(summary.ok()) << summary.status().ToString();
+  return std::move(*summary);
+}
+
+void MaybeWriteCsv(const experiment::TableReport& table,
+                   const std::string& exhibit) {
+  const char* dir = std::getenv("DUP_BENCH_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  const std::string path = util::StrFormat("%s/%s.csv", dir,
+                                           exhibit.c_str());
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  DUP_CHECK(file != nullptr) << "cannot write " << path;
+  const std::string csv = table.ToCsv();
+  std::fwrite(csv.data(), 1, csv.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace dupnet::bench

@@ -1,0 +1,56 @@
+#ifndef DUP_BENCH_BENCH_COMMON_H_
+#define DUP_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <string>
+
+#include "experiment/config.h"
+#include "experiment/replicator.h"
+#include "experiment/report.h"
+
+namespace dupnet::bench {
+
+/// Shared run parameters for the reproduction harness.
+///
+/// Default ("quick") mode keeps every binary in the tens-of-seconds range;
+/// setting DUP_BENCH_FULL=1 restores the paper's 180,000 s horizon and the
+/// largest network sizes. DUP_BENCH_REPS overrides the replication count.
+struct BenchSettings {
+  size_t replications = 2;
+  double warmup_time = 3600.0;
+  double measure_time = 3 * 3540.0;
+  bool full = false;
+
+  /// Reads the environment.
+  static BenchSettings FromEnv();
+
+  /// Applies the horizon to a config (topology/workload fields untouched).
+  void Apply(experiment::ExperimentConfig* config) const;
+};
+
+/// The paper's Table I defaults with this harness's horizon applied.
+experiment::ExperimentConfig PaperDefaults(const BenchSettings& settings);
+
+/// Prints the standard header: which exhibit is being reproduced and under
+/// which settings.
+void PrintHeader(const std::string& exhibit, const BenchSettings& settings);
+
+/// Prints the expected-shape note from the paper for comparison.
+void PrintExpectation(const std::string& text);
+
+/// Runs all three schemes at `config` and aborts on error.
+experiment::SchemeComparison MustCompare(
+    const experiment::ExperimentConfig& config, size_t replications);
+
+/// Runs one scheme and aborts on error.
+metrics::ReplicationSummary MustRun(
+    const experiment::ExperimentConfig& config, size_t replications);
+
+/// If DUP_BENCH_CSV_DIR is set, writes the table as
+/// "<dir>/<exhibit>.csv" for downstream plotting and says so on stdout.
+void MaybeWriteCsv(const experiment::TableReport& table,
+                   const std::string& exhibit);
+
+}  // namespace dupnet::bench
+
+#endif  // DUP_BENCH_BENCH_COMMON_H_

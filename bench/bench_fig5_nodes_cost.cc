@@ -1,0 +1,38 @@
+// Reproduces Figure 5: average access cost of CUP and DUP relative to PCX
+// as the number of nodes grows.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Figure 5 — relative cost vs network size", settings);
+
+  std::vector<size_t> sizes = {1024, 2048, 4096, 8192, 16384};
+  if (settings.full) sizes.push_back(65536);
+
+  experiment::TableReport table(
+      "cost relative to PCX (lambda = 1, Table I defaults otherwise)",
+      {"nodes", "PCX cost (hops/q)", "CUP cost/PCX", "DUP cost/PCX"});
+  for (size_t n : sizes) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.num_nodes = n;
+    const auto cmp = MustCompare(config, settings.replications);
+    table.AddRow({util::StrFormat("%zu", n),
+                  util::StrFormat("%.3f", cmp.pcx.cost.mean),
+                  experiment::PercentCell(cmp.cup_cost_relative_to_pcx()),
+                  experiment::PercentCell(cmp.dup_cost_relative_to_pcx())});
+  }
+  table.Print();
+  MaybeWriteCsv(table, "fig5_nodes_cost");
+  PrintExpectation(
+      "CUP's advantage over PCX shrinks as n grows (more intermediate nodes "
+      "to push through), while DUP skips them, so its relative advantage "
+      "keeps improving with n.");
+  return 0;
+}

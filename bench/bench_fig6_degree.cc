@@ -1,0 +1,42 @@
+// Reproduces Figure 6: the effect of the maximum node degree D on (a)
+// query latency and (b) cost relative to PCX.
+
+#include <vector>
+
+#include "bench_common.h"
+#include "util/str.h"
+
+int main() {
+  using namespace dupnet;
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Figure 6 — effect of the maximum node degree D", settings);
+
+  const std::vector<int> degrees = {2, 4, 6, 8, 10};
+  experiment::TableReport table(
+      "(a) latency; (b) cost relative to PCX",
+      {"D", "PCX latency", "CUP latency", "DUP latency", "CUP cost/PCX",
+       "DUP cost/PCX"});
+  for (int degree : degrees) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.max_degree = degree;
+    const auto cmp = MustCompare(config, settings.replications);
+    table.AddRow({util::StrFormat("%d", degree),
+                  experiment::CiCell(cmp.pcx.latency.mean,
+                                     cmp.pcx.latency.half_width),
+                  experiment::CiCell(cmp.cup.latency.mean,
+                                     cmp.cup.latency.half_width),
+                  experiment::CiCell(cmp.dup.latency.mean,
+                                     cmp.dup.latency.half_width),
+                  experiment::PercentCell(cmp.cup_cost_relative_to_pcx()),
+                  experiment::PercentCell(cmp.dup_cost_relative_to_pcx())});
+  }
+  table.Print();
+  MaybeWriteCsv(table, "fig6_degree");
+  PrintExpectation(
+      "larger D means shallower trees, so every scheme's latency falls and "
+      "PCX recovers some ground; DUP still has much lower cost than PCX and "
+      "CUP even at D=10.");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the core data structures: the
+// event queue, the subscriber list, Chord lookups, Zipf sampling, SHA-1 and
+// a full end-to-end mini simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "chord/ring.h"
+#include "chord/sha1.h"
+#include "core/subscriber_list.h"
+#include "experiment/config.h"
+#include "experiment/driver.h"
+#include "sim/event_queue.h"
+#include "topo/tree_generator.h"
+#include "util/rng.h"
+#include "workload/zipf_selector.h"
+
+namespace {
+
+using namespace dupnet;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (size_t i = 0; i < batch; ++i) {
+      queue.Push(rng.NextDouble(), [] {});
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.Pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventQueuePushPop)->Range(64, 65536);
+
+void BM_EngineEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) engine.ScheduleAfter(0.1, tick);
+    };
+    engine.ScheduleAfter(0.1, tick);
+    engine.Run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EngineEventChain);
+
+void BM_SubscriberListSetRemove(benchmark::State& state) {
+  const NodeId branches = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    core::SubscriberList list;
+    for (NodeId b = 0; b < branches; ++b) list.Set(b, b + 100);
+    for (NodeId b = 0; b < branches; ++b) {
+      benchmark::DoNotOptimize(list.Get(b));
+    }
+    for (NodeId b = 0; b < branches; ++b) list.Remove(b);
+    benchmark::DoNotOptimize(list.size());
+  }
+}
+BENCHMARK(BM_SubscriberListSetRemove)->Arg(4)->Arg(10)->Arg(32);
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chord::Sha1(payload));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Range(8, 8192);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto ring = chord::ChordRing::Create(n);
+  const chord::ChordId key = chord::Sha1Hash64("bench-key");
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const NodeId from = static_cast<NodeId>(rng.UniformInt(0, n - 1));
+    benchmark::DoNotOptimize(ring->LookupPath(from, key));
+  }
+}
+BENCHMARK(BM_ChordLookup)->Range(256, 16384);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<NodeId> nodes(n);
+  for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+  util::Rng perm(1);
+  workload::ZipfNodeSelector zipf(std::move(nodes), 0.8, &perm);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Range(1024, 65536);
+
+void BM_TreeGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  topo::TreeGeneratorOptions options;
+  options.num_nodes = n;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::TreeGenerator::Generate(options, &rng));
+  }
+}
+BENCHMARK(BM_TreeGeneration)->Range(1024, 65536);
+
+void BM_FullSimulation(benchmark::State& state) {
+  // One TTL period on a mid-size network: the end-to-end cost per scheme.
+  const auto scheme = static_cast<experiment::Scheme>(state.range(0));
+  for (auto _ : state) {
+    experiment::ExperimentConfig config;
+    config.scheme = scheme;
+    config.num_nodes = 1024;
+    config.lambda = 5.0;
+    config.warmup_time = 0.0;
+    config.measure_time = 3540.0;
+    auto metrics = experiment::SimulationDriver::Run(config);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_FullSimulation)
+    ->Arg(static_cast<int>(experiment::Scheme::kPcx))
+    ->Arg(static_cast<int>(experiment::Scheme::kCup))
+    ->Arg(static_cast<int>(experiment::Scheme::kDup));
+
+}  // namespace

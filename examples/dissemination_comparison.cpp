@@ -1,0 +1,100 @@
+// The paper's Related Work (Section V) made runnable: DUP vs SCRIBE-style
+// multicast vs Bayeux-style rendezvous dissemination on the same overlay.
+//
+//   ./dissemination_comparison nodes=1024 subscribers=64 publishes=3
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dissem/bayeux.h"
+#include "dissem/dup_backend.h"
+#include "dissem/scribe.h"
+#include "metrics/recorder.h"
+#include "net/overlay_network.h"
+#include "sim/engine.h"
+#include "topo/tree_generator.h"
+#include "util/check.h"
+#include "util/config.h"
+
+namespace {
+
+using namespace dupnet;
+
+struct Result {
+  uint64_t join_hops;
+  uint64_t push_hops;
+  size_t max_state;
+};
+
+template <typename Protocol>
+Result Run(size_t nodes, size_t subscribers, size_t publishes,
+           uint64_t seed) {
+  util::Rng rng(seed);
+  topo::TreeGeneratorOptions gen;
+  gen.num_nodes = nodes;
+  auto tree = topo::TreeGenerator::Generate(gen, &rng);
+  DUP_CHECK(tree.ok()) << tree.status().ToString();
+
+  sim::Engine engine;
+  metrics::Recorder recorder;
+  net::OverlayNetwork network(&engine, &rng, &recorder);
+  Protocol protocol(&network, &*tree);
+  network.set_handler(
+      [&protocol](const net::Message& m) { protocol.OnMessage(m); });
+
+  std::vector<NodeId> candidates;
+  for (NodeId n = 1; n < nodes; ++n) candidates.push_back(n);
+  rng.Shuffle(&candidates);
+  candidates.resize(subscribers);
+  for (NodeId n : candidates) protocol.Subscribe(n);
+  engine.Run();
+  const uint64_t join_hops = recorder.hops().control();
+
+  for (IndexVersion v = 1; v <= publishes; ++v) {
+    protocol.Publish(v, engine.Now() + 3600.0);
+    engine.Run();
+  }
+  return Result{join_hops, recorder.hops().push(), protocol.MaxNodeState()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = util::ConfigMap::FromArgs(argc, argv);
+  DUP_CHECK(args.ok()) << args.status().ToString();
+  const size_t nodes = static_cast<size_t>(args->GetInt("nodes", 1024));
+  const size_t subscribers =
+      static_cast<size_t>(args->GetInt("subscribers", 64));
+  const size_t publishes = static_cast<size_t>(args->GetInt("publishes", 3));
+  const uint64_t seed = static_cast<uint64_t>(args->GetInt("seed", 42));
+
+  std::printf(
+      "dissemination of %zu publishes to %zu subscribers on a %zu-node "
+      "overlay\n\n%-8s %14s %18s %16s\n",
+      publishes, subscribers, nodes, "scheme", "join hops",
+      "push hops (total)", "max node state");
+
+  const Result scribe =
+      Run<dissem::ScribeDissemination>(nodes, subscribers, publishes, seed);
+  const Result bayeux =
+      Run<dissem::BayeuxDissemination>(nodes, subscribers, publishes, seed);
+  const Result dup =
+      Run<dissem::DupDissemination>(nodes, subscribers, publishes, seed);
+
+  auto print = [](const char* name, const Result& r) {
+    std::printf("%-8s %14llu %18llu %16zu\n", name,
+                static_cast<unsigned long long>(r.join_hops),
+                static_cast<unsigned long long>(r.push_hops), r.max_state);
+  };
+  print("SCRIBE", scribe);
+  print("Bayeux", bayeux);
+  print("DUP", dup);
+
+  std::printf(
+      "\npaper Section V: SCRIBE forwards data through every intermediate "
+      "node;\nBayeux pushes directly but concentrates the whole membership "
+      "at the root\nand walks every join to it; DUP pushes near-directly "
+      "with degree-bounded\nstate on every node.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Compares PCX, CUP and DUP on the same workload, reproducing a single
+// point of the paper's Figure 4 interactively:
+//
+//   ./scheme_comparison nodes=4096 lambda=1 reps=3
+//
+// Prints absolute latency/cost per scheme plus costs relative to PCX.
+
+#include <cstdio>
+
+#include "experiment/config.h"
+#include "experiment/replicator.h"
+#include "experiment/report.h"
+#include "util/check.h"
+#include "util/config.h"
+#include "util/str.h"
+
+int main(int argc, char** argv) {
+  using namespace dupnet;
+
+  auto args = util::ConfigMap::FromArgs(argc, argv);
+  DUP_CHECK(args.ok()) << args.status().ToString();
+
+  experiment::ExperimentConfig config;
+  config.num_nodes = static_cast<size_t>(args->GetInt("nodes", 1024));
+  config.max_degree = static_cast<int>(args->GetInt("degree", 4));
+  config.lambda = args->GetDouble("lambda", 1.0);
+  config.zipf_theta = args->GetDouble("theta", 0.8);
+  config.seed = static_cast<uint64_t>(args->GetInt("seed", 42));
+  config.warmup_time = args->GetDouble("warmup", 3600.0);
+  config.measure_time = args->GetDouble("measure", 14160.0);
+  config.per_copy_ttl = args->GetBool("percopy", true);
+  config.cache_passing_replies = args->GetBool("passrep", false);
+  config.count_forwarded_queries = args->GetBool("fwd", false);
+  config.threshold_c = static_cast<uint32_t>(args->GetInt("c", 6));
+  if (args->Has("alpha")) {
+    config.arrival = experiment::ArrivalKind::kPareto;
+    config.pareto_alpha = args->GetDouble("alpha", 1.2);
+  }
+  const size_t reps = static_cast<size_t>(args->GetInt("reps", 3));
+
+  std::printf("comparing schemes at lambda=%g on n=%zu (reps=%zu)...\n",
+              config.lambda, config.num_nodes, reps);
+  auto comparison = experiment::CompareSchemes(config, reps);
+  DUP_CHECK(comparison.ok()) << comparison.status().ToString();
+
+  experiment::TableReport table(
+      util::StrFormat("Scheme comparison (lambda=%g, n=%zu, theta=%g)",
+                      config.lambda, config.num_nodes, config.zipf_theta),
+      {"scheme", "latency (hops)", "cost (hops/query)", "cost vs PCX",
+       "local hit", "stale"});
+  auto row = [&](const char* name, const metrics::ReplicationSummary& s,
+                 double relative) {
+    table.AddRow({name, experiment::CiCell(s.latency.mean, s.latency.half_width),
+                  experiment::CiCell(s.cost.mean, s.cost.half_width),
+                  experiment::PercentCell(relative),
+                  experiment::PercentCell(s.local_hit_rate.mean),
+                  experiment::PercentCell(s.stale_rate.mean)});
+  };
+  row("PCX", comparison->pcx, 1.0);
+  row("CUP", comparison->cup, comparison->cup_cost_relative_to_pcx());
+  row("DUP", comparison->dup, comparison->dup_cost_relative_to_pcx());
+  table.Print();
+
+  std::printf(
+      "\nexpected shape (paper Fig. 4): latency(DUP) << latency(CUP) < "
+      "latency(PCX);\ncost(DUP) < cost(CUP) < cost(PCX).\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the ablations. CSVs land in results/.
+#
+#   scripts/reproduce.sh            # quick mode (minutes)
+#   DUP_BENCH_FULL=1 scripts/reproduce.sh   # paper-scale horizon
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+mkdir -p results
+export DUP_BENCH_CSV_DIR="$PWD/results"
+for bench in build/bench/*; do
+  case "$bench" in
+    *bench_micro) "$bench" --benchmark_min_time=0.1 ;;
+    *) "$bench" ;;
+  esac
+  echo
+done
+echo "CSV series written to results/."

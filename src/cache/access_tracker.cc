@@ -1,0 +1,26 @@
+#include "cache/access_tracker.h"
+
+namespace dupnet::cache {
+
+void AccessTracker::RecordQuery(sim::SimTime now) {
+  Trim(now);
+  timestamps_.push_back(now);
+}
+
+uint32_t AccessTracker::CountInWindow(sim::SimTime now) {
+  Trim(now);
+  return static_cast<uint32_t>(timestamps_.size());
+}
+
+bool AccessTracker::Interested(sim::SimTime now) {
+  return CountInWindow(now) > threshold_;
+}
+
+void AccessTracker::Trim(sim::SimTime now) {
+  const sim::SimTime cutoff = now - window_;
+  while (!timestamps_.empty() && timestamps_.front() <= cutoff) {
+    timestamps_.pop_front();
+  }
+}
+
+}  // namespace dupnet::cache

@@ -1,0 +1,47 @@
+#ifndef DUP_CACHE_ACCESS_TRACKER_H_
+#define DUP_CACHE_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event_queue.h"
+
+namespace dupnet::cache {
+
+/// Implements the paper's interest measurement policy (Section III-B):
+/// "if the number of queries a node receives in the last TTL interval is
+/// greater than a threshold value c, the node is considered to be
+/// interested in the index."
+///
+/// Timestamps are kept in a deque and trimmed lazily; memory is bounded by
+/// the queries that actually fall within one window at this node.
+class AccessTracker {
+ public:
+  /// `window` is the TTL interval; `threshold` is c.
+  AccessTracker(sim::SimTime window, uint32_t threshold)
+      : window_(window), threshold_(threshold) {}
+
+  /// Records one query received (the node's own or a forwarded request).
+  void RecordQuery(sim::SimTime now);
+
+  /// Queries received in (now - window, now].
+  uint32_t CountInWindow(sim::SimTime now);
+
+  /// True iff CountInWindow(now) > threshold (strictly greater, as the
+  /// paper states).
+  bool Interested(sim::SimTime now);
+
+  sim::SimTime window() const { return window_; }
+  uint32_t threshold() const { return threshold_; }
+
+ private:
+  void Trim(sim::SimTime now);
+
+  sim::SimTime window_;
+  uint32_t threshold_;
+  std::deque<sim::SimTime> timestamps_;
+};
+
+}  // namespace dupnet::cache
+
+#endif  // DUP_CACHE_ACCESS_TRACKER_H_

@@ -1,0 +1,31 @@
+#include "cache/index_cache.h"
+
+namespace dupnet::cache {
+
+bool IndexCache::Put(const IndexEntry& entry) {
+  if (entry.version < entry_.version) return false;
+  entry_ = entry;
+  return true;
+}
+
+std::optional<IndexEntry> IndexCache::Get(sim::SimTime now) {
+  if (entry_.ValidAt(now)) {
+    ++hits_;
+    return entry_;
+  }
+  ++misses_;
+  return std::nullopt;
+}
+
+std::optional<IndexEntry> IndexCache::Peek(sim::SimTime now) const {
+  if (entry_.ValidAt(now)) return entry_;
+  return std::nullopt;
+}
+
+bool IndexCache::HasValid(sim::SimTime now) const {
+  return entry_.ValidAt(now);
+}
+
+void IndexCache::Invalidate() { entry_ = IndexEntry(); }
+
+}  // namespace dupnet::cache

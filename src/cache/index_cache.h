@@ -1,0 +1,56 @@
+#ifndef DUP_CACHE_INDEX_CACHE_H_
+#define DUP_CACHE_INDEX_CACHE_H_
+
+#include <optional>
+
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace dupnet::cache {
+
+/// A cached copy of the index: the (key, value) mapping plus its version
+/// and absolute expiry. The authority stamps each version with
+/// expiry = issue_time + TTL; weak consistency means the copy may be served
+/// until that moment even if a newer version exists.
+struct IndexEntry {
+  IndexVersion version = 0;
+  sim::SimTime expiry = 0.0;
+
+  bool ValidAt(sim::SimTime now) const { return version != 0 && now < expiry; }
+};
+
+/// Per-node cache slot for the simulated key, with hit/miss accounting.
+/// (The simulation studies a single index, as the paper does; a multi-key
+/// deployment is one IndexCache per key.)
+class IndexCache {
+ public:
+  IndexCache() = default;
+
+  /// Stores `entry` if it is at least as new as the current content.
+  /// Returns true when the cache changed.
+  bool Put(const IndexEntry& entry);
+
+  /// The entry if present and unexpired at `now`.
+  std::optional<IndexEntry> Get(sim::SimTime now);
+
+  /// Peek without hit/miss accounting.
+  std::optional<IndexEntry> Peek(sim::SimTime now) const;
+
+  bool HasValid(sim::SimTime now) const;
+
+  /// Drops the entry (node reset / explicit invalidation).
+  void Invalidate();
+
+  IndexVersion stored_version() const { return entry_.version; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  IndexEntry entry_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace dupnet::cache
+
+#endif  // DUP_CACHE_INDEX_CACHE_H_

@@ -1,0 +1,253 @@
+#include "can/space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "chord/sha1.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::can {
+namespace {
+
+/// Distance between two coordinates on the unit circle.
+double CircleDistance(double a, double b) {
+  const double direct = std::fabs(a - b);
+  return std::min(direct, 1.0 - direct);
+}
+
+/// Distance from coordinate x to the half-open interval [lo, hi) on the
+/// unit circle. Zones never wrap, so lo <= hi.
+double CircleIntervalDistance(double x, double lo, double hi) {
+  if (x >= lo && x < hi) return 0.0;
+  return std::min(CircleDistance(x, lo), CircleDistance(x, hi));
+}
+
+/// True iff [a_lo, a_hi) and [b_lo, b_hi) overlap in more than one point on
+/// the circle (shared borders of positive length count; corner contact
+/// does not).
+bool IntervalsOverlap(double a_lo, double a_hi, double b_lo, double b_hi) {
+  return a_lo < b_hi && b_lo < a_hi;
+}
+
+/// True iff the two intervals abut on the circle (one's end is the other's
+/// start, including across the 0/1 wrap).
+bool IntervalsAbut(double a_lo, double a_hi, double b_lo, double b_hi) {
+  auto equal_mod1 = [](double x, double y) {
+    const double d = std::fabs(x - y);
+    return d < 1e-12 || std::fabs(d - 1.0) < 1e-12;
+  };
+  return equal_mod1(a_hi, b_lo) || equal_mod1(b_hi, a_lo);
+}
+
+}  // namespace
+
+Point Point::Zero(int dims) {
+  Point p;
+  p.dims = dims;
+  return p;
+}
+
+bool Zone::Contains(const Point& p) const {
+  DUP_CHECK_EQ(p.dims, dims);
+  for (int d = 0; d < dims; ++d) {
+    if (p.coords[d] < lo[d] || p.coords[d] >= hi[d]) return false;
+  }
+  return true;
+}
+
+double Zone::Volume() const {
+  double volume = 1.0;
+  for (int d = 0; d < dims; ++d) volume *= hi[d] - lo[d];
+  return volume;
+}
+
+double Zone::DistanceSquared(const Point& p) const {
+  DUP_CHECK_EQ(p.dims, dims);
+  double sum = 0.0;
+  for (int d = 0; d < dims; ++d) {
+    const double dist = CircleIntervalDistance(p.coords[d], lo[d], hi[d]);
+    sum += dist * dist;
+  }
+  return sum;
+}
+
+bool Zone::IsNeighbor(const Zone& other) const {
+  DUP_CHECK_EQ(other.dims, dims);
+  int abutting = 0;
+  for (int d = 0; d < dims; ++d) {
+    const bool overlap =
+        IntervalsOverlap(lo[d], hi[d], other.lo[d], other.hi[d]);
+    if (overlap) continue;
+    if (IntervalsAbut(lo[d], hi[d], other.lo[d], other.hi[d])) {
+      ++abutting;
+      continue;
+    }
+    return false;  // Separated along this axis.
+  }
+  // Neighbours share a (d-1)-dimensional border: abut in exactly one axis
+  // and overlap in all others.
+  return abutting == 1;
+}
+
+util::Result<CanSpace> CanSpace::Create(size_t num_nodes, int dims,
+                                        uint64_t seed) {
+  if (num_nodes == 0) {
+    return util::Status::InvalidArgument("num_nodes must be positive");
+  }
+  if (dims < 1 || dims > kMaxDims) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("dims must be in [1, %d]", kMaxDims));
+  }
+  CanSpace space;
+  space.dims_ = dims;
+
+  // The first node owns the whole torus.
+  Zone whole;
+  whole.dims = dims;
+  for (int d = 0; d < dims; ++d) {
+    whole.lo[d] = 0.0;
+    whole.hi[d] = 1.0;
+  }
+  space.zones_.push_back(whole);
+  space.split_depth_.push_back(0);
+
+  // CAN bootstrap: each joiner picks a random point, the owner splits.
+  util::Rng rng(seed);
+  for (size_t i = 1; i < num_nodes; ++i) {
+    Point p = Point::Zero(dims);
+    for (int d = 0; d < dims; ++d) p.coords[d] = rng.NextDouble();
+    const NodeId owner = space.OwnerOf(p);
+    Zone& zone = space.zones_[owner];
+    const int axis = static_cast<int>(space.split_depth_[owner]) % dims;
+    const double mid = (zone.lo[axis] + zone.hi[axis]) / 2.0;
+    Zone upper = zone;
+    upper.lo[axis] = mid;
+    zone.hi[axis] = mid;
+    ++space.split_depth_[owner];
+    space.zones_.push_back(upper);
+    space.split_depth_.push_back(space.split_depth_[owner]);
+  }
+  space.ComputeNeighbors();
+  return space;
+}
+
+void CanSpace::ComputeNeighbors() {
+  const size_t n = zones_.size();
+  neighbors_.assign(n, {});
+  for (size_t a = 0; a < n; ++a) {
+    for (size_t b = a + 1; b < n; ++b) {
+      if (zones_[a].IsNeighbor(zones_[b])) {
+        neighbors_[a].push_back(static_cast<NodeId>(b));
+        neighbors_[b].push_back(static_cast<NodeId>(a));
+      }
+    }
+  }
+}
+
+const Zone& CanSpace::ZoneOf(NodeId node) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), zones_.size());
+  return zones_[node];
+}
+
+const std::vector<NodeId>& CanSpace::NeighborsOf(NodeId node) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), neighbors_.size());
+  return neighbors_[node];
+}
+
+NodeId CanSpace::OwnerOf(const Point& p) const {
+  for (size_t i = 0; i < zones_.size(); ++i) {
+    if (zones_[i].Contains(p)) return static_cast<NodeId>(i);
+  }
+  DUP_CHECK(false) << "zones do not tile the torus";
+  return kInvalidNode;
+}
+
+NodeId CanSpace::NextHop(NodeId from, const Point& target) const {
+  const Zone& zone = ZoneOf(from);
+  if (zone.Contains(target)) return from;
+  NodeId best = from;
+  double best_distance = zone.DistanceSquared(target);
+  for (NodeId neighbor : NeighborsOf(from)) {
+    const double distance = zones_[neighbor].DistanceSquared(target);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = neighbor;
+    }
+  }
+  return best;
+}
+
+util::Result<std::vector<NodeId>> CanSpace::RoutePath(
+    NodeId from, const Point& target) const {
+  std::vector<NodeId> path = {from};
+  NodeId cur = from;
+  // Greedy progress is strictly decreasing in zone distance; 4 * n bounds
+  // any route in a space that tiles correctly.
+  const size_t limit = 4 * zones_.size() + 8;
+  while (!ZoneOf(cur).Contains(target)) {
+    const NodeId next = NextHop(cur, target);
+    if (next == cur) {
+      return util::Status::Internal(
+          util::StrFormat("greedy routing stuck at node %u", cur));
+    }
+    cur = next;
+    path.push_back(cur);
+    if (path.size() > limit) {
+      return util::Status::Internal("routing did not converge");
+    }
+  }
+  return path;
+}
+
+Point CanSpace::PointForKey(std::string_view key_name, int dims) {
+  Point p = Point::Zero(dims);
+  for (int d = 0; d < dims; ++d) {
+    const uint64_t hash = chord::Sha1Hash64(
+        util::StrFormat("can:%d:%.*s", d, static_cast<int>(key_name.size()),
+                        key_name.data()));
+    p.coords[d] =
+        static_cast<double>(hash >> 11) * 0x1.0p-53;  // [0, 1).
+  }
+  return p;
+}
+
+util::Result<topo::IndexSearchTree> CanSpace::BuildIndexTree(
+    const Point& key) const {
+  const NodeId authority = OwnerOf(key);
+  const size_t n = zones_.size();
+  std::vector<std::vector<NodeId>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    if (node == authority) continue;
+    const NodeId next = NextHop(node, key);
+    if (next == node) {
+      return util::Status::Internal("non-authority routed to itself");
+    }
+    children[next].push_back(node);
+  }
+  topo::IndexSearchTree tree(authority);
+  std::vector<NodeId> frontier = {authority};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId cur : frontier) {
+      for (NodeId child : children[cur]) {
+        DUP_RETURN_IF_ERROR(tree.AttachLeaf(cur, child));
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (tree.size() != n) {
+    return util::Status::Internal(
+        "greedy next-hop relation did not form a spanning tree");
+  }
+  return tree;
+}
+
+util::Result<topo::IndexSearchTree> CanSpace::BuildIndexTreeForKeyName(
+    std::string_view key_name) const {
+  return BuildIndexTree(PointForKey(key_name, dims_));
+}
+
+}  // namespace dupnet::can

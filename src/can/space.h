@@ -1,0 +1,96 @@
+#ifndef DUP_CAN_SPACE_H_
+#define DUP_CAN_SPACE_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topo/tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dupnet::can {
+
+/// Maximum supported dimensionality of the coordinate space.
+inline constexpr int kMaxDims = 8;
+
+/// A point on the d-dimensional unit torus [0,1)^d.
+struct Point {
+  int dims = 2;
+  std::array<double, kMaxDims> coords = {};
+
+  static Point Zero(int dims);
+};
+
+/// An axis-aligned half-open box [lo, hi) owned by one node. CAN zones
+/// never wrap an individual axis (they only ever shrink from the full
+/// axis), which keeps the geometry simple.
+struct Zone {
+  int dims = 2;
+  std::array<double, kMaxDims> lo = {};
+  std::array<double, kMaxDims> hi = {};
+
+  bool Contains(const Point& p) const;
+  double Volume() const;
+  /// Squared torus distance from `p` to the closest point of this zone.
+  double DistanceSquared(const Point& p) const;
+  /// True iff the zones share a (d-1)-dimensional border on the torus.
+  bool IsNeighbor(const Zone& other) const;
+};
+
+/// A Content-Addressable Network (Ratnasamy et al., SIGCOMM 2001) — the
+/// paper's reference [2] and the substrate it points to for index-search-
+/// tree maintenance. The space is built by the CAN bootstrap protocol:
+/// each joining node picks a random point, routes to its owner, and splits
+/// that owner's zone in half (split axes cycle per zone lineage). Greedy
+/// routing forwards to the neighbour zone closest to the target point.
+///
+/// As with the Chord substrate, the union of all nodes' routes toward a
+/// key's point is the index search tree rooted at the key's authority.
+class CanSpace {
+ public:
+  /// Bootstraps a CAN of `num_nodes` zones in `dims` dimensions.
+  static util::Result<CanSpace> Create(size_t num_nodes, int dims,
+                                       uint64_t seed);
+
+  size_t size() const { return zones_.size(); }
+  int dims() const { return dims_; }
+
+  const Zone& ZoneOf(NodeId node) const;
+  const std::vector<NodeId>& NeighborsOf(NodeId node) const;
+
+  /// The node whose zone contains `p`.
+  NodeId OwnerOf(const Point& p) const;
+
+  /// One greedy routing step from `from` toward `target`; `from` itself
+  /// when its zone contains the target.
+  NodeId NextHop(NodeId from, const Point& target) const;
+
+  /// Full greedy route (inclusive of both endpoints).
+  util::Result<std::vector<NodeId>> RoutePath(NodeId from,
+                                              const Point& target) const;
+
+  /// Deterministically hashes a key name onto the torus.
+  static Point PointForKey(std::string_view key_name, int dims);
+
+  /// Index search tree for a key: parent(n) = NextHop(n, key point).
+  util::Result<topo::IndexSearchTree> BuildIndexTree(
+      const Point& key) const;
+  util::Result<topo::IndexSearchTree> BuildIndexTreeForKeyName(
+      std::string_view key_name) const;
+
+ private:
+  CanSpace() = default;
+
+  void ComputeNeighbors();
+
+  int dims_ = 2;
+  std::vector<Zone> zones_;                     ///< NodeId -> zone.
+  std::vector<uint32_t> split_depth_;           ///< Splits along lineage.
+  std::vector<std::vector<NodeId>> neighbors_;  ///< NodeId -> adjacency.
+};
+
+}  // namespace dupnet::can
+
+#endif  // DUP_CAN_SPACE_H_

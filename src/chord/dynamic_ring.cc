@@ -1,0 +1,377 @@
+#include "chord/dynamic_ring.h"
+
+#include <algorithm>
+
+#include "chord/sha1.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::chord {
+
+using util::Result;
+using util::Status;
+
+Result<DynamicChordRing> DynamicChordRing::Create(size_t initial_nodes,
+                                                  int successor_list_size) {
+  if (initial_nodes == 0) {
+    return Status::InvalidArgument("need at least one initial node");
+  }
+  if (successor_list_size < 1) {
+    return Status::InvalidArgument("successor list must be non-empty");
+  }
+  DynamicChordRing ring;
+  ring.successor_list_size_ = successor_list_size;
+  for (size_t i = 0; i < initial_nodes; ++i) {
+    MemberState state;
+    uint32_t salt = 0;
+    do {
+      state.id = Sha1Hash64(util::StrFormat("node:%zu:%u", i, salt++));
+    } while (std::any_of(ring.members_.begin(), ring.members_.end(),
+                         [&](const auto& m) {
+                           return m.second.id == state.id;
+                         }));
+    ring.members_.emplace(static_cast<NodeId>(i), state);
+  }
+  // Bootstrap with globally correct pointers (a freshly deployed ring).
+  std::vector<std::pair<ChordId, NodeId>> sorted;
+  for (const auto& [node, state] : ring.members_) {
+    sorted.emplace_back(state.id, node);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t pos = 0; pos < sorted.size(); ++pos) {
+    MemberState& state = ring.members_.at(sorted[pos].second);
+    state.successor = sorted[(pos + 1) % sorted.size()].second;
+    state.predecessor =
+        sorted[(pos + sorted.size() - 1) % sorted.size()].second;
+  }
+  for (auto& [node, state] : ring.members_) {
+    ring.RefreshSuccessorList(node);
+    ring.RebuildFingers(node);
+  }
+  return ring;
+}
+
+bool DynamicChordRing::Contains(NodeId node) const {
+  return members_.find(node) != members_.end();
+}
+
+ChordId DynamicChordRing::IdOf(NodeId node) const {
+  return StateOf(node).id;
+}
+
+const DynamicChordRing::MemberState& DynamicChordRing::StateOf(
+    NodeId node) const {
+  auto it = members_.find(node);
+  DUP_CHECK(it != members_.end()) << "unknown member " << node;
+  return it->second;
+}
+
+DynamicChordRing::MemberState& DynamicChordRing::MutableStateOf(
+    NodeId node) {
+  auto it = members_.find(node);
+  DUP_CHECK(it != members_.end()) << "unknown member " << node;
+  return it->second;
+}
+
+NodeId DynamicChordRing::TrueSuccessorOfKey(ChordId key) const {
+  NodeId best = kInvalidNode;
+  // The member minimizing the clockwise distance id - key (mod 2^64).
+  uint64_t best_gap = ~uint64_t{0};
+  for (const auto& [node, state] : members_) {
+    const uint64_t gap = state.id - key;  // mod 2^64; 0 when id == key.
+    if (best == kInvalidNode || gap < best_gap) {
+      best = node;
+      best_gap = gap;
+    }
+  }
+  return best;
+}
+
+NodeId DynamicChordRing::ClosestPrecedingLive(NodeId node,
+                                              ChordId key) const {
+  const MemberState& state = StateOf(node);
+  for (auto it = state.fingers.rbegin(); it != state.fingers.rend(); ++it) {
+    const NodeId candidate = *it;
+    if (candidate == kInvalidNode || !Contains(candidate) ||
+        candidate == node) {
+      continue;
+    }
+    const ChordId cid = IdOf(candidate);
+    if (cid != key && InIntervalOpenClosed(cid, state.id, key)) {
+      return candidate;
+    }
+  }
+  return kInvalidNode;
+}
+
+Result<NodeId> DynamicChordRing::RoutedFindSuccessor(NodeId via,
+                                                     ChordId key) const {
+  if (!Contains(via)) return Status::NotFound("via node is not a member");
+  NodeId cur = via;
+  const size_t limit = 2 * members_.size() + 130;
+  for (size_t hop = 0; hop < limit; ++hop) {
+    const MemberState& state = StateOf(cur);
+    // First live entry of the successor chain.
+    NodeId successor = state.successor;
+    if (!Contains(successor)) {
+      successor = kInvalidNode;
+      for (NodeId backup : state.successor_list) {
+        if (Contains(backup)) {
+          successor = backup;
+          break;
+        }
+      }
+      if (successor == kInvalidNode) {
+        return Status::Unavailable(util::StrFormat(
+            "node %u has no live successor (awaiting stabilization)", cur));
+      }
+    }
+    if (InIntervalOpenClosed(key, state.id, IdOf(successor))) {
+      return successor;
+    }
+    const NodeId finger = ClosestPrecedingLive(cur, key);
+    cur = finger != kInvalidNode ? finger : successor;
+  }
+  return Status::Unavailable("routing did not converge (stale state)");
+}
+
+void DynamicChordRing::RefreshSuccessorList(NodeId node) {
+  MemberState& state = MutableStateOf(node);
+  state.successor_list.clear();
+  NodeId cur = state.successor;
+  for (int i = 0; i < successor_list_size_; ++i) {
+    if (!Contains(cur) || cur == node) break;
+    state.successor_list.push_back(cur);
+    cur = StateOf(cur).successor;
+  }
+}
+
+void DynamicChordRing::RebuildFingers(NodeId node) {
+  MemberState& state = MutableStateOf(node);
+  state.fingers.assign(64, kInvalidNode);
+  for (int k = 0; k < 64; ++k) {
+    const ChordId target = state.id + (uint64_t{1} << k);
+    auto successor = RoutedFindSuccessor(node, target);
+    if (successor.ok()) {
+      state.fingers[static_cast<size_t>(k)] = *successor;
+    }
+  }
+}
+
+Status DynamicChordRing::Join(NodeId node, NodeId via) {
+  if (Contains(node)) {
+    return Status::AlreadyExists(util::StrFormat("%u already joined", node));
+  }
+  if (!Contains(via)) {
+    return Status::NotFound(util::StrFormat("bootstrap node %u unknown", via));
+  }
+  MemberState state;
+  uint32_t salt = 0;
+  do {
+    state.id = Sha1Hash64(util::StrFormat("node:%u:%u", node, salt++));
+  } while (std::any_of(members_.begin(), members_.end(), [&](const auto& m) {
+    return m.second.id == state.id;
+  }));
+
+  auto successor = RoutedFindSuccessor(via, state.id);
+  if (!successor.ok()) return successor.status();
+  state.successor = *successor;
+  // Classic Chord join: the new node learns its successor and notifies it;
+  // the old predecessor keeps pointing at the successor until its next
+  // stabilization round discovers the newcomer.
+  state.predecessor = StateOf(*successor).predecessor;
+  members_.emplace(node, std::move(state));
+  MutableStateOf(*successor).predecessor = node;
+  RefreshSuccessorList(node);
+  RebuildFingers(node);
+  return Status::OK();
+}
+
+Status DynamicChordRing::Leave(NodeId node) {
+  if (!Contains(node)) {
+    return Status::NotFound(util::StrFormat("%u is not a member", node));
+  }
+  if (members_.size() == 1) {
+    return Status::FailedPrecondition("cannot empty the ring");
+  }
+  const MemberState state = StateOf(node);
+  members_.erase(node);
+  // Graceful handover: splice predecessor and successor together.
+  if (Contains(state.predecessor)) {
+    MutableStateOf(state.predecessor).successor =
+        Contains(state.successor)
+            ? state.successor
+            : TrueSuccessorOfKey(state.id + 1);
+    RefreshSuccessorList(state.predecessor);
+  }
+  if (Contains(state.successor)) {
+    MutableStateOf(state.successor).predecessor =
+        Contains(state.predecessor) ? state.predecessor : kInvalidNode;
+  }
+  return Status::OK();
+}
+
+Status DynamicChordRing::Fail(NodeId node) {
+  if (!Contains(node)) {
+    return Status::NotFound(util::StrFormat("%u is not a member", node));
+  }
+  if (members_.size() == 1) {
+    return Status::FailedPrecondition("cannot empty the ring");
+  }
+  members_.erase(node);  // Vanishes; everyone else's state is now stale.
+  return Status::OK();
+}
+
+void DynamicChordRing::StabilizeAll() {
+  // Snapshot the member set: stabilization does not add/remove members.
+  std::vector<NodeId> nodes;
+  nodes.reserve(members_.size());
+  for (const auto& [node, state] : members_) nodes.push_back(node);
+
+  for (NodeId node : nodes) {
+    MemberState& state = MutableStateOf(node);
+    // 1. Repair a dead successor from the successor list.
+    if (!Contains(state.successor)) {
+      NodeId replacement = kInvalidNode;
+      for (NodeId backup : state.successor_list) {
+        if (Contains(backup) && backup != node) {
+          replacement = backup;
+          break;
+        }
+      }
+      // Total successor-list loss would partition a real ring; the model
+      // falls back to ground truth (equivalent to re-bootstrapping).
+      state.successor = replacement != kInvalidNode
+                            ? replacement
+                            : TrueSuccessorOfKey(state.id + 1);
+    }
+    if (state.successor == node && members_.size() > 1) {
+      state.successor = TrueSuccessorOfKey(state.id + 1);
+    }
+    // 2. Adopt the successor's predecessor if it sits between us.
+    const MemberState& succ = StateOf(state.successor);
+    if (Contains(succ.predecessor) && succ.predecessor != node &&
+        InIntervalOpenClosed(IdOf(succ.predecessor), state.id,
+                             succ.id) &&
+        IdOf(succ.predecessor) != succ.id) {
+      state.successor = succ.predecessor;
+    }
+    // 3. Notify: the successor adopts us as predecessor if we are closer.
+    MemberState& new_succ = MutableStateOf(state.successor);
+    if (!Contains(new_succ.predecessor) ||
+        (new_succ.predecessor != node &&
+         InIntervalOpenClosed(state.id, IdOf(new_succ.predecessor),
+                              new_succ.id) &&
+         state.id != new_succ.id)) {
+      new_succ.predecessor = node;
+    }
+    RefreshSuccessorList(node);
+  }
+}
+
+void DynamicChordRing::FixFingersAll() {
+  std::vector<NodeId> nodes;
+  nodes.reserve(members_.size());
+  for (const auto& [node, state] : members_) nodes.push_back(node);
+  for (NodeId node : nodes) RebuildFingers(node);
+}
+
+Result<NodeId> DynamicChordRing::AuthorityOf(ChordId key) const {
+  if (members_.empty()) return Status::NotFound("empty ring");
+  return TrueSuccessorOfKey(key);
+}
+
+Result<std::vector<NodeId>> DynamicChordRing::Lookup(NodeId from,
+                                                     ChordId key) const {
+  if (!Contains(from)) return Status::NotFound("origin is not a member");
+  std::vector<NodeId> path = {from};
+  NodeId cur = from;
+  const size_t limit = 2 * members_.size() + 130;
+  for (size_t hop = 0; hop < limit; ++hop) {
+    const MemberState& state = StateOf(cur);
+    NodeId successor = state.successor;
+    if (!Contains(successor)) {
+      successor = kInvalidNode;
+      for (NodeId backup : state.successor_list) {
+        if (Contains(backup)) {
+          successor = backup;
+          break;
+        }
+      }
+      if (successor == kInvalidNode) {
+        return Status::Unavailable("dead end (awaiting stabilization)");
+      }
+    }
+    if (InIntervalOpenClosed(key, state.id, IdOf(successor))) {
+      path.push_back(successor);
+      return path;
+    }
+    const NodeId finger = ClosestPrecedingLive(cur, key);
+    cur = finger != kInvalidNode ? finger : successor;
+    path.push_back(cur);
+  }
+  return Status::Unavailable("lookup did not converge (stale state)");
+}
+
+Result<topo::IndexSearchTree> DynamicChordRing::BuildIndexTree(
+    ChordId key) const {
+  auto authority = AuthorityOf(key);
+  DUP_RETURN_IF_ERROR(authority.status());
+
+  std::map<NodeId, NodeId> parent;
+  for (const auto& [node, state] : members_) {
+    if (node == *authority) continue;
+    auto path = Lookup(node, key);
+    DUP_RETURN_IF_ERROR(path.status());
+    // The first hop of this node's lookup is its tree parent.
+    DUP_CHECK_GE(path->size(), 2u);
+    parent[node] = (*path)[1];
+  }
+  std::map<NodeId, std::vector<NodeId>> children;
+  for (const auto& [node, p] : parent) children[p].push_back(node);
+
+  topo::IndexSearchTree tree(*authority);
+  std::vector<NodeId> frontier = {*authority};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId cur : frontier) {
+      auto it = children.find(cur);
+      if (it == children.end()) continue;
+      for (NodeId child : it->second) {
+        DUP_RETURN_IF_ERROR(tree.AttachLeaf(cur, child));
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (tree.size() != members_.size()) {
+    return Status::Internal(
+        "stale routing produced a non-spanning next-hop relation");
+  }
+  return tree;
+}
+
+Status DynamicChordRing::ValidateRing() const {
+  for (const auto& [node, state] : members_) {
+    const NodeId expected = TrueSuccessorOfKey(state.id + 1);
+    if (members_.size() == 1) continue;
+    if (state.successor != expected) {
+      return Status::Internal(util::StrFormat(
+          "node %u successor is %u, expected %u", node, state.successor,
+          expected));
+    }
+  }
+  return Status::OK();
+}
+
+size_t DynamicChordRing::StaleFingerCount() const {
+  size_t stale = 0;
+  for (const auto& [node, state] : members_) {
+    for (NodeId finger : state.fingers) {
+      if (finger != kInvalidNode && !Contains(finger)) ++stale;
+    }
+  }
+  return stale;
+}
+
+}  // namespace dupnet::chord

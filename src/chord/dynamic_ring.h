@@ -1,0 +1,109 @@
+#ifndef DUP_CHORD_DYNAMIC_RING_H_
+#define DUP_CHORD_DYNAMIC_RING_H_
+
+#include <map>
+#include <vector>
+
+#include "chord/ring.h"
+#include "topo/tree.h"
+#include "util/status.h"
+
+namespace dupnet::chord {
+
+/// A Chord ring under churn, with the maintenance protocol the DUP paper
+/// defers to its reference [2]/[3]: nodes join through an existing member,
+/// leave or fail at any time, and periodic *stabilization* plus
+/// *fix-fingers* rounds repair successor pointers and finger tables.
+/// Successor lists provide failure tolerance: when a successor dies, the
+/// next live entry takes over.
+///
+/// This is a state-machine model (method calls mutate routing state; no
+/// message latencies) — the protocols' message dynamics are simulated at
+/// the index-search-tree level, which this class can (re)derive at any
+/// moment via BuildIndexTree(). The point it demonstrates is the paper's
+/// Section III-C premise: "the underlying peer-to-peer network protocol
+/// takes care of topology changes of the index search tree."
+class DynamicChordRing {
+ public:
+  /// Starts a ring with `initial_nodes` members (ids 0..n-1).
+  static util::Result<DynamicChordRing> Create(size_t initial_nodes,
+                                               int successor_list_size = 4);
+
+  size_t size() const { return members_.size(); }
+  bool Contains(NodeId node) const;
+  ChordId IdOf(NodeId node) const;
+
+  /// Adds a node (fresh NodeId chosen by the caller): it looks up its own
+  /// id through `via` (any current member), splices into the ring, and
+  /// builds its state. Fingers of other nodes catch up on later
+  /// FixFingers rounds — exactly Chord's lazy repair.
+  util::Status Join(NodeId node, NodeId via);
+
+  /// Graceful departure: the node hands its position to its successor and
+  /// notifies its predecessor.
+  util::Status Leave(NodeId node);
+
+  /// Crash: the node vanishes without notice. Other nodes discover this
+  /// through Stabilize()/FixFingers() rounds.
+  util::Status Fail(NodeId node);
+
+  /// One stabilization round for every member: verify successor (skipping
+  /// dead entries via the successor list), adopt a closer successor if the
+  /// current one has a nearer predecessor, and refresh successor lists.
+  void StabilizeAll();
+
+  /// One fix-fingers round for every member: recompute each finger by a
+  /// fresh lookup. (Also prunes dead leaf references.)
+  void FixFingersAll();
+
+  /// The node currently responsible for `key` (first live successor).
+  util::Result<NodeId> AuthorityOf(ChordId key) const;
+
+  /// Greedy lookup path using the *current, possibly stale* routing state;
+  /// fails if routing hits a dead end (which stabilization then repairs).
+  util::Result<std::vector<NodeId>> Lookup(NodeId from, ChordId key) const;
+
+  /// Derives the index search tree for `key` from current routing state.
+  util::Result<topo::IndexSearchTree> BuildIndexTree(ChordId key) const;
+
+  /// Audits ring consistency: every member's successor pointer reaches the
+  /// true next live member. Holds after enough StabilizeAll() rounds.
+  util::Status ValidateRing() const;
+
+  /// Count of routing-table entries currently pointing at dead nodes
+  /// (drops to 0 after FixFingersAll()).
+  size_t StaleFingerCount() const;
+
+ private:
+  struct MemberState {
+    ChordId id = 0;
+    NodeId successor = kInvalidNode;
+    NodeId predecessor = kInvalidNode;
+    std::vector<NodeId> successor_list;
+    std::vector<NodeId> fingers;  ///< 64 entries; may be stale/dead.
+  };
+
+  DynamicChordRing() = default;
+
+  const MemberState& StateOf(NodeId node) const;
+  MemberState& MutableStateOf(NodeId node);
+
+  /// First live node at or clockwise after `key`, by global knowledge
+  /// (used as ground truth for audits and as the join oracle's result).
+  NodeId TrueSuccessorOfKey(ChordId key) const;
+
+  /// Routes through current state to find the successor of `key` starting
+  /// at `via` (the join lookup).
+  util::Result<NodeId> RoutedFindSuccessor(NodeId via, ChordId key) const;
+
+  NodeId ClosestPrecedingLive(NodeId node, ChordId key) const;
+  void RebuildFingers(NodeId node);
+  void RefreshSuccessorList(NodeId node);
+
+  int successor_list_size_ = 4;
+  std::map<NodeId, MemberState> members_;
+};
+
+}  // namespace dupnet::chord
+
+#endif  // DUP_CHORD_DYNAMIC_RING_H_

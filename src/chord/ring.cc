@@ -1,0 +1,124 @@
+#include "chord/ring.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "chord/sha1.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::chord {
+
+bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b) {
+  if (a == b) return true;  // Full circle.
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // Wrapped.
+}
+
+util::Result<ChordRing> ChordRing::Create(size_t num_nodes) {
+  if (num_nodes == 0) {
+    return util::Status::InvalidArgument("num_nodes must be positive");
+  }
+  ChordRing ring;
+  ring.ids_.resize(num_nodes);
+  std::unordered_set<ChordId> used;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    uint32_t salt = 0;
+    ChordId id;
+    do {
+      id = Sha1Hash64(util::StrFormat("node:%zu:%u", i, salt++));
+    } while (!used.insert(id).second);
+    ring.ids_[i] = id;
+  }
+
+  ring.sorted_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    ring.sorted_.emplace_back(ring.ids_[i], static_cast<NodeId>(i));
+  }
+  std::sort(ring.sorted_.begin(), ring.sorted_.end());
+
+  ring.fingers_.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    auto& table = ring.fingers_[i];
+    table.resize(64);
+    for (int j = 0; j < 64; ++j) {
+      const ChordId start = ring.ids_[i] + (uint64_t{1} << j);  // Wraps.
+      table[static_cast<size_t>(j)] = ring.SuccessorOfKey(start);
+    }
+  }
+  return ring;
+}
+
+ChordId ChordRing::IdOf(NodeId node) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), ids_.size());
+  return ids_[node];
+}
+
+NodeId ChordRing::SuccessorOfKey(ChordId key) const {
+  // First sorted id >= key, wrapping to the smallest id.
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                             std::make_pair(key, NodeId{0}));
+  if (it == sorted_.end()) it = sorted_.begin();
+  return it->second;
+}
+
+NodeId ChordRing::SuccessorOf(NodeId node) const {
+  return SuccessorOfKey(IdOf(node) + 1);
+}
+
+NodeId ChordRing::Finger(NodeId node, int j) const {
+  DUP_CHECK_GE(j, 0);
+  DUP_CHECK_LT(j, 64);
+  DUP_CHECK_LT(static_cast<size_t>(node), fingers_.size());
+  return fingers_[node][static_cast<size_t>(j)];
+}
+
+NodeId ChordRing::ClosestPrecedingFinger(NodeId node, ChordId key) const {
+  const ChordId self = IdOf(node);
+  const auto& table = fingers_[node];
+  for (int j = 63; j >= 0; --j) {
+    const NodeId candidate = table[static_cast<size_t>(j)];
+    const ChordId cid = IdOf(candidate);
+    // Strictly between us and the key: (self, key) exclusive on both ends.
+    if (candidate != node && cid != key &&
+        InIntervalOpenClosed(cid, self, key) ) {
+      return candidate;
+    }
+  }
+  return node;
+}
+
+NodeId ChordRing::NextHop(NodeId from, ChordId key) const {
+  // `from` owns the key when key lies in (predecessor(from), from], i.e.
+  // the successor of the key is `from` itself.
+  const NodeId authority = SuccessorOfKey(key);
+  if (from == authority) return from;
+  // If the key's owner is our direct successor, finish there (Chord's
+  // find_successor base case: key in (n, successor(n)]).
+  const NodeId succ = SuccessorOf(from);
+  if (InIntervalOpenClosed(key, IdOf(from), IdOf(succ))) return succ;
+  const NodeId finger = ClosestPrecedingFinger(from, key);
+  // Greedy progress is guaranteed in a complete ring; if no finger
+  // strictly precedes the key, the successor still makes progress.
+  return finger != from ? finger : succ;
+}
+
+util::Result<std::vector<NodeId>> ChordRing::LookupPath(NodeId from,
+                                                        ChordId key) const {
+  std::vector<NodeId> path = {from};
+  NodeId cur = from;
+  const NodeId authority = SuccessorOfKey(key);
+  // A correct greedy lookup takes O(log n) hops; 2*64 bounds any walk that
+  // would indicate a routing bug.
+  for (int hop = 0; hop < 128 && cur != authority; ++hop) {
+    cur = NextHop(cur, key);
+    path.push_back(cur);
+  }
+  if (cur != authority) {
+    return util::Status::Internal(
+        util::StrFormat("lookup from %u did not converge", from));
+  }
+  return path;
+}
+
+}  // namespace dupnet::chord

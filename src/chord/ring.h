@@ -1,0 +1,72 @@
+#ifndef DUP_CHORD_RING_H_
+#define DUP_CHORD_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace dupnet::chord {
+
+/// Position on the Chord identifier circle (here 2^64 wide: the first
+/// 64 bits of the SHA-1 digest, see sha1.h).
+using ChordId = uint64_t;
+
+/// True iff `x` lies in the half-open ring interval (a, b], wrapping
+/// around 2^64. When a == b the interval is the full ring.
+bool InIntervalOpenClosed(ChordId x, ChordId a, ChordId b);
+
+/// A complete, static Chord ring (Stoica et al., SIGCOMM 2001): node i is
+/// placed at SHA-1("node:i"); every node knows its successor and a 64-entry
+/// finger table (finger[j] = successor(id + 2^j)). Lookups route greedily
+/// via the closest preceding finger, achieving O(log n) hops.
+///
+/// The ring is the substrate the paper's "index search tree" abstracts: the
+/// union of all nodes' lookup paths toward a key is a tree rooted at the
+/// key's authority (see tree_builder.h).
+class ChordRing {
+ public:
+  /// Builds the ring for `num_nodes` nodes with dense NodeIds 0..n-1.
+  /// Identifier collisions (astronomically unlikely) are resalted.
+  static util::Result<ChordRing> Create(size_t num_nodes);
+
+  size_t size() const { return ids_.size(); }
+
+  /// The ring identifier of `node`. Pre: node < size().
+  ChordId IdOf(NodeId node) const;
+
+  /// The node responsible for `key`: the first node clockwise at or after
+  /// the key's position.
+  NodeId SuccessorOfKey(ChordId key) const;
+
+  /// The node immediately after `node` on the circle.
+  NodeId SuccessorOf(NodeId node) const;
+
+  /// finger[j] of `node`: successor(IdOf(node) + 2^j). Pre: j < 64.
+  NodeId Finger(NodeId node, int j) const;
+
+  /// One greedy routing step from `from` toward `key`; returns `from`
+  /// itself when `from` is the key's authority.
+  NodeId NextHop(NodeId from, ChordId key) const;
+
+  /// The full lookup path from `from` to the key's authority (inclusive of
+  /// both endpoints).
+  util::Result<std::vector<NodeId>> LookupPath(NodeId from,
+                                               ChordId key) const;
+
+ private:
+  ChordRing() = default;
+
+  /// Closest preceding finger of `node` for `key` (Chord's
+  /// closest_preceding_finger).
+  NodeId ClosestPrecedingFinger(NodeId node, ChordId key) const;
+
+  std::vector<ChordId> ids_;                 ///< NodeId -> ChordId.
+  std::vector<std::pair<ChordId, NodeId>> sorted_;  ///< Ring order.
+  std::vector<std::vector<NodeId>> fingers_;  ///< NodeId -> 64 fingers.
+};
+
+}  // namespace dupnet::chord
+
+#endif  // DUP_CHORD_RING_H_

@@ -1,0 +1,103 @@
+#include "chord/sha1.h"
+
+#include <cstring>
+
+namespace dupnet::chord {
+namespace {
+
+uint32_t RotL32(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+struct Sha1Context {
+  uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u,
+                   0xC3D2E1F0u};
+
+  void ProcessBlock(const uint8_t* block) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
+             (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
+             (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
+             static_cast<uint32_t>(block[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = RotL32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
+    for (int i = 0; i < 80; ++i) {
+      uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | (~b & d);
+        k = 0x5A827999u;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1u;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDCu;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6u;
+      }
+      const uint32_t tmp = RotL32(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = RotL32(b, 30);
+      b = a;
+      a = tmp;
+    }
+    h[0] += a;
+    h[1] += b;
+    h[2] += c;
+    h[3] += d;
+    h[4] += e;
+  }
+};
+
+}  // namespace
+
+Sha1Digest Sha1(std::string_view data) {
+  Sha1Context ctx;
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+  const uint64_t total_bits = static_cast<uint64_t>(data.size()) * 8;
+
+  size_t offset = 0;
+  while (data.size() - offset >= 64) {
+    ctx.ProcessBlock(bytes + offset);
+    offset += 64;
+  }
+
+  // Final block(s) with 0x80 padding and the 64-bit big-endian length.
+  uint8_t tail[128] = {0};
+  const size_t rem = data.size() - offset;
+  std::memcpy(tail, bytes + offset, rem);
+  tail[rem] = 0x80;
+  const size_t tail_len = rem + 1 + 8 <= 64 ? 64 : 128;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_len - 1 - i] = static_cast<uint8_t>(total_bits >> (8 * i));
+  }
+  ctx.ProcessBlock(tail);
+  if (tail_len == 128) ctx.ProcessBlock(tail + 64);
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<uint8_t>(ctx.h[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(ctx.h[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(ctx.h[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(ctx.h[i]);
+  }
+  return digest;
+}
+
+uint64_t Sha1Prefix64(const Sha1Digest& digest) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value = (value << 8) | digest[static_cast<size_t>(i)];
+  }
+  return value;
+}
+
+uint64_t Sha1Hash64(std::string_view data) {
+  return Sha1Prefix64(Sha1(data));
+}
+
+}  // namespace dupnet::chord

@@ -1,0 +1,27 @@
+#ifndef DUP_CHORD_SHA1_H_
+#define DUP_CHORD_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dupnet::chord {
+
+/// A 160-bit SHA-1 digest.
+using Sha1Digest = std::array<uint8_t, 20>;
+
+/// Computes SHA-1 of `data`. Chord (Stoica et al.) assigns both node and
+/// key identifiers by hashing with SHA-1; implemented from the FIPS 180-1
+/// specification so the substrate has no external dependencies.
+Sha1Digest Sha1(std::string_view data);
+
+/// Big-endian truncation of the digest to the identifier space width
+/// (the first 8 bytes); the ring arithmetic below is modulo 2^64.
+uint64_t Sha1Prefix64(const Sha1Digest& digest);
+
+/// Convenience: Sha1Prefix64(Sha1(data)).
+uint64_t Sha1Hash64(std::string_view data);
+
+}  // namespace dupnet::chord
+
+#endif  // DUP_CHORD_SHA1_H_

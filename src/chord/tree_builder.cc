@@ -1,0 +1,54 @@
+#include "chord/tree_builder.h"
+
+#include <vector>
+
+#include "chord/sha1.h"
+#include "util/check.h"
+
+namespace dupnet::chord {
+
+util::Result<topo::IndexSearchTree> ChordTreeBuilder::Build(
+    const ChordRing& ring, ChordId key) {
+  const size_t n = ring.size();
+  const NodeId authority = ring.SuccessorOfKey(key);
+
+  // parent[i] = next hop from i toward the key.
+  std::vector<NodeId> parent(n, kInvalidNode);
+  std::vector<std::vector<NodeId>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    if (node == authority) continue;
+    const NodeId next = ring.NextHop(node, key);
+    if (next == node) {
+      return util::Status::Internal("non-authority routed to itself");
+    }
+    parent[i] = next;
+    children[next].push_back(node);
+  }
+
+  // Attach in BFS order from the authority so parents always exist.
+  topo::IndexSearchTree tree(authority);
+  std::vector<NodeId> frontier = {authority};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId cur : frontier) {
+      for (NodeId child : children[cur]) {
+        DUP_RETURN_IF_ERROR(tree.AttachLeaf(cur, child));
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (tree.size() != n) {
+    return util::Status::Internal(
+        "next-hop relation did not form a spanning tree");
+  }
+  return tree;
+}
+
+util::Result<topo::IndexSearchTree> ChordTreeBuilder::BuildForKeyName(
+    const ChordRing& ring, std::string_view key_name) {
+  return Build(ring, Sha1Hash64(key_name));
+}
+
+}  // namespace dupnet::chord

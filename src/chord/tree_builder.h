@@ -1,0 +1,31 @@
+#ifndef DUP_CHORD_TREE_BUILDER_H_
+#define DUP_CHORD_TREE_BUILDER_H_
+
+#include <string_view>
+
+#include "chord/ring.h"
+#include "topo/tree.h"
+#include "util/status.h"
+
+namespace dupnet::chord {
+
+/// Derives the index search tree for a key from a Chord ring: because
+/// Chord's next hop from node n toward a key depends only on (n, key), the
+/// next-hop relation is a parent function whose transitive closure is a
+/// tree rooted at the key's authority node — exactly the structure the
+/// paper's Section II-A abstracts. Validating DUP on a Chord-derived tree
+/// (instead of the synthetic random tree) shows the abstraction is sound.
+class ChordTreeBuilder {
+ public:
+  /// The index search tree of `key` over every node in `ring`.
+  static util::Result<topo::IndexSearchTree> Build(const ChordRing& ring,
+                                                   ChordId key);
+
+  /// Convenience: hashes a textual key first.
+  static util::Result<topo::IndexSearchTree> BuildForKeyName(
+      const ChordRing& ring, std::string_view key_name);
+};
+
+}  // namespace dupnet::chord
+
+#endif  // DUP_CHORD_TREE_BUILDER_H_

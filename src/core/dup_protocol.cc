@@ -1,0 +1,411 @@
+#include "core/dup_protocol.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::core {
+
+using net::Message;
+using net::MessageType;
+
+DupProtocol::DupProtocol(net::OverlayNetwork* network,
+                         topo::IndexSearchTree* tree,
+                         const proto::ProtocolOptions& options,
+                         const DupOptions& dup_options)
+    : TreeProtocolBase(network, tree, options), dup_options_(dup_options) {}
+
+bool DupProtocol::Interested(NodeId node) {
+  return forced_.count(node) > 0 || NodeInterested(node);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3 state machine.
+// ---------------------------------------------------------------------------
+
+void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
+  DupNodeState& state = DupStateOf(at);
+  const bool is_root = at == tree()->root();
+
+  if (state.slist.HasBranch(branch)) {
+    // The branch is already represented; this is a representative change
+    // (e.g. a nearer node subscribed, or a churn re-announcement).
+    state.slist.Set(branch, subject);
+    if (!is_root && state.slist.size() == 1) {
+      // Pass-through virtual-path node: the new representative must reach
+      // whoever actually pushes for this branch.
+      SendUp(at, MessageType::kSubscribe, subject);
+    }
+    return;
+  }
+
+  // Remember the old sole subscriber N_k before the list grows (Figure 3,
+  // process_subscribe).
+  NodeId old_sole = kInvalidNode;
+  if (state.slist.size() == 1) old_sole = state.slist.Sole().second;
+
+  state.slist.Set(branch, subject);
+  if (is_root) return;
+
+  if (state.slist.size() == 1) {
+    // Had no subscriber, now has one: extend the virtual path upstream.
+    SendUp(at, MessageType::kSubscribe, subject);
+  } else if (state.slist.size() == 2) {
+    // Had one subscriber, now two: this node becomes a DUP-tree branch
+    // point and replaces the old subscriber upstream. When the old sole
+    // subscriber was this node itself (its own self entry), upstream
+    // already points here and the no-op substitute is suppressed
+    // (documented optimisation of the paper's pseudocode).
+    if (old_sole != at) {
+      SendUp(at, MessageType::kSubstitute, old_sole, at);
+    }
+  }
+  // size > 2: already a branch point; nothing changes upstream.
+}
+
+void DupProtocol::ProcessUnsubscribe(NodeId at, NodeId branch) {
+  DupNodeState& state = DupStateOf(at);
+  if (!state.slist.Remove(branch)) return;  // Idempotent (churn re-delivery).
+  if (at == tree()->root()) return;
+
+  if (state.slist.empty()) {
+    // No subscriber left: clear this stretch of the virtual path.
+    SendUp(at, MessageType::kUnsubscribe, at);
+  } else if (state.slist.size() == 1) {
+    // One subscriber left: stop being a branch point; upstream should push
+    // directly to the survivor. Suppressed when the survivor is this node
+    // itself (upstream already points here).
+    const NodeId survivor = state.slist.Sole().second;
+    if (survivor != at) {
+      SendUp(at, MessageType::kSubstitute, at, survivor);
+    }
+  }
+  // size > 1: still a branch point; nothing changes upstream.
+}
+
+void DupProtocol::ProcessSubstitute(NodeId at, NodeId branch,
+                                    NodeId old_subscriber,
+                                    NodeId replacement) {
+  DupNodeState& state = DupStateOf(at);
+  if (!state.slist.HasBranch(branch)) return;  // Stale after churn.
+  state.slist.Set(branch, replacement);
+  if (at == tree()->root()) return;
+  if (state.slist.size() == 1) {
+    // Not a DUP-tree node: the actual pusher is further upstream.
+    SendUp(at, MessageType::kSubstitute, old_subscriber, replacement);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hooks from the shared query flow.
+// ---------------------------------------------------------------------------
+
+void DupProtocol::AfterQueryObserved(NodeId node) {
+  if (node == tree()->root()) return;
+  if (!Interested(node)) return;
+  DupNodeState& state = DupStateOf(node);
+  if (state.slist.HasSelf()) return;
+  ProcessSubscribe(node, kSelfBranch, node);
+}
+
+void DupProtocol::HandleProtocolMessage(const Message& message) {
+  const NodeId at = message.to;
+  switch (message.type) {
+    case MessageType::kPush:
+      HandlePush(message);
+      return;
+    case MessageType::kSubscribe:
+      ProcessSubscribe(at, /*branch=*/message.from, message.subject);
+      return;
+    case MessageType::kUnsubscribe:
+      ProcessUnsubscribe(at, /*branch=*/message.from);
+      return;
+    case MessageType::kSubstitute:
+      ProcessSubstitute(at, /*branch=*/message.from, message.subject,
+                        message.subject2);
+      return;
+    default:
+      DUP_CHECK(false) << "DUP received unexpected message: "
+                       << message.ToString();
+  }
+}
+
+void DupProtocol::HandlePush(const Message& message) {
+  const NodeId at = message.to;
+  StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
+  DupNodeState& state = DupStateOf(at);
+  if (message.version <= state.last_forwarded) return;  // Duplicate.
+  state.last_forwarded = message.version;
+  if (delivery_callback_) delivery_callback_(at, message.version);
+
+  // Interest decay check: a node that stopped being interested leaves the
+  // DUP tree the next time it would have been served a push.
+  if (state.slist.HasSelf() && !Interested(at)) {
+    ProcessUnsubscribe(at, kSelfBranch);
+  }
+  PushToSubscribers(at, message.version, message.expiry);
+}
+
+void DupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
+  TreeProtocolBase::OnRootPublish(version, expiry);
+  DupStateOf(tree()->root()).last_forwarded = version;
+  PushToSubscribers(tree()->root(), version, expiry);
+}
+
+void DupProtocol::PushToSubscribers(NodeId from, IndexVersion version,
+                                    sim::SimTime expiry) {
+  // Copy: SendPush never mutates the list, but the entries vector may move
+  // if a callback reenters; stay safe.
+  const auto entries = DupStateOf(from).slist.entries();
+  for (const auto& [branch, subscriber] : entries) {
+    if (subscriber == from) continue;  // Self entry.
+    SendPush(from, subscriber, version, expiry);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Messaging helpers.
+// ---------------------------------------------------------------------------
+
+void DupProtocol::SendUp(NodeId from, MessageType type, NodeId subject,
+                         NodeId subject2) {
+  DUP_CHECK_NE(from, tree()->root());
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = tree()->Parent(from);
+  msg.subject = subject;
+  msg.subject2 = subject2;
+  msg.free_ride =
+      dup_options_.piggyback_subscribe && type == MessageType::kSubscribe;
+  network()->Send(std::move(msg));
+}
+
+void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
+                           sim::SimTime expiry) {
+  if (!tree()->Contains(to)) return;  // Stale entry; churn repair pending.
+  Message push;
+  push.type = MessageType::kPush;
+  push.from = from;
+  push.to = to;
+  push.version = version;
+  push.expiry = expiry;
+  if (dup_options_.shortcut_push) {
+    network()->Send(std::move(push));
+    return;
+  }
+  // Ablation: without the overlay shortcut the push has to travel the index
+  // search tree like CUP's would.
+  const NodeId nca = tree()->NearestCommonAncestor(from, to);
+  const uint32_t distance = tree()->Depth(from) + tree()->Depth(to) -
+                            2 * tree()->Depth(nca);
+  network()->SendMultiHop(std::move(push), distance > 0 ? distance - 1 : 0);
+}
+
+// ---------------------------------------------------------------------------
+// Explicit subscriptions (pub/sub extension).
+// ---------------------------------------------------------------------------
+
+void DupProtocol::ForceSubscribe(NodeId node) {
+  forced_.insert(node);
+  if (node == tree()->root()) return;
+  DupNodeState& state = DupStateOf(node);
+  if (!state.slist.HasSelf()) ProcessSubscribe(node, kSelfBranch, node);
+}
+
+void DupProtocol::ForceUnsubscribe(NodeId node) {
+  forced_.erase(node);
+  if (node == tree()->root()) return;
+  DupNodeState& state = DupStateOf(node);
+  if (state.slist.HasSelf() && !Interested(node)) {
+    ProcessUnsubscribe(node, kSelfBranch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn (paper Section III-C).
+// ---------------------------------------------------------------------------
+
+void DupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
+  DupNodeState& parent_state = DupStateOf(parent);
+  const auto inherited = parent_state.slist.Get(child);
+  if (!inherited.has_value()) return;
+  // The parent's entry for the split branch is re-keyed to the newcomer,
+  // which inherits it and becomes an intermediate virtual-path node. This
+  // is a one-hop local handover between neighbours ("N3 notifies N3' that
+  // N6 is in its subscriber list").
+  parent_state.slist.Remove(child);
+  parent_state.slist.Set(node, *inherited);
+  DupStateOf(node).slist.Set(child, *inherited);
+  recorder()->AddHops(metrics::HopClass::kControl);
+}
+
+void DupProtocol::OnGracefulLeave(NodeId node) {
+  // End-of-virtual-path courtesy: withdraw own interest before departing
+  // so upstream state is cleaned by messages rather than timeouts.
+  DupNodeState& state = DupStateOf(node);
+  if (node != tree()->root() && state.slist.HasSelf()) {
+    ProcessUnsubscribe(node, kSelfBranch);
+  }
+}
+
+NodeId DupProtocol::RepresentativeOf(NodeId node) {
+  auto it = dup_states_.find(node);
+  if (it == dup_states_.end() || it->second.slist.empty()) {
+    return kInvalidNode;
+  }
+  if (it->second.slist.size() >= 2) return node;
+  return it->second.slist.Sole().second;
+}
+
+void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
+                                const std::vector<NodeId>& former_children,
+                                bool was_root, NodeId new_root) {
+  dup_states_.erase(node);
+  EraseState(node);
+  forced_.erase(node);
+
+  if (!was_root) {
+    // Failure cases 2/3/4 upstream side: the parent's keep-alive to the
+    // dead child expires and the branch entry is dropped, cascading
+    // upstream as needed.
+    ProcessUnsubscribe(former_parent, /*branch=*/node);
+  }
+
+  // Downstream side: every orphaned child that lies on a virtual path
+  // detects the lost parent and re-announces its branch representative to
+  // its new parent (cases 3 and 4; for a failed root, case 5: the
+  // announcements rebuild the new authority's subscriber list).
+  for (NodeId child : former_children) {
+    if (child == new_root) continue;
+    const NodeId rep = RepresentativeOf(child);
+    if (rep == kInvalidNode) continue;
+    SendUp(child, MessageType::kSubscribe, rep);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Introspection.
+// ---------------------------------------------------------------------------
+
+bool DupProtocol::InDupTree(NodeId node) {
+  DupNodeState& state = DupStateOf(node);
+  if (node == tree()->root()) return !state.slist.empty();
+  return state.slist.size() >= 2 || state.slist.HasSelf();
+}
+
+bool DupProtocol::OnVirtualPath(NodeId node) {
+  return !DupStateOf(node).slist.empty();
+}
+
+size_t DupProtocol::MaxSubscriberListSize() const {
+  size_t max_size = 0;
+  for (const auto& [node, state] : dup_states_) {
+    max_size = std::max(max_size, state.slist.size());
+  }
+  return max_size;
+}
+
+DupProtocol::TreeStats DupProtocol::ComputeTreeStats() const {
+  TreeStats stats;
+  const NodeId root = tree()->root();
+  for (const auto& [node, state] : dup_states_) {
+    if (!tree()->Contains(node) || state.slist.empty()) continue;
+    ++stats.virtual_path;
+    const bool self = state.slist.HasSelf();
+    const bool branch_point = node != root && state.slist.size() >= 2;
+    if (self) ++stats.interested;
+    if (branch_point) ++stats.branch_points;
+    if (self || branch_point || node == root) ++stats.dup_tree;
+  }
+  return stats;
+}
+
+util::Status DupProtocol::ValidatePropagationState() {
+  // Only meaningful when the network is quiescent (no messages in flight).
+  //
+  // Invariant A (per-edge consistency): a non-root node with a non-empty
+  //   S_list is represented at its parent by exactly RepresentativeOf(node)
+  //   under its branch key, and vice versa.
+  // Invariant B (structure): every branch key is SELF or a current child;
+  //   the SELF entry's subscriber is the node itself; |S_list| is bounded
+  //   by the child count + 1.
+  // Invariant C (reachability): following subscriber entries from the root
+  //   reaches every node that holds a SELF entry — i.e. a push from the
+  //   authority reaches every interested node.
+  const NodeId root = tree()->root();
+  for (const auto& [node, state] : dup_states_) {
+    if (!tree()->Contains(node)) {
+      if (!state.slist.empty()) {
+        return util::Status::Internal(util::StrFormat(
+            "departed node %u still holds subscriber state", node));
+      }
+      continue;
+    }
+    const auto& children = tree()->Children(node);
+    if (state.slist.size() > children.size() + 1) {
+      return util::Status::Internal(util::StrFormat(
+          "node %u has %zu entries for %zu children", node,
+          state.slist.size(), children.size()));
+    }
+    for (const auto& [branch, subscriber] : state.slist.entries()) {
+      if (branch == kSelfBranch) {
+        if (subscriber != node) {
+          return util::Status::Internal(util::StrFormat(
+              "node %u self entry points to %u", node, subscriber));
+        }
+        continue;
+      }
+      if (tree()->Parent(branch) != node) {
+        return util::Status::Internal(util::StrFormat(
+            "node %u has entry for branch %u which is not a child", node,
+            branch));
+      }
+      const NodeId expected = RepresentativeOf(branch);
+      if (expected != subscriber) {
+        return util::Status::Internal(util::StrFormat(
+            "node %u branch %u points to %u, expected representative %u",
+            node, branch, subscriber, expected));
+      }
+    }
+    if (node != root && !state.slist.empty()) {
+      // find() rather than DupStateOf(): no insertion while iterating.
+      auto parent_it = dup_states_.find(tree()->Parent(node));
+      std::optional<NodeId> parent_entry;
+      if (parent_it != dup_states_.end()) {
+        parent_entry = parent_it->second.slist.Get(node);
+      }
+      if (!parent_entry.has_value()) {
+        return util::Status::Internal(util::StrFormat(
+            "node %u is on a virtual path but parent %u has no entry", node,
+            tree()->Parent(node)));
+      }
+    }
+  }
+
+  // Invariant C: BFS over subscriber entries from the root.
+  std::unordered_set<NodeId> reached = {root};
+  std::vector<NodeId> frontier = {root};
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.back();
+    frontier.pop_back();
+    auto it = dup_states_.find(cur);
+    if (it == dup_states_.end()) continue;
+    for (const auto& [branch, subscriber] : it->second.slist.entries()) {
+      if (subscriber == cur) continue;
+      if (reached.insert(subscriber).second) frontier.push_back(subscriber);
+    }
+  }
+  for (const auto& [node, state] : dup_states_) {
+    if (!tree()->Contains(node)) continue;
+    if (state.slist.HasSelf() && reached.find(node) == reached.end()) {
+      return util::Status::Internal(util::StrFormat(
+          "interested node %u is not reachable from the authority", node));
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace dupnet::core

@@ -1,0 +1,150 @@
+#ifndef DUP_CORE_DUP_PROTOCOL_H_
+#define DUP_CORE_DUP_PROTOCOL_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/subscriber_list.h"
+#include "proto/tree_protocol_base.h"
+
+namespace dupnet::core {
+
+/// DUP-specific knobs.
+struct DupOptions {
+  /// When false, pushes walk the index search tree hop-by-hop instead of
+  /// taking the direct overlay shortcut — the ablation that isolates the
+  /// paper's key idea (Section III-A's "short-cuts").
+  bool shortcut_push = true;
+
+  /// When true, the initial self-subscribe is piggybacked on the request
+  /// packet's interest bit (paper Section III-B) and costs no extra hops;
+  /// explicit subscribe messages are the conservative default.
+  bool piggyback_subscribe = false;
+};
+
+/// Dynamic-tree based Update Propagation — the paper's contribution
+/// (Section III). On top of the index search tree, nodes maintain
+/// branch-keyed subscriber lists that collectively form
+///  * the *virtual path*: every node with a non-empty S_list, and
+///  * the *DUP tree*: the root, the branch points (|S_list| >= 2), and the
+///    interested nodes themselves.
+/// Updates are pushed directly (one overlay hop) between consecutive DUP
+/// tree nodes, skipping the uninterested virtual-path nodes in between.
+/// Tree maintenance uses the subscribe / unsubscribe / substitute messages
+/// of Figure 3; node arrival, departure and the five failure cases of
+/// Section III-C are handled in the churn overrides.
+class DupProtocol : public proto::TreeProtocolBase {
+ public:
+  DupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
+              const proto::ProtocolOptions& options,
+              const DupOptions& dup_options = DupOptions());
+
+  std::string_view name() const override { return "dup"; }
+
+  void OnRootPublish(IndexVersion version, sim::SimTime expiry) override;
+
+  void OnSplitJoined(NodeId node, NodeId parent, NodeId child) override;
+  void OnGracefulLeave(NodeId node) override;
+  void OnNodeRemoved(NodeId node, NodeId former_parent,
+                     const std::vector<NodeId>& former_children,
+                     bool was_root, NodeId new_root) override;
+
+  // --- Explicit subscription API (pub/sub extension). -------------------
+
+  /// Marks `node` permanently interested regardless of its query rate and
+  /// subscribes it immediately. Idempotent.
+  void ForceSubscribe(NodeId node);
+
+  /// Clears a forced subscription; the node unsubscribes unless its query
+  /// rate still qualifies it.
+  void ForceUnsubscribe(NodeId node);
+
+  /// Invoked whenever a pushed index version is installed at a node
+  /// (delivery notification for the dissemination platform).
+  using DeliveryCallback = std::function<void(NodeId, IndexVersion)>;
+  void set_delivery_callback(DeliveryCallback cb) {
+    delivery_callback_ = std::move(cb);
+  }
+
+  // --- Introspection (tests, reports). -----------------------------------
+
+  const SubscriberList& SubscriberListOf(NodeId node) {
+    return DupStateOf(node).slist;
+  }
+
+  /// True iff `node` participates in update propagation: it is the root
+  /// with subscribers, an interested subscribed node, or a branch point.
+  bool InDupTree(NodeId node);
+
+  /// True iff `node` lies on some virtual path (non-empty S_list).
+  bool OnVirtualPath(NodeId node);
+
+  /// The id this node's branch is represented by upstream: itself when it
+  /// is a branch point, its sole entry otherwise; kInvalidNode when the
+  /// node is not on any virtual path.
+  NodeId RepresentativeOf(NodeId node);
+
+  /// Largest subscriber list currently held by any node — the paper's
+  /// scalability bound ("at most equal to the number of its direct
+  /// children").
+  size_t MaxSubscriberListSize() const;
+
+  /// Snapshot of the propagation structures (Figure 2's taxonomy).
+  struct TreeStats {
+    size_t interested = 0;     ///< Nodes holding a SELF entry.
+    size_t virtual_path = 0;   ///< Nodes with a non-empty S_list.
+    size_t dup_tree = 0;       ///< Root + interested + branch points.
+    size_t branch_points = 0;  ///< Nodes with |S_list| >= 2 (non-root).
+  };
+  TreeStats ComputeTreeStats() const;
+
+  /// Audits global DUP-tree consistency against the current index search
+  /// tree (see .cc for the invariants). Intended for tests; cost O(n).
+  util::Status ValidatePropagationState();
+
+  const DupOptions& dup_options() const { return dup_options_; }
+
+ protected:
+  void AfterQueryObserved(NodeId node) override;
+  void HandleProtocolMessage(const net::Message& message) override;
+
+ private:
+  struct DupNodeState {
+    SubscriberList slist;
+    IndexVersion last_forwarded = 0;
+  };
+
+  DupNodeState& DupStateOf(NodeId node) { return dup_states_[node]; }
+
+  bool Interested(NodeId node);
+
+  /// Figure 3 process_subscribe: entry for `branch` becomes `subject`.
+  void ProcessSubscribe(NodeId at, NodeId branch, NodeId subject);
+  /// Figure 3 process_unsubscribe for the entry of `branch`.
+  void ProcessUnsubscribe(NodeId at, NodeId branch);
+  /// Figure 3 case (C): replace the entry of `branch` with `replacement`.
+  void ProcessSubstitute(NodeId at, NodeId branch, NodeId old_subscriber,
+                         NodeId replacement);
+
+  void HandlePush(const net::Message& message);
+
+  /// Pushes `version` from `from` to every subscriber in its list.
+  void PushToSubscribers(NodeId from, IndexVersion version,
+                         sim::SimTime expiry);
+
+  void SendUp(NodeId from, net::MessageType type, NodeId subject,
+              NodeId subject2 = kInvalidNode);
+  void SendPush(NodeId from, NodeId to, IndexVersion version,
+                sim::SimTime expiry);
+
+  DupOptions dup_options_;
+  std::unordered_map<NodeId, DupNodeState> dup_states_;
+  std::unordered_set<NodeId> forced_;
+  DeliveryCallback delivery_callback_;
+};
+
+}  // namespace dupnet::core
+
+#endif  // DUP_CORE_DUP_PROTOCOL_H_

@@ -1,0 +1,50 @@
+#include "core/subscriber_list.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dupnet::core {
+
+bool SubscriberList::Set(NodeId branch, NodeId subscriber) {
+  for (auto& [b, s] : entries_) {
+    if (b == branch) {
+      s = subscriber;
+      return false;
+    }
+  }
+  entries_.emplace_back(branch, subscriber);
+  return true;
+}
+
+bool SubscriberList::Remove(NodeId branch) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&](const auto& e) { return e.first == branch; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+bool SubscriberList::HasBranch(NodeId branch) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.first == branch; });
+}
+
+std::optional<NodeId> SubscriberList::Get(NodeId branch) const {
+  for (const auto& [b, s] : entries_) {
+    if (b == branch) return s;
+  }
+  return std::nullopt;
+}
+
+std::pair<NodeId, NodeId> SubscriberList::Sole() const {
+  DUP_CHECK_EQ(entries_.size(), 1u);
+  return entries_.front();
+}
+
+bool SubscriberList::ContainsSubscriber(NodeId subscriber) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const auto& e) { return e.second == subscriber; });
+}
+
+}  // namespace dupnet::core

@@ -1,0 +1,65 @@
+#ifndef DUP_CORE_SUBSCRIBER_LIST_H_
+#define DUP_CORE_SUBSCRIBER_LIST_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/types.h"
+
+namespace dupnet::core {
+
+/// Branch key meaning "this node itself is the subscriber" (the paper's
+/// "each node records the node ids of the downstream nodes (including
+/// itself) that are interested in the index").
+inline constexpr NodeId kSelfBranch = kInvalidNode - 1;
+
+/// The paper's S_list, keyed by downstream branch: for every child branch
+/// of the index search tree the list holds at most one entry — the nearest
+/// node in that branch that represents interest (an interested node, or a
+/// DUP-tree branch point standing in for several). Keying by branch rather
+/// than by id resolves the pseudocode's substitution matching: subscribe /
+/// unsubscribe / substitute messages arriving from child c always operate
+/// on the entry recorded for branch c.
+///
+/// Invariant: |S_list| <= (number of child branches) + 1 (the self entry).
+class SubscriberList {
+ public:
+  SubscriberList() = default;
+
+  /// Inserts or overwrites the entry for `branch`. Returns true if a new
+  /// branch was added (false = existing branch re-pointed).
+  bool Set(NodeId branch, NodeId subscriber);
+
+  /// Removes the entry for `branch`; returns false if absent.
+  bool Remove(NodeId branch);
+
+  bool HasBranch(NodeId branch) const;
+  std::optional<NodeId> Get(NodeId branch) const;
+
+  bool HasSelf() const { return HasBranch(kSelfBranch); }
+
+  /// Pre: size() == 1. The single entry (branch, subscriber) — the paper's
+  /// S_list[0].
+  std::pair<NodeId, NodeId> Sole() const;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in insertion order (stable for deterministic pushes).
+  const std::vector<std::pair<NodeId, NodeId>>& entries() const {
+    return entries_;
+  }
+
+  /// True iff some entry's subscriber equals `subscriber`.
+  bool ContainsSubscriber(NodeId subscriber) const;
+
+ private:
+  // Degree-bounded (the paper: "at most equal to the number of direct
+  // children"), so a flat vector beats a hash map.
+  std::vector<std::pair<NodeId, NodeId>> entries_;
+};
+
+}  // namespace dupnet::core
+
+#endif  // DUP_CORE_SUBSCRIBER_LIST_H_

@@ -1,0 +1,95 @@
+#include "dissem/bayeux.h"
+
+#include "util/check.h"
+
+namespace dupnet::dissem {
+
+using net::Message;
+using net::MessageType;
+
+BayeuxDissemination::BayeuxDissemination(net::OverlayNetwork* network,
+                                         topo::IndexSearchTree* tree)
+    : network_(network), tree_(tree) {
+  DUP_CHECK(network != nullptr);
+  DUP_CHECK(tree != nullptr);
+}
+
+void BayeuxDissemination::SendTowardRoot(NodeId from, MessageType type,
+                                         NodeId subject) {
+  if (from == tree_->root()) return;
+  Message msg;
+  msg.type = type;
+  msg.from = from;
+  msg.to = tree_->Parent(from);
+  msg.subject = subject;
+  network_->Send(std::move(msg));
+}
+
+void BayeuxDissemination::Subscribe(NodeId node) {
+  if (!pending_.insert(node).second) return;  // Already joining/joined.
+  if (node == tree_->root()) {
+    members_.insert(node);
+    return;
+  }
+  SendTowardRoot(node, MessageType::kSubscribe, node);
+}
+
+void BayeuxDissemination::Unsubscribe(NodeId node) {
+  if (pending_.erase(node) == 0) return;
+  if (node == tree_->root()) {
+    members_.erase(node);
+    return;
+  }
+  SendTowardRoot(node, MessageType::kUnsubscribe, node);
+}
+
+void BayeuxDissemination::Publish(IndexVersion version, sim::SimTime expiry) {
+  for (NodeId member : members_) {
+    if (member == tree_->root()) {
+      NotifyDelivery(member, version);
+      continue;
+    }
+    Message data;
+    data.type = MessageType::kPush;
+    data.from = tree_->root();
+    data.to = member;
+    data.version = version;
+    data.expiry = expiry;
+    network_->Send(std::move(data));
+  }
+}
+
+void BayeuxDissemination::OnMessage(const Message& message) {
+  const NodeId at = message.to;
+  switch (message.type) {
+    case MessageType::kSubscribe:
+      // "Sending a request all the way to the root": intermediate nodes
+      // only relay; membership lives at the rendezvous.
+      if (at == tree_->root()) {
+        members_.insert(message.subject);
+      } else {
+        SendTowardRoot(at, MessageType::kSubscribe, message.subject);
+      }
+      return;
+    case MessageType::kUnsubscribe:
+      if (at == tree_->root()) {
+        members_.erase(message.subject);
+      } else {
+        SendTowardRoot(at, MessageType::kUnsubscribe, message.subject);
+      }
+      return;
+    case MessageType::kPush:
+      NotifyDelivery(at, message.version);
+      return;
+    default:
+      DUP_CHECK(false) << "Bayeux received unexpected message: "
+                       << message.ToString();
+  }
+}
+
+size_t BayeuxDissemination::MaxNodeState() const {
+  // All membership state concentrates at the root.
+  return members_.size();
+}
+
+}  // namespace dupnet::dissem

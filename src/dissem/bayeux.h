@@ -1,0 +1,45 @@
+#ifndef DUP_DISSEM_BAYEUX_H_
+#define DUP_DISSEM_BAYEUX_H_
+
+#include <unordered_set>
+
+#include "dissem/dissemination.h"
+
+namespace dupnet::dissem {
+
+/// Bayeux-style dissemination (Zhuang et al., NOSSDAV 2001), simplified
+/// onto the index search tree: "each node joins a multicast group by
+/// sending a request all the way to the root" — every join/leave costs a
+/// full climb, and the root "needs to maintain the list of all their
+/// descendant nodes", i.e. O(group size) state at the rendezvous.
+/// Publishes unicast directly from the root to every member (one overlay
+/// hop each, like DUP's shortcut), so Bayeux trades minimal push cost for
+/// centralised state and join traffic — the exact contrast the DUP paper
+/// draws in Section V.
+class BayeuxDissemination : public DisseminationProtocol {
+ public:
+  BayeuxDissemination(net::OverlayNetwork* network,
+                      topo::IndexSearchTree* tree);
+
+  std::string_view name() const override { return "bayeux"; }
+  void Subscribe(NodeId node) override;
+  void Unsubscribe(NodeId node) override;
+  void Publish(IndexVersion version, sim::SimTime expiry) override;
+  void OnMessage(const net::Message& message) override;
+  size_t MaxNodeState() const override;
+
+  const std::unordered_set<NodeId>& members() const { return members_; }
+
+ private:
+  /// Routes a control message hop-by-hop from `from` toward the root.
+  void SendTowardRoot(NodeId from, net::MessageType type, NodeId subject);
+
+  net::OverlayNetwork* network_;
+  topo::IndexSearchTree* tree_;
+  std::unordered_set<NodeId> members_;  ///< Root-held membership list.
+  std::unordered_set<NodeId> pending_;  ///< Local join intent (dedup).
+};
+
+}  // namespace dupnet::dissem
+
+#endif  // DUP_DISSEM_BAYEUX_H_

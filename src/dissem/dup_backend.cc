@@ -1,0 +1,35 @@
+#include "dissem/dup_backend.h"
+
+namespace dupnet::dissem {
+
+DupDissemination::DupDissemination(net::OverlayNetwork* network,
+                                   topo::IndexSearchTree* tree)
+    : protocol_(std::make_unique<core::DupProtocol>(
+          network, tree, proto::ProtocolOptions())) {
+  protocol_->set_delivery_callback(
+      [this](NodeId node, IndexVersion version) {
+        NotifyDelivery(node, version);
+      });
+}
+
+void DupDissemination::Subscribe(NodeId node) {
+  protocol_->ForceSubscribe(node);
+}
+
+void DupDissemination::Unsubscribe(NodeId node) {
+  protocol_->ForceUnsubscribe(node);
+}
+
+void DupDissemination::Publish(IndexVersion version, sim::SimTime expiry) {
+  protocol_->OnRootPublish(version, expiry);
+}
+
+void DupDissemination::OnMessage(const net::Message& message) {
+  protocol_->OnMessage(message);
+}
+
+size_t DupDissemination::MaxNodeState() const {
+  return protocol_->MaxSubscriberListSize();
+}
+
+}  // namespace dupnet::dissem

@@ -1,0 +1,36 @@
+#ifndef DUP_DISSEM_DUP_BACKEND_H_
+#define DUP_DISSEM_DUP_BACKEND_H_
+
+#include <memory>
+
+#include "core/dup_protocol.h"
+#include "dissem/dissemination.h"
+
+namespace dupnet::dissem {
+
+/// DUP as a dissemination backend: explicit subscriptions ride the
+/// ForceSubscribe API, publishes are authority pushes along the DUP tree.
+/// This is the "general data dissemination platform" role the paper's
+/// conclusion proposes, packaged behind the same interface as the SCRIBE
+/// and Bayeux baselines for the Section V comparison.
+class DupDissemination : public DisseminationProtocol {
+ public:
+  DupDissemination(net::OverlayNetwork* network,
+                   topo::IndexSearchTree* tree);
+
+  std::string_view name() const override { return "dup"; }
+  void Subscribe(NodeId node) override;
+  void Unsubscribe(NodeId node) override;
+  void Publish(IndexVersion version, sim::SimTime expiry) override;
+  void OnMessage(const net::Message& message) override;
+  size_t MaxNodeState() const override;
+
+  core::DupProtocol& protocol() { return *protocol_; }
+
+ private:
+  std::unique_ptr<core::DupProtocol> protocol_;
+};
+
+}  // namespace dupnet::dissem
+
+#endif  // DUP_DISSEM_DUP_BACKEND_H_

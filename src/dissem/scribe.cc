@@ -1,0 +1,128 @@
+#include "dissem/scribe.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dupnet::dissem {
+
+using net::Message;
+using net::MessageType;
+
+ScribeDissemination::ScribeDissemination(net::OverlayNetwork* network,
+                                         topo::IndexSearchTree* tree)
+    : network_(network), tree_(tree) {
+  DUP_CHECK(network != nullptr);
+  DUP_CHECK(tree != nullptr);
+}
+
+bool ScribeDissemination::InTree(const NodeState& state, NodeId node) const {
+  return state.subscriber || !state.children.empty() ||
+         node == tree_->root();
+}
+
+void ScribeDissemination::Subscribe(NodeId node) {
+  NodeState& state = StateOf(node);
+  if (state.subscriber) return;
+  const bool was_on_tree = InTree(state, node);
+  state.subscriber = true;
+  if (!was_on_tree) ForwardJoinUp(node);
+}
+
+void ScribeDissemination::ForwardJoinUp(NodeId from) {
+  if (from == tree_->root()) return;
+  Message join;
+  join.type = MessageType::kSubscribe;
+  join.from = from;
+  join.to = tree_->Parent(from);
+  join.subject = from;
+  network_->Send(std::move(join));
+}
+
+void ScribeDissemination::Unsubscribe(NodeId node) {
+  NodeState& state = StateOf(node);
+  if (!state.subscriber) return;
+  state.subscriber = false;
+  MaybePrune(node);
+}
+
+void ScribeDissemination::MaybePrune(NodeId node) {
+  NodeState& state = StateOf(node);
+  if (InTree(state, node)) return;
+  Message leave;
+  leave.type = MessageType::kUnsubscribe;
+  leave.from = node;
+  leave.to = tree_->Parent(node);
+  leave.subject = node;
+  network_->Send(std::move(leave));
+}
+
+void ScribeDissemination::Publish(IndexVersion version, sim::SimTime expiry) {
+  StateOf(tree_->root()).last_forwarded = version;
+  ForwardData(tree_->root(), version, expiry);
+}
+
+void ScribeDissemination::ForwardData(NodeId at, IndexVersion version,
+                                      sim::SimTime expiry) {
+  for (NodeId child : StateOf(at).children) {
+    Message data;
+    data.type = MessageType::kPush;
+    data.from = at;
+    data.to = child;
+    data.version = version;
+    data.expiry = expiry;
+    network_->Send(std::move(data));
+  }
+}
+
+void ScribeDissemination::OnMessage(const Message& message) {
+  const NodeId at = message.to;
+  NodeState& state = StateOf(at);
+  switch (message.type) {
+    case MessageType::kSubscribe: {
+      // "The join and leave requests of a node are handled locally by its
+      // parent in the multicast tree": stop climbing as soon as the
+      // message reaches a node already on the tree.
+      const bool was_on_tree = InTree(state, at);
+      state.children.insert(message.from);
+      if (!was_on_tree) ForwardJoinUp(at);
+      return;
+    }
+    case MessageType::kUnsubscribe: {
+      state.children.erase(message.from);
+      MaybePrune(at);
+      return;
+    }
+    case MessageType::kPush: {
+      if (message.version <= state.last_forwarded) return;
+      state.last_forwarded = message.version;
+      if (state.subscriber) NotifyDelivery(at, message.version);
+      ForwardData(at, message.version, message.expiry);
+      return;
+    }
+    default:
+      DUP_CHECK(false) << "SCRIBE received unexpected message: "
+                       << message.ToString();
+  }
+}
+
+size_t ScribeDissemination::MaxNodeState() const {
+  size_t max_state = 0;
+  for (const auto& [node, state] : states_) {
+    max_state = std::max(max_state, state.children.size());
+  }
+  return max_state;
+}
+
+bool ScribeDissemination::OnMulticastTree(NodeId node) const {
+  auto it = states_.find(node);
+  if (it == states_.end()) return node == tree_->root();
+  return InTree(it->second, node);
+}
+
+const std::unordered_set<NodeId>& ScribeDissemination::ChildrenOf(
+    NodeId node) {
+  return StateOf(node).children;
+}
+
+}  // namespace dupnet::dissem

@@ -1,0 +1,62 @@
+#ifndef DUP_DISSEM_SCRIBE_H_
+#define DUP_DISSEM_SCRIBE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dissem/dissemination.h"
+
+namespace dupnet::dissem {
+
+/// SCRIBE-style application-level multicast (Rowstron et al., NGC 2001),
+/// simplified onto the index search tree: the multicast tree is the union
+/// of the overlay routes from subscribers toward the rendezvous root.
+///
+/// * Join: a subscribe message climbs toward the root and stops at the
+///   first node already on the multicast tree ("handled locally by its
+///   parent"), which records the sender as a child.
+/// * Leave: a node with no children and no local subscription prunes
+///   itself hop-by-hop.
+/// * Publish: data flows hop-by-hop down the multicast tree — every
+///   forwarder receives it, exactly the behaviour the DUP paper contrasts
+///   with ("intermediate nodes have to forward the data... In DUP,
+///   intermediate nodes can be skipped").
+class ScribeDissemination : public DisseminationProtocol {
+ public:
+  ScribeDissemination(net::OverlayNetwork* network,
+                      topo::IndexSearchTree* tree);
+
+  std::string_view name() const override { return "scribe"; }
+  void Subscribe(NodeId node) override;
+  void Unsubscribe(NodeId node) override;
+  void Publish(IndexVersion version, sim::SimTime expiry) override;
+  void OnMessage(const net::Message& message) override;
+  size_t MaxNodeState() const override;
+
+  /// Test accessors.
+  bool OnMulticastTree(NodeId node) const;
+  const std::unordered_set<NodeId>& ChildrenOf(NodeId node);
+
+ private:
+  struct NodeState {
+    std::unordered_set<NodeId> children;  ///< Multicast-tree children.
+    bool subscriber = false;              ///< Locally subscribed.
+    IndexVersion last_forwarded = 0;
+  };
+
+  NodeState& StateOf(NodeId node) { return states_[node]; }
+  bool InTree(const NodeState& state, NodeId node) const;
+
+  /// Climbing join starting at `node` (which already updated its state).
+  void ForwardJoinUp(NodeId from);
+  void MaybePrune(NodeId node);
+  void ForwardData(NodeId at, IndexVersion version, sim::SimTime expiry);
+
+  net::OverlayNetwork* network_;
+  topo::IndexSearchTree* tree_;
+  std::unordered_map<NodeId, NodeState> states_;
+};
+
+}  // namespace dupnet::dissem
+
+#endif  // DUP_DISSEM_SCRIBE_H_

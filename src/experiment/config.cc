@@ -1,0 +1,142 @@
+#include "experiment/config.h"
+
+#include "util/str.h"
+
+namespace dupnet::experiment {
+
+using util::Result;
+using util::Status;
+
+std::string_view SchemeToString(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kPcx:
+      return "pcx";
+    case Scheme::kCup:
+      return "cup";
+    case Scheme::kDup:
+      return "dup";
+  }
+  return "unknown";
+}
+
+Result<Scheme> ParseScheme(std::string_view name) {
+  if (name == "pcx") return Scheme::kPcx;
+  if (name == "cup") return Scheme::kCup;
+  if (name == "dup") return Scheme::kDup;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown scheme \"%s\"", std::string(name).c_str()));
+}
+
+std::string_view TopologyToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kRandomTree:
+      return "random-tree";
+    case TopologyKind::kChord:
+      return "chord";
+    case TopologyKind::kCan:
+      return "can";
+    case TopologyKind::kPastry:
+      return "pastry";
+  }
+  return "unknown";
+}
+
+Result<TopologyKind> ParseTopology(std::string_view name) {
+  if (name == "random-tree" || name == "tree") return TopologyKind::kRandomTree;
+  if (name == "chord") return TopologyKind::kChord;
+  if (name == "can") return TopologyKind::kCan;
+  if (name == "pastry") return TopologyKind::kPastry;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown topology \"%s\"", std::string(name).c_str()));
+}
+
+std::string_view UpdateModeToString(UpdateMode mode) {
+  switch (mode) {
+    case UpdateMode::kTtlAligned:
+      return "ttl-aligned";
+    case UpdateMode::kHostDriven:
+      return "host-driven";
+  }
+  return "unknown";
+}
+
+Result<UpdateMode> ParseUpdateMode(std::string_view name) {
+  if (name == "ttl-aligned" || name == "ttl") return UpdateMode::kTtlAligned;
+  if (name == "host-driven" || name == "host") return UpdateMode::kHostDriven;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown update mode \"%s\"",
+                      std::string(name).c_str()));
+}
+
+std::string_view ArrivalToString(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kExponential:
+      return "exponential";
+    case ArrivalKind::kPareto:
+      return "pareto";
+  }
+  return "unknown";
+}
+
+Result<ArrivalKind> ParseArrival(std::string_view name) {
+  if (name == "exponential" || name == "exp") return ArrivalKind::kExponential;
+  if (name == "pareto") return ArrivalKind::kPareto;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown arrival \"%s\"", std::string(name).c_str()));
+}
+
+Status ExperimentConfig::Validate() const {
+  if (num_nodes < 2) {
+    return Status::InvalidArgument("num_nodes must be at least 2");
+  }
+  if (max_degree < 1) {
+    return Status::InvalidArgument("max_degree must be at least 1");
+  }
+  if (can_dims < 1 || can_dims > 8) {
+    return Status::InvalidArgument("can_dims must be in [1, 8]");
+  }
+  if (lambda <= 0.0) {
+    return Status::InvalidArgument("lambda must be positive");
+  }
+  if (arrival == ArrivalKind::kPareto &&
+      (pareto_alpha <= 1.0 || pareto_alpha >= 2.0)) {
+    return Status::InvalidArgument("pareto_alpha must be in (1, 2)");
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("zipf_theta must be non-negative");
+  }
+  if (ttl <= 0.0) {
+    return Status::InvalidArgument("ttl must be positive");
+  }
+  if (push_lead < 0.0 || push_lead >= ttl) {
+    return Status::InvalidArgument("push_lead must be in [0, ttl)");
+  }
+  if (update_mode == UpdateMode::kHostDriven && host_change_rate <= 0.0) {
+    return Status::InvalidArgument("host_change_rate must be positive");
+  }
+  if (hop_latency_mean <= 0.0) {
+    return Status::InvalidArgument("hop_latency_mean must be positive");
+  }
+  if (warmup_time < 0.0 || measure_time <= 0.0) {
+    return Status::InvalidArgument("invalid warmup/measure horizon");
+  }
+  if (churn.detect_delay < 0.0) {
+    return Status::InvalidArgument("detect_delay must be non-negative");
+  }
+  return Status::OK();
+}
+
+std::string ExperimentConfig::ToString() const {
+  return util::StrFormat(
+      "%s topo=%s n=%zu D=%d lambda=%g arrival=%s alpha=%g theta=%g c=%u "
+      "ttl=%g lead=%g warmup=%g measure=%g seed=%llu%s%s",
+      std::string(SchemeToString(scheme)).c_str(),
+      std::string(TopologyToString(topology)).c_str(), num_nodes, max_degree,
+      lambda, std::string(ArrivalToString(arrival)).c_str(), pareto_alpha,
+      zipf_theta, threshold_c, ttl, push_lead, warmup_time, measure_time,
+      static_cast<unsigned long long>(seed),
+      dup.shortcut_push ? "" : " no-shortcut",
+      churn.enabled() ? " churn" : "");
+}
+
+}  // namespace dupnet::experiment

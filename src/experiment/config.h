@@ -1,0 +1,125 @@
+#ifndef DUP_EXPERIMENT_CONFIG_H_
+#define DUP_EXPERIMENT_CONFIG_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/dup_protocol.h"
+#include "proto/cup.h"
+#include "topo/churn.h"
+#include "util/status.h"
+
+namespace dupnet::experiment {
+
+/// Which consistency scheme a run simulates.
+enum class Scheme { kPcx, kCup, kDup };
+
+/// How the index search tree is obtained.
+enum class TopologyKind {
+  kRandomTree,  ///< Paper's synthetic model (uniform [1, D] children).
+  kChord,       ///< Derived from a real Chord ring's lookup paths.
+  kCan,         ///< Derived from a real CAN coordinate space's routes.
+  kPastry,      ///< Derived from a real Pastry overlay's prefix routes.
+};
+
+/// Query inter-arrival process.
+enum class ArrivalKind { kExponential, kPareto };
+
+/// When the authority issues new index versions.
+enum class UpdateMode {
+  /// The paper's evaluation setting: a new version exactly push_lead
+  /// seconds before the previous one expires (period = ttl - push_lead).
+  kTtlAligned,
+  /// The paper's system model (Section II-A): the index changes whenever
+  /// the hosting nodes change — "data is inserted or removed from nodes in
+  /// the network from time to time" — modelled as a Poisson process of
+  /// rate `host_change_rate`. Updates are no longer synchronised with TTL
+  /// expiry, so pushes can arrive at any phase of the cache lifetime.
+  kHostDriven,
+};
+
+std::string_view UpdateModeToString(UpdateMode mode);
+util::Result<UpdateMode> ParseUpdateMode(std::string_view name);
+
+std::string_view SchemeToString(Scheme scheme);
+util::Result<Scheme> ParseScheme(std::string_view name);
+std::string_view TopologyToString(TopologyKind kind);
+util::Result<TopologyKind> ParseTopology(std::string_view name);
+std::string_view ArrivalToString(ArrivalKind kind);
+util::Result<ArrivalKind> ParseArrival(std::string_view name);
+
+/// Full description of one simulation run. Defaults follow the paper's
+/// Table I; the measurement horizon is scaled down from the paper's
+/// 180,000 s (see DESIGN.md §2) and can be restored via the bench
+/// harness's DUP_BENCH_FULL=1.
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kDup;
+  TopologyKind topology = TopologyKind::kRandomTree;
+
+  /// Network size n (paper default 4096).
+  size_t num_nodes = 4096;
+  /// Maximum node degree D of the index search tree (paper default 4).
+  int max_degree = 4;
+  /// Dimensionality of the CAN coordinate space (TopologyKind::kCan only).
+  int can_dims = 2;
+
+  /// Mean query arrival rate lambda, queries/second network-wide.
+  double lambda = 1.0;
+  ArrivalKind arrival = ArrivalKind::kExponential;
+  /// Pareto shape (only for ArrivalKind::kPareto; paper uses 1.05, 1.20).
+  double pareto_alpha = 1.2;
+  /// Zipf skew theta of the per-node query distribution.
+  double zipf_theta = 0.8;
+
+  /// Interest threshold c (paper default 6).
+  uint32_t threshold_c = 6;
+  /// Whether forwarded requests count toward interest (see
+  /// proto::ProtocolOptions::count_forwarded_queries; false is the
+  /// own-queries-only ablation).
+  bool count_forwarded_queries = true;
+  /// Whether each cache restarts the TTL timer on install (default) or all
+  /// copies of a version expire simultaneously (ablation; see
+  /// proto::ProtocolOptions::per_copy_ttl).
+  bool per_copy_ttl = true;
+  /// Whether passing replies populate intermediate caches (ablation; see
+  /// proto::ProtocolOptions::cache_passing_replies).
+  bool cache_passing_replies = false;
+  /// Index TTL in seconds (paper: 60 minutes).
+  double ttl = 3600.0;
+  /// The root publishes this many seconds before the previous version
+  /// expires (paper: one minute).
+  double push_lead = 60.0;
+  /// Update timing (see UpdateMode).
+  UpdateMode update_mode = UpdateMode::kTtlAligned;
+  /// kHostDriven: mean index changes per second at the authority.
+  double host_change_rate = 1.0 / 3540.0;
+  /// Mean per-hop message latency (paper: exponential, 0.1 s).
+  double hop_latency_mean = 0.1;
+
+  /// Measurement protocol: metrics reset after `warmup_time`, then
+  /// accumulate for `measure_time` seconds.
+  double warmup_time = 7200.0;
+  double measure_time = 36000.0;
+
+  /// DUP-specific options (shortcut ablation, piggybacked subscribes).
+  core::DupOptions dup;
+
+  /// CUP-specific options (push-decision policy).
+  proto::CupOptions cup;
+
+  /// Topology dynamics (all rates 0 = static network, the paper's
+  /// evaluation setting).
+  topo::ChurnConfig churn;
+
+  uint64_t seed = 42;
+
+  /// Rejects inconsistent parameter combinations.
+  util::Status Validate() const;
+
+  /// One-line description for logs and reports.
+  std::string ToString() const;
+};
+
+}  // namespace dupnet::experiment
+
+#endif  // DUP_EXPERIMENT_CONFIG_H_

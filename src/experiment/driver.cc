@@ -1,0 +1,293 @@
+#include "experiment/driver.h"
+
+#include <algorithm>
+
+#include "can/space.h"
+#include "chord/tree_builder.h"
+#include "pastry/pastry.h"
+#include "proto/cup.h"
+#include "proto/pcx.h"
+#include "topo/tree_generator.h"
+#include "util/check.h"
+
+namespace dupnet::experiment {
+
+using util::Result;
+using util::Status;
+
+SimulationDriver::SimulationDriver(const ExperimentConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+SimulationDriver::~SimulationDriver() = default;
+
+Result<metrics::RunMetrics> SimulationDriver::Run(
+    const ExperimentConfig& config) {
+  SimulationDriver driver(config);
+  DUP_RETURN_IF_ERROR(driver.Init());
+  driver.RunToCompletion();
+  return driver.Collect();
+}
+
+Status SimulationDriver::Init() {
+  DUP_CHECK(!initialized_);
+  DUP_RETURN_IF_ERROR(config_.Validate());
+  initialized_ = true;
+
+  // --- Topology ---------------------------------------------------------
+  switch (config_.topology) {
+    case TopologyKind::kRandomTree: {
+      topo::TreeGeneratorOptions gen;
+      gen.num_nodes = config_.num_nodes;
+      gen.max_degree = config_.max_degree;
+      auto tree = topo::TreeGenerator::Generate(gen, &rng_);
+      DUP_RETURN_IF_ERROR(tree.status());
+      tree_ = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+      break;
+    }
+    case TopologyKind::kChord: {
+      auto ring = chord::ChordRing::Create(config_.num_nodes);
+      DUP_RETURN_IF_ERROR(ring.status());
+      auto tree =
+          chord::ChordTreeBuilder::BuildForKeyName(*ring, "the-index");
+      DUP_RETURN_IF_ERROR(tree.status());
+      tree_ = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+      break;
+    }
+    case TopologyKind::kCan: {
+      auto space = can::CanSpace::Create(config_.num_nodes, config_.can_dims,
+                                         config_.seed ^ 0xCA11AB1Eu);
+      DUP_RETURN_IF_ERROR(space.status());
+      auto tree = space->BuildIndexTreeForKeyName("the-index");
+      DUP_RETURN_IF_ERROR(tree.status());
+      tree_ = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+      break;
+    }
+    case TopologyKind::kPastry: {
+      auto network = pastry::PastryNetwork::Create(config_.num_nodes);
+      DUP_RETURN_IF_ERROR(network.status());
+      auto tree = network->BuildIndexTreeForKeyName("the-index");
+      DUP_RETURN_IF_ERROR(tree.status());
+      tree_ = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+      break;
+    }
+  }
+  live_nodes_.resize(config_.num_nodes);
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    live_nodes_[i] = static_cast<NodeId>(i);
+  }
+  next_fresh_id_ = static_cast<NodeId>(config_.num_nodes);
+
+  // --- Network + protocol ------------------------------------------------
+  network_ = std::make_unique<net::OverlayNetwork>(
+      &engine_, &rng_, &recorder_, config_.hop_latency_mean);
+  proto::ProtocolOptions options;
+  options.ttl = config_.ttl;
+  options.threshold_c = config_.threshold_c;
+  options.cache_passing_replies = config_.cache_passing_replies;
+  options.per_copy_ttl = config_.per_copy_ttl;
+  options.count_forwarded_queries = config_.count_forwarded_queries;
+  switch (config_.scheme) {
+    case Scheme::kPcx:
+      protocol_ = std::make_unique<proto::PcxProtocol>(network_.get(),
+                                                       tree_.get(), options);
+      break;
+    case Scheme::kCup:
+      protocol_ = std::make_unique<proto::CupProtocol>(
+          network_.get(), tree_.get(), options, config_.cup);
+      break;
+    case Scheme::kDup: {
+      auto dup = std::make_unique<core::DupProtocol>(
+          network_.get(), tree_.get(), options, config_.dup);
+      dup_protocol_ = dup.get();
+      protocol_ = std::move(dup);
+      break;
+    }
+  }
+  network_->set_handler(
+      [this](const net::Message& msg) { protocol_->OnMessage(msg); });
+
+  // --- Workload -----------------------------------------------------------
+  auto arrivals = workload::MakeArrivalProcess(
+      std::string(ArrivalToString(config_.arrival)), config_.lambda,
+      config_.pareto_alpha);
+  DUP_RETURN_IF_ERROR(arrivals.status());
+  arrivals_ = std::move(*arrivals);
+
+  util::Rng perm_rng = rng_.Fork();
+  zipf_ = std::make_unique<workload::ZipfNodeSelector>(
+      live_nodes_, config_.zipf_theta, &perm_rng);
+
+  auto schedule =
+      workload::UpdateSchedule::Create(config_.ttl, config_.push_lead);
+  DUP_RETURN_IF_ERROR(schedule.status());
+  schedule_ = *schedule;
+
+  // --- Initial events -----------------------------------------------------
+  horizon_end_ = config_.warmup_time + config_.measure_time;
+  recorder_.set_enabled(false);  // Warm-up.
+  engine_.ScheduleAt(config_.warmup_time, [this] {
+    recorder_.Reset();
+    recorder_.set_enabled(true);
+  });
+  FirePublish();  // Version 1 at t = 0.
+  ScheduleNextQuery();
+  if (config_.churn.enabled()) {
+    churn_planner_.emplace(config_.churn);
+    ScheduleNextChurn();
+  }
+  return Status::OK();
+}
+
+void SimulationDriver::RunToCompletion() {
+  DUP_CHECK(initialized_);
+  engine_.RunUntil(config_.warmup_time + config_.measure_time);
+}
+
+void SimulationDriver::RunUntil(sim::SimTime until) {
+  DUP_CHECK(initialized_);
+  engine_.RunUntil(until);
+}
+
+metrics::RunMetrics SimulationDriver::Collect() const {
+  return metrics::RunMetrics::FromRecorder(recorder_);
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+// ---------------------------------------------------------------------------
+
+void SimulationDriver::ScheduleNextQuery() {
+  if (engine_.Now() >= horizon_end_) return;
+  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_),
+                        [this] { FireQuery(); });
+}
+
+void SimulationDriver::FireQuery() {
+  ScheduleNextQuery();
+  const NodeId node = zipf_->Sample(&rng_);
+  // A crashed (not yet replaced) node issues no queries.
+  if (network_->IsDown(node) || !tree_->Contains(node)) return;
+  protocol_->OnLocalQuery(node);
+}
+
+// ---------------------------------------------------------------------------
+// Authority publishes.
+// ---------------------------------------------------------------------------
+
+void SimulationDriver::ScheduleNextPublish() {
+  if (config_.update_mode == UpdateMode::kHostDriven) {
+    // The index changes when hosting nodes change: Poisson update times,
+    // unsynchronised with cache expiries.
+    const sim::SimTime next =
+        engine_.Now() + rng_.Exponential(1.0 / config_.host_change_rate);
+    if (next > horizon_end_) return;
+    engine_.ScheduleAt(next, [this] { FirePublish(); });
+    return;
+  }
+  if (schedule_->IssueTime(next_version_) > horizon_end_) return;
+  engine_.ScheduleAt(schedule_->IssueTime(next_version_),
+                     [this] { FirePublish(); });
+}
+
+void SimulationDriver::FirePublish() {
+  const IndexVersion version = next_version_++;
+  const sim::SimTime expiry = config_.update_mode == UpdateMode::kHostDriven
+                                  ? engine_.Now() + config_.ttl
+                                  : schedule_->ExpiryOf(version);
+  protocol_->OnRootPublish(version, expiry);
+  ScheduleNextPublish();
+}
+
+// ---------------------------------------------------------------------------
+// Churn.
+// ---------------------------------------------------------------------------
+
+void SimulationDriver::ScheduleNextChurn() {
+  if (engine_.Now() >= horizon_end_) return;
+  engine_.ScheduleAfter(churn_planner_->NextInterval(&rng_),
+                        [this] { FireChurn(); });
+}
+
+void SimulationDriver::FireChurn() {
+  ScheduleNextChurn();
+  auto action =
+      churn_planner_->Plan(*tree_, live_nodes_, next_fresh_id_, &rng_);
+  if (!action.ok()) return;  // Nothing possible right now.
+  // Nodes already crashed but not yet detected cannot act again.
+  if (action->subject != next_fresh_id_ &&
+      pending_failures_.count(action->subject) > 0) {
+    return;
+  }
+  if ((action->parent != kInvalidNode &&
+       pending_failures_.count(action->parent) > 0) ||
+      (action->child != kInvalidNode &&
+       pending_failures_.count(action->child) > 0)) {
+    return;  // Do not build onto a dying edge.
+  }
+
+  switch (action->kind) {
+    case topo::ChurnAction::Kind::kJoinLeaf: {
+      DUP_CHECK_OK(tree_->AttachLeaf(action->parent, action->subject));
+      live_nodes_.push_back(action->subject);
+      zipf_->AddNode(action->subject);
+      protocol_->OnLeafJoined(action->subject, action->parent);
+      ++next_fresh_id_;
+      break;
+    }
+    case topo::ChurnAction::Kind::kJoinSplit: {
+      DUP_CHECK_OK(
+          tree_->SplitEdge(action->parent, action->child, action->subject));
+      live_nodes_.push_back(action->subject);
+      zipf_->AddNode(action->subject);
+      protocol_->OnSplitJoined(action->subject, action->parent,
+                               action->child);
+      ++next_fresh_id_;
+      break;
+    }
+    case topo::ChurnAction::Kind::kLeave: {
+      protocol_->OnGracefulLeave(action->subject);
+      RemoveNode(action->subject);
+      break;
+    }
+    case topo::ChurnAction::Kind::kFail: {
+      const NodeId victim = action->subject;
+      network_->SetNodeDown(victim, true);
+      pending_failures_.insert(victim);
+      engine_.ScheduleAfter(config_.churn.detect_delay, [this, victim] {
+        pending_failures_.erase(victim);
+        RemoveNode(victim);
+      });
+      break;
+    }
+  }
+  ++churn_events_applied_;
+}
+
+void SimulationDriver::RemoveNode(NodeId node) {
+  if (!tree_->Contains(node)) return;
+  const bool was_root = node == tree_->root();
+  const NodeId former_parent = was_root ? kInvalidNode : tree_->Parent(node);
+  const std::vector<NodeId> former_children = tree_->Children(node);
+  auto replacement = tree_->RemoveNode(node);
+  DUP_CHECK(replacement.ok()) << replacement.status().ToString();
+  network_->SetNodeDown(node, true);
+  RemoveFromLive(node);
+  zipf_->ReplaceNode(node, *replacement);
+  protocol_->OnNodeRemoved(node, former_parent, former_children, was_root,
+                           tree_->root());
+  if (was_root) {
+    // Paper failure case 5: the promoted authority refreshes the index and
+    // restarts propagation with the current version.
+    protocol_->OnRootPublish(protocol_->latest_version(),
+                             protocol_->latest_expiry());
+  }
+}
+
+void SimulationDriver::RemoveFromLive(NodeId node) {
+  auto it = std::find(live_nodes_.begin(), live_nodes_.end(), node);
+  DUP_CHECK(it != live_nodes_.end());
+  *it = live_nodes_.back();
+  live_nodes_.pop_back();
+}
+
+}  // namespace dupnet::experiment

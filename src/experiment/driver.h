@@ -1,0 +1,111 @@
+#ifndef DUP_EXPERIMENT_DRIVER_H_
+#define DUP_EXPERIMENT_DRIVER_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "experiment/config.h"
+#include "metrics/recorder.h"
+#include "metrics/summary.h"
+#include "net/overlay_network.h"
+#include "proto/tree_protocol_base.h"
+#include "sim/engine.h"
+#include "topo/churn.h"
+#include "topo/tree.h"
+#include "util/rng.h"
+#include "workload/arrivals.h"
+#include "workload/update_schedule.h"
+#include "workload/zipf_selector.h"
+
+namespace dupnet::experiment {
+
+/// Wires topology + workload + protocol + metrics into one simulation run.
+///
+/// One-shot use:
+///   auto metrics = SimulationDriver::Run(config);
+///
+/// Instance use (tests, examples needing introspection):
+///   SimulationDriver driver(config);
+///   DUP_CHECK_OK(driver.Init());
+///   driver.RunToCompletion();
+///   auto metrics = driver.Collect();
+class SimulationDriver {
+ public:
+  /// Builds, runs and collects in one call.
+  static util::Result<metrics::RunMetrics> Run(const ExperimentConfig& config);
+
+  explicit SimulationDriver(const ExperimentConfig& config);
+  ~SimulationDriver();
+
+  SimulationDriver(const SimulationDriver&) = delete;
+  SimulationDriver& operator=(const SimulationDriver&) = delete;
+
+  /// Constructs topology, protocol and workload; schedules the initial
+  /// events. Must be called exactly once before running.
+  util::Status Init();
+
+  /// Runs the simulation through warmup + measurement.
+  void RunToCompletion();
+
+  /// Advances simulated time to `until` (for incremental test control).
+  void RunUntil(sim::SimTime until);
+
+  /// Snapshot of the measured metrics.
+  metrics::RunMetrics Collect() const;
+
+  // --- Introspection -----------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  topo::IndexSearchTree& tree() { return *tree_; }
+  proto::TreeProtocolBase& protocol() { return *protocol_; }
+  metrics::Recorder& recorder() { return recorder_; }
+  net::OverlayNetwork& network() { return *network_; }
+  /// Non-null only when the configured scheme is DUP.
+  core::DupProtocol* dup_protocol() { return dup_protocol_; }
+  const std::vector<NodeId>& live_nodes() const { return live_nodes_; }
+  uint64_t churn_events_applied() const { return churn_events_applied_; }
+
+ private:
+  void ScheduleNextQuery();
+  void ScheduleNextPublish();
+  void ScheduleNextChurn();
+  void FireQuery();
+  void FirePublish();
+  void FireChurn();
+  /// Applies removal of `node` (leave or detected failure).
+  void RemoveNode(NodeId node);
+  void RemoveFromLive(NodeId node);
+
+  ExperimentConfig config_;
+  util::Rng rng_;
+  sim::Engine engine_;
+  metrics::Recorder recorder_;
+
+  std::unique_ptr<topo::IndexSearchTree> tree_;
+  std::unique_ptr<net::OverlayNetwork> network_;
+  std::unique_ptr<proto::TreeProtocolBase> protocol_;
+  core::DupProtocol* dup_protocol_ = nullptr;  // Aliases protocol_ if DUP.
+
+  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  std::unique_ptr<workload::ZipfNodeSelector> zipf_;
+  std::optional<workload::UpdateSchedule> schedule_;
+  IndexVersion next_version_ = 1;
+
+  /// Workload generators stop seeding new events past this time so the
+  /// queue can drain (engine().Run() terminates once in-flight traffic
+  /// settles).
+  sim::SimTime horizon_end_ = 0.0;
+
+  std::optional<topo::ChurnPlanner> churn_planner_;
+  std::vector<NodeId> live_nodes_;
+  std::unordered_set<NodeId> pending_failures_;
+  NodeId next_fresh_id_ = 0;
+  uint64_t churn_events_applied_ = 0;
+
+  bool initialized_ = false;
+};
+
+}  // namespace dupnet::experiment
+
+#endif  // DUP_EXPERIMENT_DRIVER_H_

@@ -1,0 +1,65 @@
+#include "experiment/replicator.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace dupnet::experiment {
+
+uint64_t Replicator::SeedForReplication(uint64_t base_seed, size_t i) {
+  // Large odd stride keeps replication seeds far apart; SplitMix inside
+  // Rng decorrelates them regardless.
+  return base_seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+}
+
+util::Result<metrics::ReplicationSummary> Replicator::Run(
+    const ExperimentConfig& config, size_t replications) {
+  if (replications == 0) {
+    return util::Status::InvalidArgument("need at least one replication");
+  }
+  std::vector<metrics::RunMetrics> runs;
+  runs.reserve(replications);
+  for (size_t i = 0; i < replications; ++i) {
+    ExperimentConfig rep = config;
+    rep.seed = SeedForReplication(config.seed, i);
+    auto metrics = SimulationDriver::Run(rep);
+    DUP_RETURN_IF_ERROR(metrics.status());
+    runs.push_back(*metrics);
+  }
+  return metrics::ReplicationSummary::FromRuns(std::move(runs));
+}
+
+double SchemeComparison::cup_cost_relative_to_pcx() const {
+  DUP_CHECK_GT(pcx.cost.mean, 0.0);
+  return cup.cost.mean / pcx.cost.mean;
+}
+
+double SchemeComparison::dup_cost_relative_to_pcx() const {
+  DUP_CHECK_GT(pcx.cost.mean, 0.0);
+  return dup.cost.mean / pcx.cost.mean;
+}
+
+util::Result<SchemeComparison> CompareSchemes(const ExperimentConfig& base,
+                                              size_t replications) {
+  SchemeComparison out;
+  for (Scheme scheme : {Scheme::kPcx, Scheme::kCup, Scheme::kDup}) {
+    ExperimentConfig config = base;
+    config.scheme = scheme;
+    auto summary = Replicator::Run(config, replications);
+    DUP_RETURN_IF_ERROR(summary.status());
+    switch (scheme) {
+      case Scheme::kPcx:
+        out.pcx = std::move(*summary);
+        break;
+      case Scheme::kCup:
+        out.cup = std::move(*summary);
+        break;
+      case Scheme::kDup:
+        out.dup = std::move(*summary);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dupnet::experiment

@@ -1,0 +1,42 @@
+#ifndef DUP_EXPERIMENT_REPLICATOR_H_
+#define DUP_EXPERIMENT_REPLICATOR_H_
+
+#include <cstddef>
+
+#include "experiment/config.h"
+#include "experiment/driver.h"
+#include "metrics/summary.h"
+
+namespace dupnet::experiment {
+
+/// Runs independent replications of one configuration (distinct seeds) and
+/// aggregates the headline metrics with Student-t 95% confidence
+/// intervals — the statistical protocol behind every paper table/figure.
+class Replicator {
+ public:
+  /// Runs `replications` seeds derived from config.seed.
+  static util::Result<metrics::ReplicationSummary> Run(
+      const ExperimentConfig& config, size_t replications);
+
+  /// Derives the i-th replication seed from a base seed.
+  static uint64_t SeedForReplication(uint64_t base_seed, size_t i);
+};
+
+/// A (PCX, CUP, DUP) comparison at one parameter point, as the paper's
+/// figures plot: absolute latencies plus costs *relative to PCX*.
+struct SchemeComparison {
+  metrics::ReplicationSummary pcx;
+  metrics::ReplicationSummary cup;
+  metrics::ReplicationSummary dup;
+
+  double cup_cost_relative_to_pcx() const;
+  double dup_cost_relative_to_pcx() const;
+};
+
+/// Runs all three schemes on otherwise identical configurations.
+util::Result<SchemeComparison> CompareSchemes(const ExperimentConfig& base,
+                                              size_t replications);
+
+}  // namespace dupnet::experiment
+
+#endif  // DUP_EXPERIMENT_REPLICATOR_H_

@@ -1,0 +1,91 @@
+#include "experiment/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace dupnet::experiment {
+
+TableReport::TableReport(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  DUP_CHECK(!columns_.empty());
+}
+
+void TableReport::AddRow(std::vector<std::string> cells) {
+  DUP_CHECK_EQ(cells.size(), columns_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TableReport::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TableReport::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += c == 0 ? "| " : " | ";
+      line += cells[c];
+      line.append(widths[c] - cells[c].size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+  auto rule = [&] {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      line += c == 0 ? "+-" : "-+-";
+      line.append(widths[c], '-');
+    }
+    line += "-+\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += "\n";
+  }
+  out += rule();
+  out += render_line(columns_);
+  out += rule();
+  for (const Row& row : rows_) {
+    out += row.separator ? rule() : render_line(row.cells);
+  }
+  out += rule();
+  return out;
+}
+
+std::string TableReport::ToCsv() const {
+  util::CsvWriter csv(columns_);
+  for (const Row& row : rows_) {
+    if (!row.separator) csv.AddRow(row.cells);
+  }
+  return csv.ToString();
+}
+
+void TableReport::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string CiCell(double mean, double half_width) {
+  return util::StrFormat("%.3f±%.3f", mean, half_width);
+}
+
+std::string PercentCell(double ratio) {
+  return util::StrFormat("%.1f%%", ratio * 100.0);
+}
+
+}  // namespace dupnet::experiment

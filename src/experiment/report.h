@@ -1,0 +1,50 @@
+#ifndef DUP_EXPERIMENT_REPORT_H_
+#define DUP_EXPERIMENT_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace dupnet::experiment {
+
+/// Fixed-width text table builder for the bench harness output, so every
+/// reproduced table/figure prints aligned, diffable rows.
+class TableReport {
+ public:
+  /// `title` prints above the table; `columns` are the header cells.
+  TableReport(std::string title, std::vector<std::string> columns);
+
+  /// Adds a data row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  /// The same data as RFC-4180 CSV (separators skipped).
+  std::string ToCsv() const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+/// Formats "mean±hw" for confidence-interval cells.
+std::string CiCell(double mean, double half_width);
+
+/// Formats a ratio as a percentage ("42.3%").
+std::string PercentCell(double ratio);
+
+}  // namespace dupnet::experiment
+
+#endif  // DUP_EXPERIMENT_REPORT_H_

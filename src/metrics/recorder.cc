@@ -1,0 +1,57 @@
+#include "metrics/recorder.h"
+
+namespace dupnet::metrics {
+
+void Recorder::AddHops(HopClass hop_class, uint64_t hops) {
+  if (!enabled_) return;
+  hops_.counts[static_cast<int>(hop_class)] += hops;
+}
+
+void Recorder::OnQueryIssued() {
+  if (!enabled_) return;
+  ++queries_issued_;
+}
+
+void Recorder::OnQueryServed(uint32_t latency_hops, bool stale) {
+  if (!enabled_) return;
+  ++queries_served_;
+  if (latency_hops == 0) ++local_hits_;
+  if (stale) ++stale_serves_;
+  latency_.Add(static_cast<double>(latency_hops));
+  latency_histogram_.Add(latency_hops);
+}
+
+void Recorder::Reset() {
+  queries_issued_ = 0;
+  queries_served_ = 0;
+  local_hits_ = 0;
+  stale_serves_ = 0;
+  hops_ = HopCounters();
+  latency_.Reset();
+  latency_histogram_.Reset();
+}
+
+double Recorder::AverageLatencyHops() const {
+  if (queries_served_ == 0) return 0.0;
+  return latency_.Mean();
+}
+
+double Recorder::AverageCostHops() const {
+  if (queries_served_ == 0) return 0.0;
+  return static_cast<double>(hops_.total()) /
+         static_cast<double>(queries_served_);
+}
+
+double Recorder::LocalHitRate() const {
+  if (queries_served_ == 0) return 0.0;
+  return static_cast<double>(local_hits_) /
+         static_cast<double>(queries_served_);
+}
+
+double Recorder::StaleRate() const {
+  if (queries_served_ == 0) return 0.0;
+  return static_cast<double>(stale_serves_) /
+         static_cast<double>(queries_served_);
+}
+
+}  // namespace dupnet::metrics

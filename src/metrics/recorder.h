@@ -1,0 +1,105 @@
+#ifndef DUP_METRICS_RECORDER_H_
+#define DUP_METRICS_RECORDER_H_
+
+#include <cstdint>
+
+#include "util/histogram.h"
+#include "util/stats.h"
+
+namespace dupnet::metrics {
+
+/// Which logical traffic class a hop belongs to. Mirrors the paper's cost
+/// definition: "the total number of hops that the query related messages
+/// such as requests, replies and updates traveled in the network divided by
+/// the total number of queries", where control traffic (interest
+/// registration in CUP; subscribe/unsubscribe/substitute in DUP) is also
+/// charged to the scheme that generates it.
+enum class HopClass {
+  kRequest = 0,
+  kReply,
+  kPush,
+  kControl,
+};
+
+inline constexpr int kNumHopClasses = 4;
+
+/// Per-class hop counters.
+struct HopCounters {
+  uint64_t counts[kNumHopClasses] = {0, 0, 0, 0};
+
+  uint64_t request() const {
+    return counts[static_cast<int>(HopClass::kRequest)];
+  }
+  uint64_t reply() const { return counts[static_cast<int>(HopClass::kReply)]; }
+  uint64_t push() const { return counts[static_cast<int>(HopClass::kPush)]; }
+  uint64_t control() const {
+    return counts[static_cast<int>(HopClass::kControl)];
+  }
+  uint64_t total() const {
+    return request() + reply() + push() + control();
+  }
+};
+
+/// Collects the paper's two headline metrics (average query latency in hops,
+/// average query cost in hops/query) plus auxiliary rates (local-hit, stale
+/// read, per-class hop breakdown).
+///
+/// The recorder supports a warm-up phase: `Reset()` clears all accumulators
+/// so the driver can discard the cache-cold transient before measuring.
+class Recorder {
+ public:
+  Recorder() = default;
+
+  /// Enables/disables accumulation. While disabled, all record calls are
+  /// dropped (used during warm-up without branching at every call site).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// One hop traveled by a message of the given class.
+  void AddHops(HopClass hop_class, uint64_t hops = 1);
+
+  /// A query was issued at some node.
+  void OnQueryIssued();
+
+  /// A query completed: it traveled `latency_hops` before reaching a valid
+  /// index (0 = served from the local cache). `stale` marks replies served
+  /// from a superseded-but-unexpired copy (weak consistency artifact).
+  void OnQueryServed(uint32_t latency_hops, bool stale);
+
+  /// Clears every accumulator (end of warm-up).
+  void Reset();
+
+  uint64_t queries_issued() const { return queries_issued_; }
+  uint64_t queries_served() const { return queries_served_; }
+  uint64_t local_hits() const { return local_hits_; }
+  uint64_t stale_serves() const { return stale_serves_; }
+  const HopCounters& hops() const { return hops_; }
+  const util::RunningStats& latency_stats() const { return latency_; }
+  /// Full latency distribution (hops), for percentile reporting.
+  const util::Histogram& latency_histogram() const {
+    return latency_histogram_;
+  }
+
+  /// Mean hops per query before reaching a valid index.
+  double AverageLatencyHops() const;
+  /// Total hops of all traffic divided by served queries.
+  double AverageCostHops() const;
+  /// Fraction of queries answered from the local cache.
+  double LocalHitRate() const;
+  /// Fraction of queries answered with a superseded index version.
+  double StaleRate() const;
+
+ private:
+  bool enabled_ = true;
+  uint64_t queries_issued_ = 0;
+  uint64_t queries_served_ = 0;
+  uint64_t local_hits_ = 0;
+  uint64_t stale_serves_ = 0;
+  HopCounters hops_;
+  util::RunningStats latency_;
+  util::Histogram latency_histogram_{/*max_tracked=*/128};
+};
+
+}  // namespace dupnet::metrics
+
+#endif  // DUP_METRICS_RECORDER_H_

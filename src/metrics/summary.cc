@@ -1,0 +1,67 @@
+#include "metrics/summary.h"
+
+#include "util/str.h"
+
+namespace dupnet::metrics {
+
+RunMetrics RunMetrics::FromRecorder(const Recorder& recorder) {
+  RunMetrics m;
+  m.queries = recorder.queries_served();
+  m.avg_latency_hops = recorder.AverageLatencyHops();
+  m.avg_cost_hops = recorder.AverageCostHops();
+  m.local_hit_rate = recorder.LocalHitRate();
+  m.stale_rate = recorder.StaleRate();
+  m.hops = recorder.hops();
+  if (recorder.latency_histogram().count() > 0) {
+    m.latency_p50 = recorder.latency_histogram().Percentile50();
+    m.latency_p95 = recorder.latency_histogram().Percentile95();
+    m.latency_p99 = recorder.latency_histogram().Percentile99();
+    m.latency_max = recorder.latency_histogram().Max();
+  }
+  return m;
+}
+
+std::string RunMetrics::ToString() const {
+  return util::StrFormat(
+      "queries=%llu latency=%.4f cost=%.4f local_hit=%.3f stale=%.3f "
+      "hops[req=%llu rep=%llu push=%llu ctl=%llu]",
+      static_cast<unsigned long long>(queries), avg_latency_hops,
+      avg_cost_hops, local_hit_rate, stale_rate,
+      static_cast<unsigned long long>(hops.request()),
+      static_cast<unsigned long long>(hops.reply()),
+      static_cast<unsigned long long>(hops.push()),
+      static_cast<unsigned long long>(hops.control()));
+}
+
+ReplicationSummary ReplicationSummary::FromRuns(std::vector<RunMetrics> runs) {
+  ReplicationSummary s;
+  std::vector<double> latency, cost, hit, stale;
+  latency.reserve(runs.size());
+  cost.reserve(runs.size());
+  hit.reserve(runs.size());
+  stale.reserve(runs.size());
+  for (const RunMetrics& r : runs) {
+    latency.push_back(r.avg_latency_hops);
+    cost.push_back(r.avg_cost_hops);
+    hit.push_back(r.local_hit_rate);
+    stale.push_back(r.stale_rate);
+    s.total_queries += r.queries;
+  }
+  s.latency = util::ConfidenceInterval95(latency);
+  s.cost = util::ConfidenceInterval95(cost);
+  s.local_hit_rate = util::ConfidenceInterval95(hit);
+  s.stale_rate = util::ConfidenceInterval95(stale);
+  s.runs = std::move(runs);
+  return s;
+}
+
+std::string ReplicationSummary::ToString() const {
+  return util::StrFormat(
+      "latency=%.4f±%.4f cost=%.4f±%.4f local_hit=%.3f stale=%.3f "
+      "(reps=%zu queries=%llu)",
+      latency.mean, latency.half_width, cost.mean, cost.half_width,
+      local_hit_rate.mean, stale_rate.mean, runs.size(),
+      static_cast<unsigned long long>(total_queries));
+}
+
+}  // namespace dupnet::metrics

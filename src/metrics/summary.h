@@ -1,0 +1,49 @@
+#ifndef DUP_METRICS_SUMMARY_H_
+#define DUP_METRICS_SUMMARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.h"
+#include "util/stats.h"
+
+namespace dupnet::metrics {
+
+/// Immutable snapshot of one simulation run's measured quantities.
+struct RunMetrics {
+  uint64_t queries = 0;
+  double avg_latency_hops = 0.0;
+  double avg_cost_hops = 0.0;
+  double local_hit_rate = 0.0;
+  double stale_rate = 0.0;
+  HopCounters hops;
+  /// Latency distribution tail (hops).
+  uint64_t latency_p50 = 0;
+  uint64_t latency_p95 = 0;
+  uint64_t latency_p99 = 0;
+  uint64_t latency_max = 0;
+
+  /// Captures the current state of `recorder`.
+  static RunMetrics FromRecorder(const Recorder& recorder);
+
+  std::string ToString() const;
+};
+
+/// Mean ± 95% CI over independent replications, for each headline metric.
+struct ReplicationSummary {
+  util::ConfidenceInterval latency;
+  util::ConfidenceInterval cost;
+  util::ConfidenceInterval local_hit_rate;
+  util::ConfidenceInterval stale_rate;
+  uint64_t total_queries = 0;
+  std::vector<RunMetrics> runs;
+
+  static ReplicationSummary FromRuns(std::vector<RunMetrics> runs);
+
+  std::string ToString() const;
+};
+
+}  // namespace dupnet::metrics
+
+#endif  // DUP_METRICS_SUMMARY_H_

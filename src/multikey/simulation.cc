@@ -1,0 +1,205 @@
+#include "multikey/simulation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "chord/tree_builder.h"
+#include "core/dup_protocol.h"
+#include "proto/cup.h"
+#include "proto/pcx.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::multikey {
+
+using util::Result;
+using util::Status;
+
+Status MultiKeyConfig::Validate() const {
+  if (num_nodes < 2) return Status::InvalidArgument("need >= 2 nodes");
+  if (num_keys < 1) return Status::InvalidArgument("need >= 1 key");
+  if (lambda <= 0) return Status::InvalidArgument("lambda must be positive");
+  if (key_zipf_theta < 0 || node_zipf_theta < 0) {
+    return Status::InvalidArgument("zipf exponents must be non-negative");
+  }
+  if (ttl <= 0 || push_lead < 0 || push_lead >= ttl) {
+    return Status::InvalidArgument("invalid ttl/push_lead");
+  }
+  if (measure_time <= 0 || warmup_time < 0) {
+    return Status::InvalidArgument("invalid horizon");
+  }
+  return Status::OK();
+}
+
+MultiKeySimulation::MultiKeySimulation(const MultiKeyConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+Result<MultiKeyResult> MultiKeySimulation::Run(const MultiKeyConfig& config) {
+  MultiKeySimulation sim(config);
+  DUP_RETURN_IF_ERROR(sim.Init());
+  sim.RunToCompletion();
+  return sim.Collect();
+}
+
+Status MultiKeySimulation::Init() {
+  DUP_RETURN_IF_ERROR(config_.Validate());
+  horizon_end_ = config_.warmup_time + config_.measure_time;
+
+  auto ring = chord::ChordRing::Create(config_.num_nodes);
+  DUP_RETURN_IF_ERROR(ring.status());
+
+  auto schedule =
+      workload::UpdateSchedule::Create(config_.ttl, config_.push_lead);
+  DUP_RETURN_IF_ERROR(schedule.status());
+  schedule_ = *schedule;
+
+  proto::ProtocolOptions options;
+  options.ttl = config_.ttl;
+  options.threshold_c = config_.threshold_c;
+
+  keys_.resize(config_.num_keys);
+  for (size_t k = 0; k < config_.num_keys; ++k) {
+    KeyState& key = keys_[k];
+    key.name = util::StrFormat("key-%zu", k);
+    auto tree = chord::ChordTreeBuilder::BuildForKeyName(*ring, key.name);
+    DUP_RETURN_IF_ERROR(tree.status());
+    key.tree = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+    key.recorder = std::make_unique<metrics::Recorder>();
+    key.recorder->set_enabled(false);
+    key.network = std::make_unique<net::OverlayNetwork>(
+        &engine_, &rng_, key.recorder.get(), config_.hop_latency_mean);
+    switch (config_.scheme) {
+      case experiment::Scheme::kPcx:
+        key.protocol = std::make_unique<proto::PcxProtocol>(
+            key.network.get(), key.tree.get(), options);
+        break;
+      case experiment::Scheme::kCup:
+        key.protocol = std::make_unique<proto::CupProtocol>(
+            key.network.get(), key.tree.get(), options);
+        break;
+      case experiment::Scheme::kDup:
+        key.protocol = std::make_unique<core::DupProtocol>(
+            key.network.get(), key.tree.get(), options);
+        break;
+    }
+    proto::TreeProtocolBase* protocol = key.protocol.get();
+    key.network->set_handler(
+        [protocol](const net::Message& m) { protocol->OnMessage(m); });
+    // Stagger version boundaries uniformly across keys.
+    key.phase_offset = schedule_->period() * static_cast<double>(k) /
+                       static_cast<double>(config_.num_keys);
+  }
+
+  // Key popularity CDF (rank k+1 gets mass ∝ 1/(k+1)^theta).
+  key_cdf_.resize(config_.num_keys);
+  double total = 0;
+  for (size_t k = 0; k < config_.num_keys; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1),
+                            config_.key_zipf_theta);
+    key_cdf_[k] = total;
+  }
+  for (double& c : key_cdf_) c /= total;
+  key_cdf_.back() = 1.0;
+
+  std::vector<NodeId> nodes(config_.num_nodes);
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    nodes[i] = static_cast<NodeId>(i);
+  }
+  util::Rng perm = rng_.Fork();
+  node_selector_ = std::make_unique<workload::ZipfNodeSelector>(
+      nodes, config_.node_zipf_theta, &perm);
+
+  arrivals_ =
+      std::make_unique<workload::ExponentialArrivals>(config_.lambda);
+
+  engine_.ScheduleAt(config_.warmup_time, [this] {
+    for (KeyState& key : keys_) {
+      key.recorder->Reset();
+      key.recorder->set_enabled(true);
+    }
+  });
+  for (size_t k = 0; k < config_.num_keys; ++k) {
+    // First version at the key's phase offset; keys start cold before it.
+    engine_.ScheduleAt(keys_[k].phase_offset,
+                       [this, k] { FirePublish(k); });
+  }
+  ScheduleNextQuery();
+  return Status::OK();
+}
+
+void MultiKeySimulation::ScheduleNextQuery() {
+  if (engine_.Now() >= horizon_end_) return;
+  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_),
+                        [this] { FireQuery(); });
+}
+
+void MultiKeySimulation::FireQuery() {
+  ScheduleNextQuery();
+  // Pick the key by popularity, the querying node by the node law.
+  const double u = rng_.NextDouble();
+  const size_t key_index = static_cast<size_t>(
+      std::lower_bound(key_cdf_.begin(), key_cdf_.end(), u) -
+      key_cdf_.begin());
+  KeyState& key = keys_[std::min(key_index, keys_.size() - 1)];
+  if (key.next_version == 1) return;  // Key not yet published.
+  key.protocol->OnLocalQuery(node_selector_->Sample(&rng_));
+}
+
+void MultiKeySimulation::FirePublish(size_t key_index) {
+  KeyState& key = keys_[key_index];
+  const IndexVersion version = key.next_version++;
+  key.protocol->OnRootPublish(version, engine_.Now() + config_.ttl);
+  const sim::SimTime next = engine_.Now() + schedule_->period();
+  if (next <= horizon_end_) {
+    engine_.ScheduleAt(next, [this, key_index] { FirePublish(key_index); });
+  }
+}
+
+void MultiKeySimulation::RunToCompletion() { engine_.RunUntil(horizon_end_); }
+
+MultiKeyResult MultiKeySimulation::Collect() const {
+  MultiKeyResult result;
+  metrics::Recorder aggregate;
+  std::unordered_map<NodeId, size_t> authority_counts;
+  for (const KeyState& key : keys_) {
+    KeyStats stats;
+    stats.key_name = key.name;
+    stats.authority = key.tree->root();
+    stats.metrics = metrics::RunMetrics::FromRecorder(*key.recorder);
+    ++authority_counts[stats.authority];
+    result.keys.push_back(std::move(stats));
+  }
+
+  // Aggregate across keys (weighted by queries).
+  metrics::RunMetrics total;
+  uint64_t served = 0;
+  double latency_weighted = 0.0;
+  uint64_t hops_total = 0;
+  for (const KeyStats& key : result.keys) {
+    served += key.metrics.queries;
+    latency_weighted += key.metrics.avg_latency_hops *
+                        static_cast<double>(key.metrics.queries);
+    for (int c = 0; c < metrics::kNumHopClasses; ++c) {
+      total.hops.counts[c] += key.metrics.hops.counts[c];
+    }
+    hops_total += key.metrics.hops.total();
+  }
+  total.queries = served;
+  total.avg_latency_hops =
+      served == 0 ? 0.0 : latency_weighted / static_cast<double>(served);
+  total.avg_cost_hops =
+      served == 0 ? 0.0
+                  : static_cast<double>(hops_total) /
+                        static_cast<double>(served);
+  result.aggregate = total;
+
+  result.distinct_authorities = authority_counts.size();
+  for (const auto& [node, count] : authority_counts) {
+    result.max_keys_per_authority =
+        std::max(result.max_keys_per_authority, count);
+  }
+  return result;
+}
+
+}  // namespace dupnet::multikey

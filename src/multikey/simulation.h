@@ -1,0 +1,117 @@
+#ifndef DUP_MULTIKEY_SIMULATION_H_
+#define DUP_MULTIKEY_SIMULATION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chord/ring.h"
+#include "experiment/config.h"
+#include "metrics/recorder.h"
+#include "metrics/summary.h"
+#include "net/overlay_network.h"
+#include "proto/tree_protocol_base.h"
+#include "sim/engine.h"
+#include "topo/tree.h"
+#include "util/rng.h"
+#include "workload/arrivals.h"
+#include "workload/update_schedule.h"
+#include "workload/zipf_selector.h"
+
+namespace dupnet::multikey {
+
+/// Parameters for a many-keys run. The paper simulates a single index; a
+/// deployed system hosts thousands, each hashed to its own authority node.
+/// This layer runs K keys over one Chord ring, with query traffic split
+/// across keys by a Zipf popularity law, and reports both aggregate and
+/// per-key metrics plus how evenly the authority role spreads.
+struct MultiKeyConfig {
+  size_t num_nodes = 1024;
+  size_t num_keys = 16;
+  experiment::Scheme scheme = experiment::Scheme::kDup;
+
+  /// Total query rate across all keys (queries/s network-wide).
+  double lambda = 10.0;
+  /// Popularity skew across keys (key rank r gets mass ∝ 1/r^theta).
+  double key_zipf_theta = 0.8;
+  /// Query skew across nodes, as in the single-key experiments.
+  double node_zipf_theta = 0.8;
+
+  double ttl = 3600.0;
+  double push_lead = 60.0;
+  uint32_t threshold_c = 6;
+  double hop_latency_mean = 0.1;
+
+  double warmup_time = 3600.0;
+  double measure_time = 10620.0;
+  uint64_t seed = 42;
+
+  util::Status Validate() const;
+};
+
+/// Per-key outcome.
+struct KeyStats {
+  std::string key_name;
+  NodeId authority = kInvalidNode;
+  metrics::RunMetrics metrics;
+};
+
+/// Whole-run outcome.
+struct MultiKeyResult {
+  metrics::RunMetrics aggregate;
+  std::vector<KeyStats> keys;
+  /// Largest number of keys for which a single node is the authority —
+  /// the load-balance property the DHT hashing provides.
+  size_t max_keys_per_authority = 0;
+  /// Distinct nodes acting as an authority.
+  size_t distinct_authorities = 0;
+};
+
+/// Runs a multi-key simulation to completion.
+///
+/// Each key gets its own index search tree (derived from the shared Chord
+/// ring), its own protocol instance and its own hop accounting; the clock,
+/// the node population and the query process are shared. Update schedules
+/// are phase-staggered across keys so version boundaries do not
+/// synchronise artificially.
+class MultiKeySimulation {
+ public:
+  static util::Result<MultiKeyResult> Run(const MultiKeyConfig& config);
+
+ private:
+  struct KeyState {
+    std::string name;
+    std::unique_ptr<topo::IndexSearchTree> tree;
+    std::unique_ptr<metrics::Recorder> recorder;
+    std::unique_ptr<net::OverlayNetwork> network;
+    std::unique_ptr<proto::TreeProtocolBase> protocol;
+    IndexVersion next_version = 1;
+    double phase_offset = 0.0;
+  };
+
+  explicit MultiKeySimulation(const MultiKeyConfig& config);
+
+  util::Status Init();
+  void RunToCompletion();
+  MultiKeyResult Collect() const;
+
+  void ScheduleNextQuery();
+  void FireQuery();
+  void SchedulePublish(size_t key_index);
+  void FirePublish(size_t key_index);
+
+  MultiKeyConfig config_;
+  util::Rng rng_;
+  sim::Engine engine_;
+  std::vector<KeyState> keys_;
+  std::unique_ptr<workload::ZipfNodeSelector> node_selector_;
+  std::vector<double> key_cdf_;  ///< Zipf popularity across keys.
+  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  std::optional<workload::UpdateSchedule> schedule_;
+  sim::SimTime horizon_end_ = 0.0;
+};
+
+}  // namespace dupnet::multikey
+
+#endif  // DUP_MULTIKEY_SIMULATION_H_

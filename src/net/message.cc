@@ -1,0 +1,54 @@
+#include "net/message.h"
+
+#include "util/str.h"
+
+namespace dupnet::net {
+
+std::string_view MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kRequest:
+      return "Request";
+    case MessageType::kReply:
+      return "Reply";
+    case MessageType::kPush:
+      return "Push";
+    case MessageType::kSubscribe:
+      return "Subscribe";
+    case MessageType::kUnsubscribe:
+      return "Unsubscribe";
+    case MessageType::kSubstitute:
+      return "Substitute";
+    case MessageType::kInterestRegister:
+      return "InterestRegister";
+    case MessageType::kInterestDeregister:
+      return "InterestDeregister";
+  }
+  return "Unknown";
+}
+
+metrics::HopClass HopClassOf(MessageType type) {
+  switch (type) {
+    case MessageType::kRequest:
+      return metrics::HopClass::kRequest;
+    case MessageType::kReply:
+      return metrics::HopClass::kReply;
+    case MessageType::kPush:
+      return metrics::HopClass::kPush;
+    case MessageType::kSubscribe:
+    case MessageType::kUnsubscribe:
+    case MessageType::kSubstitute:
+    case MessageType::kInterestRegister:
+    case MessageType::kInterestDeregister:
+      return metrics::HopClass::kControl;
+  }
+  return metrics::HopClass::kControl;
+}
+
+std::string Message::ToString() const {
+  return util::StrFormat(
+      "%s %u->%u origin=%u hops=%u v=%llu subject=%u subject2=%u",
+      std::string(MessageTypeToString(type)).c_str(), from, to, origin, hops,
+      static_cast<unsigned long long>(version), subject, subject2);
+}
+
+}  // namespace dupnet::net

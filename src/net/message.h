@@ -1,0 +1,78 @@
+#ifndef DUP_NET_MESSAGE_H_
+#define DUP_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.h"
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace dupnet::net {
+
+/// Every overlay message the three schemes exchange. One flat struct keeps
+/// delivery allocation-free; unused fields stay at their defaults.
+enum class MessageType : uint8_t {
+  /// Query for the index, routed parent-ward along the index search tree.
+  kRequest,
+  /// Index copy returned along the reverse query path (cached at each hop).
+  kReply,
+  /// Updated index pushed by CUP (hop-by-hop) or DUP (direct shortcut).
+  kPush,
+  /// DUP: subscribe(subject), routed up the index search tree.
+  kSubscribe,
+  /// DUP: unsubscribe for the arriving branch, routed up the tree.
+  kUnsubscribe,
+  /// DUP: substitute(subject -> subject2) for the arriving branch.
+  kSubstitute,
+  /// CUP: child registers interest with its parent.
+  kInterestRegister,
+  /// CUP: child withdraws interest from its parent.
+  kInterestDeregister,
+};
+
+std::string_view MessageTypeToString(MessageType type);
+
+/// Maps a message type to the hop class it is charged to in the paper's
+/// cost metric.
+metrics::HopClass HopClassOf(MessageType type);
+
+struct Message {
+  MessageType type = MessageType::kRequest;
+  NodeId from = kInvalidNode;  ///< Immediate sender (previous hop).
+  NodeId to = kInvalidNode;    ///< Immediate receiver (next hop).
+
+  /// kRequest/kReply: the node that issued the query.
+  NodeId origin = kInvalidNode;
+  /// Hops this logical operation has traveled so far. For kRequest this is
+  /// the request's distance from the origin — the paper's latency metric.
+  uint32_t hops = 0;
+
+  /// kReply/kPush: the index payload.
+  IndexVersion version = 0;
+  sim::SimTime expiry = 0.0;
+  /// kReply: true when the serving copy had already been superseded.
+  bool stale = false;
+
+  /// When true the message is piggybacked on other traffic and its hops are
+  /// not charged to the cost metric (DUP's interest-bit subscribe option).
+  bool free_ride = false;
+
+  /// kSubscribe: the advertised nearest-interested node.
+  /// kSubstitute: the entry to replace.
+  NodeId subject = kInvalidNode;
+  /// kSubstitute: the replacement entry.
+  NodeId subject2 = kInvalidNode;
+
+  /// kRequest: nodes visited so far (origin first), recording the actual
+  /// path taken so the reply can retrace it even if the tree churns while
+  /// the query is in flight. kReply: remaining nodes to visit, origin last.
+  std::vector<NodeId> route;
+
+  std::string ToString() const;
+};
+
+}  // namespace dupnet::net
+
+#endif  // DUP_NET_MESSAGE_H_

@@ -1,0 +1,79 @@
+#include "net/overlay_network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dupnet::net {
+namespace {
+
+uint64_t PairKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+OverlayNetwork::OverlayNetwork(sim::Engine* engine, util::Rng* rng,
+                               metrics::Recorder* recorder,
+                               double mean_hop_latency)
+    : engine_(engine),
+      rng_(rng),
+      recorder_(recorder),
+      mean_hop_latency_(mean_hop_latency) {
+  DUP_CHECK(engine != nullptr);
+  DUP_CHECK(rng != nullptr);
+  DUP_CHECK(recorder != nullptr);
+  DUP_CHECK_GT(mean_hop_latency, 0.0);
+}
+
+void OverlayNetwork::Send(Message message) { SendMultiHop(std::move(message), 0); }
+
+void OverlayNetwork::SendMultiHop(Message message, uint32_t extra_hops) {
+  DUP_CHECK(handler_ != nullptr) << "no handler installed";
+  DUP_CHECK_NE(message.to, kInvalidNode);
+  if (IsDown(message.from) || IsDown(message.to)) {
+    ++messages_dropped_;
+    if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
+    return;
+  }
+  ++messages_sent_;
+  if (observer_ != nullptr) observer_->OnSend(engine_->Now(), message);
+  if (!message.free_ride) {
+    recorder_->AddHops(HopClassOf(message.type), 1 + extra_hops);
+  }
+  double latency = rng_->Exponential(mean_hop_latency_);
+  for (uint32_t i = 0; i < extra_hops; ++i) {
+    latency += rng_->Exponential(mean_hop_latency_);
+  }
+  sim::SimTime deliver_at = engine_->Now() + latency;
+  if (fifo_pairs_) {
+    sim::SimTime& last = pair_last_delivery_[PairKey(message.from, message.to)];
+    deliver_at = std::max(deliver_at, last);
+    last = deliver_at;
+  }
+  engine_->ScheduleAt(deliver_at, [this, msg = std::move(message)]() {
+    // The destination may have crashed while the message was in flight.
+    if (IsDown(msg.to)) {
+      ++messages_dropped_;
+      if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), msg);
+      return;
+    }
+    if (observer_ != nullptr) observer_->OnDeliver(engine_->Now(), msg);
+    handler_(msg);
+  });
+}
+
+void OverlayNetwork::SetNodeDown(NodeId node, bool down) {
+  if (down) {
+    down_.insert(node);
+  } else {
+    down_.erase(node);
+  }
+}
+
+bool OverlayNetwork::IsDown(NodeId node) const {
+  return down_.find(node) != down_.end();
+}
+
+}  // namespace dupnet::net

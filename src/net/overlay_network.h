@@ -1,0 +1,96 @@
+#ifndef DUP_NET_OVERLAY_NETWORK_H_
+#define DUP_NET_OVERLAY_NETWORK_H_
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "metrics/recorder.h"
+#include "net/message.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace dupnet::net {
+
+/// Observer interface for message-level events (see trace::NetworkTracer
+/// for the standard ring-buffer implementation). Purely diagnostic: the
+/// observer must not mutate protocol or network state.
+class MessageObserver {
+ public:
+  virtual ~MessageObserver() = default;
+  virtual void OnSend(sim::SimTime time, const Message& message) = 0;
+  virtual void OnDeliver(sim::SimTime time, const Message& message) = 0;
+  virtual void OnDrop(sim::SimTime time, const Message& message) = 0;
+};
+
+/// Models the overlay on top of the Internet. Because the overlay is fully
+/// connected at the IP layer, *every* node-to-node message costs exactly one
+/// overlay hop (this is what makes DUP's direct shortcut pushes cheap), with
+/// transfer latency drawn from Exp(mean_hop_latency) — paper Section IV.
+///
+/// Hop accounting is done at send time against the shared
+/// metrics::Recorder, classed by message type. Messages addressed to a node
+/// marked down are silently dropped (failure detection is the protocols'
+/// job, via keep-alive timeouts).
+class OverlayNetwork {
+ public:
+  using Handler = std::function<void(const Message&)>;
+
+  OverlayNetwork(sim::Engine* engine, util::Rng* rng,
+                 metrics::Recorder* recorder, double mean_hop_latency = 0.1);
+
+  OverlayNetwork(const OverlayNetwork&) = delete;
+  OverlayNetwork& operator=(const OverlayNetwork&) = delete;
+
+  /// Installs the single dispatch point for delivered messages (the
+  /// protocol under simulation).
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Sends one overlay hop: charges the hop, draws a latency, schedules
+  /// delivery. Messages from or to a down node are dropped (the hop is not
+  /// charged: the TCP connection fails immediately at the sender).
+  void Send(Message message);
+
+  /// Sends a message that logically traverses `1 + extra_hops` overlay hops
+  /// (used for the no-shortcut DUP ablation, where a push must walk the
+  /// index search tree). Charges all hops and draws one latency sample per
+  /// hop.
+  void SendMultiHop(Message message, uint32_t extra_hops);
+
+  /// When true (default), deliveries between the same ordered node pair are
+  /// FIFO, modelling a TCP connection per overlay link. DUP's substitute
+  /// handshake relies on this; disabling it is only for tests.
+  void set_fifo_pairs(bool fifo) { fifo_pairs_ = fifo; }
+
+  /// Installs a diagnostic observer (nullptr to detach). Not owned.
+  void set_observer(MessageObserver* observer) { observer_ = observer; }
+
+  /// Marks `node` down (crashed) or back up. Down nodes neither send nor
+  /// receive.
+  void SetNodeDown(NodeId node, bool down);
+  bool IsDown(NodeId node) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+
+  sim::Engine* engine() const { return engine_; }
+  metrics::Recorder* recorder() const { return recorder_; }
+
+ private:
+  sim::Engine* engine_;
+  util::Rng* rng_;
+  metrics::Recorder* recorder_;
+  double mean_hop_latency_;
+  Handler handler_;
+  MessageObserver* observer_ = nullptr;
+  bool fifo_pairs_ = true;
+  /// Last scheduled delivery time per ordered (from, to) pair.
+  std::unordered_map<uint64_t, sim::SimTime> pair_last_delivery_;
+  std::unordered_set<NodeId> down_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace dupnet::net
+
+#endif  // DUP_NET_OVERLAY_NETWORK_H_

@@ -1,0 +1,237 @@
+#include "pastry/pastry.h"
+
+#include <algorithm>
+
+#include "chord/sha1.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::pastry {
+
+int DigitAt(PastryId id, int position) {
+  DUP_CHECK_GE(position, 0);
+  DUP_CHECK_LT(position, kNumDigits);
+  const int shift = (kNumDigits - 1 - position) * kDigitBits;
+  return static_cast<int>((id >> shift) & (kDigitRange - 1));
+}
+
+int SharedPrefixLength(PastryId a, PastryId b) {
+  for (int d = 0; d < kNumDigits; ++d) {
+    if (DigitAt(a, d) != DigitAt(b, d)) return d;
+  }
+  return kNumDigits;
+}
+
+uint64_t PastryNetwork::CircularDistance(PastryId a, PastryId b) {
+  const uint64_t forward = a - b;   // mod 2^64
+  const uint64_t backward = b - a;  // mod 2^64
+  return std::min(forward, backward);
+}
+
+util::Result<PastryNetwork> PastryNetwork::Create(size_t num_nodes,
+                                                  int leaf_set_size) {
+  if (num_nodes == 0) {
+    return util::Status::InvalidArgument("num_nodes must be positive");
+  }
+  if (leaf_set_size < 2 || leaf_set_size % 2 != 0) {
+    return util::Status::InvalidArgument(
+        "leaf_set_size must be a positive even number");
+  }
+  PastryNetwork network;
+  network.ids_.resize(num_nodes);
+  {
+    std::vector<PastryId> used;
+    for (size_t i = 0; i < num_nodes; ++i) {
+      uint32_t salt = 0;
+      PastryId id;
+      do {
+        id = chord::Sha1Hash64(
+            util::StrFormat("pastry-node:%zu:%u", i, salt++));
+      } while (std::find(used.begin(), used.end(), id) != used.end());
+      used.push_back(id);
+      network.ids_[i] = id;
+    }
+  }
+
+  network.sorted_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    network.sorted_.emplace_back(network.ids_[i], static_cast<NodeId>(i));
+  }
+  std::sort(network.sorted_.begin(), network.sorted_.end());
+
+  // Leaf sets: leaf_set_size/2 numeric neighbours on each side (wrapping),
+  // bounded by the network size.
+  network.leaf_sets_.resize(num_nodes);
+  const size_t half =
+      std::min<size_t>(static_cast<size_t>(leaf_set_size) / 2,
+                       num_nodes > 0 ? num_nodes - 1 : 0);
+  for (size_t pos = 0; pos < num_nodes; ++pos) {
+    const NodeId node = network.sorted_[pos].second;
+    auto& leaves = network.leaf_sets_[node];
+    for (size_t k = 1; k <= half; ++k) {
+      leaves.push_back(
+          network.sorted_[(pos + k) % num_nodes].second);
+      leaves.push_back(
+          network.sorted_[(pos + num_nodes - k) % num_nodes].second);
+    }
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    leaves.erase(std::remove(leaves.begin(), leaves.end(), node),
+                 leaves.end());
+  }
+
+  // Exact routing tables: entry (row, col) of node i is the node
+  // numerically closest to i among those whose id shares i's first `row`
+  // digits and has digit value `col` at position `row`.
+  network.routing_.resize(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    auto& table = network.routing_[i];
+    table.fill(kInvalidNode);
+    const PastryId self = network.ids_[i];
+    for (int row = 0; row < kNumDigits; ++row) {
+      const int shift = (kNumDigits - 1 - row) * kDigitBits;
+      const PastryId row_prefix =
+          shift + kDigitBits == 64
+              ? 0
+              : (self >> (shift + kDigitBits)) << (shift + kDigitBits);
+      const uint64_t suffix_mask =
+          shift == 0 ? 0 : ((uint64_t{1} << shift) - 1);
+      for (int col = 0; col < kDigitRange; ++col) {
+        if (col == DigitAt(self, row)) continue;
+        const PastryId lo =
+            row_prefix | (static_cast<PastryId>(col) << shift);
+        const PastryId hi = lo | suffix_mask;
+        // First sorted id >= lo.
+        auto it = std::lower_bound(network.sorted_.begin(),
+                                   network.sorted_.end(),
+                                   std::make_pair(lo, NodeId{0}));
+        if (it == network.sorted_.end() || it->first > hi) continue;
+        table[static_cast<size_t>(row * kDigitRange + col)] = it->second;
+      }
+    }
+  }
+  return network;
+}
+
+PastryId PastryNetwork::IdOf(NodeId node) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), ids_.size());
+  return ids_[node];
+}
+
+NodeId PastryNetwork::AuthorityOf(PastryId key) const {
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(),
+                             std::make_pair(key, NodeId{0}));
+  // Candidates: the id at/after the key and the one before (wrapping).
+  const auto& after = it == sorted_.end() ? sorted_.front() : *it;
+  const auto& before = it == sorted_.begin() ? sorted_.back() : *(it - 1);
+  const uint64_t dist_after = CircularDistance(after.first, key);
+  const uint64_t dist_before = CircularDistance(before.first, key);
+  if (dist_after < dist_before) return after.second;
+  if (dist_before < dist_after) return before.second;
+  return std::min(after.second, before.second);
+}
+
+NodeId PastryNetwork::RoutingEntry(NodeId node, int row, int column) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), routing_.size());
+  DUP_CHECK_GE(row, 0);
+  DUP_CHECK_LT(row, kNumDigits);
+  DUP_CHECK_GE(column, 0);
+  DUP_CHECK_LT(column, kDigitRange);
+  return routing_[node][static_cast<size_t>(row * kDigitRange + column)];
+}
+
+const std::vector<NodeId>& PastryNetwork::LeafSetOf(NodeId node) const {
+  DUP_CHECK_LT(static_cast<size_t>(node), leaf_sets_.size());
+  return leaf_sets_[node];
+}
+
+NodeId PastryNetwork::NextHop(NodeId from, PastryId key) const {
+  if (from == AuthorityOf(key)) return from;
+  const PastryId self = IdOf(from);
+  const int shared = SharedPrefixLength(self, key);
+  // Primary rule: a routing-table entry with a strictly longer shared
+  // prefix.
+  if (shared < kNumDigits) {
+    const NodeId entry = RoutingEntry(from, shared, DigitAt(key, shared));
+    if (entry != kInvalidNode) return entry;
+  }
+  // Rare case: no such node exists; pick any known node numerically
+  // closer to the key (leaf set first, then the whole routing table).
+  NodeId best = from;
+  uint64_t best_distance = CircularDistance(self, key);
+  auto consider = [&](NodeId candidate) {
+    if (candidate == kInvalidNode) return;
+    const uint64_t distance = CircularDistance(IdOf(candidate), key);
+    if (distance < best_distance) {
+      best_distance = distance;
+      best = candidate;
+    }
+  };
+  for (NodeId leaf : LeafSetOf(from)) consider(leaf);
+  for (NodeId entry : routing_[from]) consider(entry);
+  return best;
+}
+
+util::Result<std::vector<NodeId>> PastryNetwork::RoutePath(
+    NodeId from, PastryId key) const {
+  std::vector<NodeId> path = {from};
+  NodeId cur = from;
+  const NodeId authority = AuthorityOf(key);
+  for (int hop = 0; hop < 4 * kNumDigits && cur != authority; ++hop) {
+    const NodeId next = NextHop(cur, key);
+    if (next == cur) {
+      return util::Status::Internal(
+          util::StrFormat("pastry routing stuck at node %u", cur));
+    }
+    cur = next;
+    path.push_back(cur);
+  }
+  if (cur != authority) {
+    return util::Status::Internal("pastry routing did not converge");
+  }
+  return path;
+}
+
+PastryId PastryNetwork::KeyForName(std::string_view key_name) {
+  return chord::Sha1Hash64(key_name);
+}
+
+util::Result<topo::IndexSearchTree> PastryNetwork::BuildIndexTree(
+    PastryId key) const {
+  const NodeId authority = AuthorityOf(key);
+  const size_t n = ids_.size();
+  std::vector<std::vector<NodeId>> children(n);
+  for (size_t i = 0; i < n; ++i) {
+    const NodeId node = static_cast<NodeId>(i);
+    if (node == authority) continue;
+    const NodeId next = NextHop(node, key);
+    if (next == node) {
+      return util::Status::Internal("non-authority routed to itself");
+    }
+    children[next].push_back(node);
+  }
+  topo::IndexSearchTree tree(authority);
+  std::vector<NodeId> frontier = {authority};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId cur : frontier) {
+      for (NodeId child : children[cur]) {
+        DUP_RETURN_IF_ERROR(tree.AttachLeaf(cur, child));
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  if (tree.size() != n) {
+    return util::Status::Internal(
+        "pastry next-hop relation did not form a spanning tree");
+  }
+  return tree;
+}
+
+util::Result<topo::IndexSearchTree> PastryNetwork::BuildIndexTreeForKeyName(
+    std::string_view key_name) const {
+  return BuildIndexTree(KeyForName(key_name));
+}
+
+}  // namespace dupnet::pastry

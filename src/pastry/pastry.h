@@ -1,0 +1,87 @@
+#ifndef DUP_PASTRY_PASTRY_H_
+#define DUP_PASTRY_PASTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "topo/tree.h"
+#include "util/status.h"
+
+namespace dupnet::pastry {
+
+/// Pastry identifier: 64 bits interpreted as 16 base-16 digits (b = 4),
+/// most significant digit first.
+using PastryId = uint64_t;
+
+inline constexpr int kDigitBits = 4;
+inline constexpr int kNumDigits = 64 / kDigitBits;  // 16
+inline constexpr int kDigitRange = 1 << kDigitBits;  // 16
+
+/// Digit `position` (0 = most significant) of `id`.
+int DigitAt(PastryId id, int position);
+
+/// Length of the shared base-16 prefix of `a` and `b` (0..16).
+int SharedPrefixLength(PastryId a, PastryId b);
+
+/// A static Pastry overlay (Rowstron & Druschel, Middleware 2001) — the
+/// substrate SCRIBE runs on, rounding out the DHT family the paper's
+/// related work draws from (Chord, CAN, Pastry/Tapestry). Nodes hold a
+/// prefix routing table (one row per digit, one column per digit value)
+/// and a leaf set of numerically adjacent nodes; a message is routed to a
+/// node whose id shares a longer prefix with the key, or numerically
+/// closer within the leaf set, converging in O(log_16 n) hops.
+class PastryNetwork {
+ public:
+  /// Builds the overlay for `num_nodes` nodes (SHA-1 assigned ids) and
+  /// fills exact routing state (a static network has perfect tables).
+  static util::Result<PastryNetwork> Create(size_t num_nodes,
+                                            int leaf_set_size = 8);
+
+  size_t size() const { return ids_.size(); }
+  PastryId IdOf(NodeId node) const;
+
+  /// The node numerically closest to `key` (ties break toward the smaller
+  /// id) — Pastry's root/authority for the key.
+  NodeId AuthorityOf(PastryId key) const;
+
+  /// The routing-table entry of `node` at (row, column); kInvalidNode when
+  /// empty. Pre: row < 16, column < 16.
+  NodeId RoutingEntry(NodeId node, int row, int column) const;
+
+  /// The leaf set of `node` (numeric neighbours, excluding itself).
+  const std::vector<NodeId>& LeafSetOf(NodeId node) const;
+
+  /// One Pastry routing step from `from` toward `key`; `from` itself when
+  /// it is the authority.
+  NodeId NextHop(NodeId from, PastryId key) const;
+
+  /// Full route (inclusive of both endpoints).
+  util::Result<std::vector<NodeId>> RoutePath(NodeId from,
+                                              PastryId key) const;
+
+  /// Hashes a key name into the identifier space.
+  static PastryId KeyForName(std::string_view key_name);
+
+  /// Index search tree for a key: parent(n) = NextHop(n, key).
+  util::Result<topo::IndexSearchTree> BuildIndexTree(PastryId key) const;
+  util::Result<topo::IndexSearchTree> BuildIndexTreeForKeyName(
+      std::string_view key_name) const;
+
+ private:
+  PastryNetwork() = default;
+
+  /// Numeric circular distance between two ids.
+  static uint64_t CircularDistance(PastryId a, PastryId b);
+
+  std::vector<PastryId> ids_;                      ///< NodeId -> id.
+  std::vector<std::pair<PastryId, NodeId>> sorted_;
+  /// routing_[node][row * 16 + col].
+  std::vector<std::array<NodeId, kNumDigits * kDigitRange>> routing_;
+  std::vector<std::vector<NodeId>> leaf_sets_;
+};
+
+}  // namespace dupnet::pastry
+
+#endif  // DUP_PASTRY_PASTRY_H_

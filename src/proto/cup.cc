@@ -1,0 +1,154 @@
+#include "proto/cup.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dupnet::proto {
+
+using net::Message;
+using net::MessageType;
+
+std::string_view CupPushPolicyToString(CupPushPolicy policy) {
+  switch (policy) {
+    case CupPushPolicy::kDemandWindow:
+      return "demand-window";
+    case CupPushPolicy::kPopularityThreshold:
+      return "popularity-threshold";
+    case CupPushPolicy::kInvestmentReturn:
+      return "investment-return";
+  }
+  return "unknown";
+}
+
+void CupProtocol::RecordDemand(NodeId at, NodeId from_child) {
+  BranchState& branch = CupStateOf(at).branches[from_child];
+  branch.demand.push_back(Now());
+  branch.credit = std::min(branch.credit + 1.0, cup_options_.max_credit);
+}
+
+uint32_t CupProtocol::BranchDemandCount(CupNodeState& state, NodeId child) {
+  auto it = state.branches.find(child);
+  if (it == state.branches.end()) return 0;
+  std::deque<sim::SimTime>& demand = it->second.demand;
+  const sim::SimTime cutoff = Now() - options().ttl;
+  while (!demand.empty() && demand.front() <= cutoff) demand.pop_front();
+  return static_cast<uint32_t>(demand.size());
+}
+
+bool CupProtocol::DecidePush(CupNodeState& state, NodeId child) {
+  switch (cup_options_.policy) {
+    case CupPushPolicy::kDemandWindow:
+      return BranchDemandCount(state, child) > 0;
+    case CupPushPolicy::kPopularityThreshold:
+      return BranchDemandCount(state, child) >=
+             cup_options_.popularity_threshold;
+    case CupPushPolicy::kInvestmentReturn: {
+      auto it = state.branches.find(child);
+      if (it == state.branches.end()) return false;
+      if (it->second.credit < 1.0) return false;
+      it->second.credit -= 1.0;  // A push spends one earned credit.
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CupProtocol::WouldPushTo(NodeId node, NodeId child) {
+  CupNodeState& state = CupStateOf(node);
+  // Probe without side effects: investment-return would spend credit.
+  if (cup_options_.policy == CupPushPolicy::kInvestmentReturn) {
+    auto it = state.branches.find(child);
+    return it != state.branches.end() && it->second.credit >= 1.0;
+  }
+  return DecidePush(state, child);
+}
+
+void CupProtocol::AfterRequestObserved(NodeId at, NodeId from_child) {
+  RecordDemand(at, from_child);
+}
+
+void CupProtocol::AfterQueryObserved(NodeId node) {
+  if (node == tree()->root()) return;
+  CupNodeState& state = CupStateOf(node);
+  if (state.interest_notified || !NodeInterested(node)) return;
+  // One-shot explicit interest notification toward the parent, so a node
+  // whose queries are all served locally still gets the next push.
+  state.interest_notified = true;
+  Message msg;
+  msg.type = MessageType::kInterestRegister;
+  msg.from = node;
+  msg.to = tree()->Parent(node);
+  msg.subject = node;
+  network()->Send(std::move(msg));
+}
+
+void CupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
+  TreeProtocolBase::OnRootPublish(version, expiry);
+  CupStateOf(tree()->root()).last_forwarded = version;
+  ForwardPush(tree()->root(), version, expiry);
+}
+
+void CupProtocol::ForwardPush(NodeId at, IndexVersion version,
+                              sim::SimTime expiry) {
+  if (!tree()->Contains(at)) return;
+  CupNodeState& state = CupStateOf(at);
+  for (NodeId child : tree()->Children(at)) {
+    if (!DecidePush(state, child)) continue;
+    Message push;
+    push.type = MessageType::kPush;
+    push.from = at;
+    push.to = child;
+    push.version = version;
+    push.expiry = expiry;
+    network()->Send(std::move(push));
+  }
+}
+
+void CupProtocol::HandleProtocolMessage(const Message& message) {
+  const NodeId at = message.to;
+  switch (message.type) {
+    case MessageType::kPush:
+      HandlePush(message);
+      return;
+    case MessageType::kInterestRegister:
+      // An explicit notification counts as one unit of branch demand.
+      RecordDemand(at, message.from);
+      return;
+    default:
+      DUP_CHECK(false) << "CUP received unexpected message: "
+                       << message.ToString();
+  }
+}
+
+void CupProtocol::HandlePush(const Message& message) {
+  const NodeId at = message.to;
+  StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
+  CupNodeState& state = CupStateOf(at);
+  if (message.version <= state.last_forwarded) return;
+  state.last_forwarded = message.version;
+  ForwardPush(at, message.version, message.expiry);
+}
+
+void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
+                                const std::vector<NodeId>& former_children,
+                                bool /*was_root*/, NodeId /*new_root*/) {
+  cup_states_.erase(node);
+  EraseState(node);
+  // Orphans whose own interest was registered with the dead parent
+  // re-notify their new parent; pure demand tracking re-converges by
+  // itself as query traffic flows.
+  for (NodeId child : former_children) {
+    if (!tree()->Contains(child) || child == tree()->root()) continue;
+    CupNodeState& child_state = CupStateOf(child);
+    if (!child_state.interest_notified) continue;
+    Message msg;
+    msg.type = MessageType::kInterestRegister;
+    msg.from = child;
+    msg.to = tree()->Parent(child);
+    msg.subject = child;
+    network()->Send(std::move(msg));
+  }
+}
+
+}  // namespace dupnet::proto

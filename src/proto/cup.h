@@ -1,0 +1,125 @@
+#ifndef DUP_PROTO_CUP_H_
+#define DUP_PROTO_CUP_H_
+
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/tree_protocol_base.h"
+
+namespace dupnet::proto {
+
+/// CUP's per-hop push decision ("Based on the benefit and the overhead of
+/// pushing the updates, each node determines whether to push the index
+/// update further down the tree" — the DUP paper's Section II-B summary of
+/// Roussopoulos & Baker's heuristics).
+enum class CupPushPolicy {
+  /// Forward down a branch iff it showed any demand in the last TTL window
+  /// (the default used in the reproduction's evaluation).
+  kDemandWindow,
+  /// Forward iff the branch's demand in the window exceeds a popularity
+  /// threshold — conservative CUP, fewer wasted pushes but more cut-offs.
+  kPopularityThreshold,
+  /// The CUP paper's investment-return flavour: every observed request
+  /// from a branch earns one credit; every push down that branch spends
+  /// one. A branch is pushed to while its balance is positive, letting a
+  /// history of demand pay for a few quiet cycles.
+  kInvestmentReturn,
+};
+
+std::string_view CupPushPolicyToString(CupPushPolicy policy);
+
+struct CupOptions {
+  CupPushPolicy policy = CupPushPolicy::kDemandWindow;
+  /// kPopularityThreshold: minimum in-window demand to keep pushing.
+  uint32_t popularity_threshold = 3;
+  /// kInvestmentReturn: credit ceiling (bounds how long a formerly hot
+  /// branch keeps receiving pushes after going quiet).
+  double max_credit = 4.0;
+};
+
+/// Controlled Update Propagation (Roussopoulos & Baker, USENIX 2003),
+/// re-implemented as the paper's comparison baseline.
+///
+/// Each node passively records the interest of its index-search-tree
+/// neighbours — the requests it saw arrive from each downstream branch in
+/// the last TTL window, plus one explicit interest notification when a node
+/// first becomes interested ("extra messages are used to inform neighbors
+/// about their interests"). When an updated index arrives, the node weighs
+/// benefit against overhead and forwards the update hop-by-hop down every
+/// branch that showed demand.
+///
+/// This faithfully reproduces CUP's two weaknesses that DUP removes
+/// (paper Section II-B):
+///  * every intermediate node on the way to an interested node receives the
+///    update even if it does not need it, and
+///  * the demand signal is query traffic — a node that was served by the
+///    previous push generates no traffic, so the next push skips it ("if
+///    intermediate nodes decide to stop forwarding the index, N6 is cut off
+///    from the update information"), re-exposing it to PCX-style misses
+///    roughly every other update cycle. This is what bounds CUP's cost
+///    saving near 50%.
+class CupProtocol : public TreeProtocolBase {
+ public:
+  CupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
+              const ProtocolOptions& options,
+              const CupOptions& cup_options = CupOptions())
+      : TreeProtocolBase(network, tree, options),
+        cup_options_(cup_options) {}
+
+  std::string_view name() const override { return "cup"; }
+
+  const CupOptions& cup_options() const { return cup_options_; }
+
+  void OnRootPublish(IndexVersion version, sim::SimTime expiry) override;
+
+  void OnNodeRemoved(NodeId node, NodeId former_parent,
+                     const std::vector<NodeId>& former_children,
+                     bool was_root, NodeId new_root) override;
+
+  /// Test accessor: would `node` forward the next update to `child`?
+  bool WouldPushTo(NodeId node, NodeId child);
+
+ protected:
+  void AfterQueryObserved(NodeId node) override;
+  void AfterRequestObserved(NodeId at, NodeId from_child) override;
+  void HandleProtocolMessage(const net::Message& message) override;
+
+ private:
+  struct BranchState {
+    /// Most recent demand timestamps, trimmed to the TTL window lazily.
+    std::deque<sim::SimTime> demand;
+    /// kInvestmentReturn: current credit balance.
+    double credit = 0.0;
+  };
+
+  struct CupNodeState {
+    std::unordered_map<NodeId, BranchState> branches;
+    /// Whether this node already notified its parent of its own interest.
+    bool interest_notified = false;
+    IndexVersion last_forwarded = 0;
+  };
+
+  CupNodeState& CupStateOf(NodeId node) { return cup_states_[node]; }
+
+  /// Records one unit of demand from `from_child` at `at`.
+  void RecordDemand(NodeId at, NodeId from_child);
+
+  /// Demand events within the last TTL window for `child` at this node.
+  uint32_t BranchDemandCount(CupNodeState& state, NodeId child);
+
+  /// Applies the configured policy; for kInvestmentReturn a positive
+  /// decision spends one credit.
+  bool DecidePush(CupNodeState& state, NodeId child);
+
+  void HandlePush(const net::Message& message);
+  void ForwardPush(NodeId at, IndexVersion version, sim::SimTime expiry);
+
+  CupOptions cup_options_;
+  std::unordered_map<NodeId, CupNodeState> cup_states_;
+};
+
+}  // namespace dupnet::proto
+
+#endif  // DUP_PROTO_CUP_H_

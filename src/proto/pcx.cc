@@ -1,0 +1,12 @@
+#include "proto/pcx.h"
+
+#include "util/check.h"
+
+namespace dupnet::proto {
+
+void PcxProtocol::HandleProtocolMessage(const net::Message& message) {
+  DUP_CHECK(false) << "PCX received unexpected message: "
+                   << message.ToString();
+}
+
+}  // namespace dupnet::proto

@@ -1,0 +1,26 @@
+#ifndef DUP_PROTO_PCX_H_
+#define DUP_PROTO_PCX_H_
+
+#include "proto/tree_protocol_base.h"
+
+namespace dupnet::proto {
+
+/// Path Caching with eXpiration (paper Section I): the purely passive
+/// baseline. Indices are cached by every node a reply passes through and
+/// die when their TTL expires; there is no push traffic of any kind.
+class PcxProtocol : public TreeProtocolBase {
+ public:
+  PcxProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
+              const ProtocolOptions& options)
+      : TreeProtocolBase(network, tree, options) {}
+
+  std::string_view name() const override { return "pcx"; }
+
+ protected:
+  void AfterQueryObserved(NodeId /*node*/) override {}
+  void HandleProtocolMessage(const net::Message& message) override;
+};
+
+}  // namespace dupnet::proto
+
+#endif  // DUP_PROTO_PCX_H_

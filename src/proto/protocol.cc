@@ -1,0 +1,16 @@
+#include "proto/protocol.h"
+
+namespace dupnet::proto {
+
+void Protocol::OnLeafJoined(NodeId /*node*/, NodeId /*parent*/) {}
+
+void Protocol::OnSplitJoined(NodeId /*node*/, NodeId /*parent*/,
+                             NodeId /*child*/) {}
+
+void Protocol::OnGracefulLeave(NodeId /*node*/) {}
+
+void Protocol::OnNodeRemoved(NodeId /*node*/, NodeId /*former_parent*/,
+                             const std::vector<NodeId>& /*former_children*/,
+                             bool /*was_root*/, NodeId /*new_root*/) {}
+
+}  // namespace dupnet::proto

@@ -1,0 +1,94 @@
+#ifndef DUP_PROTO_PROTOCOL_H_
+#define DUP_PROTO_PROTOCOL_H_
+
+#include <string_view>
+#include <vector>
+
+#include "net/message.h"
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace dupnet::proto {
+
+/// Tunables shared by all three schemes (paper Table I).
+struct ProtocolOptions {
+  /// Index time-to-live in seconds (paper: 60 minutes).
+  sim::SimTime ttl = 3600.0;
+  /// Interest threshold c: a node is interested when it received more than
+  /// c queries in the last TTL interval (paper default 6).
+  uint32_t threshold_c = 6;
+  /// When true (default), the TTL timer starts when the *authority* hands
+  /// out a copy (serve time or push time) and cache-to-cache serves inherit
+  /// the server's remaining TTL — the classic web-cache model. This yields
+  /// both PCX drawbacks exactly as the paper states them: an expired copy
+  /// is unusable even if the index never changed, and an updated index
+  /// keeps being served until the local timer runs out (up to a full TTL).
+  /// When false, every copy of version k expires at the version's
+  /// issue_time + TTL (synchronized-expiry ablation).
+  bool per_copy_ttl = true;
+  /// Whether requests forwarded through a node count toward its interest
+  /// measurement, in addition to queries issued by the node itself. The
+  /// default (true) is the literal reading of the paper's policy ("the
+  /// number of queries a node *receives* in the last TTL interval"): busy
+  /// aggregation points subscribe too and serve their subtree's misses,
+  /// which is what lets DUP beat CUP at every query rate. Quiet relays
+  /// (Figure 2's N2/N3/N5, whose downstream traffic dries up once the
+  /// subscriber below is pushed) stay out of the DUP tree either way.
+  /// Setting false restricts interest to a node's own queries (ablation).
+  bool count_forwarded_queries = true;
+  /// Whether intermediate nodes on the reply path also install the passing
+  /// index in their caches. The paper's cost analysis (Section II-B: a
+  /// non-pushed node pays two hops to a parent that CUP pushed to; Section
+  /// III-A: a PCX miss climbs all the way to the authority) implies nodes
+  /// get warm only through their *own* requests or received pushes, so the
+  /// reproduction defaults to false; true is kept as an ablation since the
+  /// PCX prose ("when an index passes by a node, it is cached") admits the
+  /// aggressive reading.
+  bool cache_passing_replies = false;
+};
+
+/// Interface between the simulation driver and an index-consistency scheme
+/// (PCX, CUP, or DUP). The driver owns the clock, topology, workload and
+/// churn; the protocol owns all per-node caching/propagation state and
+/// reacts to queries, message deliveries, publishes and topology changes.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Scheme name for reports ("pcx", "cup", "dup").
+  virtual std::string_view name() const = 0;
+
+  /// The application at `node` looks up the index.
+  virtual void OnLocalQuery(NodeId node) = 0;
+
+  /// The network delivers a message addressed to `message.to`.
+  virtual void OnMessage(const net::Message& message) = 0;
+
+  /// The authority issues a new index version (and, for push-based schemes,
+  /// starts propagation).
+  virtual void OnRootPublish(IndexVersion version, sim::SimTime expiry) = 0;
+
+  // --- Churn notifications (defaults are no-ops suitable for PCX). ------
+
+  /// `node` joined as a leaf under `parent` (tree already updated).
+  virtual void OnLeafJoined(NodeId node, NodeId parent);
+
+  /// `node` joined on the former edge parent->child (tree already updated:
+  /// parent -> node -> child).
+  virtual void OnSplitJoined(NodeId node, NodeId parent, NodeId child);
+
+  /// `node` is about to leave gracefully; it may still send messages.
+  /// Called before the tree mutates.
+  virtual void OnGracefulLeave(NodeId node);
+
+  /// `node` was removed (crash detected, or graceful departure completed).
+  /// Tree is already repaired: `former_children` now hang under
+  /// `former_parent` (or under `new_root` when the root itself died).
+  virtual void OnNodeRemoved(NodeId node, NodeId former_parent,
+                             const std::vector<NodeId>& former_children,
+                             bool was_root, NodeId new_root);
+};
+
+}  // namespace dupnet::proto
+
+#endif  // DUP_PROTO_PROTOCOL_H_

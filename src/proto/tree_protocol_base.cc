@@ -1,0 +1,171 @@
+#include "proto/tree_protocol_base.h"
+
+#include "util/check.h"
+
+namespace dupnet::proto {
+
+using net::Message;
+using net::MessageType;
+
+TreeProtocolBase::TreeProtocolBase(net::OverlayNetwork* network,
+                                   topo::IndexSearchTree* tree,
+                                   const ProtocolOptions& options)
+    : network_(network), tree_(tree), options_(options) {
+  DUP_CHECK(network != nullptr);
+  DUP_CHECK(tree != nullptr);
+  DUP_CHECK_GT(options.ttl, 0.0);
+}
+
+TreeProtocolBase::BaseNodeState& TreeProtocolBase::StateOf(NodeId node) {
+  auto it = states_.find(node);
+  if (it == states_.end()) {
+    it = states_.emplace(node, BaseNodeState(options_)).first;
+  }
+  return it->second;
+}
+
+bool TreeProtocolBase::HasState(NodeId node) const {
+  return states_.find(node) != states_.end();
+}
+
+void TreeProtocolBase::EraseState(NodeId node) { states_.erase(node); }
+
+const cache::IndexCache& TreeProtocolBase::CacheOf(NodeId node) {
+  return StateOf(node).cache;
+}
+
+bool TreeProtocolBase::NodeInterested(NodeId node) {
+  return StateOf(node).tracker.Interested(Now());
+}
+
+void TreeProtocolBase::AfterRequestObserved(NodeId /*at*/,
+                                            NodeId /*from_child*/) {}
+
+cache::IndexEntry TreeProtocolBase::AuthorityEntry() const {
+  DUP_CHECK_GT(latest_version_, 0u) << "authority has not published yet";
+  if (options_.per_copy_ttl) {
+    return cache::IndexEntry{latest_version_, Now() + options_.ttl};
+  }
+  return cache::IndexEntry{latest_version_, latest_expiry_};
+}
+
+bool TreeProtocolBase::IsStale(const cache::IndexEntry& entry) const {
+  return entry.version < latest_version_;
+}
+
+cache::IndexEntry TreeProtocolBase::MakeCacheEntry(
+    IndexVersion version, sim::SimTime sender_expiry) const {
+  return cache::IndexEntry{version, sender_expiry};
+}
+
+void TreeProtocolBase::OnRootPublish(IndexVersion version,
+                                     sim::SimTime expiry) {
+  DUP_CHECK_GE(version, latest_version_);
+  latest_version_ = version;
+  latest_expiry_ = expiry;
+  StateOf(tree_->root()).cache.Put(cache::IndexEntry{version, expiry});
+}
+
+void TreeProtocolBase::OnLocalQuery(NodeId node) {
+  recorder()->OnQueryIssued();
+  BaseNodeState& state = StateOf(node);
+  state.tracker.RecordQuery(Now());
+  AfterQueryObserved(node);
+
+  if (node == tree_->root()) {
+    // The authority owns the index; its answer is always current.
+    recorder()->OnQueryServed(/*latency_hops=*/0, /*stale=*/false);
+    return;
+  }
+  if (auto entry = state.cache.Get(Now())) {
+    recorder()->OnQueryServed(/*latency_hops=*/0, IsStale(*entry));
+    return;
+  }
+
+  Message request;
+  request.type = MessageType::kRequest;
+  request.from = node;
+  request.to = tree_->Parent(node);
+  request.origin = node;
+  request.hops = 1;  // Hops traveled once this send is delivered.
+  request.route = {node};
+  network_->Send(std::move(request));
+}
+
+void TreeProtocolBase::OnMessage(const Message& message) {
+  switch (message.type) {
+    case MessageType::kRequest:
+      HandleRequest(message);
+      return;
+    case MessageType::kReply:
+      HandleReply(message);
+      return;
+    default:
+      HandleProtocolMessage(message);
+      return;
+  }
+}
+
+void TreeProtocolBase::HandleRequest(const Message& message) {
+  const NodeId at = message.to;
+  BaseNodeState& state = StateOf(at);
+  if (options_.count_forwarded_queries) {
+    state.tracker.RecordQuery(Now());
+  }
+  AfterRequestObserved(at, message.from);
+  AfterQueryObserved(at);
+
+  if (at == tree_->root()) {
+    SendReply(at, message, AuthorityEntry());
+    return;
+  }
+  if (auto entry = state.cache.Peek(Now())) {
+    SendReply(at, message, *entry);
+    return;
+  }
+
+  // Cache miss: keep climbing toward the authority.
+  Message forward = message;
+  forward.from = at;
+  forward.to = tree_->Parent(at);
+  forward.hops = message.hops + 1;
+  forward.route.push_back(at);
+  network_->Send(std::move(forward));
+}
+
+void TreeProtocolBase::SendReply(NodeId server, const Message& request,
+                                 const cache::IndexEntry& entry) {
+  DUP_CHECK(!request.route.empty());
+  Message reply;
+  reply.type = MessageType::kReply;
+  reply.origin = request.origin;
+  reply.hops = request.hops;  // Frozen: the paper's latency metric.
+  reply.version = entry.version;
+  reply.expiry = entry.expiry;
+  reply.stale = IsStale(entry);
+  reply.route = request.route;
+  reply.from = server;
+  reply.to = reply.route.back();
+  reply.route.pop_back();
+  network_->Send(std::move(reply));
+}
+
+void TreeProtocolBase::HandleReply(const Message& message) {
+  const NodeId at = message.to;
+  if (options_.cache_passing_replies || at == message.origin) {
+    StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
+  }
+  if (at == message.origin) {
+    DUP_CHECK(message.route.empty());
+    recorder()->OnQueryServed(message.hops, message.stale);
+    return;
+  }
+  DUP_CHECK(!message.route.empty());
+  Message forward = message;
+  forward.from = at;
+  forward.to = forward.route.back();
+  forward.route.pop_back();
+  network_->Send(std::move(forward));
+}
+
+}  // namespace dupnet::proto

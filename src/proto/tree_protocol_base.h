@@ -1,0 +1,109 @@
+#ifndef DUP_PROTO_TREE_PROTOCOL_BASE_H_
+#define DUP_PROTO_TREE_PROTOCOL_BASE_H_
+
+#include <unordered_map>
+
+#include "cache/access_tracker.h"
+#include "cache/index_cache.h"
+#include "net/overlay_network.h"
+#include "proto/protocol.h"
+#include "topo/tree.h"
+
+namespace dupnet::proto {
+
+/// Shared machinery of PCX, CUP and DUP: the path-caching query/reply flow
+/// along the index search tree, per-node caches, and access-tracking-based
+/// interest measurement. Subclasses add the propagation behaviour.
+///
+/// Query flow (paper Section III-A): a query at n is served locally when
+/// the cache holds a valid copy; otherwise the request travels parent-ward
+/// and the first node with a valid copy replies along the reverse path,
+/// with every node on that path caching the reply. The authority (root)
+/// always serves the current version. Query latency is the hop count the
+/// request traveled; every message hop is charged to the cost metric by the
+/// network layer.
+class TreeProtocolBase : public Protocol {
+ public:
+  TreeProtocolBase(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
+                   const ProtocolOptions& options);
+
+  void OnLocalQuery(NodeId node) final;
+  void OnMessage(const net::Message& message) final;
+  void OnRootPublish(IndexVersion version, sim::SimTime expiry) override;
+
+  /// The newest version the authority has published (0 before the first).
+  IndexVersion latest_version() const { return latest_version_; }
+  sim::SimTime latest_expiry() const { return latest_expiry_; }
+
+  /// Test/observability accessors. CacheOf lazily creates empty state for
+  /// nodes that have not been touched yet.
+  const cache::IndexCache& CacheOf(NodeId node);
+  bool NodeInterested(NodeId node);
+
+  const ProtocolOptions& options() const { return options_; }
+
+ protected:
+  struct BaseNodeState {
+    cache::IndexCache cache;
+    cache::AccessTracker tracker;
+
+    explicit BaseNodeState(const ProtocolOptions& options)
+        : tracker(options.ttl, options.threshold_c) {}
+  };
+
+  /// Called after any query (local or forwarded request) is observed at
+  /// `node` and recorded in its tracker. Subclasses hook interest logic
+  /// (subscribe/register) here.
+  virtual void AfterQueryObserved(NodeId node) = 0;
+
+  /// Called when a request from the downstream neighbour `from_child`
+  /// arrives at `at` (before serving/forwarding). CUP uses this to track
+  /// per-branch demand; default no-op.
+  virtual void AfterRequestObserved(NodeId at, NodeId from_child);
+
+  /// Messages the base flow does not consume (push, subscribe, ...).
+  virtual void HandleProtocolMessage(const net::Message& message) = 0;
+
+  sim::Engine* engine() const { return network_->engine(); }
+  net::OverlayNetwork* network() const { return network_; }
+  topo::IndexSearchTree* tree() const { return tree_; }
+  metrics::Recorder* recorder() const { return network_->recorder(); }
+  sim::SimTime Now() const { return engine()->Now(); }
+
+  BaseNodeState& StateOf(NodeId node);
+  bool HasState(NodeId node) const;
+  void EraseState(NodeId node);
+
+  /// The copy the authority hands out right now: the current version with
+  /// a freshly stamped TTL (per-copy mode) or the version's original expiry
+  /// (absolute mode). The authority itself never goes stale.
+  cache::IndexEntry AuthorityEntry() const;
+
+  /// True if `entry` has been superseded by a newer published version.
+  bool IsStale(const cache::IndexEntry& entry) const;
+
+  /// The entry a node installs for a copy received with the sender's
+  /// expiry: remaining TTL is inherited as-is (never extended) — a copy is
+  /// only re-stamped by the authority itself.
+  cache::IndexEntry MakeCacheEntry(IndexVersion version,
+                                   sim::SimTime sender_expiry) const;
+
+ private:
+  void HandleRequest(const net::Message& message);
+  void HandleReply(const net::Message& message);
+  /// Serves `request` from `server` with `entry`, retracing the recorded
+  /// route.
+  void SendReply(NodeId server, const net::Message& request,
+                 const cache::IndexEntry& entry);
+
+  net::OverlayNetwork* network_;
+  topo::IndexSearchTree* tree_;
+  ProtocolOptions options_;
+  std::unordered_map<NodeId, BaseNodeState> states_;
+  IndexVersion latest_version_ = 0;
+  sim::SimTime latest_expiry_ = 0.0;
+};
+
+}  // namespace dupnet::proto
+
+#endif  // DUP_PROTO_TREE_PROTOCOL_BASE_H_

@@ -1,0 +1,144 @@
+#include "pubsub/hub.h"
+
+#include <utility>
+
+#include "chord/sha1.h"
+#include "chord/tree_builder.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::pubsub {
+
+using util::Result;
+using util::Status;
+
+DisseminationHub::DisseminationHub(sim::Engine* engine, util::Rng* rng,
+                                   const Options& options,
+                                   chord::ChordRing ring)
+    : engine_(engine), rng_(rng), options_(options), ring_(std::move(ring)) {
+  DUP_CHECK(engine != nullptr);
+  DUP_CHECK(rng != nullptr);
+}
+
+Result<std::unique_ptr<DisseminationHub>> DisseminationHub::Create(
+    sim::Engine* engine, util::Rng* rng, const Options& options) {
+  auto ring = chord::ChordRing::Create(options.num_nodes);
+  DUP_RETURN_IF_ERROR(ring.status());
+  return std::unique_ptr<DisseminationHub>(
+      new DisseminationHub(engine, rng, options, std::move(*ring)));
+}
+
+DisseminationHub::TopicState* DisseminationHub::Find(std::string_view topic) {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+const DisseminationHub::TopicState* DisseminationHub::Find(
+    std::string_view topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
+}
+
+Status DisseminationHub::CreateTopic(std::string_view topic) {
+  if (Find(topic) != nullptr) {
+    return Status::AlreadyExists(
+        util::StrFormat("topic \"%s\" exists", std::string(topic).c_str()));
+  }
+  auto tree = chord::ChordTreeBuilder::BuildForKeyName(ring_, topic);
+  DUP_RETURN_IF_ERROR(tree.status());
+
+  TopicState state;
+  state.tree = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
+  state.network = std::make_unique<net::OverlayNetwork>(
+      engine_, rng_, &recorder_, options_.hop_latency_mean);
+  proto::ProtocolOptions proto_options;
+  proto_options.ttl = options_.ttl;
+  proto_options.threshold_c = options_.threshold_c;
+  state.protocol = std::make_unique<core::DupProtocol>(
+      state.network.get(), state.tree.get(), proto_options, options_.dup);
+
+  core::DupProtocol* protocol = state.protocol.get();
+  state.network->set_handler(
+      [protocol](const net::Message& msg) { protocol->OnMessage(msg); });
+
+  const std::string topic_name(topic);
+  protocol->set_delivery_callback(
+      [this, topic_name](NodeId node, IndexVersion version) {
+        if (delivery_callback_) delivery_callback_(topic_name, node, version);
+      });
+
+  topics_.emplace(std::move(topic_name), std::move(state));
+  return Status::OK();
+}
+
+Status DisseminationHub::Subscribe(std::string_view topic, NodeId node) {
+  TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  if (!state->tree->Contains(node)) {
+    return Status::NotFound(util::StrFormat("no node %u", node));
+  }
+  state->protocol->ForceSubscribe(node);
+  return Status::OK();
+}
+
+Status DisseminationHub::Unsubscribe(std::string_view topic, NodeId node) {
+  TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  state->protocol->ForceUnsubscribe(node);
+  return Status::OK();
+}
+
+Status DisseminationHub::Publish(std::string_view topic) {
+  TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  const IndexVersion version = state->next_version++;
+  state->protocol->OnRootPublish(version, engine_->Now() + options_.ttl);
+  return Status::OK();
+}
+
+Result<NodeId> DisseminationHub::AuthorityOf(std::string_view topic) const {
+  const TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  return state->tree->root();
+}
+
+Result<IndexVersion> DisseminationHub::VersionOf(
+    std::string_view topic) const {
+  const TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  return state->next_version - 1;
+}
+
+std::vector<std::string> DisseminationHub::topics() const {
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& [name, state] : topics_) names.push_back(name);
+  return names;
+}
+
+Result<core::DupProtocol*> DisseminationHub::ProtocolOf(
+    std::string_view topic) {
+  TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  return state->protocol.get();
+}
+
+}  // namespace dupnet::pubsub

@@ -1,0 +1,103 @@
+#ifndef DUP_PUBSUB_HUB_H_
+#define DUP_PUBSUB_HUB_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chord/ring.h"
+#include "core/dup_protocol.h"
+#include "metrics/recorder.h"
+#include "net/overlay_network.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace dupnet::pubsub {
+
+/// The paper's closing direction ("We plan to extend DUP to a general data
+/// dissemination platform in overlay networks"): a topic-based publish/
+/// subscribe hub where each topic is a DHT key whose updates ride a
+/// dedicated DUP propagation tree.
+///
+/// Topics are hashed onto a shared Chord ring; each topic's index search
+/// tree (and therefore its authority and DUP tree) is derived from the
+/// ring, so different topics are rooted at different nodes — the load of
+/// being an authority spreads across the overlay.
+class DisseminationHub {
+ public:
+  /// Called on every delivery: (topic, node, version).
+  using DeliveryCallback =
+      std::function<void(const std::string&, NodeId, IndexVersion)>;
+
+  struct Options {
+    size_t num_nodes = 256;
+    double hop_latency_mean = 0.1;
+    double ttl = 3600.0;
+    uint32_t threshold_c = 6;
+    core::DupOptions dup;
+  };
+
+  /// Builds the hub and its Chord substrate.
+  static util::Result<std::unique_ptr<DisseminationHub>> Create(
+      sim::Engine* engine, util::Rng* rng, const Options& options);
+
+  /// Registers a topic (derives its propagation tree). Fails if it exists.
+  util::Status CreateTopic(std::string_view topic);
+
+  /// Explicitly subscribes `node` to `topic` (DUP ForceSubscribe).
+  util::Status Subscribe(std::string_view topic, NodeId node);
+
+  /// Withdraws an explicit subscription.
+  util::Status Unsubscribe(std::string_view topic, NodeId node);
+
+  /// Publishes the next version of `topic` at its authority node; the DUP
+  /// tree disseminates it to all current subscribers.
+  util::Status Publish(std::string_view topic);
+
+  void set_delivery_callback(DeliveryCallback cb) {
+    delivery_callback_ = std::move(cb);
+  }
+
+  /// The authority (root) node of a topic.
+  util::Result<NodeId> AuthorityOf(std::string_view topic) const;
+
+  /// Versions published so far for a topic.
+  util::Result<IndexVersion> VersionOf(std::string_view topic) const;
+
+  /// Aggregated hop counters across all topics.
+  const metrics::Recorder& recorder() const { return recorder_; }
+
+  std::vector<std::string> topics() const;
+
+  /// Direct access to a topic's DUP protocol (tests / inspection).
+  util::Result<core::DupProtocol*> ProtocolOf(std::string_view topic);
+
+ private:
+  struct TopicState {
+    std::unique_ptr<topo::IndexSearchTree> tree;
+    std::unique_ptr<net::OverlayNetwork> network;
+    std::unique_ptr<core::DupProtocol> protocol;
+    IndexVersion next_version = 1;
+  };
+
+  DisseminationHub(sim::Engine* engine, util::Rng* rng,
+                   const Options& options, chord::ChordRing ring);
+
+  TopicState* Find(std::string_view topic);
+  const TopicState* Find(std::string_view topic) const;
+
+  sim::Engine* engine_;
+  util::Rng* rng_;
+  Options options_;
+  chord::ChordRing ring_;
+  metrics::Recorder recorder_;
+  std::map<std::string, TopicState, std::less<>> topics_;
+  DeliveryCallback delivery_callback_;
+};
+
+}  // namespace dupnet::pubsub
+
+#endif  // DUP_PUBSUB_HUB_H_

@@ -1,0 +1,43 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dupnet::sim {
+
+void Engine::ScheduleAt(SimTime time, std::function<void()> action) {
+  DUP_CHECK_GE(time, now_);
+  queue_.Push(time, std::move(action));
+}
+
+void Engine::ScheduleAfter(SimTime delay, std::function<void()> action) {
+  DUP_CHECK_GE(delay, 0.0);
+  queue_.Push(now_ + delay, std::move(action));
+}
+
+bool Engine::Step() {
+  if (queue_.empty()) return false;
+  Event e = queue_.Pop();
+  now_ = e.time;
+  ++processed_;
+  e.action();
+  return true;
+}
+
+void Engine::RunUntil(SimTime end) {
+  DUP_CHECK_GE(end, now_);
+  while (!queue_.empty() && queue_.PeekTime() <= end) {
+    Step();
+  }
+  now_ = end;
+}
+
+void Engine::Run(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (Step()) {
+    if (max_events != 0 && ++executed >= max_events) return;
+  }
+}
+
+}  // namespace dupnet::sim

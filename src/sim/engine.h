@@ -1,0 +1,57 @@
+#ifndef DUP_SIM_ENGINE_H_
+#define DUP_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+
+namespace dupnet::sim {
+
+/// The discrete-event simulation core: a clock plus an event queue.
+///
+/// Usage:
+///   Engine engine;
+///   engine.ScheduleAfter(1.5, [&] { ... });
+///   engine.RunUntil(3600.0);
+///
+/// Events scheduled while running are processed in timestamp order; ties
+/// break in FIFO scheduling order, so execution is deterministic.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `action` at absolute simulated time `time`. Scheduling in the
+  /// past is a programming error.
+  void ScheduleAt(SimTime time, std::function<void()> action);
+
+  /// Schedules `action` `delay` seconds from Now(). Pre: delay >= 0.
+  void ScheduleAfter(SimTime delay, std::function<void()> action);
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool Step();
+
+  /// Runs all events with time <= `end`, then advances the clock to `end`.
+  void RunUntil(SimTime end);
+
+  /// Runs until the queue drains. `max_events` guards against runaway
+  /// feedback loops (0 = unlimited).
+  void Run(uint64_t max_events = 0);
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t processed() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace dupnet::sim
+
+#endif  // DUP_SIM_ENGINE_H_

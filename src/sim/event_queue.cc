@@ -1,0 +1,28 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace dupnet::sim {
+
+void EventQueue::Push(SimTime time, std::function<void()> action) {
+  DUP_CHECK(action != nullptr);
+  heap_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::PeekTime() const {
+  DUP_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+Event EventQueue::Pop() {
+  DUP_CHECK(!heap_.empty());
+  // priority_queue::top() is const; the move is safe because we pop
+  // immediately after.
+  Event e = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return e;
+}
+
+}  // namespace dupnet::sim

@@ -1,0 +1,59 @@
+#ifndef DUP_SIM_EVENT_QUEUE_H_
+#define DUP_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dupnet::sim {
+
+/// Simulated wall-clock time, in seconds.
+using SimTime = double;
+
+/// A scheduled callback. Events with equal timestamps run in scheduling
+/// order (FIFO via the monotonically increasing sequence number), which makes
+/// runs fully deterministic for a fixed RNG seed.
+struct Event {
+  SimTime time = 0.0;
+  uint64_t seq = 0;
+  std::function<void()> action;
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Enqueues `action` to fire at absolute time `time`.
+  void Push(SimTime time, std::function<void()> action);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Pre: !empty(). Timestamp of the next event without removing it.
+  SimTime PeekTime() const;
+
+  /// Pre: !empty(). Removes and returns the next event.
+  Event Pop();
+
+  /// Total number of events ever pushed.
+  uint64_t pushed() const { return next_seq_; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dupnet::sim
+
+#endif  // DUP_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,77 @@
+#include "topo/churn.h"
+
+#include "util/check.h"
+
+namespace dupnet::topo {
+
+using util::Result;
+using util::Status;
+
+ChurnPlanner::ChurnPlanner(const ChurnConfig& config) : config_(config) {
+  DUP_CHECK_GE(config.join_rate, 0.0);
+  DUP_CHECK_GE(config.leave_rate, 0.0);
+  DUP_CHECK_GE(config.fail_rate, 0.0);
+  DUP_CHECK_GE(config.min_nodes, 2u);
+}
+
+double ChurnPlanner::NextInterval(util::Rng* rng) const {
+  DUP_CHECK(config_.enabled());
+  return rng->Exponential(1.0 / config_.total_rate());
+}
+
+Result<ChurnAction> ChurnPlanner::Plan(const IndexSearchTree& tree,
+                                       const std::vector<NodeId>& live_nodes,
+                                       NodeId fresh_id,
+                                       util::Rng* rng) const {
+  DUP_CHECK_EQ(live_nodes.size(), tree.size());
+  const bool can_shrink = tree.size() > config_.min_nodes;
+
+  // Pick the action type proportional to its rate, restricted to what the
+  // current network size allows.
+  double join = config_.join_rate;
+  double leave = can_shrink ? config_.leave_rate : 0.0;
+  double fail = can_shrink ? config_.fail_rate : 0.0;
+  const double total = join + leave + fail;
+  if (total <= 0.0) {
+    return Status::FailedPrecondition("no churn action currently possible");
+  }
+  const double pick = rng->UniformDouble(0.0, total);
+
+  ChurnAction action;
+  if (pick < join) {
+    action.subject = fresh_id;
+    // Half the joins split an existing edge (the paper's "inserted between
+    // N3 and N5" case), half attach as fresh leaves.
+    const NodeId anchor = live_nodes[static_cast<size_t>(
+        rng->UniformInt(0, live_nodes.size() - 1))];
+    const auto& children = tree.Children(anchor);
+    if (!children.empty() && rng->Bernoulli(0.5)) {
+      action.kind = ChurnAction::Kind::kJoinSplit;
+      action.parent = anchor;
+      action.child = children[static_cast<size_t>(
+          rng->UniformInt(0, children.size() - 1))];
+    } else {
+      action.kind = ChurnAction::Kind::kJoinLeaf;
+      action.parent = anchor;
+    }
+    return action;
+  }
+
+  const bool is_leave = pick < join + leave;
+  action.kind =
+      is_leave ? ChurnAction::Kind::kLeave : ChurnAction::Kind::kFail;
+  // Graceful departure never applies to the root (the authority hands over
+  // its indices explicitly); failures may hit the root when allowed.
+  const bool root_ok =
+      !is_leave && config_.allow_root_failure && tree.size() > 2;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const NodeId candidate = live_nodes[static_cast<size_t>(
+        rng->UniformInt(0, live_nodes.size() - 1))];
+    if (candidate == tree.root() && !root_ok) continue;
+    action.subject = candidate;
+    return action;
+  }
+  return Status::FailedPrecondition("could not pick a departing node");
+}
+
+}  // namespace dupnet::topo

@@ -1,0 +1,71 @@
+#ifndef DUP_TOPO_CHURN_H_
+#define DUP_TOPO_CHURN_H_
+
+#include <vector>
+
+#include "topo/tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dupnet::topo {
+
+/// Churn intensity, in events per simulated second across the whole
+/// network. A rate of 0 disables that event type.
+struct ChurnConfig {
+  double join_rate = 0.0;   ///< Node arrivals per second.
+  double leave_rate = 0.0;  ///< Graceful departures per second.
+  double fail_rate = 0.0;   ///< Crash failures per second.
+  /// Neighbour keep-alive timeout: failures are detected (and repaired)
+  /// this many seconds after the crash.
+  double detect_delay = 30.0;
+  /// Whether a failure may hit the root (paper failure case 5).
+  bool allow_root_failure = true;
+  /// The network never shrinks below this size.
+  size_t min_nodes = 2;
+
+  double total_rate() const { return join_rate + leave_rate + fail_rate; }
+  bool enabled() const { return total_rate() > 0.0; }
+};
+
+/// One planned topology mutation.
+struct ChurnAction {
+  enum class Kind {
+    kJoinLeaf,   ///< `subject` attaches as a new leaf under `parent`.
+    kJoinSplit,  ///< `subject` inserts on the edge `parent` -> `child`.
+    kLeave,      ///< `subject` departs gracefully.
+    kFail,       ///< `subject` crashes; detected after detect_delay.
+  };
+
+  Kind kind;
+  NodeId subject = kInvalidNode;
+  NodeId parent = kInvalidNode;  ///< Join target (kJoinLeaf / kJoinSplit).
+  NodeId child = kInvalidNode;   ///< Split edge's lower endpoint.
+};
+
+/// Draws churn actions consistent with the current topology. The planner is
+/// stateless with respect to the tree; the caller owns the live-node list
+/// and applies the returned action to the tree/protocol/network itself.
+class ChurnPlanner {
+ public:
+  explicit ChurnPlanner(const ChurnConfig& config);
+
+  const ChurnConfig& config() const { return config_; }
+
+  /// Exponential inter-arrival time between churn events.
+  double NextInterval(util::Rng* rng) const;
+
+  /// Plans the next action. `live_nodes` must list exactly the ids in
+  /// `tree`; `fresh_id` is the id to assign to a joining node. Returns
+  /// FailedPrecondition when no action is currently possible (e.g. the
+  /// network is at min_nodes and only departures are enabled).
+  util::Result<ChurnAction> Plan(const IndexSearchTree& tree,
+                                 const std::vector<NodeId>& live_nodes,
+                                 NodeId fresh_id, util::Rng* rng) const;
+
+ private:
+  ChurnConfig config_;
+};
+
+}  // namespace dupnet::topo
+
+#endif  // DUP_TOPO_CHURN_H_

@@ -1,0 +1,43 @@
+#include "topo/dot_export.h"
+
+#include "util/str.h"
+
+namespace dupnet::topo {
+
+std::string TreeToDot(const IndexSearchTree& tree,
+                      const std::function<DotNodeStyle(NodeId)>& style) {
+  std::string out = "digraph index_search_tree {\n";
+  out += "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for (NodeId node : tree.NodesPreOrder()) {
+    DotNodeStyle node_style;
+    if (style) node_style = style(node);
+    std::string attributes;
+    if (!node_style.label.empty()) {
+      attributes += util::StrFormat("label=\"%s\"",
+                                    node_style.label.c_str());
+    }
+    if (!node_style.fillcolor.empty()) {
+      if (!attributes.empty()) attributes += ", ";
+      attributes += util::StrFormat("style=filled, fillcolor=\"%s\"",
+                                    node_style.fillcolor.c_str());
+    }
+    if (node_style.emphasize) {
+      if (!attributes.empty()) attributes += ", ";
+      attributes += "penwidth=2.5";
+    }
+    if (attributes.empty()) {
+      out += util::StrFormat("  n%u;\n", node);
+    } else {
+      out += util::StrFormat("  n%u [%s];\n", node, attributes.c_str());
+    }
+  }
+  for (NodeId node : tree.NodesPreOrder()) {
+    for (NodeId child : tree.Children(node)) {
+      out += util::StrFormat("  n%u -> n%u;\n", node, child);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dupnet::topo

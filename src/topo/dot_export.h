@@ -1,0 +1,30 @@
+#ifndef DUP_TOPO_DOT_EXPORT_H_
+#define DUP_TOPO_DOT_EXPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "topo/tree.h"
+
+namespace dupnet::topo {
+
+/// Visual attributes for one node in a DOT rendering.
+struct DotNodeStyle {
+  std::string label;      ///< Defaults to the node id when empty.
+  std::string fillcolor;  ///< X11 color name; empty = unstyled.
+  bool emphasize = false; ///< Bold outline.
+};
+
+/// Renders the index search tree in Graphviz DOT format:
+///   dot -Tsvg tree.dot -o tree.svg
+///
+/// `style` (optional) decorates each node — e.g. highlight the DUP tree
+/// members and virtual-path relays (see examples/chord_trace and the
+/// protocol walkthrough in docs/protocol.md).
+std::string TreeToDot(
+    const IndexSearchTree& tree,
+    const std::function<DotNodeStyle(NodeId)>& style = nullptr);
+
+}  // namespace dupnet::topo
+
+#endif  // DUP_TOPO_DOT_EXPORT_H_

@@ -1,0 +1,42 @@
+#include "topo/tree_generator.h"
+
+#include <deque>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::topo {
+
+util::Result<IndexSearchTree> TreeGenerator::Generate(
+    const TreeGeneratorOptions& options, util::Rng* rng) {
+  DUP_CHECK(rng != nullptr);
+  if (options.num_nodes == 0) {
+    return util::Status::InvalidArgument("num_nodes must be positive");
+  }
+  if (options.max_degree < 1) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("max_degree must be >= 1, got %d",
+                        options.max_degree));
+  }
+
+  IndexSearchTree tree(/*root=*/0);
+  NodeId next_id = 1;
+  std::deque<NodeId> frontier = {0};
+  while (next_id < options.num_nodes) {
+    // With max_degree >= 1 every frontier node spawns at least one child,
+    // so the frontier can never drain before the node budget does.
+    DUP_CHECK(!frontier.empty());
+    const NodeId parent = frontier.front();
+    frontier.pop_front();
+    const uint64_t budget =
+        rng->UniformInt(1, static_cast<uint64_t>(options.max_degree));
+    for (uint64_t i = 0; i < budget && next_id < options.num_nodes; ++i) {
+      DUP_CHECK_OK(tree.AttachLeaf(parent, next_id));
+      frontier.push_back(next_id);
+      ++next_id;
+    }
+  }
+  return tree;
+}
+
+}  // namespace dupnet::topo

@@ -1,0 +1,33 @@
+#ifndef DUP_TOPO_TREE_GENERATOR_H_
+#define DUP_TOPO_TREE_GENERATOR_H_
+
+#include <cstddef>
+
+#include "topo/tree.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dupnet::topo {
+
+/// Options for the paper's synthetic topology (Section IV): "The maximum
+/// degree of the index search tree is D. The number of children for each
+/// node is uniformly selected from [1, D]."
+struct TreeGeneratorOptions {
+  size_t num_nodes = 4096;
+  int max_degree = 4;
+};
+
+/// Generates random index search trees matching the paper's model.
+class TreeGenerator {
+ public:
+  /// Builds a tree with ids 0..num_nodes-1, rooted at 0 (the authority).
+  /// Each node draws a child budget uniformly from [1, max_degree]; nodes
+  /// are attached breadth-first until the node budget is exhausted, so the
+  /// tree is "bushy" near the root like a DHT search tree.
+  static util::Result<IndexSearchTree> Generate(
+      const TreeGeneratorOptions& options, util::Rng* rng);
+};
+
+}  // namespace dupnet::topo
+
+#endif  // DUP_TOPO_TREE_GENERATOR_H_

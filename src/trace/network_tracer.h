@@ -1,0 +1,39 @@
+#ifndef DUP_TRACE_NETWORK_TRACER_H_
+#define DUP_TRACE_NETWORK_TRACER_H_
+
+#include "net/overlay_network.h"
+#include "trace/trace.h"
+
+namespace dupnet::trace {
+
+/// Standard net::MessageObserver that records every send/deliver/drop into
+/// a TraceBuffer:
+///
+///   trace::NetworkTracer tracer(4096);
+///   network.set_observer(&tracer);
+///   ...
+///   puts(tracer.buffer().ToString().c_str());
+class NetworkTracer : public net::MessageObserver {
+ public:
+  explicit NetworkTracer(size_t capacity = 4096) : buffer_(capacity) {}
+
+  void OnSend(sim::SimTime time, const net::Message& message) override {
+    buffer_.Record(time, EventKind::kSend, message);
+  }
+  void OnDeliver(sim::SimTime time, const net::Message& message) override {
+    buffer_.Record(time, EventKind::kDeliver, message);
+  }
+  void OnDrop(sim::SimTime time, const net::Message& message) override {
+    buffer_.Record(time, EventKind::kDrop, message);
+  }
+
+  TraceBuffer& buffer() { return buffer_; }
+  const TraceBuffer& buffer() const { return buffer_; }
+
+ private:
+  TraceBuffer buffer_;
+};
+
+}  // namespace dupnet::trace
+
+#endif  // DUP_TRACE_NETWORK_TRACER_H_

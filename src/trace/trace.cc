@@ -1,0 +1,79 @@
+#include "trace/trace.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::trace {
+
+std::string_view EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSend:
+      return "SEND";
+    case EventKind::kDeliver:
+      return "DELIVER";
+    case EventKind::kDrop:
+      return "DROP";
+  }
+  return "UNKNOWN";
+}
+
+std::string TraceEvent::ToString() const {
+  return util::StrFormat(
+      "%10.3f %-8s %-18s %u -> %u subject=%u v=%llu hops=%u", time,
+      std::string(EventKindToString(kind)).c_str(),
+      std::string(net::MessageTypeToString(type)).c_str(), from, to, subject,
+      static_cast<unsigned long long>(version), hops);
+}
+
+TraceBuffer::TraceBuffer(size_t capacity) : capacity_(capacity) {
+  DUP_CHECK_GE(capacity, 1u);
+}
+
+void TraceBuffer::Record(sim::SimTime time, EventKind kind,
+                         const net::Message& msg) {
+  ++total_;
+  TraceEvent event;
+  event.time = time;
+  event.kind = kind;
+  event.type = msg.type;
+  event.from = msg.from;
+  event.to = msg.to;
+  event.subject = msg.subject;
+  event.version = msg.version;
+  event.hops = msg.hops;
+  events_.push_back(event);
+  if (events_.size() > capacity_) events_.pop_front();
+}
+
+void TraceBuffer::Clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+std::deque<TraceEvent> TraceBuffer::EventsInvolving(NodeId node) const {
+  std::deque<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.from == node || event.to == node) out.push_back(event);
+  }
+  return out;
+}
+
+std::deque<TraceEvent> TraceBuffer::EventsOfType(
+    net::MessageType type) const {
+  std::deque<TraceEvent> out;
+  for (const TraceEvent& event : events_) {
+    if (event.type == type) out.push_back(event);
+  }
+  return out;
+}
+
+std::string TraceBuffer::ToString() const {
+  std::string out;
+  for (const TraceEvent& event : events_) {
+    out += event.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dupnet::trace

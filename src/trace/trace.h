@@ -1,0 +1,70 @@
+#ifndef DUP_TRACE_TRACE_H_
+#define DUP_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "net/message.h"
+#include "sim/event_queue.h"
+
+namespace dupnet::trace {
+
+/// What happened to a message.
+enum class EventKind : uint8_t {
+  kSend,     ///< Handed to the overlay.
+  kDeliver,  ///< Arrived at its destination.
+  kDrop,     ///< Lost to a down endpoint.
+};
+
+std::string_view EventKindToString(EventKind kind);
+
+/// One traced message event (a compact copy of the interesting fields; the
+/// request/reply route vector is summarised by its length).
+struct TraceEvent {
+  sim::SimTime time = 0.0;
+  EventKind kind = EventKind::kSend;
+  net::MessageType type = net::MessageType::kRequest;
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+  NodeId subject = kInvalidNode;
+  IndexVersion version = 0;
+  uint32_t hops = 0;
+
+  std::string ToString() const;
+};
+
+/// Bounded in-memory message trace, attachable to an OverlayNetwork via
+/// set_trace(). Keeps the most recent `capacity` events; intended for
+/// debugging protocol behaviour in tests and examples, not for production
+/// metrics (that is metrics::Recorder's job).
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 4096);
+
+  void Record(sim::SimTime time, EventKind kind, const net::Message& msg);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  uint64_t total_recorded() const { return total_; }
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+  /// Events involving `node` as sender or receiver.
+  std::deque<TraceEvent> EventsInvolving(NodeId node) const;
+
+  /// Events of one message type.
+  std::deque<TraceEvent> EventsOfType(net::MessageType type) const;
+
+  /// Multi-line dump of the retained window.
+  std::string ToString() const;
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+}  // namespace dupnet::trace
+
+#endif  // DUP_TRACE_TRACE_H_

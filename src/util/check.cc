@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+#include <cstdio>
+
+namespace dupnet::util {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& extra) {
+  std::fprintf(stderr, "DUP_CHECK failed at %s:%d: %s %s\n", file, line, expr,
+               extra.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dupnet::util

@@ -1,0 +1,62 @@
+#ifndef DUP_UTIL_CHECK_H_
+#define DUP_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dupnet::util {
+
+/// Prints a fatal-check failure message to stderr and aborts. Used by the
+/// DUP_CHECK family below; never call directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+
+namespace internal {
+
+/// Stream sink for DUP_CHECK's `<<` message syntax.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dupnet::util
+
+/// Fatal assertion for programming errors (invariant violations). Enabled in
+/// all build types: a propagation-tree invariant that fails silently would
+/// corrupt every downstream experiment.
+#define DUP_CHECK(cond)                                                \
+  while (!(cond))                                                      \
+  ::dupnet::util::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define DUP_CHECK_EQ(a, b) DUP_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_CHECK_NE(a, b) DUP_CHECK((a) != (b))
+#define DUP_CHECK_LT(a, b) DUP_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_CHECK_LE(a, b) DUP_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_CHECK_GT(a, b) DUP_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_CHECK_GE(a, b) DUP_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_CHECK_OK(expr)                                    \
+  do {                                                        \
+    ::dupnet::util::Status _dup_s = (expr);                      \
+    DUP_CHECK(_dup_s.ok()) << _dup_s.ToString();              \
+  } while (0)
+
+#endif  // DUP_UTIL_CHECK_H_

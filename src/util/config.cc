@@ -1,0 +1,68 @@
+#include "util/config.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::util {
+
+Result<ConfigMap> ConfigMap::FromArgs(int argc, const char* const* argv) {
+  ConfigMap config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument(
+          StrFormat("expected key=value, got \"%s\"", argv[i]));
+    }
+    config.Set(std::string(arg.substr(0, eq)),
+               std::string(arg.substr(eq + 1)));
+  }
+  return config;
+}
+
+void ConfigMap::Set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ConfigMap::Has(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::string ConfigMap::GetString(std::string_view key,
+                                 std::string fallback) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? fallback : it->second;
+}
+
+int64_t ConfigMap::GetInt(std::string_view key, int64_t fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  int64_t v = 0;
+  DUP_CHECK(ParseInt64(it->second, &v))
+      << "option " << std::string(key) << "=" << it->second
+      << " is not an integer";
+  return v;
+}
+
+double ConfigMap::GetDouble(std::string_view key, double fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  double v = 0;
+  DUP_CHECK(ParseDouble(it->second, &v))
+      << "option " << std::string(key) << "=" << it->second
+      << " is not a number";
+  return v;
+}
+
+bool ConfigMap::GetBool(std::string_view key, bool fallback) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  DUP_CHECK(false) << "option " << std::string(key) << "=" << v
+                   << " is not a boolean";
+  return fallback;
+}
+
+}  // namespace dupnet::util

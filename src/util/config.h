@@ -1,0 +1,45 @@
+#ifndef DUP_UTIL_CONFIG_H_
+#define DUP_UTIL_CONFIG_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dupnet::util {
+
+/// Tiny key=value option bag used by the example binaries and the bench
+/// harness so every run can be parameterised from the command line, e.g.
+///   ./quickstart nodes=4096 lambda=2 scheme=dup
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses `argv[1..]` entries of the form key=value. Arguments without '='
+  /// are rejected.
+  static Result<ConfigMap> FromArgs(int argc, const char* const* argv);
+
+  /// Inserts or overwrites a key.
+  void Set(std::string key, std::string value);
+
+  bool Has(std::string_view key) const;
+
+  /// Typed getters returning `fallback` when the key is absent; a present
+  /// but malformed value is a fatal usage error (DUP_CHECK).
+  std::string GetString(std::string_view key, std::string fallback) const;
+  int64_t GetInt(std::string_view key, int64_t fallback) const;
+  double GetDouble(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_CONFIG_H_

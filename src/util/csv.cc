@@ -1,0 +1,70 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DUP_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  DUP_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvWriter::Cell(double value) { return StrFormat("%.6g", value); }
+
+std::string CsvWriter::Cell(uint64_t value) {
+  return StrFormat("%llu", static_cast<unsigned long long>(value));
+}
+
+std::string CsvWriter::Escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto append_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += Escape(row[i]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::Unavailable(
+        StrFormat("cannot open \"%s\" for writing", path.c_str()));
+  }
+  const std::string contents = ToString();
+  const size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), file);
+  std::fclose(file);
+  if (written != contents.size()) {
+    return Status::Unavailable(
+        StrFormat("short write to \"%s\"", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace dupnet::util

@@ -1,0 +1,43 @@
+#ifndef DUP_UTIL_CSV_H_
+#define DUP_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dupnet::util {
+
+/// Minimal CSV writer for the bench harness's machine-readable output
+/// (RFC 4180 quoting: fields containing comma, quote or newline are quoted,
+/// embedded quotes doubled).
+class CsvWriter {
+ public:
+  /// Starts a document with the given header row.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats numeric cells.
+  static std::string Cell(double value);
+  static std::string Cell(uint64_t value);
+
+  /// The document so far.
+  std::string ToString() const;
+
+  /// Writes the document to `path`.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string Escape(const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_CSV_H_

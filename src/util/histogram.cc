@@ -1,0 +1,91 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::util {
+
+Histogram::Histogram(uint64_t max_tracked) : buckets_(max_tracked + 1, 0) {
+  DUP_CHECK_GE(max_tracked, 1u);
+}
+
+void Histogram::Add(uint64_t value) {
+  ++count_;
+  sum_ += value;
+  if (value < buckets_.size()) {
+    ++buckets_[value];
+  } else {
+    ++overflow_count_;
+    overflow_sum_ += value;
+    overflow_max_ = std::max(overflow_max_, value);
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  DUP_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_count_ += other.overflow_count_;
+  overflow_sum_ += other.overflow_sum_;
+  overflow_max_ = std::max(overflow_max_, other.overflow_max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  overflow_count_ = 0;
+  overflow_sum_ = 0;
+  overflow_max_ = 0;
+  count_ = 0;
+  sum_ = 0;
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::Quantile(double quantile) const {
+  DUP_CHECK_GT(count_, 0u);
+  DUP_CHECK_GT(quantile, 0.0);
+  DUP_CHECK_LE(quantile, 1.0);
+  const uint64_t target = static_cast<uint64_t>(
+      quantile * static_cast<double>(count_) + 0.5);
+  uint64_t seen = 0;
+  for (size_t v = 0; v < buckets_.size(); ++v) {
+    seen += buckets_[v];
+    if (seen >= target && seen > 0) return static_cast<uint64_t>(v);
+  }
+  return buckets_.size();  // Overflow bucket: max_tracked + 1.
+}
+
+uint64_t Histogram::Max() const {
+  if (count_ == 0) return 0;
+  if (overflow_count_ > 0) return overflow_max_;
+  for (size_t v = buckets_.size(); v-- > 0;) {
+    if (buckets_[v] > 0) return static_cast<uint64_t>(v);
+  }
+  return 0;
+}
+
+uint64_t Histogram::CountAt(uint64_t value) const {
+  if (value >= buckets_.size()) return 0;
+  return buckets_[value];
+}
+
+std::string Histogram::ToString() const {
+  if (count_ == 0) return "n=0";
+  return StrFormat(
+      "n=%llu mean=%.3f p50=%llu p95=%llu p99=%llu max=%llu",
+      static_cast<unsigned long long>(count_), Mean(),
+      static_cast<unsigned long long>(Percentile50()),
+      static_cast<unsigned long long>(Percentile95()),
+      static_cast<unsigned long long>(Percentile99()),
+      static_cast<unsigned long long>(Max()));
+}
+
+}  // namespace dupnet::util

@@ -1,0 +1,57 @@
+#ifndef DUP_UTIL_HISTOGRAM_H_
+#define DUP_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dupnet::util {
+
+/// Fixed-resolution histogram for non-negative integer-ish observations
+/// (hop counts, queue depths). Values are recorded exactly up to
+/// `max_tracked`; larger ones land in a single overflow bucket that
+/// remembers their sum so the mean stays exact.
+///
+/// Used for latency *distributions* (p50/p95/p99), which the paper does not
+/// report but any production release of this system would.
+class Histogram {
+ public:
+  /// Tracks values 0..max_tracked exactly.
+  explicit Histogram(uint64_t max_tracked = 256);
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double Mean() const;
+
+  /// Smallest recorded value v such that at least `quantile` of the
+  /// observations are <= v. Pre: count() > 0, 0 < quantile <= 1. Overflow
+  /// observations report as max_tracked + 1.
+  uint64_t Quantile(double quantile) const;
+
+  uint64_t Percentile50() const { return Quantile(0.50); }
+  uint64_t Percentile95() const { return Quantile(0.95); }
+  uint64_t Percentile99() const { return Quantile(0.99); }
+  uint64_t Max() const;
+
+  /// Count of observations equal to `value` (<= max_tracked).
+  uint64_t CountAt(uint64_t value) const;
+  uint64_t overflow_count() const { return overflow_count_; }
+
+  /// Compact single-line rendering: "n=… mean=… p50=… p95=… p99=… max=…".
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> buckets_;  ///< buckets_[v] = #observations of v.
+  uint64_t overflow_count_ = 0;
+  uint64_t overflow_sum_ = 0;
+  uint64_t overflow_max_ = 0;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_HISTOGRAM_H_

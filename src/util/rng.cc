@@ -1,0 +1,85 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dupnet::util {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUInt64() {
+  // xoshiro256++ step.
+  const uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(NextUInt64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpenLow() { return 1.0 - NextDouble(); }
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  DUP_CHECK_LE(lo, hi);
+  const uint64_t span = hi - lo + 1;
+  if (span == 0) return NextUInt64();  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t v;
+  do {
+    v = NextUInt64();
+  } while (v >= limit && limit != 0);
+  return lo + v % span;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  DUP_CHECK_LE(lo, hi);
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double mean) {
+  DUP_CHECK_GT(mean, 0.0);
+  return -mean * std::log(NextDoubleOpenLow());
+}
+
+double Rng::Pareto(double alpha, double k) {
+  DUP_CHECK_GT(alpha, 0.0);
+  DUP_CHECK_GT(k, 0.0);
+  // Inverse CDF: u = 1 - (k/(x+k))^alpha  =>  x = k * ((1-u)^(-1/alpha) - 1).
+  const double u = NextDoubleOpenLow();  // in (0, 1]
+  return k * (std::pow(u, -1.0 / alpha) - 1.0);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+Rng Rng::Fork() { return Rng(NextUInt64()); }
+
+}  // namespace dupnet::util

@@ -1,0 +1,92 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dupnet::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::Mean() const {
+  DUP_CHECK_GT(count_, 0u);
+  return mean_;
+}
+
+double RunningStats::Min() const {
+  DUP_CHECK_GT(count_, 0u);
+  return min_;
+}
+
+double RunningStats::Max() const {
+  DUP_CHECK_GT(count_, 0u);
+  return max_;
+}
+
+double RunningStats::SampleVariance() const {
+  DUP_CHECK_GT(count_, 1u);
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::SampleStdDev() const {
+  return std::sqrt(SampleVariance());
+}
+
+double StudentT975(uint64_t df) {
+  // Two-sided 95% critical values of the t distribution.
+  static constexpr double kTable[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df];
+  return 1.96;
+}
+
+ConfidenceInterval ConfidenceInterval95(const std::vector<double>& samples) {
+  ConfidenceInterval ci;
+  ci.samples = samples.size();
+  if (samples.empty()) return ci;
+  RunningStats stats;
+  for (double s : samples) stats.Add(s);
+  ci.mean = stats.Mean();
+  if (samples.size() < 2) return ci;
+  const double stderr_mean =
+      stats.SampleStdDev() / std::sqrt(static_cast<double>(samples.size()));
+  ci.half_width = StudentT975(samples.size() - 1) * stderr_mean;
+  return ci;
+}
+
+}  // namespace dupnet::util

@@ -1,0 +1,55 @@
+#ifndef DUP_UTIL_STATS_H_
+#define DUP_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dupnet::util {
+
+/// Numerically stable online mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  /// Pre: count() > 0 for Mean/Min/Max; count() > 1 for variance.
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double SampleVariance() const;
+  double SampleStdDev() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A point estimate with a symmetric 95% confidence half-width, as the paper
+/// reports ("query latency with 95% confidence interval").
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< mean ± half_width covers 95%.
+  uint64_t samples = 0;
+
+  double lower() const { return mean - half_width; }
+  double upper() const { return mean + half_width; }
+};
+
+/// Student-t 97.5% quantile for `df` degrees of freedom (two-sided 95% CI).
+/// Exact table through df = 30, normal approximation (1.96) beyond.
+double StudentT975(uint64_t df);
+
+/// 95% CI of the mean of independent replications. With fewer than two
+/// samples the half-width is 0.
+ConfidenceInterval ConfidenceInterval95(const std::vector<double>& samples);
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_STATS_H_

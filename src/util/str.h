@@ -1,0 +1,26 @@
+#ifndef DUP_UTIL_STR_H_
+#define DUP_UTIL_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dupnet::util {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits `input` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view input, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a decimal integer / double; returns false on any trailing garbage.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_STR_H_

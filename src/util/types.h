@@ -1,0 +1,23 @@
+#ifndef DUP_UTIL_TYPES_H_
+#define DUP_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dupnet {
+
+/// Identifies an overlay node. Ids are dense handles assigned by the
+/// topology (0..n-1 at startup; churn-created nodes get fresh ids); they are
+/// not DHT key-space identifiers (see dupnet::chord for those).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Monotonically increasing index version number issued by the authority
+/// node. Version 0 means "no version".
+using IndexVersion = uint64_t;
+
+}  // namespace dupnet
+
+#endif  // DUP_UTIL_TYPES_H_

@@ -1,0 +1,51 @@
+#include "workload/arrivals.h"
+
+#include <string>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::workload {
+
+ExponentialArrivals::ExponentialArrivals(double lambda) : lambda_(lambda) {
+  DUP_CHECK_GT(lambda, 0.0);
+}
+
+double ExponentialArrivals::NextInterArrival(util::Rng* rng) {
+  return rng->Exponential(1.0 / lambda_);
+}
+
+ParetoArrivals::ParetoArrivals(double alpha, double lambda)
+    : alpha_(alpha), lambda_(lambda), k_((alpha - 1.0) / lambda) {
+  DUP_CHECK_GT(alpha, 1.0) << "mean is undefined for alpha <= 1";
+  DUP_CHECK_GT(lambda, 0.0);
+}
+
+double ParetoArrivals::NextInterArrival(util::Rng* rng) {
+  return rng->Pareto(alpha_, k_);
+}
+
+util::Result<std::unique_ptr<ArrivalProcess>> MakeArrivalProcess(
+    std::string_view kind, double lambda, double pareto_alpha) {
+  if (lambda <= 0.0) {
+    return util::Status::InvalidArgument("lambda must be positive");
+  }
+  if (kind == "exponential") {
+    return std::unique_ptr<ArrivalProcess>(
+        std::make_unique<ExponentialArrivals>(lambda));
+  }
+  if (kind == "pareto") {
+    if (pareto_alpha <= 1.0 || pareto_alpha >= 2.0) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("pareto alpha must be in (1, 2), got %f",
+                          pareto_alpha));
+    }
+    return std::unique_ptr<ArrivalProcess>(
+        std::make_unique<ParetoArrivals>(pareto_alpha, lambda));
+  }
+  return util::Status::InvalidArgument(
+      util::StrFormat("unknown arrival kind \"%s\"",
+                      std::string(kind).c_str()));
+}
+
+}  // namespace dupnet::workload

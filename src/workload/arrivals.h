@@ -1,0 +1,65 @@
+#ifndef DUP_WORKLOAD_ARRIVALS_H_
+#define DUP_WORKLOAD_ARRIVALS_H_
+
+#include <memory>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dupnet::workload {
+
+/// Inter-arrival process for the network-wide query stream.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /// Draws the time until the next query, in seconds.
+  virtual double NextInterArrival(util::Rng* rng) = 0;
+
+  /// Long-run mean queries per second.
+  virtual double rate() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Poisson arrivals: inter-arrival ~ Exp(1/lambda). The paper's default.
+class ExponentialArrivals : public ArrivalProcess {
+ public:
+  explicit ExponentialArrivals(double lambda);
+
+  double NextInterArrival(util::Rng* rng) override;
+  double rate() const override { return lambda_; }
+  std::string_view name() const override { return "exponential"; }
+
+ private:
+  double lambda_;
+};
+
+/// Heavy-tailed Pareto arrivals (paper Section IV): CDF
+/// F(x) = 1 - (k / (x + k))^alpha with 1 < alpha < 2. The scale k is chosen
+/// so that the mean rate (alpha - 1) / k equals lambda.
+class ParetoArrivals : public ArrivalProcess {
+ public:
+  ParetoArrivals(double alpha, double lambda);
+
+  double NextInterArrival(util::Rng* rng) override;
+  double rate() const override { return lambda_; }
+  std::string_view name() const override { return "pareto"; }
+
+  double alpha() const { return alpha_; }
+  double k() const { return k_; }
+
+ private:
+  double alpha_;
+  double lambda_;
+  double k_;
+};
+
+/// Factory: `kind` is "exponential" or "pareto".
+util::Result<std::unique_ptr<ArrivalProcess>> MakeArrivalProcess(
+    std::string_view kind, double lambda, double pareto_alpha);
+
+}  // namespace dupnet::workload
+
+#endif  // DUP_WORKLOAD_ARRIVALS_H_

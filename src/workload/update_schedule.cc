@@ -1,0 +1,36 @@
+#include "workload/update_schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::workload {
+
+util::Result<UpdateSchedule> UpdateSchedule::Create(sim::SimTime ttl,
+                                                    sim::SimTime push_lead) {
+  if (ttl <= 0.0) {
+    return util::Status::InvalidArgument("ttl must be positive");
+  }
+  if (push_lead < 0.0 || push_lead >= ttl) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("push_lead must be in [0, ttl), got %f", push_lead));
+  }
+  return UpdateSchedule(ttl, push_lead);
+}
+
+sim::SimTime UpdateSchedule::IssueTime(IndexVersion v) const {
+  DUP_CHECK_GE(v, 1u);
+  return static_cast<sim::SimTime>(v - 1) * period();
+}
+
+sim::SimTime UpdateSchedule::ExpiryOf(IndexVersion v) const {
+  return IssueTime(v) + ttl_;
+}
+
+IndexVersion UpdateSchedule::CurrentVersionAt(sim::SimTime now) const {
+  if (now < 0.0) return 0;
+  return static_cast<IndexVersion>(std::floor(now / period())) + 1;
+}
+
+}  // namespace dupnet::workload

@@ -1,0 +1,51 @@
+#ifndef DUP_WORKLOAD_UPDATE_SCHEDULE_H_
+#define DUP_WORKLOAD_UPDATE_SCHEDULE_H_
+
+#include "sim/event_queue.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace dupnet::workload {
+
+/// Timing of index versions at the authority node, following the paper's
+/// setup: "The TTL of the index is set to be 60 minutes... the root pushes
+/// the updated index to interested nodes exactly one minute before the
+/// previous index expires."
+///
+/// Version k (1-based) is issued at (k-1) * (ttl - push_lead) and expires
+/// ttl later; consecutive versions therefore overlap by push_lead seconds,
+/// which is the window in which weakly consistent caches can serve stale
+/// copies. The data-change process is identical across PCX/CUP/DUP — only
+/// propagation differs.
+class UpdateSchedule {
+ public:
+  /// Pre: 0 <= push_lead < ttl, ttl > 0.
+  static util::Result<UpdateSchedule> Create(sim::SimTime ttl,
+                                             sim::SimTime push_lead);
+
+  sim::SimTime ttl() const { return ttl_; }
+  sim::SimTime push_lead() const { return push_lead_; }
+
+  /// Seconds between consecutive versions.
+  sim::SimTime period() const { return ttl_ - push_lead_; }
+
+  /// Issue time of version v (v >= 1).
+  sim::SimTime IssueTime(IndexVersion v) const;
+
+  /// Absolute expiry of version v (v >= 1).
+  sim::SimTime ExpiryOf(IndexVersion v) const;
+
+  /// The newest version issued at or before `now` (0 before the first).
+  IndexVersion CurrentVersionAt(sim::SimTime now) const;
+
+ private:
+  UpdateSchedule(sim::SimTime ttl, sim::SimTime push_lead)
+      : ttl_(ttl), push_lead_(push_lead) {}
+
+  sim::SimTime ttl_;
+  sim::SimTime push_lead_;
+};
+
+}  // namespace dupnet::workload
+
+#endif  // DUP_WORKLOAD_UPDATE_SCHEDULE_H_

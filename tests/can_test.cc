@@ -1,0 +1,226 @@
+#include "can/space.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::can {
+namespace {
+
+TEST(ZoneTest, ContainsHalfOpen) {
+  Zone zone;
+  zone.dims = 2;
+  zone.lo = {0.25, 0.5};
+  zone.hi = {0.5, 1.0};
+  Point inside = Point::Zero(2);
+  inside.coords = {0.3, 0.7};
+  EXPECT_TRUE(zone.Contains(inside));
+  Point on_lo = Point::Zero(2);
+  on_lo.coords = {0.25, 0.5};
+  EXPECT_TRUE(zone.Contains(on_lo));
+  Point on_hi = Point::Zero(2);
+  on_hi.coords = {0.5, 0.7};
+  EXPECT_FALSE(zone.Contains(on_hi));
+}
+
+TEST(ZoneTest, VolumeIsProduct) {
+  Zone zone;
+  zone.dims = 3;
+  zone.lo = {0.0, 0.0, 0.0};
+  zone.hi = {0.5, 0.25, 1.0};
+  EXPECT_DOUBLE_EQ(zone.Volume(), 0.125);
+}
+
+TEST(ZoneTest, DistanceZeroInside) {
+  Zone zone;
+  zone.dims = 2;
+  zone.lo = {0.0, 0.0};
+  zone.hi = {0.5, 0.5};
+  Point p = Point::Zero(2);
+  p.coords = {0.1, 0.1};
+  EXPECT_DOUBLE_EQ(zone.DistanceSquared(p), 0.0);
+}
+
+TEST(ZoneTest, DistanceWrapsTorus) {
+  Zone zone;
+  zone.dims = 1;
+  zone.lo = {0.0};
+  zone.hi = {0.1};
+  Point p = Point::Zero(1);
+  p.coords = {0.95};  // 0.05 away across the wrap, 0.85 directly.
+  EXPECT_NEAR(zone.DistanceSquared(p), 0.05 * 0.05, 1e-12);
+}
+
+TEST(ZoneTest, NeighborsShareBorder) {
+  Zone a, b, c;
+  a.dims = b.dims = c.dims = 2;
+  a.lo = {0.0, 0.0};
+  a.hi = {0.5, 0.5};
+  b.lo = {0.5, 0.0};
+  b.hi = {1.0, 0.5};
+  c.lo = {0.5, 0.5};
+  c.hi = {1.0, 1.0};
+  EXPECT_TRUE(a.IsNeighbor(b));   // Shared vertical border.
+  EXPECT_TRUE(b.IsNeighbor(c));   // Shared horizontal border.
+  EXPECT_FALSE(a.IsNeighbor(c));  // Corner contact only.
+  // Torus wrap: [0.5, 1.0) abuts [0.0, 0.5) across the 1 -> 0 seam.
+  EXPECT_TRUE(b.IsNeighbor(a));
+}
+
+TEST(CanSpaceTest, SingleNodeOwnsEverything) {
+  auto space = CanSpace::Create(1, 2, 1);
+  ASSERT_TRUE(space.ok());
+  EXPECT_DOUBLE_EQ(space->ZoneOf(0).Volume(), 1.0);
+  Point p = Point::Zero(2);
+  p.coords = {0.9, 0.1};
+  EXPECT_EQ(space->OwnerOf(p), 0u);
+}
+
+TEST(CanSpaceTest, RejectsBadParameters) {
+  EXPECT_FALSE(CanSpace::Create(0, 2, 1).ok());
+  EXPECT_FALSE(CanSpace::Create(8, 0, 1).ok());
+  EXPECT_FALSE(CanSpace::Create(8, 9, 1).ok());
+}
+
+TEST(CanSpaceTest, ZonesTileTheTorus) {
+  auto space = CanSpace::Create(64, 2, 7);
+  ASSERT_TRUE(space.ok());
+  double total = 0.0;
+  for (size_t i = 0; i < space->size(); ++i) {
+    total += space->ZoneOf(static_cast<NodeId>(i)).Volume();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Every random point has exactly one owner (OwnerOf checks containment).
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    Point p = Point::Zero(2);
+    p.coords = {rng.NextDouble(), rng.NextDouble()};
+    int owners = 0;
+    for (size_t z = 0; z < space->size(); ++z) {
+      if (space->ZoneOf(static_cast<NodeId>(z)).Contains(p)) ++owners;
+    }
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(CanSpaceTest, NeighborListsAreSymmetric) {
+  auto space = CanSpace::Create(48, 2, 9);
+  ASSERT_TRUE(space.ok());
+  for (size_t a = 0; a < space->size(); ++a) {
+    for (NodeId b : space->NeighborsOf(static_cast<NodeId>(a))) {
+      const auto& back = space->NeighborsOf(b);
+      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<NodeId>(a)),
+                back.end());
+    }
+  }
+}
+
+TEST(CanSpaceTest, EveryZoneHasNeighbors) {
+  auto space = CanSpace::Create(32, 2, 11);
+  ASSERT_TRUE(space.ok());
+  for (size_t i = 0; i < space->size(); ++i) {
+    EXPECT_FALSE(space->NeighborsOf(static_cast<NodeId>(i)).empty())
+        << "zone " << i << " isolated";
+  }
+}
+
+TEST(CanSpaceTest, RoutingConvergesFromEveryNode) {
+  auto space = CanSpace::Create(128, 2, 13);
+  ASSERT_TRUE(space.ok());
+  const Point key = CanSpace::PointForKey("some-file", 2);
+  const NodeId authority = space->OwnerOf(key);
+  for (size_t n = 0; n < space->size(); ++n) {
+    auto path = space->RoutePath(static_cast<NodeId>(n), key);
+    ASSERT_TRUE(path.ok()) << "from " << n << ": "
+                           << path.status().ToString();
+    EXPECT_EQ(path->back(), authority);
+  }
+}
+
+TEST(CanSpaceTest, RouteLengthScalesAsDimensionalRoot) {
+  // CAN routes are O(d * n^(1/d)); for d=2 and n=256 that's ~2*16 = 32.
+  auto space = CanSpace::Create(256, 2, 17);
+  ASSERT_TRUE(space.ok());
+  const Point key = CanSpace::PointForKey("k", 2);
+  double total = 0;
+  for (size_t n = 0; n < space->size(); ++n) {
+    auto path = space->RoutePath(static_cast<NodeId>(n), key);
+    ASSERT_TRUE(path.ok());
+    total += static_cast<double>(path->size() - 1);
+    EXPECT_LE(path->size() - 1, 80u);
+  }
+  EXPECT_LT(total / 256.0, 25.0);
+}
+
+TEST(CanSpaceTest, HigherDimsShortenRoutes) {
+  const Point key2 = CanSpace::PointForKey("k", 2);
+  const Point key4 = CanSpace::PointForKey("k", 4);
+  auto space2 = CanSpace::Create(512, 2, 19);
+  auto space4 = CanSpace::Create(512, 4, 19);
+  ASSERT_TRUE(space2.ok());
+  ASSERT_TRUE(space4.ok());
+  auto average = [](const CanSpace& space, const Point& key) {
+    double total = 0;
+    for (size_t n = 0; n < space.size(); ++n) {
+      auto path = space.RoutePath(static_cast<NodeId>(n), key);
+      EXPECT_TRUE(path.ok());
+      total += static_cast<double>(path->size() - 1);
+    }
+    return total / static_cast<double>(space.size());
+  };
+  EXPECT_LT(average(*space4, key4), average(*space2, key2));
+}
+
+TEST(CanSpaceTest, PointForKeyDeterministicAndSpread) {
+  const Point a = CanSpace::PointForKey("alpha", 2);
+  const Point b = CanSpace::PointForKey("alpha", 2);
+  const Point c = CanSpace::PointForKey("beta", 2);
+  EXPECT_DOUBLE_EQ(a.coords[0], b.coords[0]);
+  EXPECT_DOUBLE_EQ(a.coords[1], b.coords[1]);
+  EXPECT_NE(a.coords[0], c.coords[0]);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_GE(a.coords[d], 0.0);
+    EXPECT_LT(a.coords[d], 1.0);
+  }
+}
+
+TEST(CanSpaceTest, BuildsSpanningIndexTree) {
+  auto space = CanSpace::Create(100, 2, 23);
+  ASSERT_TRUE(space.ok());
+  auto tree = space->BuildIndexTreeForKeyName("the-index");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 100u);
+  EXPECT_TRUE(tree->Validate().ok());
+  const Point key = CanSpace::PointForKey("the-index", 2);
+  EXPECT_EQ(tree->root(), space->OwnerOf(key));
+}
+
+TEST(CanSpaceTest, TreeParentIsNextHop) {
+  auto space = CanSpace::Create(64, 2, 29);
+  ASSERT_TRUE(space.ok());
+  const Point key = CanSpace::PointForKey("x", 2);
+  auto tree = space->BuildIndexTree(key);
+  ASSERT_TRUE(tree.ok());
+  for (size_t n = 0; n < space->size(); ++n) {
+    const NodeId node = static_cast<NodeId>(n);
+    if (node == tree->root()) continue;
+    EXPECT_EQ(tree->Parent(node), space->NextHop(node, key));
+  }
+}
+
+class CanDimsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CanDimsSweep, SpansAndRoutesAtEveryDimensionality) {
+  auto space = CanSpace::Create(96, GetParam(), 31);
+  ASSERT_TRUE(space.ok());
+  auto tree = space->BuildIndexTreeForKeyName("sweep");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 96u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, CanDimsSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace dupnet::can

@@ -1,0 +1,204 @@
+#include "chord/dynamic_ring.h"
+
+#include <gtest/gtest.h>
+
+#include "chord/sha1.h"
+#include "util/rng.h"
+
+namespace dupnet::chord {
+namespace {
+
+TEST(DynamicRingTest, CreateBootstrapsConsistentRing) {
+  auto ring = DynamicChordRing::Create(32);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(ring->size(), 32u);
+  EXPECT_TRUE(ring->ValidateRing().ok());
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+}
+
+TEST(DynamicRingTest, CreateValidations) {
+  EXPECT_FALSE(DynamicChordRing::Create(0).ok());
+  EXPECT_FALSE(DynamicChordRing::Create(4, 0).ok());
+}
+
+TEST(DynamicRingTest, LookupsWorkOnFreshRing) {
+  auto ring = DynamicChordRing::Create(64);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("needle");
+  auto authority = ring->AuthorityOf(key);
+  ASSERT_TRUE(authority.ok());
+  for (NodeId n = 0; n < 64; ++n) {
+    auto path = ring->Lookup(n, key);
+    ASSERT_TRUE(path.ok()) << "from " << n;
+    EXPECT_EQ(path->back(), *authority);
+  }
+}
+
+TEST(DynamicRingTest, JoinSplicesAndStabilizes) {
+  auto ring = DynamicChordRing::Create(16);
+  ASSERT_TRUE(ring.ok());
+  ASSERT_TRUE(ring->Join(100, /*via=*/0).ok());
+  EXPECT_EQ(ring->size(), 17u);
+  EXPECT_TRUE(ring->Contains(100));
+  // The old predecessor still points past the newcomer until
+  // stabilization runs (classic Chord laziness).
+  ring->StabilizeAll();
+  EXPECT_TRUE(ring->ValidateRing().ok());
+  ring->FixFingersAll();
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+}
+
+TEST(DynamicRingTest, JoinValidations) {
+  auto ring = DynamicChordRing::Create(4);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_TRUE(ring->Join(0, 1).IsAlreadyExists());
+  EXPECT_TRUE(ring->Join(50, 99).IsNotFound());
+}
+
+TEST(DynamicRingTest, GracefulLeaveKeepsRingValid) {
+  auto ring = DynamicChordRing::Create(16);
+  ASSERT_TRUE(ring.ok());
+  ASSERT_TRUE(ring->Leave(5).ok());
+  EXPECT_FALSE(ring->Contains(5));
+  // Graceful handover keeps successors correct without stabilization.
+  EXPECT_TRUE(ring->ValidateRing().ok());
+  // Fingers still reference the departed node until fix-fingers runs.
+  EXPECT_GT(ring->StaleFingerCount(), 0u);
+  ring->FixFingersAll();
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+}
+
+TEST(DynamicRingTest, FailureRepairedByStabilization) {
+  auto ring = DynamicChordRing::Create(16);
+  ASSERT_TRUE(ring.ok());
+  ASSERT_TRUE(ring->Fail(7).ok());
+  // Some successor pointer is now dead: the ring audit must fail...
+  EXPECT_FALSE(ring->ValidateRing().ok());
+  // ...until one stabilization round repairs it via successor lists.
+  ring->StabilizeAll();
+  EXPECT_TRUE(ring->ValidateRing().ok());
+  ring->FixFingersAll();
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+}
+
+TEST(DynamicRingTest, MassFailureNeedsMoreRounds) {
+  auto ring = DynamicChordRing::Create(64, /*successor_list_size=*/4);
+  ASSERT_TRUE(ring.ok());
+  util::Rng rng(9);
+  int failed = 0;
+  for (NodeId n = 0; n < 64 && failed < 20; ++n) {
+    if (rng.Bernoulli(0.35) && ring->size() > 2) {
+      if (ring->Fail(n).ok()) ++failed;
+    }
+  }
+  ASSERT_GT(failed, 5);
+  for (int round = 0; round < 4; ++round) ring->StabilizeAll();
+  EXPECT_TRUE(ring->ValidateRing().ok());
+  ring->FixFingersAll();
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+}
+
+TEST(DynamicRingTest, IndexTreeSpansAfterRepair) {
+  auto ring = DynamicChordRing::Create(48);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("the-index");
+  auto before = ring->BuildIndexTree(key);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 48u);
+
+  ASSERT_TRUE(ring->Fail(3).ok());
+  ASSERT_TRUE(ring->Fail(17).ok());
+  ASSERT_TRUE(ring->Join(200, 0).ok());
+  for (int round = 0; round < 3; ++round) ring->StabilizeAll();
+  ring->FixFingersAll();
+
+  auto after = ring->BuildIndexTree(key);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->size(), 47u);  // 48 - 2 + 1.
+  EXPECT_TRUE(after->Validate().ok());
+  EXPECT_FALSE(after->Contains(3));
+  EXPECT_TRUE(after->Contains(200));
+}
+
+TEST(DynamicRingTest, AuthorityMigratesOnFailure) {
+  auto ring = DynamicChordRing::Create(32);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("owned");
+  auto old_authority = ring->AuthorityOf(key);
+  ASSERT_TRUE(old_authority.ok());
+  ASSERT_TRUE(ring->Fail(*old_authority).ok());
+  ring->StabilizeAll();
+  auto new_authority = ring->AuthorityOf(key);
+  ASSERT_TRUE(new_authority.ok());
+  EXPECT_NE(*new_authority, *old_authority);
+}
+
+TEST(DynamicRingTest, LastNodeCannotDepart) {
+  auto ring = DynamicChordRing::Create(1);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_TRUE(ring->Leave(0).IsFailedPrecondition());
+  EXPECT_TRUE(ring->Fail(0).IsFailedPrecondition());
+}
+
+// Property: arbitrary churn followed by maintenance rounds always yields a
+// consistent ring and a spanning index search tree.
+class DynamicRingChurnSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicRingChurnSweep, ChurnThenRepairConverges) {
+  auto ring = DynamicChordRing::Create(40);
+  ASSERT_TRUE(ring.ok());
+  util::Rng rng(GetParam());
+  NodeId fresh = 1000;
+  for (int step = 0; step < 60; ++step) {
+    const uint64_t op = rng.UniformInt(0, 3);
+    if (op == 0 && ring->size() > 4) {
+      // Fail a random existing member.
+      const NodeId victim =
+          static_cast<NodeId>(rng.UniformInt(0, fresh));
+      if (ring->Contains(victim)) {
+        ASSERT_TRUE(ring->Fail(victim).ok());
+      }
+    } else if (op == 1 && ring->size() > 4) {
+      const NodeId victim =
+          static_cast<NodeId>(rng.UniformInt(0, fresh));
+      if (ring->Contains(victim)) {
+        ASSERT_TRUE(ring->Leave(victim).ok());
+      }
+    } else {
+      // Join through a random live member.
+      NodeId via = kInvalidNode;
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const NodeId candidate =
+            static_cast<NodeId>(rng.UniformInt(0, fresh));
+        if (ring->Contains(candidate)) {
+          via = candidate;
+          break;
+        }
+      }
+      if (via == kInvalidNode) continue;
+      auto join = ring->Join(fresh++, via);
+      // Joins may transiently fail while routing is stale; that is the
+      // protocol's documented behaviour — retry after repair.
+      if (!join.ok()) {
+        ring->StabilizeAll();
+        continue;
+      }
+    }
+    // Periodic maintenance, as deployed Chord runs it.
+    if (step % 4 == 3) ring->StabilizeAll();
+  }
+  for (int round = 0; round < 5; ++round) ring->StabilizeAll();
+  ring->FixFingersAll();
+  ASSERT_TRUE(ring->ValidateRing().ok());
+  EXPECT_EQ(ring->StaleFingerCount(), 0u);
+  auto tree = ring->BuildIndexTree(Sha1Hash64("sweep-key"));
+  ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+  EXPECT_EQ(tree->size(), ring->size());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRingChurnSweep,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace dupnet::chord

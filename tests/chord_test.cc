@@ -1,0 +1,214 @@
+#include "chord/ring.h"
+#include "chord/sha1.h"
+#include "chord/tree_builder.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::chord {
+namespace {
+
+std::string DigestToHex(const Sha1Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (uint8_t byte : digest) {
+    out += kHex[byte >> 4];
+    out += kHex[byte & 0xF];
+  }
+  return out;
+}
+
+TEST(Sha1Test, Rfc3174TestVectors) {
+  EXPECT_EQ(DigestToHex(Sha1("abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(DigestToHex(Sha1("")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(DigestToHex(Sha1(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, LongInput) {
+  // One million 'a' characters (FIPS 180-1 test vector).
+  const std::string a_million(1000000, 'a');
+  EXPECT_EQ(DigestToHex(Sha1(a_million)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, BlockBoundaryLengths) {
+  // 55, 56 and 64 bytes exercise the one- vs two-block padding paths.
+  const std::string s55(55, 'x'), s56(56, 'x'), s64(64, 'x');
+  EXPECT_NE(DigestToHex(Sha1(s55)), DigestToHex(Sha1(s56)));
+  EXPECT_NE(DigestToHex(Sha1(s56)), DigestToHex(Sha1(s64)));
+  // Sanity: deterministic.
+  EXPECT_EQ(DigestToHex(Sha1(s64)), DigestToHex(Sha1(s64)));
+}
+
+TEST(Sha1Test, Prefix64IsBigEndianPrefix) {
+  const Sha1Digest digest = Sha1("abc");
+  // a9993e3647068168 is the first 8 bytes of the digest above.
+  EXPECT_EQ(Sha1Prefix64(digest), 0xa9993e364706816aULL);
+  EXPECT_EQ(Sha1Hash64("abc"), 0xa9993e364706816aULL);
+}
+
+TEST(IntervalTest, OpenClosedBasics) {
+  EXPECT_TRUE(InIntervalOpenClosed(5, 1, 10));
+  EXPECT_FALSE(InIntervalOpenClosed(1, 1, 10));   // Open at a.
+  EXPECT_TRUE(InIntervalOpenClosed(10, 1, 10));   // Closed at b.
+  EXPECT_FALSE(InIntervalOpenClosed(11, 1, 10));
+}
+
+TEST(IntervalTest, Wrapping) {
+  const ChordId near_max = ~ChordId{0} - 5;
+  EXPECT_TRUE(InIntervalOpenClosed(2, near_max, 10));
+  EXPECT_TRUE(InIntervalOpenClosed(~ChordId{0}, near_max, 10));
+  EXPECT_FALSE(InIntervalOpenClosed(near_max, near_max, 10));
+  EXPECT_FALSE(InIntervalOpenClosed(100, near_max, 10));
+}
+
+TEST(IntervalTest, FullCircleWhenEqual) {
+  EXPECT_TRUE(InIntervalOpenClosed(123, 7, 7));
+  EXPECT_TRUE(InIntervalOpenClosed(7, 7, 7));
+}
+
+TEST(ChordRingTest, CreateAssignsUniqueIds) {
+  auto ring = ChordRing::Create(64);
+  ASSERT_TRUE(ring.ok());
+  std::set<ChordId> ids;
+  for (NodeId n = 0; n < 64; ++n) ids.insert(ring->IdOf(n));
+  EXPECT_EQ(ids.size(), 64u);
+}
+
+TEST(ChordRingTest, RejectsEmpty) {
+  EXPECT_FALSE(ChordRing::Create(0).ok());
+}
+
+TEST(ChordRingTest, SuccessorOfKeyIsFirstClockwise) {
+  auto ring = ChordRing::Create(32);
+  ASSERT_TRUE(ring.ok());
+  for (NodeId n = 0; n < 32; ++n) {
+    // A key exactly at a node's id is owned by that node.
+    EXPECT_EQ(ring->SuccessorOfKey(ring->IdOf(n)), n);
+    // A key just after the id belongs to the next node.
+    const NodeId next = ring->SuccessorOfKey(ring->IdOf(n) + 1);
+    EXPECT_NE(next, n);
+  }
+}
+
+TEST(ChordRingTest, SuccessorOfNodeIsConsistentCycle) {
+  auto ring = ChordRing::Create(16);
+  ASSERT_TRUE(ring.ok());
+  // Following successors visits every node exactly once.
+  std::set<NodeId> visited;
+  NodeId cur = 0;
+  for (int i = 0; i < 16; ++i) {
+    visited.insert(cur);
+    cur = ring->SuccessorOf(cur);
+  }
+  EXPECT_EQ(cur, 0u);
+  EXPECT_EQ(visited.size(), 16u);
+}
+
+TEST(ChordRingTest, FingerZeroIsSuccessor) {
+  auto ring = ChordRing::Create(32);
+  ASSERT_TRUE(ring.ok());
+  for (NodeId n = 0; n < 32; ++n) {
+    EXPECT_EQ(ring->Finger(n, 0), ring->SuccessorOfKey(ring->IdOf(n) + 1));
+  }
+}
+
+TEST(ChordRingTest, SingleNodeRoutesToItself) {
+  auto ring = ChordRing::Create(1);
+  ASSERT_TRUE(ring.ok());
+  EXPECT_EQ(ring->SuccessorOfKey(12345), 0u);
+  EXPECT_EQ(ring->NextHop(0, 12345), 0u);
+  auto path = ring->LookupPath(0, 999);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 1u);
+}
+
+TEST(ChordRingTest, LookupsConvergeFromEveryNode) {
+  auto ring = ChordRing::Create(128);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("some-key");
+  const NodeId authority = ring->SuccessorOfKey(key);
+  for (NodeId n = 0; n < 128; ++n) {
+    auto path = ring->LookupPath(n, key);
+    ASSERT_TRUE(path.ok()) << "from node " << n;
+    EXPECT_EQ(path->front(), n);
+    EXPECT_EQ(path->back(), authority);
+  }
+}
+
+TEST(ChordRingTest, LookupHopsAreLogarithmic) {
+  auto ring = ChordRing::Create(1024);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("hot-key");
+  double total_hops = 0;
+  for (NodeId n = 0; n < 1024; ++n) {
+    auto path = ring->LookupPath(n, key);
+    ASSERT_TRUE(path.ok());
+    total_hops += static_cast<double>(path->size() - 1);
+    EXPECT_LE(path->size() - 1, 2 * 10u) << "from node " << n;
+  }
+  // Average should be around (1/2) log2(n) = 5; allow generous slack.
+  EXPECT_LT(total_hops / 1024, 10.0);
+  EXPECT_GT(total_hops / 1024, 2.0);
+}
+
+TEST(ChordTreeBuilderTest, BuildsSpanningTreeRootedAtAuthority) {
+  auto ring = ChordRing::Create(256);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("file.mp3");
+  auto tree = ChordTreeBuilder::Build(*ring, key);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 256u);
+  EXPECT_EQ(tree->root(), ring->SuccessorOfKey(key));
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(ChordTreeBuilderTest, TreeParentIsNextHop) {
+  auto ring = ChordRing::Create(64);
+  ASSERT_TRUE(ring.ok());
+  const ChordId key = Sha1Hash64("k");
+  auto tree = ChordTreeBuilder::Build(*ring, key);
+  ASSERT_TRUE(tree.ok());
+  for (NodeId n = 0; n < 64; ++n) {
+    if (n == tree->root()) continue;
+    EXPECT_EQ(tree->Parent(n), ring->NextHop(n, key));
+  }
+}
+
+TEST(ChordTreeBuilderTest, DifferentKeysDifferentRoots) {
+  auto ring = ChordRing::Create(128);
+  ASSERT_TRUE(ring.ok());
+  std::set<NodeId> roots;
+  for (int i = 0; i < 10; ++i) {
+    auto tree = ChordTreeBuilder::BuildForKeyName(
+        *ring, "key-" + std::to_string(i));
+    ASSERT_TRUE(tree.ok());
+    roots.insert(tree->root());
+  }
+  EXPECT_GT(roots.size(), 5u);
+}
+
+class ChordSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ChordSizeSweep, TreeDepthGrowsLogarithmically) {
+  auto ring = ChordRing::Create(GetParam());
+  ASSERT_TRUE(ring.ok());
+  auto tree = ChordTreeBuilder::BuildForKeyName(*ring, "the-index");
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(tree->Validate().ok());
+  const double log2n = std::log2(static_cast<double>(GetParam()));
+  EXPECT_LE(tree->MaxDepth(), static_cast<uint32_t>(3 * log2n + 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ChordSizeSweep,
+                         ::testing::Values(size_t{2}, size_t{16}, size_t{100},
+                                           size_t{512}, size_t{2048}));
+
+}  // namespace
+}  // namespace dupnet::chord

@@ -1,0 +1,364 @@
+#include "core/dup_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dupnet::core {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+using proto::ProtocolOptions;
+
+class DupTest : public ::testing::Test {
+ protected:
+  DupTest() : harness_(MakePaperTree()) {}
+
+  void MakeProtocol(ProtocolOptions options = ProtocolOptions(),
+                    DupOptions dup_options = DupOptions()) {
+    protocol_ = std::make_unique<DupProtocol>(
+        &harness_.network(), &harness_.tree(), options, dup_options);
+    harness_.Attach(protocol_.get());
+  }
+
+  uint64_t PushHops() { return harness_.recorder().hops().push(); }
+  uint64_t ControlHops() { return harness_.recorder().hops().control(); }
+
+  void ExpectEntry(NodeId node, NodeId branch, NodeId subscriber) {
+    const auto entry = protocol_->SubscriberListOf(node).Get(branch);
+    ASSERT_TRUE(entry.has_value())
+        << "node " << node << " has no entry for branch " << branch;
+    EXPECT_EQ(*entry, subscriber)
+        << "node " << node << " branch " << branch;
+  }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<DupProtocol> protocol_;
+};
+
+TEST_F(DupTest, Name) {
+  MakeProtocol();
+  EXPECT_EQ(protocol_->name(), "dup");
+}
+
+TEST_F(DupTest, SubscribeBuildsVirtualPath) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  // Figure 2 (a): virtual path N6..N1; only N1 and N6 in the DUP tree.
+  ExpectEntry(6, kSelfBranch, 6);
+  ExpectEntry(5, 6, 6);
+  ExpectEntry(3, 5, 6);
+  ExpectEntry(2, 3, 6);
+  ExpectEntry(1, 2, 6);
+  EXPECT_TRUE(protocol_->OnVirtualPath(5));
+  EXPECT_FALSE(protocol_->InDupTree(5));
+  EXPECT_FALSE(protocol_->InDupTree(3));
+  EXPECT_TRUE(protocol_->InDupTree(6));
+  EXPECT_TRUE(protocol_->InDupTree(1));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, DirectPushCostsOneHop) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // Paper Section III-A: "It only costs one hop to push the update"
+  // (versus eight hops for a PCX round trip to N1).
+  EXPECT_EQ(PushHops() - before, 1u);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+  // The virtual-path nodes did NOT receive the index.
+  EXPECT_NE(protocol_->CacheOf(5).stored_version(), 2u);
+  EXPECT_NE(protocol_->CacheOf(3).stored_version(), 2u);
+}
+
+TEST_F(DupTest, SecondSubscriberCreatesBranchPoint) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  // Figure 2 (b): N3 replaces N6 upstream and pushes to N4 and N6.
+  ExpectEntry(3, 4, 4);
+  ExpectEntry(3, 5, 6);
+  ExpectEntry(2, 3, 3);
+  ExpectEntry(1, 2, 3);
+  EXPECT_TRUE(protocol_->InDupTree(3));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, PaperFigure2PushCostIsThree) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // Paper: "this scheme only costs three hops" to serve N4 and N6
+  // (N1 -> N3, N3 -> N4, N3 -> N6).
+  EXPECT_EQ(PushHops() - before, 3u);
+  EXPECT_EQ(protocol_->CacheOf(4).stored_version(), 2u);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+  EXPECT_EQ(protocol_->CacheOf(3).stored_version(), 2u);  // Branch point.
+  EXPECT_NE(protocol_->CacheOf(2).stored_version(), 2u);  // Skipped.
+  EXPECT_NE(protocol_->CacheOf(5).stored_version(), 2u);  // Skipped.
+}
+
+TEST_F(DupTest, MidPathNodeJoinsTreeAndReplacesDownstream) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  protocol_->ForceSubscribe(5);
+  harness_.Drain();
+  // Paper: "for N5, after it joins the tree, it replaces N6 as a subscriber
+  // of N3 and N5 lists N6 as its subscriber."
+  ExpectEntry(3, 5, 5);
+  ExpectEntry(5, 6, 6);
+  ExpectEntry(5, kSelfBranch, 5);
+  ExpectEntry(1, 2, 5);
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // N1 -> N5 (direct), N5 -> N6.
+  EXPECT_EQ(PushHops() - before, 2u);
+  EXPECT_EQ(protocol_->CacheOf(5).stored_version(), 2u);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+}
+
+TEST_F(DupTest, DeepDescendantHandledByNearestTreeNode) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  const uint64_t control_before = ControlHops();
+  protocol_->ForceSubscribe(7);
+  harness_.Drain();
+  // Paper: "For N7 or N8, N6 takes care of them" — the subscribe stops at
+  // N6 (one hop) and the no-op substitute is suppressed.
+  EXPECT_EQ(ControlHops() - control_before, 1u);
+  ExpectEntry(6, 7, 7);
+  ExpectEntry(1, 2, 6);  // Root still points at N6.
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops() - before, 2u);  // N1 -> N6, N6 -> N7.
+  EXPECT_EQ(protocol_->CacheOf(7).stored_version(), 2u);
+}
+
+TEST_F(DupTest, UnsubscribeEndNodeClearsVirtualPath) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  protocol_->ForceUnsubscribe(6);
+  harness_.Drain();
+  // Figure 2 (c): N3 drops out and the root pushes directly to N4.
+  EXPECT_FALSE(protocol_->OnVirtualPath(6));
+  EXPECT_FALSE(protocol_->OnVirtualPath(5));
+  ExpectEntry(1, 2, 4);
+  ExpectEntry(2, 3, 4);
+  ExpectEntry(3, 4, 4);
+  EXPECT_FALSE(protocol_->InDupTree(3));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops() - before, 1u);  // N1 -> N4 direct.
+  EXPECT_EQ(protocol_->CacheOf(4).stored_version(), 2u);
+  EXPECT_NE(protocol_->CacheOf(6).stored_version(), 2u);
+}
+
+TEST_F(DupTest, LastUnsubscribeEmptiesEverything) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  protocol_->ForceUnsubscribe(6);
+  harness_.Drain();
+  for (NodeId n = 1; n <= 8; ++n) {
+    EXPECT_FALSE(protocol_->OnVirtualPath(n)) << "node " << n;
+  }
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops() - before, 0u);
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, InterestViaQueriesSubscribes) {
+  ProtocolOptions options;
+  options.threshold_c = 3;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6, 3);
+  EXPECT_FALSE(protocol_->OnVirtualPath(6));  // Exactly c: not yet.
+  harness_.QueryAt(6, 1);
+  EXPECT_TRUE(protocol_->OnVirtualPath(6));  // c+1: subscribed.
+  ExpectEntry(1, 2, 6);
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, InterestDecayUnsubscribesOnPush) {
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  options.ttl = 100.0;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.QueryAt(6, 3);
+  EXPECT_TRUE(protocol_->OnVirtualPath(6));
+  harness_.AdvanceTime(150.0);  // Interest window empties.
+  protocol_->OnRootPublish(2, harness_.engine().Now() + 100.0);
+  harness_.Drain();  // Push arrives, node notices it lost interest.
+  EXPECT_FALSE(protocol_->OnVirtualPath(6));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, PushDeduplicationStopsCycles) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  harness_.Publish(2);
+  const uint64_t before = PushHops();
+  // Replay the same version.
+  net::Message push;
+  push.type = net::MessageType::kPush;
+  push.from = 1;
+  push.to = 6;
+  push.version = 2;
+  push.expiry = harness_.engine().Now() + 3600.0;
+  harness_.network().Send(std::move(push));
+  harness_.Drain();
+  EXPECT_EQ(PushHops() - before, 1u);  // Only the replayed hop.
+}
+
+TEST_F(DupTest, DeliveryCallbackFires) {
+  MakeProtocol();
+  harness_.Publish(1);
+  std::vector<std::pair<NodeId, IndexVersion>> deliveries;
+  protocol_->set_delivery_callback(
+      [&](NodeId node, IndexVersion version) {
+        deliveries.push_back({node, version});
+      });
+  protocol_->ForceSubscribe(6);
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  harness_.Publish(2);
+  ASSERT_EQ(deliveries.size(), 3u);  // N3 (branch point), N4, N6.
+  for (const auto& [node, version] : deliveries) {
+    EXPECT_EQ(version, 2u);
+  }
+}
+
+TEST_F(DupTest, NoShortcutAblationChargesTreeDistance) {
+  DupOptions dup_options;
+  dup_options.shortcut_push = false;
+  MakeProtocol(ProtocolOptions(), dup_options);
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // Root -> N6 along the tree: 4 hops instead of the 1-hop shortcut.
+  EXPECT_EQ(PushHops() - before, 4u);
+}
+
+TEST_F(DupTest, PiggybackSubscribeIsFree) {
+  ProtocolOptions options;
+  DupOptions dup_options;
+  dup_options.piggyback_subscribe = true;
+  MakeProtocol(options, dup_options);
+  harness_.Publish(1);
+  const uint64_t before = ControlHops();
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  EXPECT_EQ(ControlHops(), before);  // Subscribe rode the interest bit.
+  ExpectEntry(1, 2, 6);              // But state still propagated.
+}
+
+TEST_F(DupTest, ForceSubscribeIdempotent) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  const uint64_t control = ControlHops();
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  EXPECT_EQ(ControlHops(), control);
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupTest, RootNeverSubscribes) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(1);
+  harness_.Drain();
+  EXPECT_FALSE(protocol_->SubscriberListOf(1).HasSelf());
+}
+
+TEST_F(DupTest, SubscriberListBoundedByChildren) {
+  MakeProtocol();
+  harness_.Publish(1);
+  for (NodeId n = 2; n <= 8; ++n) protocol_->ForceSubscribe(n);
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  for (NodeId n = 1; n <= 8; ++n) {
+    EXPECT_LE(protocol_->SubscriberListOf(n).size(),
+              harness_.tree().Children(n).size() + 1)
+        << "node " << n;
+  }
+  // Everyone subscribed: a push reaches all 7 non-root nodes.
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops() - before, 7u);
+  for (NodeId n = 2; n <= 8; ++n) {
+    EXPECT_EQ(protocol_->CacheOf(n).stored_version(), 2u) << "node " << n;
+  }
+}
+
+TEST_F(DupTest, TreeStatsMatchFigure2Taxonomy) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  const auto stats = protocol_->ComputeTreeStats();
+  EXPECT_EQ(stats.interested, 2u);      // N4, N6.
+  EXPECT_EQ(stats.virtual_path, 6u);    // N1..N6 all hold entries.
+  EXPECT_EQ(stats.branch_points, 1u);   // N3.
+  EXPECT_EQ(stats.dup_tree, 4u);        // N1, N3, N4, N6.
+  EXPECT_EQ(protocol_->MaxSubscriberListSize(), 2u);
+}
+
+TEST_F(DupTest, TreeStatsEmptyWithoutSubscribers) {
+  MakeProtocol();
+  harness_.Publish(1);
+  const auto stats = protocol_->ComputeTreeStats();
+  EXPECT_EQ(stats.interested, 0u);
+  EXPECT_EQ(stats.dup_tree, 0u);
+}
+
+TEST_F(DupTest, QueriesStillServedWhileSubscribed) {
+  MakeProtocol();
+  harness_.Publish(1);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  harness_.Publish(2);
+  harness_.QueryAt(6);
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageLatencyHops(), 0.0);
+  harness_.QueryAt(8);  // Unsubscribed sibling subtree still queries up.
+  EXPECT_GT(harness_.recorder().AverageLatencyHops(), 0.0);
+}
+
+}  // namespace
+}  // namespace dupnet::core

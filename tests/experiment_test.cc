@@ -1,0 +1,274 @@
+#include "experiment/config.h"
+#include "experiment/driver.h"
+#include "experiment/replicator.h"
+#include "experiment/report.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::experiment {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 128;
+  config.lambda = 2.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1800.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ConfigTest, DefaultsAreValid) {
+  EXPECT_TRUE(ExperimentConfig().Validate().ok());
+}
+
+TEST(ConfigTest, RejectsBadParameters) {
+  ExperimentConfig config;
+  config.num_nodes = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExperimentConfig();
+  config.lambda = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExperimentConfig();
+  config.push_lead = config.ttl;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExperimentConfig();
+  config.arrival = ArrivalKind::kPareto;
+  config.pareto_alpha = 2.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExperimentConfig();
+  config.zipf_theta = -1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = ExperimentConfig();
+  config.measure_time = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, ParseRoundTrips) {
+  for (Scheme s : {Scheme::kPcx, Scheme::kCup, Scheme::kDup}) {
+    auto parsed = ParseScheme(SchemeToString(s));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, s);
+  }
+  for (TopologyKind t : {TopologyKind::kRandomTree, TopologyKind::kChord}) {
+    auto parsed = ParseTopology(TopologyToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  for (ArrivalKind a : {ArrivalKind::kExponential, ArrivalKind::kPareto}) {
+    auto parsed = ParseArrival(ArrivalToString(a));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, a);
+  }
+  EXPECT_FALSE(ParseScheme("bogus").ok());
+  EXPECT_FALSE(ParseTopology("bogus").ok());
+  EXPECT_FALSE(ParseArrival("bogus").ok());
+}
+
+TEST(ConfigTest, ToStringMentionsScheme) {
+  ExperimentConfig config;
+  config.scheme = Scheme::kCup;
+  EXPECT_NE(config.ToString().find("cup"), std::string::npos);
+}
+
+class DriverSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(DriverSchemeTest, RunsAndProducesSaneMetrics) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = GetParam();
+  auto metrics = SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->queries, 1000u);
+  EXPECT_GE(metrics->avg_latency_hops, 0.0);
+  EXPECT_GT(metrics->avg_cost_hops, 0.0);
+  EXPECT_GE(metrics->local_hit_rate, 0.0);
+  EXPECT_LE(metrics->local_hit_rate, 1.0);
+  EXPECT_GE(metrics->stale_rate, 0.0);
+  EXPECT_LE(metrics->stale_rate, 1.0);
+  // Cost includes request+reply symmetric hops at minimum.
+  EXPECT_GE(metrics->hops.reply(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, DriverSchemeTest,
+                         ::testing::Values(Scheme::kPcx, Scheme::kCup,
+                                           Scheme::kDup));
+
+TEST(DriverTest, DeterministicForSameSeed) {
+  ExperimentConfig config = SmallConfig();
+  auto a = SimulationDriver::Run(config);
+  auto b = SimulationDriver::Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->queries, b->queries);
+  EXPECT_DOUBLE_EQ(a->avg_latency_hops, b->avg_latency_hops);
+  EXPECT_DOUBLE_EQ(a->avg_cost_hops, b->avg_cost_hops);
+  EXPECT_EQ(a->hops.total(), b->hops.total());
+}
+
+TEST(DriverTest, DifferentSeedsDiffer) {
+  ExperimentConfig config = SmallConfig();
+  auto a = SimulationDriver::Run(config);
+  config.seed = 12;
+  auto b = SimulationDriver::Run(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->hops.total(), b->hops.total());
+}
+
+TEST(DriverTest, PcxHasNoPushOrControlTraffic) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kPcx;
+  auto metrics = SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->hops.push(), 0u);
+  EXPECT_EQ(metrics->hops.control(), 0u);
+}
+
+TEST(DriverTest, DupPushesAndSubscribes) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kDup;
+  auto metrics = SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->hops.push(), 0u);
+  EXPECT_GT(metrics->hops.control(), 0u);
+}
+
+class DriverTopologyTest : public ::testing::TestWithParam<TopologyKind> {};
+
+TEST_P(DriverTopologyTest, EverySubstrateRuns) {
+  ExperimentConfig config = SmallConfig();
+  config.topology = GetParam();
+  auto metrics = SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->queries, 0u);
+  EXPECT_GT(metrics->avg_cost_hops, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, DriverTopologyTest,
+                         ::testing::Values(TopologyKind::kRandomTree,
+                                           TopologyKind::kChord,
+                                           TopologyKind::kCan,
+                                           TopologyKind::kPastry));
+
+TEST(DriverTest, InstanceApiExposesInternals) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kDup;
+  SimulationDriver driver(config);
+  ASSERT_TRUE(driver.Init().ok());
+  EXPECT_EQ(driver.tree().size(), config.num_nodes);
+  EXPECT_NE(driver.dup_protocol(), nullptr);
+  driver.RunUntil(config.warmup_time / 2);
+  EXPECT_EQ(driver.recorder().queries_served(), 0u);  // Still warming up.
+  driver.RunToCompletion();
+  EXPECT_GT(driver.recorder().queries_served(), 0u);
+}
+
+TEST(DriverTest, ChurnRunStaysConsistent) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kDup;
+  config.churn.join_rate = 0.05;
+  config.churn.leave_rate = 0.02;
+  config.churn.fail_rate = 0.02;
+  config.churn.detect_delay = 10.0;
+  SimulationDriver driver(config);
+  ASSERT_TRUE(driver.Init().ok());
+  driver.RunToCompletion();
+  driver.engine().Run();  // Drain in-flight traffic.
+  EXPECT_GT(driver.churn_events_applied(), 0u);
+  EXPECT_TRUE(driver.tree().Validate().ok());
+  EXPECT_TRUE(driver.dup_protocol()->ValidatePropagationState().ok());
+  EXPECT_EQ(driver.tree().size(), driver.live_nodes().size());
+}
+
+TEST(DriverTest, ChurnRunWithAllSchemes) {
+  for (Scheme scheme : {Scheme::kPcx, Scheme::kCup, Scheme::kDup}) {
+    ExperimentConfig config = SmallConfig();
+    config.scheme = scheme;
+    config.churn.join_rate = 0.05;
+    config.churn.fail_rate = 0.05;
+    config.churn.detect_delay = 5.0;
+    auto metrics = SimulationDriver::Run(config);
+    ASSERT_TRUE(metrics.ok()) << SchemeToString(scheme);
+    EXPECT_GT(metrics->queries, 0u);
+  }
+}
+
+TEST(DriverTest, HostDrivenUpdatesRun) {
+  ExperimentConfig config = SmallConfig();
+  config.scheme = Scheme::kDup;
+  config.update_mode = UpdateMode::kHostDriven;
+  config.host_change_rate = 1.0 / 300.0;
+  auto metrics = SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_GT(metrics->hops.push(), 0u);  // Updates did happen and propagate.
+}
+
+TEST(DriverTest, HostDrivenRejectsBadRate) {
+  ExperimentConfig config = SmallConfig();
+  config.update_mode = UpdateMode::kHostDriven;
+  config.host_change_rate = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, UpdateModeParseRoundTrips) {
+  for (UpdateMode mode : {UpdateMode::kTtlAligned, UpdateMode::kHostDriven}) {
+    auto parsed = ParseUpdateMode(UpdateModeToString(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseUpdateMode("sometimes").ok());
+}
+
+TEST(ReplicatorTest, SeedsDiffer) {
+  EXPECT_NE(Replicator::SeedForReplication(1, 0),
+            Replicator::SeedForReplication(1, 1));
+  EXPECT_NE(Replicator::SeedForReplication(1, 0),
+            Replicator::SeedForReplication(2, 0));
+}
+
+TEST(ReplicatorTest, AggregatesRuns) {
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 64;
+  auto summary = Replicator::Run(config, 3);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->runs.size(), 3u);
+  EXPECT_GT(summary->total_queries, 0u);
+  EXPECT_GT(summary->cost.mean, 0.0);
+}
+
+TEST(ReplicatorTest, RejectsZeroReplications) {
+  EXPECT_FALSE(Replicator::Run(SmallConfig(), 0).ok());
+}
+
+TEST(CompareSchemesTest, ProducesAllThree) {
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 64;
+  auto comparison = CompareSchemes(config, 2);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_GT(comparison->pcx.cost.mean, 0.0);
+  EXPECT_GT(comparison->cup.cost.mean, 0.0);
+  EXPECT_GT(comparison->dup.cost.mean, 0.0);
+  EXPECT_GT(comparison->dup_cost_relative_to_pcx(), 0.0);
+  EXPECT_GT(comparison->cup_cost_relative_to_pcx(), 0.0);
+}
+
+TEST(TableReportTest, RendersAlignedTable) {
+  TableReport table("Title", {"a", "long-column"});
+  table.AddRow({"1", "2"});
+  table.AddSeparator();
+  table.AddRow({"333", "4"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("Title"), std::string::npos);
+  EXPECT_NE(rendered.find("long-column"), std::string::npos);
+  EXPECT_NE(rendered.find("| 333"), std::string::npos);
+}
+
+TEST(TableReportTest, Cells) {
+  EXPECT_EQ(CiCell(1.25, 0.5), "1.250±0.500");
+  EXPECT_EQ(PercentCell(0.423), "42.3%");
+}
+
+}  // namespace
+}  // namespace dupnet::experiment

@@ -1,0 +1,197 @@
+// Cross-module integration tests: the paper's worked examples end-to-end
+// and the qualitative relationships its evaluation section reports.
+
+#include <gtest/gtest.h>
+
+#include "core/dup_protocol.h"
+#include "experiment/config.h"
+#include "experiment/replicator.h"
+#include "proto/cup.h"
+#include "proto/pcx.h"
+#include "test_util.h"
+
+namespace dupnet {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+// ---------------------------------------------------------------------------
+// The paper's Figure 2 arithmetic: "this scheme only costs three hops while
+// PCX costs ten hops and CUP costs five hops to serve N4's and N6's
+// queries." The PCX number assumes passing replies are cached (N6's query
+// stops at N3, warmed by N4's reply two hops up).
+// ---------------------------------------------------------------------------
+
+TEST(PaperFigure2, PcxCostsTenHops) {
+  ProtocolHarness harness(MakePaperTree());
+  proto::ProtocolOptions options;
+  options.cache_passing_replies = true;
+  proto::PcxProtocol protocol(&harness.network(), &harness.tree(), options);
+  harness.Attach(&protocol);
+  harness.Publish(1);
+
+  harness.QueryAt(4);  // 3 up to N1, 3 back: 6 hops.
+  harness.QueryAt(6);  // 2 up to N3 (warm via pass-through), 2 back: 4 hops.
+  EXPECT_EQ(harness.recorder().hops().request() +
+                harness.recorder().hops().reply(),
+            10u);
+}
+
+TEST(PaperFigure2, CupCostsFiveHops) {
+  ProtocolHarness harness(MakePaperTree());
+  proto::CupProtocol protocol(&harness.network(), &harness.tree(),
+                              proto::ProtocolOptions());
+  harness.Attach(&protocol);
+  harness.Publish(1);
+  harness.QueryAt(4);
+  harness.QueryAt(6);  // Demand along both paths.
+  const uint64_t before = harness.recorder().hops().push();
+  harness.Publish(2);
+  EXPECT_EQ(harness.recorder().hops().push() - before, 5u);
+}
+
+TEST(PaperFigure2, DupCostsThreeHops) {
+  ProtocolHarness harness(MakePaperTree());
+  core::DupProtocol protocol(&harness.network(), &harness.tree(),
+                             proto::ProtocolOptions());
+  harness.Attach(&protocol);
+  harness.Publish(1);
+  protocol.ForceSubscribe(4);
+  protocol.ForceSubscribe(6);
+  harness.Drain();
+  const uint64_t before = harness.recorder().hops().push();
+  harness.Publish(2);
+  EXPECT_EQ(harness.recorder().hops().push() - before, 3u);
+}
+
+TEST(PaperSection3A, DirectPushSavesSevenEighths) {
+  // "It only costs one hop to push the update. If the update is not pushed
+  // to N6, it costs eight hops for N6 to send the request and get the index
+  // from N1 in PCX. Therefore, the cost is reduced by 87.5%."
+  ProtocolHarness pcx_harness(MakePaperTree());
+  proto::PcxProtocol pcx(&pcx_harness.network(), &pcx_harness.tree(),
+                         proto::ProtocolOptions());
+  pcx_harness.Attach(&pcx);
+  pcx_harness.Publish(1);
+  pcx_harness.QueryAt(6);
+  const uint64_t pcx_cost = pcx_harness.recorder().hops().total();
+  EXPECT_EQ(pcx_cost, 8u);
+
+  ProtocolHarness dup_harness(MakePaperTree());
+  core::DupProtocol dup(&dup_harness.network(), &dup_harness.tree(),
+                        proto::ProtocolOptions());
+  dup_harness.Attach(&dup);
+  dup_harness.Publish(1);
+  dup.ForceSubscribe(6);
+  dup_harness.Drain();
+  const uint64_t before = dup_harness.recorder().hops().push();
+  dup_harness.Publish(2);
+  const uint64_t dup_cost = dup_harness.recorder().hops().push() - before;
+  EXPECT_EQ(dup_cost, 1u);
+  EXPECT_DOUBLE_EQ(1.0 - static_cast<double>(dup_cost) /
+                             static_cast<double>(pcx_cost),
+                   0.875);
+}
+
+// ---------------------------------------------------------------------------
+// Qualitative relationships from the evaluation section, on small but
+// realistic simulations.
+// ---------------------------------------------------------------------------
+
+experiment::ExperimentConfig EvalConfig(double lambda) {
+  experiment::ExperimentConfig config;
+  config.num_nodes = 512;
+  config.lambda = lambda;
+  config.warmup_time = 3600.0;
+  config.measure_time = 4 * 3540.0;
+  config.seed = 5;
+  return config;
+}
+
+TEST(EvaluationShape, DupBeatsPcxInLatencyAndCost) {
+  auto comparison = experiment::CompareSchemes(EvalConfig(5.0), 2);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_LT(comparison->dup.latency.mean, comparison->pcx.latency.mean);
+  EXPECT_LT(comparison->dup.cost.mean, comparison->pcx.cost.mean);
+}
+
+TEST(EvaluationShape, DupBeatsCupAtHighRate) {
+  auto comparison = experiment::CompareSchemes(EvalConfig(20.0), 2);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_LT(comparison->dup.latency.mean, comparison->cup.latency.mean);
+  EXPECT_LE(comparison->dup.cost.mean, comparison->cup.cost.mean * 1.05);
+}
+
+TEST(EvaluationShape, RelativeCostImprovesWithRate) {
+  auto slow = experiment::CompareSchemes(EvalConfig(1.0), 2);
+  auto fast = experiment::CompareSchemes(EvalConfig(20.0), 2);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(fast->dup_cost_relative_to_pcx(),
+            slow->dup_cost_relative_to_pcx());
+}
+
+TEST(EvaluationShape, LatencyFallsAsRateGrows) {
+  // Paper Fig. 4 (a): more queries -> warmer caches -> lower latency.
+  auto slow = experiment::Replicator::Run(EvalConfig(0.5), 2);
+  auto fast = experiment::Replicator::Run(EvalConfig(10.0), 2);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(fast->latency.mean, slow->latency.mean);
+}
+
+TEST(EvaluationShape, PcxServesStaleCopiesDupMuchLess) {
+  // PCX drawback 2: stale copies served until the timer runs out; pushes
+  // keep DUP's interested nodes fresh.
+  experiment::ExperimentConfig config = EvalConfig(10.0);
+  config.scheme = experiment::Scheme::kPcx;
+  auto pcx = experiment::SimulationDriver::Run(config);
+  config.scheme = experiment::Scheme::kDup;
+  auto dup = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(pcx.ok());
+  ASSERT_TRUE(dup.ok());
+  EXPECT_GT(pcx->stale_rate, dup->stale_rate);
+}
+
+TEST(EvaluationShape, ShortcutAblationShowsWhereTheWinComesFrom) {
+  experiment::ExperimentConfig config = EvalConfig(10.0);
+  config.scheme = experiment::Scheme::kDup;
+  // Keep the subscriber set sparse: with everyone subscribed the DUP tree
+  // degenerates to the index search tree and every "shortcut" is already a
+  // tree edge, making the ablation a no-op.
+  config.threshold_c = 200;
+  auto with_shortcut = experiment::SimulationDriver::Run(config);
+  config.dup.shortcut_push = false;
+  auto without_shortcut = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(with_shortcut.ok());
+  ASSERT_TRUE(without_shortcut.ok());
+  EXPECT_LT(with_shortcut->hops.push(), without_shortcut->hops.push());
+}
+
+TEST(EvaluationShape, ParetoArrivalsRun) {
+  experiment::ExperimentConfig config = EvalConfig(5.0);
+  config.arrival = experiment::ArrivalKind::kPareto;
+  config.pareto_alpha = 1.05;
+  config.scheme = experiment::Scheme::kDup;
+  auto metrics = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->queries, 0u);
+}
+
+TEST(EvaluationShape, SmallerDegreeMeansDeeperTreeAndHigherLatency) {
+  // Paper Fig. 6: latency falls as the maximum node degree D grows.
+  experiment::ExperimentConfig narrow = EvalConfig(1.0);
+  narrow.scheme = experiment::Scheme::kPcx;
+  narrow.max_degree = 2;
+  experiment::ExperimentConfig wide = narrow;
+  wide.max_degree = 10;
+  auto narrow_result = experiment::Replicator::Run(narrow, 2);
+  auto wide_result = experiment::Replicator::Run(wide, 2);
+  ASSERT_TRUE(narrow_result.ok());
+  ASSERT_TRUE(wide_result.ok());
+  EXPECT_GT(narrow_result->latency.mean, wide_result->latency.mean);
+}
+
+}  // namespace
+}  // namespace dupnet

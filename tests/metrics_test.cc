@@ -1,0 +1,119 @@
+#include "metrics/recorder.h"
+#include "metrics/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::metrics {
+namespace {
+
+TEST(RecorderTest, StartsEmpty) {
+  Recorder r;
+  EXPECT_EQ(r.queries_issued(), 0u);
+  EXPECT_EQ(r.queries_served(), 0u);
+  EXPECT_DOUBLE_EQ(r.AverageLatencyHops(), 0.0);
+  EXPECT_DOUBLE_EQ(r.AverageCostHops(), 0.0);
+}
+
+TEST(RecorderTest, LatencyAveragesServedQueries) {
+  Recorder r;
+  r.OnQueryIssued();
+  r.OnQueryServed(0, false);
+  r.OnQueryIssued();
+  r.OnQueryServed(4, false);
+  EXPECT_EQ(r.queries_served(), 2u);
+  EXPECT_DOUBLE_EQ(r.AverageLatencyHops(), 2.0);
+  EXPECT_EQ(r.local_hits(), 1u);
+  EXPECT_DOUBLE_EQ(r.LocalHitRate(), 0.5);
+}
+
+TEST(RecorderTest, CostDividesTotalHopsByServed) {
+  Recorder r;
+  r.AddHops(HopClass::kRequest, 3);
+  r.AddHops(HopClass::kReply, 3);
+  r.AddHops(HopClass::kPush, 2);
+  r.AddHops(HopClass::kControl);
+  r.OnQueryIssued();
+  r.OnQueryServed(3, false);
+  r.OnQueryIssued();
+  r.OnQueryServed(0, false);
+  EXPECT_DOUBLE_EQ(r.AverageCostHops(), 9.0 / 2.0);
+  EXPECT_EQ(r.hops().request(), 3u);
+  EXPECT_EQ(r.hops().control(), 1u);
+}
+
+TEST(RecorderTest, StaleRate) {
+  Recorder r;
+  for (int i = 0; i < 4; ++i) {
+    r.OnQueryIssued();
+    r.OnQueryServed(0, i == 0);
+  }
+  EXPECT_DOUBLE_EQ(r.StaleRate(), 0.25);
+}
+
+TEST(RecorderTest, DisabledDropsEverything) {
+  Recorder r;
+  r.set_enabled(false);
+  r.OnQueryIssued();
+  r.OnQueryServed(5, true);
+  r.AddHops(HopClass::kPush, 10);
+  EXPECT_EQ(r.queries_issued(), 0u);
+  EXPECT_EQ(r.hops().total(), 0u);
+  r.set_enabled(true);
+  r.OnQueryIssued();
+  EXPECT_EQ(r.queries_issued(), 1u);
+}
+
+TEST(RecorderTest, ResetClears) {
+  Recorder r;
+  r.OnQueryIssued();
+  r.OnQueryServed(2, true);
+  r.AddHops(HopClass::kRequest, 5);
+  r.Reset();
+  EXPECT_EQ(r.queries_issued(), 0u);
+  EXPECT_EQ(r.queries_served(), 0u);
+  EXPECT_EQ(r.stale_serves(), 0u);
+  EXPECT_EQ(r.hops().total(), 0u);
+}
+
+TEST(RunMetricsTest, FromRecorderSnapshots) {
+  Recorder r;
+  r.OnQueryIssued();
+  r.OnQueryServed(2, false);
+  r.AddHops(HopClass::kRequest, 2);
+  r.AddHops(HopClass::kReply, 2);
+  const RunMetrics m = RunMetrics::FromRecorder(r);
+  EXPECT_EQ(m.queries, 1u);
+  EXPECT_DOUBLE_EQ(m.avg_latency_hops, 2.0);
+  EXPECT_DOUBLE_EQ(m.avg_cost_hops, 4.0);
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(ReplicationSummaryTest, AggregatesWithCi) {
+  RunMetrics a, b, c;
+  a.avg_latency_hops = 1.0;
+  b.avg_latency_hops = 2.0;
+  c.avg_latency_hops = 3.0;
+  a.avg_cost_hops = b.avg_cost_hops = c.avg_cost_hops = 4.0;
+  a.queries = 10;
+  b.queries = 20;
+  c.queries = 30;
+  const ReplicationSummary s = ReplicationSummary::FromRuns({a, b, c});
+  EXPECT_DOUBLE_EQ(s.latency.mean, 2.0);
+  EXPECT_GT(s.latency.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(s.cost.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.cost.half_width, 0.0);
+  EXPECT_EQ(s.total_queries, 60u);
+  EXPECT_EQ(s.runs.size(), 3u);
+  EXPECT_FALSE(s.ToString().empty());
+}
+
+TEST(ReplicationSummaryTest, SingleRun) {
+  RunMetrics a;
+  a.avg_latency_hops = 1.5;
+  const ReplicationSummary s = ReplicationSummary::FromRuns({a});
+  EXPECT_DOUBLE_EQ(s.latency.mean, 1.5);
+  EXPECT_DOUBLE_EQ(s.latency.half_width, 0.0);
+}
+
+}  // namespace
+}  // namespace dupnet::metrics

@@ -1,0 +1,122 @@
+#include "multikey/simulation.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::multikey {
+namespace {
+
+MultiKeyConfig SmallConfig() {
+  MultiKeyConfig config;
+  config.num_nodes = 128;
+  config.num_keys = 8;
+  config.lambda = 10.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1800.0;
+  config.seed = 3;
+  return config;
+}
+
+TEST(MultiKeyConfigTest, DefaultsValid) {
+  EXPECT_TRUE(MultiKeyConfig().Validate().ok());
+}
+
+TEST(MultiKeyConfigTest, Rejections) {
+  MultiKeyConfig config;
+  config.num_nodes = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.num_keys = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.lambda = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.push_lead = config.ttl;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(MultiKeyTest, RunsAndReportsPerKeyStats) {
+  auto result = MultiKeySimulation::Run(SmallConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->keys.size(), 8u);
+  EXPECT_GT(result->aggregate.queries, 1000u);
+  uint64_t per_key_total = 0;
+  for (const KeyStats& key : result->keys) {
+    EXPECT_NE(key.authority, kInvalidNode);
+    per_key_total += key.metrics.queries;
+  }
+  EXPECT_EQ(per_key_total, result->aggregate.queries);
+}
+
+TEST(MultiKeyTest, KeyPopularityIsSkewed) {
+  MultiKeyConfig config = SmallConfig();
+  config.key_zipf_theta = 1.5;
+  auto result = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(result.ok());
+  // Rank-0 key must receive more queries than the coldest key.
+  EXPECT_GT(result->keys.front().metrics.queries,
+            2 * result->keys.back().metrics.queries);
+}
+
+TEST(MultiKeyTest, UniformKeysWhenThetaZero) {
+  MultiKeyConfig config = SmallConfig();
+  config.key_zipf_theta = 0.0;
+  auto result = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(result.ok());
+  const double expected = static_cast<double>(result->aggregate.queries) /
+                          static_cast<double>(config.num_keys);
+  for (const KeyStats& key : result->keys) {
+    EXPECT_NEAR(static_cast<double>(key.metrics.queries), expected,
+                expected * 0.25)
+        << key.key_name;
+  }
+}
+
+TEST(MultiKeyTest, AuthoritiesSpreadAcrossNodes) {
+  MultiKeyConfig config = SmallConfig();
+  config.num_keys = 32;
+  auto result = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(result.ok());
+  // Hashing 32 keys over 128 nodes: authorities should be well spread.
+  EXPECT_GT(result->distinct_authorities, 16u);
+  EXPECT_LE(result->max_keys_per_authority, 5u);
+}
+
+TEST(MultiKeyTest, AllSchemesRun) {
+  for (experiment::Scheme scheme :
+       {experiment::Scheme::kPcx, experiment::Scheme::kCup,
+        experiment::Scheme::kDup}) {
+    MultiKeyConfig config = SmallConfig();
+    config.scheme = scheme;
+    auto result = MultiKeySimulation::Run(config);
+    ASSERT_TRUE(result.ok()) << experiment::SchemeToString(scheme);
+    EXPECT_GT(result->aggregate.queries, 0u);
+  }
+}
+
+TEST(MultiKeyTest, DupBeatsPcxInAggregate) {
+  MultiKeyConfig pcx_config = SmallConfig();
+  pcx_config.scheme = experiment::Scheme::kPcx;
+  MultiKeyConfig dup_config = SmallConfig();
+  dup_config.scheme = experiment::Scheme::kDup;
+  auto pcx = MultiKeySimulation::Run(pcx_config);
+  auto dup = MultiKeySimulation::Run(dup_config);
+  ASSERT_TRUE(pcx.ok());
+  ASSERT_TRUE(dup.ok());
+  EXPECT_LT(dup->aggregate.avg_latency_hops, pcx->aggregate.avg_latency_hops);
+  EXPECT_LT(dup->aggregate.avg_cost_hops, pcx->aggregate.avg_cost_hops);
+}
+
+TEST(MultiKeyTest, DeterministicForSeed) {
+  auto a = MultiKeySimulation::Run(SmallConfig());
+  auto b = MultiKeySimulation::Run(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->aggregate.queries, b->aggregate.queries);
+  EXPECT_DOUBLE_EQ(a->aggregate.avg_cost_hops, b->aggregate.avg_cost_hops);
+}
+
+}  // namespace
+}  // namespace dupnet::multikey

@@ -1,0 +1,151 @@
+#include "pastry/pastry.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::pastry {
+namespace {
+
+TEST(PastryDigitsTest, DigitAtExtractsNibbles) {
+  const PastryId id = 0x123456789ABCDEF0ULL;
+  EXPECT_EQ(DigitAt(id, 0), 0x1);
+  EXPECT_EQ(DigitAt(id, 1), 0x2);
+  EXPECT_EQ(DigitAt(id, 14), 0xF);
+  EXPECT_EQ(DigitAt(id, 15), 0x0);
+}
+
+TEST(PastryDigitsTest, SharedPrefixLength) {
+  EXPECT_EQ(SharedPrefixLength(0x1234000000000000ULL,
+                               0x1234FFFFFFFFFFFFULL),
+            4);
+  EXPECT_EQ(SharedPrefixLength(0xAAAAAAAAAAAAAAAAULL,
+                               0xAAAAAAAAAAAAAAAAULL),
+            16);
+  EXPECT_EQ(SharedPrefixLength(0x0, 0xF000000000000000ULL), 0);
+}
+
+TEST(PastryNetworkTest, CreateValidations) {
+  EXPECT_FALSE(PastryNetwork::Create(0).ok());
+  EXPECT_FALSE(PastryNetwork::Create(8, 3).ok());  // Odd leaf set.
+  EXPECT_TRUE(PastryNetwork::Create(8, 4).ok());
+}
+
+TEST(PastryNetworkTest, SingleNode) {
+  auto network = PastryNetwork::Create(1);
+  ASSERT_TRUE(network.ok());
+  EXPECT_EQ(network->AuthorityOf(12345), 0u);
+  EXPECT_EQ(network->NextHop(0, 12345), 0u);
+}
+
+TEST(PastryNetworkTest, AuthorityIsNumericallyClosest) {
+  auto network = PastryNetwork::Create(64);
+  ASSERT_TRUE(network.ok());
+  const PastryId key = PastryNetwork::KeyForName("some-key");
+  const NodeId authority = network->AuthorityOf(key);
+  auto distance = [&](NodeId n) {
+    const PastryId id = network->IdOf(n);
+    const uint64_t fwd = id - key;
+    const uint64_t bwd = key - id;
+    return std::min(fwd, bwd);
+  };
+  for (NodeId n = 0; n < 64; ++n) {
+    EXPECT_GE(distance(n), distance(authority)) << "node " << n;
+  }
+}
+
+TEST(PastryNetworkTest, LeafSetsHoldNumericNeighbors) {
+  auto network = PastryNetwork::Create(32, 8);
+  ASSERT_TRUE(network.ok());
+  for (NodeId n = 0; n < 32; ++n) {
+    const auto& leaves = network->LeafSetOf(n);
+    EXPECT_GE(leaves.size(), 4u);
+    EXPECT_LE(leaves.size(), 8u);
+    for (NodeId leaf : leaves) EXPECT_NE(leaf, n);
+  }
+}
+
+TEST(PastryNetworkTest, RoutingEntriesShareRequiredPrefix) {
+  auto network = PastryNetwork::Create(128);
+  ASSERT_TRUE(network.ok());
+  for (NodeId n = 0; n < 128; ++n) {
+    const PastryId self = network->IdOf(n);
+    for (int row = 0; row < 4; ++row) {  // Deep rows are mostly empty.
+      for (int col = 0; col < kDigitRange; ++col) {
+        const NodeId entry = network->RoutingEntry(n, row, col);
+        if (entry == kInvalidNode) continue;
+        const PastryId id = network->IdOf(entry);
+        EXPECT_GE(SharedPrefixLength(id, self), row);
+        EXPECT_EQ(DigitAt(id, row), col);
+      }
+    }
+  }
+}
+
+TEST(PastryNetworkTest, RoutesConvergeFromEveryNode) {
+  auto network = PastryNetwork::Create(256);
+  ASSERT_TRUE(network.ok());
+  const PastryId key = PastryNetwork::KeyForName("target");
+  const NodeId authority = network->AuthorityOf(key);
+  for (NodeId n = 0; n < 256; ++n) {
+    auto path = network->RoutePath(n, key);
+    ASSERT_TRUE(path.ok()) << "from " << n << ": "
+                           << path.status().ToString();
+    EXPECT_EQ(path->back(), authority);
+  }
+}
+
+TEST(PastryNetworkTest, RoutesAreLogarithmicallyShort) {
+  auto network = PastryNetwork::Create(1024);
+  ASSERT_TRUE(network.ok());
+  const PastryId key = PastryNetwork::KeyForName("hot");
+  double total = 0;
+  for (NodeId n = 0; n < 1024; ++n) {
+    auto path = network->RoutePath(n, key);
+    ASSERT_TRUE(path.ok());
+    total += static_cast<double>(path->size() - 1);
+    // log_16(1024) = 2.5; generous bound.
+    EXPECT_LE(path->size() - 1, 10u);
+  }
+  EXPECT_LT(total / 1024.0, 5.0);
+}
+
+TEST(PastryNetworkTest, BuildsSpanningIndexTree) {
+  auto network = PastryNetwork::Create(200);
+  ASSERT_TRUE(network.ok());
+  auto tree = network->BuildIndexTreeForKeyName("the-index");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 200u);
+  EXPECT_TRUE(tree->Validate().ok());
+  EXPECT_EQ(tree->root(),
+            network->AuthorityOf(PastryNetwork::KeyForName("the-index")));
+}
+
+TEST(PastryNetworkTest, DifferentKeysDifferentAuthorities) {
+  auto network = PastryNetwork::Create(128);
+  ASSERT_TRUE(network.ok());
+  std::set<NodeId> authorities;
+  for (int i = 0; i < 12; ++i) {
+    authorities.insert(network->AuthorityOf(
+        PastryNetwork::KeyForName("key-" + std::to_string(i))));
+  }
+  EXPECT_GT(authorities.size(), 6u);
+}
+
+class PastrySizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PastrySizeSweep, TreesSpanAtEverySize) {
+  auto network = PastryNetwork::Create(GetParam());
+  ASSERT_TRUE(network.ok());
+  auto tree = network->BuildIndexTreeForKeyName("sweep");
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), GetParam());
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PastrySizeSweep,
+                         ::testing::Values(size_t{2}, size_t{10}, size_t{64},
+                                           size_t{500}, size_t{2048}));
+
+}  // namespace
+}  // namespace dupnet::pastry

@@ -1,0 +1,125 @@
+// Message-level tests of the shared query/reply machinery in
+// TreeProtocolBase (exercised through PCX, the thinnest subclass).
+
+#include <gtest/gtest.h>
+
+#include "proto/pcx.h"
+#include "test_util.h"
+
+namespace dupnet::proto {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+class BaseFlowTest : public ::testing::Test {
+ protected:
+  BaseFlowTest() : harness_(MakePaperTree()) {}
+
+  void MakeProtocol(ProtocolOptions options = ProtocolOptions()) {
+    protocol_ = std::make_unique<PcxProtocol>(&harness_.network(),
+                                              &harness_.tree(), options);
+    harness_.Attach(protocol_.get());
+    harness_.Publish(1);
+  }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<PcxProtocol> protocol_;
+};
+
+TEST_F(BaseFlowTest, LatencyEqualsRequestDistanceNotRoundTrip) {
+  MakeProtocol();
+  harness_.QueryAt(8);  // Depth 5.
+  // The paper's latency metric counts only the request's travel.
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageLatencyHops(), 5.0);
+  // The cost metric counts both directions.
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageCostHops(), 10.0);
+}
+
+TEST_F(BaseFlowTest, ConcurrentQueriesFromSiblingsBothComplete) {
+  MakeProtocol();
+  // Two queries in flight at once (no drain in between).
+  protocol_->OnLocalQuery(7);
+  protocol_->OnLocalQuery(8);
+  harness_.Drain();
+  EXPECT_EQ(harness_.recorder().queries_issued(), 2u);
+  EXPECT_EQ(harness_.recorder().queries_served(), 2u);
+}
+
+TEST_F(BaseFlowTest, ManyOutstandingQueriesFromSameNode) {
+  MakeProtocol();
+  for (int i = 0; i < 5; ++i) protocol_->OnLocalQuery(6);
+  harness_.Drain();
+  // All five issued before any reply: each misses and climbs (the cache
+  // only fills when the first reply lands).
+  EXPECT_EQ(harness_.recorder().queries_served(), 5u);
+  EXPECT_EQ(harness_.recorder().hops().request(), 20u);
+}
+
+TEST_F(BaseFlowTest, ReplyRetracesTheRecordedRoute) {
+  MakeProtocol();
+  harness_.QueryAt(7);
+  // Request and reply hop counts are symmetric because the reply walks the
+  // recorded route backwards.
+  EXPECT_EQ(harness_.recorder().hops().request(),
+            harness_.recorder().hops().reply());
+}
+
+TEST_F(BaseFlowTest, MidFlightTopologyChangeStillDeliversReply) {
+  MakeProtocol();
+  protocol_->OnLocalQuery(7);  // Route will be 7 -> 6 -> 5 -> 3 -> 2 -> 1.
+  // While the request is in flight, splice a new node above N3. The reply
+  // follows the *recorded* route, not the new topology.
+  ASSERT_TRUE(harness_.tree().SplitEdge(2, 3, 23).ok());
+  harness_.Drain();
+  EXPECT_EQ(harness_.recorder().queries_served(), 1u);
+}
+
+TEST_F(BaseFlowTest, QueryAtEveryNodeTerminates) {
+  MakeProtocol();
+  for (NodeId n = 1; n <= 8; ++n) protocol_->OnLocalQuery(n);
+  harness_.Drain();
+  EXPECT_EQ(harness_.recorder().queries_served(), 8u);
+}
+
+TEST_F(BaseFlowTest, StaleFlagReflectsSupersededVersion) {
+  MakeProtocol();
+  harness_.QueryAt(6);  // Caches v1.
+  harness_.Publish(2);
+  harness_.QueryAt(7);  // Served by N6's now-superseded copy.
+  EXPECT_EQ(harness_.recorder().stale_serves(), 1u);
+  // The copy N7 received is v1.
+  EXPECT_EQ(protocol_->CacheOf(7).stored_version(), 1u);
+}
+
+TEST_F(BaseFlowTest, AuthorityReStampsOnlyInPerCopyMode) {
+  ProtocolOptions per_copy;
+  per_copy.ttl = 100.0;
+  per_copy.per_copy_ttl = true;
+  MakeProtocol(per_copy);
+  EXPECT_GT(protocol_->latest_version(), 0u);
+  EXPECT_EQ(protocol_->latest_version(), 1u);
+}
+
+TEST_F(BaseFlowTest, RecorderDisabledDuringWarmupStyleUse) {
+  MakeProtocol();
+  harness_.recorder().set_enabled(false);
+  harness_.QueryAt(6);
+  EXPECT_EQ(harness_.recorder().queries_served(), 0u);
+  EXPECT_EQ(harness_.recorder().hops().total(), 0u);
+  harness_.recorder().set_enabled(true);
+  harness_.QueryAt(7);
+  EXPECT_EQ(harness_.recorder().queries_served(), 1u);
+}
+
+TEST_F(BaseFlowTest, NodeInterestedTracksOwnQueries) {
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  MakeProtocol(options);
+  EXPECT_FALSE(protocol_->NodeInterested(6));
+  harness_.QueryAt(6, 3);
+  EXPECT_TRUE(protocol_->NodeInterested(6));
+}
+
+}  // namespace
+}  // namespace dupnet::proto

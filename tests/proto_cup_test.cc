@@ -1,0 +1,290 @@
+#include "proto/cup.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dupnet::proto {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+class CupTest : public ::testing::Test {
+ protected:
+  CupTest() : harness_(MakePaperTree()) {}
+
+  void MakeProtocol(ProtocolOptions options = ProtocolOptions(),
+                    CupOptions cup_options = CupOptions()) {
+    protocol_ = std::make_unique<CupProtocol>(
+        &harness_.network(), &harness_.tree(), options, cup_options);
+    harness_.Attach(protocol_.get());
+  }
+
+  uint64_t PushHops() { return harness_.recorder().hops().push(); }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<CupProtocol> protocol_;
+};
+
+TEST_F(CupTest, Name) {
+  MakeProtocol();
+  EXPECT_EQ(protocol_->name(), "cup");
+}
+
+TEST_F(CupTest, NoDemandNoPushes) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops(), 0u);
+}
+
+TEST_F(CupTest, QueryEstablishesDemandAlongPath) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.QueryAt(6);  // Miss climbs 6 -> 5 -> 3 -> 2 -> 1.
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(3, 5));
+  EXPECT_TRUE(protocol_->WouldPushTo(2, 3));
+  EXPECT_TRUE(protocol_->WouldPushTo(1, 2));
+  EXPECT_FALSE(protocol_->WouldPushTo(3, 4));
+  EXPECT_FALSE(protocol_->WouldPushTo(6, 7));
+}
+
+TEST_F(CupTest, PushFollowsDemandHopByHop) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // Push travels N1 -> N2 -> N3 -> N5 -> N6: every intermediate node
+  // receives the update even though only N6 wanted it (paper Section II-B).
+  EXPECT_EQ(PushHops() - before, 4u);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+  EXPECT_EQ(protocol_->CacheOf(3).stored_version(), 2u);
+}
+
+TEST_F(CupTest, PaperFigure2PushCostIsFive) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.QueryAt(4);
+  harness_.QueryAt(6);
+  const uint64_t before = PushHops();
+  harness_.Publish(2);
+  // Paper Section III-A: serving N4 and N6 costs CUP five hops
+  // (N1->N2, N2->N3, N3->N4, N3->N5, N5->N6).
+  EXPECT_EQ(PushHops() - before, 5u);
+}
+
+TEST_F(CupTest, PushedNodeServesLocally) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  harness_.Publish(2);
+  const uint64_t requests = harness_.recorder().hops().request();
+  harness_.QueryAt(6);  // Fresh from the push: zero-hop.
+  EXPECT_EQ(harness_.recorder().hops().request(), requests);
+}
+
+TEST_F(CupTest, DemandDecaysAfterTtlWindow) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.QueryAt(6);
+  harness_.AdvanceTime(150.0);
+  EXPECT_FALSE(protocol_->WouldPushTo(5, 6));
+  const uint64_t before = PushHops();
+  protocol_->OnRootPublish(2, harness_.engine().Now() + 100.0);
+  harness_.Drain();
+  EXPECT_EQ(PushHops(), before);  // Cut off, as the paper warns.
+}
+
+TEST_F(CupTest, OscillationPushedEveryOtherCycle) {
+  // The paper's CUP weakness: a node served entirely by the previous push
+  // generates no demand, so the next cycle skips it.
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  options.threshold_c = 1000;  // Disable explicit interest notifications.
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.QueryAt(6);  // Demand up the whole path.
+
+  harness_.AdvanceTime(95.0);
+  uint64_t before = PushHops();
+  protocol_->OnRootPublish(2, harness_.engine().Now() + 100.0);
+  harness_.Drain();
+  EXPECT_EQ(PushHops() - before, 4u);  // Cycle 1: pushed.
+
+  harness_.AdvanceTime(95.0);  // N6 quiet: fully served by the push.
+  before = PushHops();
+  protocol_->OnRootPublish(3, harness_.engine().Now() + 100.0);
+  harness_.Drain();
+  EXPECT_EQ(PushHops() - before, 0u);  // Cycle 2: cut off.
+
+  harness_.QueryAt(6);  // Copy of v2 still valid (<100 s old): local hit,
+                        // still no demand... until it expires:
+  harness_.AdvanceTime(95.0);
+  harness_.QueryAt(6);  // Now a miss; demand flows again.
+  before = PushHops();
+  protocol_->OnRootPublish(4, harness_.engine().Now() + 100.0);
+  harness_.Drain();
+  EXPECT_EQ(PushHops() - before, 4u);  // Cycle 3: pushed again.
+}
+
+TEST_F(CupTest, ExplicitInterestNotificationKeepsHotNodeFed) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  options.threshold_c = 3;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.QueryAt(6, 5);  // Crosses the c=3 threshold: notifies N5.
+  EXPECT_GT(harness_.recorder().hops().control(), 0u);
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 6));
+}
+
+TEST_F(CupTest, InterestRegisterCountsAsDemand) {
+  MakeProtocol();
+  harness_.Publish(1);
+  net::Message msg;
+  msg.type = net::MessageType::kInterestRegister;
+  msg.from = 6;
+  msg.to = 5;
+  msg.subject = 6;
+  harness_.network().Send(std::move(msg));
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 6));
+}
+
+TEST_F(CupTest, DuplicatePushesNotForwardedTwice) {
+  MakeProtocol();
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  harness_.Publish(2);
+  const uint64_t before = PushHops();
+  // Replay the same version directly to N5; it must not re-forward.
+  net::Message push;
+  push.type = net::MessageType::kPush;
+  push.from = 3;
+  push.to = 5;
+  push.version = 2;
+  push.expiry = harness_.engine().Now() + 3600.0;
+  harness_.network().Send(std::move(push));
+  harness_.Drain();
+  EXPECT_EQ(PushHops() - before, 1u);  // Only the replayed hop itself.
+}
+
+TEST_F(CupTest, NodeRemovalPurgesStateAndReNotifies) {
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6, 4);  // N6 interested and notified to N5.
+  // N5 dies; N6 reparents to N3 (driver semantics).
+  const std::vector<NodeId> orphans = harness_.tree().Children(5);
+  ASSERT_TRUE(harness_.tree().RemoveNode(5).ok());
+  harness_.network().SetNodeDown(5, true);
+  protocol_->OnNodeRemoved(5, 3, orphans, false, harness_.tree().root());
+  harness_.Drain();
+  // N6 re-notified its new parent N3.
+  EXPECT_TRUE(protocol_->WouldPushTo(3, 6));
+}
+
+TEST_F(CupTest, PolicyNames) {
+  EXPECT_EQ(CupPushPolicyToString(CupPushPolicy::kDemandWindow),
+            "demand-window");
+  EXPECT_EQ(CupPushPolicyToString(CupPushPolicy::kPopularityThreshold),
+            "popularity-threshold");
+  EXPECT_EQ(CupPushPolicyToString(CupPushPolicy::kInvestmentReturn),
+            "investment-return");
+}
+
+TEST_F(CupTest, PopularityPolicyNeedsRepeatedDemand) {
+  CupOptions cup_options;
+  cup_options.policy = CupPushPolicy::kPopularityThreshold;
+  cup_options.popularity_threshold = 3;
+  MakeProtocol(ProtocolOptions(), cup_options);
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  // One miss is not enough demand for a conservative pusher.
+  EXPECT_FALSE(protocol_->WouldPushTo(5, 6));
+  // Repeated misses qualify the branch. Force misses by expiring N6's
+  // copy via new versions it never receives.
+  harness_.Publish(2);
+  harness_.Publish(3);
+  // N6's copy is still valid (per-copy TTL), so exercise the tracker with
+  // direct requests from N6's branch instead.
+  for (int i = 0; i < 2; ++i) {
+    net::Message request;
+    request.type = net::MessageType::kRequest;
+    request.from = 6;
+    request.to = 5;
+    request.origin = 6;
+    request.hops = 1;
+    request.route = {6};
+    harness_.network().Send(std::move(request));
+    harness_.Drain();
+  }
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 6));
+}
+
+TEST_F(CupTest, InvestmentReturnSpendsCredit) {
+  CupOptions cup_options;
+  cup_options.policy = CupPushPolicy::kInvestmentReturn;
+  cup_options.max_credit = 2.0;
+  ProtocolOptions options;
+  options.threshold_c = 1000;  // No explicit notifications.
+  MakeProtocol(options, cup_options);
+  harness_.Publish(1);
+  harness_.QueryAt(6);  // Earns 1 credit along the path.
+  harness_.QueryAt(6);  // Local hit: no new credit.
+
+  uint64_t before = PushHops();
+  harness_.Publish(2);
+  EXPECT_EQ(PushHops() - before, 4u);  // Credit spent on the push.
+
+  before = PushHops();
+  harness_.Publish(3);
+  // Balance exhausted and no new demand: the branch is cut off.
+  EXPECT_EQ(PushHops() - before, 0u);
+}
+
+TEST_F(CupTest, InvestmentReturnCreditIsCapped) {
+  CupOptions cup_options;
+  cup_options.policy = CupPushPolicy::kInvestmentReturn;
+  cup_options.max_credit = 2.0;
+  ProtocolOptions options;
+  options.threshold_c = 1000;
+  MakeProtocol(options, cup_options);
+  harness_.Publish(1);
+  // Many direct requests from N6's branch at N5: credit caps at 2.
+  for (int i = 0; i < 10; ++i) {
+    net::Message request;
+    request.type = net::MessageType::kRequest;
+    request.from = 6;
+    request.to = 5;
+    request.origin = 6;
+    request.hops = 1;
+    request.route = {6};
+    harness_.network().Send(std::move(request));
+    harness_.Drain();
+  }
+  // N5 can push at most twice without fresh demand.
+  int pushes = 0;
+  for (IndexVersion v = 2; v <= 5; ++v) {
+    const uint64_t before = PushHops();
+    net::Message push;
+    push.type = net::MessageType::kPush;
+    push.from = 3;
+    push.to = 5;
+    push.version = v;
+    push.expiry = harness_.engine().Now() + 3600.0;
+    harness_.network().Send(std::move(push));
+    harness_.Drain();
+    if (PushHops() - before > 1) ++pushes;  // N5 forwarded to N6.
+  }
+  EXPECT_EQ(pushes, 2);
+}
+
+}  // namespace
+}  // namespace dupnet::proto

@@ -1,0 +1,166 @@
+#include "proto/pcx.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dupnet::proto {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+class PcxTest : public ::testing::Test {
+ protected:
+  PcxTest() : harness_(MakePaperTree()) {}
+
+  void MakeProtocol(const ProtocolOptions& options) {
+    protocol_ = std::make_unique<PcxProtocol>(&harness_.network(),
+                                              &harness_.tree(), options);
+    harness_.Attach(protocol_.get());
+  }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<PcxProtocol> protocol_;
+};
+
+TEST_F(PcxTest, Name) {
+  MakeProtocol(ProtocolOptions());
+  EXPECT_EQ(protocol_->name(), "pcx");
+}
+
+TEST_F(PcxTest, RootQueryIsAlwaysLocal) {
+  MakeProtocol(ProtocolOptions());
+  harness_.Publish(1);
+  harness_.QueryAt(1);
+  EXPECT_EQ(harness_.recorder().queries_served(), 1u);
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageLatencyHops(), 0.0);
+  EXPECT_EQ(harness_.recorder().hops().total(), 0u);
+}
+
+TEST_F(PcxTest, ColdMissClimbsToAuthority) {
+  MakeProtocol(ProtocolOptions());
+  harness_.Publish(1);
+  harness_.QueryAt(6);  // Depth 4: N6 -> N5 -> N3 -> N2 -> N1.
+  EXPECT_EQ(harness_.recorder().queries_served(), 1u);
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageLatencyHops(), 4.0);
+  EXPECT_EQ(harness_.recorder().hops().request(), 4u);
+  EXPECT_EQ(harness_.recorder().hops().reply(), 4u);
+  // Paper Section III-A: "it costs eight hops for N6 to send the request
+  // and get the index from N1 in PCX".
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageCostHops(), 8.0);
+}
+
+TEST_F(PcxTest, SecondQueryServedLocally) {
+  MakeProtocol(ProtocolOptions());
+  harness_.Publish(1);
+  harness_.QueryAt(6, 2);
+  EXPECT_EQ(harness_.recorder().queries_served(), 2u);
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageLatencyHops(), 2.0);  // (4+0)/2
+  EXPECT_DOUBLE_EQ(harness_.recorder().LocalHitRate(), 0.5);
+}
+
+TEST_F(PcxTest, WithoutPassThroughIntermediatesStayCold) {
+  ProtocolOptions options;
+  options.cache_passing_replies = false;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  // N5 relayed the reply but did not install it.
+  EXPECT_FALSE(protocol_->CacheOf(5).HasValid(harness_.engine().Now()));
+  harness_.QueryAt(5);
+  // N5's own query climbs 3 hops to the root.
+  EXPECT_DOUBLE_EQ(harness_.recorder().latency_stats().Max(), 4.0);
+  EXPECT_EQ(harness_.recorder().hops().request(), 4u + 3u);
+}
+
+TEST_F(PcxTest, WithPassThroughIntermediatesServe) {
+  ProtocolOptions options;
+  options.cache_passing_replies = true;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  EXPECT_TRUE(protocol_->CacheOf(5).HasValid(harness_.engine().Now()));
+  EXPECT_TRUE(protocol_->CacheOf(3).HasValid(harness_.engine().Now()));
+  harness_.QueryAt(5);  // Local hit from the passing reply.
+  EXPECT_EQ(harness_.recorder().hops().request(), 4u);
+  harness_.QueryAt(4);  // One hop to N3, which holds a copy.
+  EXPECT_EQ(harness_.recorder().hops().request(), 5u);
+}
+
+TEST_F(PcxTest, CopyExpiresAfterTtl) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, harness_.engine().Now() + 100.0);
+  harness_.QueryAt(6);
+  EXPECT_TRUE(protocol_->CacheOf(6).HasValid(harness_.engine().Now()));
+  harness_.AdvanceTime(150.0);
+  EXPECT_FALSE(protocol_->CacheOf(6).HasValid(harness_.engine().Now()));
+  // The authority still answers (it owns the index).
+  protocol_->OnRootPublish(2, harness_.engine().Now() + 100.0);
+  harness_.QueryAt(6);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+}
+
+TEST_F(PcxTest, StaleServeDetected) {
+  MakeProtocol(ProtocolOptions());
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  harness_.Publish(2);  // N6 does not know; its copy is still unexpired.
+  harness_.QueryAt(6);
+  EXPECT_EQ(harness_.recorder().stale_serves(), 1u);
+}
+
+TEST_F(PcxTest, PerCopyTtlRestartsAtAuthorityServeTime) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  options.per_copy_ttl = true;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.AdvanceTime(90.0);  // Version 1 is near its original expiry.
+  harness_.QueryAt(2);
+  // The authority re-stamps: N2's copy lives ~100 s from the serve.
+  EXPECT_TRUE(protocol_->CacheOf(2).HasValid(harness_.engine().Now() + 50.0));
+}
+
+TEST_F(PcxTest, AbsoluteTtlKeepsIssueExpiry) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  options.per_copy_ttl = false;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.AdvanceTime(90.0);
+  harness_.QueryAt(2);
+  // The copy dies with the version at t=100 regardless of fetch time.
+  EXPECT_FALSE(protocol_->CacheOf(2).HasValid(101.0));
+}
+
+TEST_F(PcxTest, InheritedCopyKeepsRemainingTtl) {
+  ProtocolOptions options;
+  options.ttl = 100.0;
+  options.per_copy_ttl = true;
+  options.cache_passing_replies = true;
+  MakeProtocol(options);
+  protocol_->OnRootPublish(1, 100.0);
+  harness_.QueryAt(6);         // N6 (and path) get copies stamped ~t=0.
+  harness_.AdvanceTime(60.0);
+  harness_.QueryAt(7);         // Served by N6's aging copy.
+  // N7 inherits N6's remaining TTL: invalid once N6's stamp runs out.
+  EXPECT_TRUE(protocol_->CacheOf(7).HasValid(harness_.engine().Now()));
+  EXPECT_FALSE(protocol_->CacheOf(7).HasValid(101.0));
+}
+
+TEST_F(PcxTest, ManyQueriesAccumulateCostCorrectly) {
+  MakeProtocol(ProtocolOptions());
+  harness_.Publish(1);
+  harness_.QueryAt(7);  // 5 hops up.
+  harness_.QueryAt(7);  // Local.
+  harness_.QueryAt(8);  // 6's sibling: cold, climbs 5 too.
+  EXPECT_EQ(harness_.recorder().queries_served(), 3u);
+  EXPECT_EQ(harness_.recorder().hops().request(), 10u);
+  EXPECT_DOUBLE_EQ(harness_.recorder().AverageCostHops(), 20.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace dupnet::proto

@@ -1,0 +1,153 @@
+#include "pubsub/hub.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::pubsub {
+namespace {
+
+class HubTest : public ::testing::Test {
+ protected:
+  HubTest() : rng_(3) {
+    DisseminationHub::Options options;
+    options.num_nodes = 64;
+    auto hub = DisseminationHub::Create(&engine_, &rng_, options);
+    hub_ = std::move(hub.value());
+  }
+
+  sim::Engine engine_;
+  util::Rng rng_;
+  std::unique_ptr<DisseminationHub> hub_;
+};
+
+TEST_F(HubTest, CreateTopicOnce) {
+  EXPECT_TRUE(hub_->CreateTopic("news").ok());
+  EXPECT_TRUE(hub_->CreateTopic("news").IsAlreadyExists());
+  EXPECT_EQ(hub_->topics(), std::vector<std::string>{"news"});
+}
+
+TEST_F(HubTest, UnknownTopicErrors) {
+  EXPECT_TRUE(hub_->Subscribe("ghost", 1).IsNotFound());
+  EXPECT_TRUE(hub_->Unsubscribe("ghost", 1).IsNotFound());
+  EXPECT_TRUE(hub_->Publish("ghost").IsNotFound());
+  EXPECT_TRUE(hub_->AuthorityOf("ghost").status().IsNotFound());
+  EXPECT_TRUE(hub_->VersionOf("ghost").status().IsNotFound());
+}
+
+TEST_F(HubTest, SubscribeRejectsUnknownNode) {
+  ASSERT_TRUE(hub_->CreateTopic("news").ok());
+  EXPECT_TRUE(hub_->Subscribe("news", 9999).IsNotFound());
+}
+
+TEST_F(HubTest, PublishDeliversToSubscribers) {
+  ASSERT_TRUE(hub_->CreateTopic("news").ok());
+  std::set<NodeId> delivered;
+  hub_->set_delivery_callback(
+      [&](const std::string& topic, NodeId node, IndexVersion version) {
+        EXPECT_EQ(topic, "news");
+        EXPECT_EQ(version, 1u);
+        delivered.insert(node);
+      });
+  const NodeId authority = hub_->AuthorityOf("news").value();
+  std::set<NodeId> subscribers;
+  for (NodeId n = 0; n < 10; ++n) {
+    if (n == authority) continue;
+    ASSERT_TRUE(hub_->Subscribe("news", n).ok());
+    subscribers.insert(n);
+  }
+  engine_.Run();
+  ASSERT_TRUE(hub_->Publish("news").ok());
+  engine_.Run();
+  for (NodeId n : subscribers) {
+    EXPECT_TRUE(delivered.count(n)) << "node " << n << " missed delivery";
+  }
+  EXPECT_EQ(hub_->VersionOf("news").value(), 1u);
+}
+
+TEST_F(HubTest, UnsubscribedNodeStopsReceiving) {
+  ASSERT_TRUE(hub_->CreateTopic("news").ok());
+  const NodeId authority = hub_->AuthorityOf("news").value();
+  const NodeId node = authority == 5 ? 6 : 5;
+  ASSERT_TRUE(hub_->Subscribe("news", node).ok());
+  engine_.Run();
+  std::map<IndexVersion, int> deliveries;
+  hub_->set_delivery_callback(
+      [&](const std::string&, NodeId n, IndexVersion version) {
+        if (n == node) ++deliveries[version];
+      });
+  ASSERT_TRUE(hub_->Publish("news").ok());
+  engine_.Run();
+  EXPECT_EQ(deliveries[1], 1);
+  ASSERT_TRUE(hub_->Unsubscribe("news", node).ok());
+  engine_.Run();
+  ASSERT_TRUE(hub_->Publish("news").ok());
+  engine_.Run();
+  EXPECT_EQ(deliveries[2], 0);
+}
+
+TEST_F(HubTest, TopicsAreIndependent) {
+  ASSERT_TRUE(hub_->CreateTopic("a").ok());
+  ASSERT_TRUE(hub_->CreateTopic("b").ok());
+  const NodeId authority_a = hub_->AuthorityOf("a").value();
+  const NodeId node = authority_a == 3 ? 4 : 3;
+  ASSERT_TRUE(hub_->Subscribe("a", node).ok());
+  engine_.Run();
+  std::map<std::string, int> deliveries;
+  hub_->set_delivery_callback(
+      [&](const std::string& topic, NodeId n, IndexVersion) {
+        if (n == node) ++deliveries[topic];
+      });
+  ASSERT_TRUE(hub_->Publish("a").ok());
+  ASSERT_TRUE(hub_->Publish("b").ok());
+  engine_.Run();
+  EXPECT_EQ(deliveries["a"], 1);
+  EXPECT_EQ(deliveries["b"], 0);
+}
+
+TEST_F(HubTest, DifferentTopicsUsuallyDifferentAuthorities) {
+  std::set<NodeId> authorities;
+  for (int i = 0; i < 8; ++i) {
+    const std::string topic = "topic-" + std::to_string(i);
+    ASSERT_TRUE(hub_->CreateTopic(topic).ok());
+    authorities.insert(hub_->AuthorityOf(topic).value());
+  }
+  EXPECT_GT(authorities.size(), 3u);
+}
+
+TEST_F(HubTest, VersionsIncrement) {
+  ASSERT_TRUE(hub_->CreateTopic("v").ok());
+  EXPECT_EQ(hub_->VersionOf("v").value(), 0u);
+  ASSERT_TRUE(hub_->Publish("v").ok());
+  ASSERT_TRUE(hub_->Publish("v").ok());
+  engine_.Run();
+  EXPECT_EQ(hub_->VersionOf("v").value(), 2u);
+}
+
+TEST_F(HubTest, ProtocolOfExposesDupTree) {
+  ASSERT_TRUE(hub_->CreateTopic("t").ok());
+  auto protocol = hub_->ProtocolOf("t");
+  ASSERT_TRUE(protocol.ok());
+  const NodeId authority = hub_->AuthorityOf("t").value();
+  const NodeId node = authority == 1 ? 2 : 1;
+  ASSERT_TRUE(hub_->Subscribe("t", node).ok());
+  engine_.Run();
+  EXPECT_TRUE((*protocol)->InDupTree(node));
+  EXPECT_TRUE((*protocol)->ValidatePropagationState().ok());
+  EXPECT_TRUE(hub_->ProtocolOf("ghost").status().IsNotFound());
+}
+
+TEST_F(HubTest, RecorderAggregatesAcrossTopics) {
+  ASSERT_TRUE(hub_->CreateTopic("x").ok());
+  const NodeId authority = hub_->AuthorityOf("x").value();
+  ASSERT_TRUE(hub_->Subscribe("x", authority == 0 ? 1 : 0).ok());
+  engine_.Run();
+  ASSERT_TRUE(hub_->Publish("x").ok());
+  engine_.Run();
+  EXPECT_GT(hub_->recorder().hops().push(), 0u);
+  EXPECT_GT(hub_->recorder().hops().control(), 0u);
+}
+
+}  // namespace
+}  // namespace dupnet::pubsub

@@ -1,0 +1,227 @@
+// Deeper edge cases pinned down during development: representative-change
+// propagation, driver option plumbing, horizon draining, and cross-module
+// invariants that only show up in combination.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "chord/ring.h"
+#include "chord/sha1.h"
+#include "core/dup_protocol.h"
+#include "experiment/config.h"
+#include "experiment/driver.h"
+#include "test_util.h"
+
+namespace dupnet {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+// --- DUP representative-change propagation ---------------------------------
+
+class DupEdgeTest : public ::testing::Test {
+ protected:
+  DupEdgeTest() : harness_(MakePaperTree()) {
+    protocol_ = std::make_unique<core::DupProtocol>(
+        &harness_.network(), &harness_.tree(), proto::ProtocolOptions());
+    harness_.Attach(protocol_.get());
+    protocol_->OnRootPublish(1, 3600.0);
+    harness_.Drain();
+  }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<core::DupProtocol> protocol_;
+};
+
+TEST_F(DupEdgeTest, NearerSubscriberTakesOverBranchRepresentation) {
+  // N7 subscribes first: the whole path represents N7.
+  protocol_->ForceSubscribe(7);
+  harness_.Drain();
+  EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(7));
+  // Then N6 (nearer to the root on the same branch) subscribes: it becomes
+  // a branch point below, and upstream must re-point to N6.
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(6));
+  EXPECT_EQ(protocol_->SubscriberListOf(6).Get(7), std::optional<NodeId>(7));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  // Both get the next version.
+  protocol_->OnRootPublish(2, 7200.0);
+  harness_.Drain();
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+  EXPECT_EQ(protocol_->CacheOf(7).stored_version(), 2u);
+}
+
+TEST_F(DupEdgeTest, SiblingLeavesDeepBranchIntact) {
+  protocol_->ForceSubscribe(7);
+  protocol_->ForceSubscribe(8);
+  harness_.Drain();
+  ASSERT_TRUE(protocol_->InDupTree(6));  // Branch point for 7 and 8.
+  protocol_->ForceUnsubscribe(8);
+  harness_.Drain();
+  // N6 collapses out of the tree; upstream points straight to N7.
+  EXPECT_FALSE(protocol_->InDupTree(6));
+  EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(7));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+TEST_F(DupEdgeTest, ThreeGenerationsOfBranchPoints) {
+  for (NodeId n : {4u, 7u, 8u, 5u}) protocol_->ForceSubscribe(n);
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  // N3 (4 vs 5-side), N5 (self + 6-side), N6 (7 vs 8) are branch points.
+  EXPECT_TRUE(protocol_->InDupTree(3));
+  EXPECT_TRUE(protocol_->InDupTree(5));
+  EXPECT_TRUE(protocol_->InDupTree(6));
+  protocol_->OnRootPublish(2, 7200.0);
+  harness_.Drain();
+  for (NodeId n : {4u, 5u, 7u, 8u}) {
+    EXPECT_EQ(protocol_->CacheOf(n).stored_version(), 2u) << "node " << n;
+  }
+  // Push hops: 1->3, 3->4, 3->5, 5->6, 6->7, 6->8 = 6 direct edges.
+  // (N5 is both interested and a relay to N6's branch point.)
+}
+
+TEST_F(DupEdgeTest, UnsubscribeWhileSubscribeInFlight) {
+  // Issue subscribe and unsubscribe back-to-back without draining: FIFO
+  // links must make the final state "unsubscribed".
+  protocol_->ForceSubscribe(6);
+  protocol_->ForceUnsubscribe(6);
+  harness_.Drain();
+  EXPECT_FALSE(protocol_->OnVirtualPath(6));
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  // And the reverse order ends subscribed.
+  protocol_->ForceUnsubscribe(6);
+  protocol_->ForceSubscribe(6);
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->SubscriberListOf(6).HasSelf());
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+}
+
+// --- Driver option plumbing -------------------------------------------------
+
+TEST(DriverPlumbingTest, CupPolicyReachesProtocol) {
+  experiment::ExperimentConfig config;
+  config.scheme = experiment::Scheme::kCup;
+  config.num_nodes = 64;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1200.0;
+  config.cup.policy = proto::CupPushPolicy::kPopularityThreshold;
+  config.cup.popularity_threshold = 1000000;  // Never push.
+  auto metrics = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->hops.push(), 0u);  // Policy made CUP push-free.
+}
+
+TEST(DriverPlumbingTest, PiggybackSubscribeRemovesControlCost) {
+  experiment::ExperimentConfig config;
+  config.scheme = experiment::Scheme::kDup;
+  config.num_nodes = 256;
+  config.lambda = 5.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1200.0;
+  auto explicit_subs = experiment::SimulationDriver::Run(config);
+  config.dup.piggyback_subscribe = true;
+  auto piggyback = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(explicit_subs.ok());
+  ASSERT_TRUE(piggyback.ok());
+  EXPECT_LT(piggyback->hops.control(), explicit_subs->hops.control());
+}
+
+TEST(DriverPlumbingTest, QueueDrainsAfterHorizon) {
+  experiment::ExperimentConfig config;
+  config.num_nodes = 64;
+  config.lambda = 5.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 300.0;
+  config.measure_time = 900.0;
+  experiment::SimulationDriver driver(config);
+  ASSERT_TRUE(driver.Init().ok());
+  driver.RunToCompletion();
+  driver.engine().Run();  // Must terminate: generators stop at the horizon.
+  EXPECT_EQ(driver.engine().pending(), 0u);
+}
+
+TEST(DriverPlumbingTest, HopLatencyAffectsTimingNotHops) {
+  experiment::ExperimentConfig slow;
+  slow.num_nodes = 64;
+  slow.ttl = 600.0;
+  slow.push_lead = 30.0;
+  slow.warmup_time = 300.0;
+  slow.measure_time = 900.0;
+  experiment::ExperimentConfig fast = slow;
+  fast.hop_latency_mean = 0.001;
+  auto slow_result = experiment::SimulationDriver::Run(slow);
+  auto fast_result = experiment::SimulationDriver::Run(fast);
+  ASSERT_TRUE(slow_result.ok());
+  ASSERT_TRUE(fast_result.ok());
+  // Hop-based metrics are latency-scale-free (same seed, same decisions
+  // except for in-flight races near version boundaries).
+  EXPECT_NEAR(fast_result->avg_cost_hops, slow_result->avg_cost_hops,
+              0.15 * slow_result->avg_cost_hops + 0.05);
+}
+
+// --- Chord routing property --------------------------------------------------
+
+TEST(ChordPropertyTest, NextHopStrictlyApproachesAuthority) {
+  auto ring = chord::ChordRing::Create(512);
+  ASSERT_TRUE(ring.ok());
+  const chord::ChordId key = chord::Sha1Hash64("progress");
+  const NodeId authority = ring->SuccessorOfKey(key);
+  auto clockwise_gap = [&](NodeId n) {
+    // Distance from node (exclusive) clockwise to the key.
+    return key - ring->IdOf(n) - 1;  // mod 2^64 arithmetic.
+  };
+  for (NodeId n = 0; n < 512; ++n) {
+    if (n == authority) continue;
+    const NodeId next = ring->NextHop(n, key);
+    if (next == authority) continue;
+    EXPECT_LT(clockwise_gap(next), clockwise_gap(n)) << "from node " << n;
+  }
+}
+
+// --- Statistical cross-checks -------------------------------------------------
+
+TEST(MetricsCrossCheckTest, CostAtLeastTwiceNonLocalLatencyForPcx) {
+  // In PCX every non-local query pays its request hops again on the reply,
+  // and there is no other traffic: cost == 2 * latency exactly.
+  experiment::ExperimentConfig config;
+  config.scheme = experiment::Scheme::kPcx;
+  config.num_nodes = 256;
+  config.lambda = 2.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1200.0;
+  auto metrics = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NEAR(metrics->avg_cost_hops, 2.0 * metrics->avg_latency_hops,
+              0.02 * metrics->avg_cost_hops + 1e-9);
+}
+
+TEST(MetricsCrossCheckTest, LatencyPercentilesOrdered) {
+  experiment::ExperimentConfig config;
+  config.num_nodes = 256;
+  config.lambda = 1.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1800.0;
+  auto metrics = experiment::SimulationDriver::Run(config);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LE(metrics->latency_p50, metrics->latency_p95);
+  EXPECT_LE(metrics->latency_p95, metrics->latency_p99);
+  EXPECT_LE(metrics->latency_p99, metrics->latency_max);
+  EXPECT_GE(static_cast<double>(metrics->latency_max),
+            metrics->avg_latency_hops);
+}
+
+}  // namespace
+}  // namespace dupnet

@@ -1,0 +1,138 @@
+#include "sim/engine.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+
+namespace dupnet::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, PeekTimeMatchesNext) {
+  EventQueue q;
+  q.Push(2.0, [] {});
+  q.Push(1.0, [] {});
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 1.0);
+  q.Pop();
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 2.0);
+}
+
+TEST(EventQueueTest, SizeAndPushedCounters) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pushed(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pushed(), 2u);
+}
+
+TEST(EngineTest, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.Now(), 0.0);
+}
+
+TEST(EngineTest, StepAdvancesClockToEventTime) {
+  Engine engine;
+  engine.ScheduleAt(4.5, [] {});
+  EXPECT_TRUE(engine.Step());
+  EXPECT_DOUBLE_EQ(engine.Now(), 4.5);
+  EXPECT_FALSE(engine.Step());
+}
+
+TEST(EngineTest, ScheduleAfterIsRelative) {
+  Engine engine;
+  double fired_at = -1;
+  engine.ScheduleAt(2.0, [&] {
+    engine.ScheduleAfter(3.0, [&] { fired_at = engine.Now(); });
+  });
+  engine.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine engine;
+  int fired = 0;
+  engine.ScheduleAt(1.0, [&] { ++fired; });
+  engine.ScheduleAt(2.0, [&] { ++fired; });
+  engine.ScheduleAt(10.0, [&] { ++fired; });
+  engine.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.Now(), 5.0);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(EngineTest, RunUntilIncludesEventsExactlyAtBoundary) {
+  Engine engine;
+  bool fired = false;
+  engine.ScheduleAt(5.0, [&] { fired = true; });
+  engine.RunUntil(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(EngineTest, EventsScheduledDuringRunAreProcessed) {
+  Engine engine;
+  std::vector<double> times;
+  engine.ScheduleAt(1.0, [&] {
+    times.push_back(engine.Now());
+    engine.ScheduleAfter(0.5, [&] { times.push_back(engine.Now()); });
+  });
+  engine.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(EngineTest, RunWithEventCapStopsEarly) {
+  Engine engine;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { engine.ScheduleAfter(1.0, loop); };
+  engine.ScheduleAfter(1.0, loop);
+  engine.Run(/*max_events=*/100);
+  EXPECT_EQ(engine.processed(), 100u);
+}
+
+TEST(EngineTest, ProcessedCounter) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.ScheduleAt(i, [] {});
+  engine.Run();
+  EXPECT_EQ(engine.processed(), 7u);
+}
+
+TEST(EngineTest, SameTimeEventsRunInScheduleOrderAcrossNesting) {
+  Engine engine;
+  std::vector<int> order;
+  engine.ScheduleAt(1.0, [&] {
+    order.push_back(0);
+    engine.ScheduleAt(1.0, [&] { order.push_back(2); });
+  });
+  engine.ScheduleAt(1.0, [&] { order.push_back(1); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace dupnet::sim

@@ -1,0 +1,157 @@
+#include "topo/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "topo/tree_generator.h"
+
+namespace dupnet::topo {
+namespace {
+
+std::vector<NodeId> LiveNodes(const IndexSearchTree& tree) {
+  return tree.NodesPreOrder();
+}
+
+TEST(ChurnConfigTest, EnabledOnlyWithPositiveRates) {
+  ChurnConfig config;
+  EXPECT_FALSE(config.enabled());
+  config.join_rate = 0.5;
+  EXPECT_TRUE(config.enabled());
+  EXPECT_DOUBLE_EQ(config.total_rate(), 0.5);
+}
+
+TEST(ChurnPlannerTest, IntervalIsExponentialWithTotalRate) {
+  ChurnConfig config;
+  config.join_rate = 1.0;
+  config.fail_rate = 1.0;
+  ChurnPlanner planner(config);
+  util::Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += planner.NextInterval(&rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);  // Mean 1/(join+fail).
+}
+
+TEST(ChurnPlannerTest, JoinOnlyProducesJoins) {
+  ChurnConfig config;
+  config.join_rate = 1.0;
+  ChurnPlanner planner(config);
+  util::Rng rng(5);
+  IndexSearchTree tree = dupnet::testing::MakePaperTree();
+  const auto live = LiveNodes(tree);
+  for (int i = 0; i < 50; ++i) {
+    auto action = planner.Plan(tree, live, /*fresh_id=*/100, &rng);
+    ASSERT_TRUE(action.ok());
+    EXPECT_TRUE(action->kind == ChurnAction::Kind::kJoinLeaf ||
+                action->kind == ChurnAction::Kind::kJoinSplit);
+    EXPECT_EQ(action->subject, 100u);
+    EXPECT_TRUE(tree.Contains(action->parent));
+    if (action->kind == ChurnAction::Kind::kJoinSplit) {
+      EXPECT_EQ(tree.Parent(action->child), action->parent);
+    }
+  }
+}
+
+TEST(ChurnPlannerTest, MinNodesBlocksDepartures) {
+  ChurnConfig config;
+  config.leave_rate = 1.0;
+  config.min_nodes = 8;  // Exactly the paper tree's size.
+  ChurnPlanner planner(config);
+  util::Rng rng(7);
+  IndexSearchTree tree = dupnet::testing::MakePaperTree();
+  auto action = planner.Plan(tree, LiveNodes(tree), 100, &rng);
+  EXPECT_TRUE(action.status().IsFailedPrecondition());
+}
+
+TEST(ChurnPlannerTest, LeaveNeverPicksRoot) {
+  ChurnConfig config;
+  config.leave_rate = 1.0;
+  ChurnPlanner planner(config);
+  util::Rng rng(11);
+  IndexSearchTree tree = dupnet::testing::MakePaperTree();
+  const auto live = LiveNodes(tree);
+  for (int i = 0; i < 200; ++i) {
+    auto action = planner.Plan(tree, live, 100, &rng);
+    ASSERT_TRUE(action.ok());
+    EXPECT_EQ(action->kind, ChurnAction::Kind::kLeave);
+    EXPECT_NE(action->subject, tree.root());
+  }
+}
+
+TEST(ChurnPlannerTest, RootFailureRequiresOptIn) {
+  ChurnConfig config;
+  config.fail_rate = 1.0;
+  config.allow_root_failure = false;
+  ChurnPlanner planner(config);
+  util::Rng rng(13);
+  IndexSearchTree tree = dupnet::testing::MakePaperTree();
+  const auto live = LiveNodes(tree);
+  for (int i = 0; i < 200; ++i) {
+    auto action = planner.Plan(tree, live, 100, &rng);
+    ASSERT_TRUE(action.ok());
+    EXPECT_NE(action->subject, tree.root());
+  }
+}
+
+TEST(ChurnPlannerTest, RootFailurePossibleWhenAllowed) {
+  ChurnConfig config;
+  config.fail_rate = 1.0;
+  config.allow_root_failure = true;
+  ChurnPlanner planner(config);
+  util::Rng rng(17);
+  IndexSearchTree tree = dupnet::testing::MakePaperTree();
+  const auto live = LiveNodes(tree);
+  bool hit_root = false;
+  for (int i = 0; i < 500 && !hit_root; ++i) {
+    auto action = planner.Plan(tree, live, 100, &rng);
+    ASSERT_TRUE(action.ok());
+    hit_root = action->subject == tree.root();
+  }
+  EXPECT_TRUE(hit_root);
+}
+
+class ChurnActionSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChurnActionSweep, PlannedActionsAreAlwaysApplicable) {
+  ChurnConfig config;
+  config.join_rate = 1.0;
+  config.leave_rate = 1.0;
+  config.fail_rate = 1.0;
+  ChurnPlanner planner(config);
+  util::Rng rng(GetParam());
+
+  TreeGeneratorOptions gen;
+  gen.num_nodes = 50;
+  auto tree = TreeGenerator::Generate(gen, &rng);
+  ASSERT_TRUE(tree.ok());
+  NodeId fresh = 1000;
+  for (int i = 0; i < 300; ++i) {
+    const auto live = LiveNodes(*tree);
+    auto action = planner.Plan(*tree, live, fresh, &rng);
+    if (!action.ok()) continue;
+    switch (action->kind) {
+      case ChurnAction::Kind::kJoinLeaf:
+        ASSERT_TRUE(tree->AttachLeaf(action->parent, action->subject).ok());
+        ++fresh;
+        break;
+      case ChurnAction::Kind::kJoinSplit:
+        ASSERT_TRUE(
+            tree->SplitEdge(action->parent, action->child, action->subject)
+                .ok());
+        ++fresh;
+        break;
+      case ChurnAction::Kind::kLeave:
+      case ChurnAction::Kind::kFail:
+        ASSERT_TRUE(tree->RemoveNode(action->subject).ok());
+        break;
+    }
+    ASSERT_TRUE(tree->Validate().ok()) << "after step " << i;
+    ASSERT_GE(tree->size(), config.min_nodes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnActionSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace dupnet::topo

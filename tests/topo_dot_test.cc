@@ -1,0 +1,52 @@
+#include "topo/dot_export.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dupnet::topo {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+
+TEST(DotExportTest, ContainsEveryEdge) {
+  const IndexSearchTree tree = MakePaperTree();
+  const std::string dot = TreeToDot(tree);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2;"), std::string::npos);
+  EXPECT_NE(dot.find("n5 -> n6;"), std::string::npos);
+  EXPECT_NE(dot.find("n6 -> n8;"), std::string::npos);
+  // 7 edges for 8 nodes.
+  size_t edges = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 7u);
+}
+
+TEST(DotExportTest, AppliesStyles) {
+  const IndexSearchTree tree = MakePaperTree();
+  const std::string dot = TreeToDot(tree, [](NodeId node) {
+    DotNodeStyle style;
+    if (node == 6) {
+      style.fillcolor = "lightblue";
+      style.emphasize = true;
+      style.label = "N6*";
+    }
+    return style;
+  });
+  EXPECT_NE(dot.find("fillcolor=\"lightblue\""), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"N6*\""), std::string::npos);
+}
+
+TEST(DotExportTest, SingleNodeTree) {
+  const IndexSearchTree tree(42);
+  const std::string dot = TreeToDot(tree);
+  EXPECT_NE(dot.find("n42;"), std::string::npos);
+  EXPECT_EQ(dot.find(" -> "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dupnet::topo

@@ -1,0 +1,108 @@
+#include "topo/tree_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::topo {
+namespace {
+
+TEST(TreeGeneratorTest, GeneratesRequestedSize) {
+  util::Rng rng(1);
+  TreeGeneratorOptions options;
+  options.num_nodes = 100;
+  options.max_degree = 4;
+  auto tree = TreeGenerator::Generate(options, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 100u);
+  EXPECT_EQ(tree->root(), 0u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(TreeGeneratorTest, SingleNode) {
+  util::Rng rng(1);
+  TreeGeneratorOptions options;
+  options.num_nodes = 1;
+  auto tree = TreeGenerator::Generate(options, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), 1u);
+}
+
+TEST(TreeGeneratorTest, RejectsZeroNodes) {
+  util::Rng rng(1);
+  TreeGeneratorOptions options;
+  options.num_nodes = 0;
+  EXPECT_TRUE(
+      TreeGenerator::Generate(options, &rng).status().IsInvalidArgument());
+}
+
+TEST(TreeGeneratorTest, RejectsZeroDegree) {
+  util::Rng rng(1);
+  TreeGeneratorOptions options;
+  options.max_degree = 0;
+  EXPECT_TRUE(
+      TreeGenerator::Generate(options, &rng).status().IsInvalidArgument());
+}
+
+TEST(TreeGeneratorTest, DeterministicForSameSeed) {
+  TreeGeneratorOptions options;
+  options.num_nodes = 200;
+  util::Rng a(99), b(99);
+  auto ta = TreeGenerator::Generate(options, &a);
+  auto tb = TreeGenerator::Generate(options, &b);
+  ASSERT_TRUE(ta.ok());
+  ASSERT_TRUE(tb.ok());
+  for (NodeId n = 1; n < 200; ++n) {
+    EXPECT_EQ(ta->Parent(n), tb->Parent(n));
+  }
+}
+
+TEST(TreeGeneratorTest, DegreeOneYieldsChain) {
+  util::Rng rng(5);
+  TreeGeneratorOptions options;
+  options.num_nodes = 10;
+  options.max_degree = 1;
+  auto tree = TreeGenerator::Generate(options, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->MaxDepth(), 9u);
+}
+
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(GeneratorSweep, RespectsDegreeBoundAndConnectivity) {
+  const auto [num_nodes, max_degree] = GetParam();
+  util::Rng rng(42);
+  TreeGeneratorOptions options;
+  options.num_nodes = num_nodes;
+  options.max_degree = max_degree;
+  auto tree = TreeGenerator::Generate(options, &rng);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->size(), num_nodes);
+  ASSERT_TRUE(tree->Validate().ok());
+  for (NodeId node : tree->NodesPreOrder()) {
+    EXPECT_LE(tree->Children(node).size(), static_cast<size_t>(max_degree))
+        << "node " << node << " exceeds max degree";
+  }
+}
+
+TEST_P(GeneratorSweep, DeeperTreesForSmallerDegree) {
+  const auto [num_nodes, max_degree] = GetParam();
+  if (num_nodes < 64) return;
+  util::Rng rng(7);
+  TreeGeneratorOptions narrow{num_nodes, 2};
+  TreeGeneratorOptions wide{num_nodes, 10};
+  auto tn = TreeGenerator::Generate(narrow, &rng);
+  auto tw = TreeGenerator::Generate(wide, &rng);
+  ASSERT_TRUE(tn.ok());
+  ASSERT_TRUE(tw.ok());
+  // The paper (Fig. 6): average distance to the root falls as D grows.
+  EXPECT_GT(tn->AverageDepth(), tw->AverageDepth());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorSweep,
+    ::testing::Combine(::testing::Values(size_t{2}, size_t{17}, size_t{64},
+                                         size_t{256}, size_t{1024}),
+                       ::testing::Values(1, 2, 4, 10)));
+
+}  // namespace
+}  // namespace dupnet::topo

@@ -1,0 +1,136 @@
+#include "trace/network_tracer.h"
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dup_protocol.h"
+#include "test_util.h"
+
+namespace dupnet::trace {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+net::Message MakeMessage(net::MessageType type, NodeId from, NodeId to) {
+  net::Message m;
+  m.type = type;
+  m.from = from;
+  m.to = to;
+  return m;
+}
+
+TEST(TraceBufferTest, RecordsEvents) {
+  TraceBuffer buffer(8);
+  buffer.Record(1.5, EventKind::kSend,
+                MakeMessage(net::MessageType::kPush, 1, 2));
+  ASSERT_EQ(buffer.events().size(), 1u);
+  const TraceEvent& event = buffer.events().front();
+  EXPECT_DOUBLE_EQ(event.time, 1.5);
+  EXPECT_EQ(event.kind, EventKind::kSend);
+  EXPECT_EQ(event.from, 1u);
+  EXPECT_EQ(event.to, 2u);
+}
+
+TEST(TraceBufferTest, RingBufferKeepsRecentWindow) {
+  TraceBuffer buffer(3);
+  for (uint32_t i = 0; i < 10; ++i) {
+    net::Message m = MakeMessage(net::MessageType::kRequest, i, i + 1);
+    buffer.Record(i, EventKind::kSend, m);
+  }
+  EXPECT_EQ(buffer.total_recorded(), 10u);
+  ASSERT_EQ(buffer.events().size(), 3u);
+  EXPECT_EQ(buffer.events().front().from, 7u);  // Oldest retained.
+  EXPECT_EQ(buffer.events().back().from, 9u);
+}
+
+TEST(TraceBufferTest, FiltersByNodeAndType) {
+  TraceBuffer buffer(16);
+  buffer.Record(0, EventKind::kSend,
+                MakeMessage(net::MessageType::kRequest, 1, 2));
+  buffer.Record(1, EventKind::kSend,
+                MakeMessage(net::MessageType::kPush, 3, 4));
+  buffer.Record(2, EventKind::kDeliver,
+                MakeMessage(net::MessageType::kPush, 3, 1));
+  EXPECT_EQ(buffer.EventsInvolving(1).size(), 2u);
+  EXPECT_EQ(buffer.EventsInvolving(4).size(), 1u);
+  EXPECT_EQ(buffer.EventsOfType(net::MessageType::kPush).size(), 2u);
+}
+
+TEST(TraceBufferTest, ClearResets) {
+  TraceBuffer buffer(4);
+  buffer.Record(0, EventKind::kSend,
+                MakeMessage(net::MessageType::kRequest, 1, 2));
+  buffer.Clear();
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.total_recorded(), 0u);
+}
+
+TEST(TraceBufferTest, ToStringContainsKindAndType) {
+  TraceBuffer buffer(4);
+  buffer.Record(0.25, EventKind::kDrop,
+                MakeMessage(net::MessageType::kSubscribe, 5, 6));
+  const std::string rendered = buffer.ToString();
+  EXPECT_NE(rendered.find("DROP"), std::string::npos);
+  EXPECT_NE(rendered.find("Subscribe"), std::string::npos);
+}
+
+TEST(NetworkTracerTest, ObservesLiveProtocolTraffic) {
+  ProtocolHarness harness(MakePaperTree());
+  core::DupProtocol protocol(&harness.network(), &harness.tree(),
+                             proto::ProtocolOptions());
+  harness.Attach(&protocol);
+  NetworkTracer tracer(1024);
+  harness.network().set_observer(&tracer);
+
+  protocol.OnRootPublish(1, 3600.0);
+  protocol.ForceSubscribe(6);
+  harness.Drain();
+  protocol.OnRootPublish(2, 7200.0);
+  harness.Drain();
+
+  // The subscribe climbed 4 hops: 4 sends + 4 delivers.
+  EXPECT_EQ(tracer.buffer()
+                .EventsOfType(net::MessageType::kSubscribe)
+                .size(),
+            8u);
+  // The direct push: 1 send + 1 deliver.
+  EXPECT_EQ(tracer.buffer().EventsOfType(net::MessageType::kPush).size(),
+            2u);
+  // Every send has a matching deliver (nothing dropped).
+  size_t sends = 0, delivers = 0, drops = 0;
+  for (const TraceEvent& event : tracer.buffer().events()) {
+    switch (event.kind) {
+      case EventKind::kSend:
+        ++sends;
+        break;
+      case EventKind::kDeliver:
+        ++delivers;
+        break;
+      case EventKind::kDrop:
+        ++drops;
+        break;
+    }
+  }
+  EXPECT_EQ(sends, delivers);
+  EXPECT_EQ(drops, 0u);
+}
+
+TEST(NetworkTracerTest, RecordsDrops) {
+  ProtocolHarness harness(MakePaperTree());
+  core::DupProtocol protocol(&harness.network(), &harness.tree(),
+                             proto::ProtocolOptions());
+  harness.Attach(&protocol);
+  NetworkTracer tracer;
+  harness.network().set_observer(&tracer);
+
+  harness.network().SetNodeDown(6, true);
+  net::Message m = MakeMessage(net::MessageType::kPush, 1, 6);
+  harness.network().Send(std::move(m));
+  harness.Drain();
+  EXPECT_EQ(tracer.buffer().events().size(), 1u);
+  EXPECT_EQ(tracer.buffer().events().front().kind, EventKind::kDrop);
+}
+
+}  // namespace
+}  // namespace dupnet::trace

@@ -1,0 +1,44 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace dupnet::util {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DUP_CHECK(true);
+  DUP_CHECK_EQ(1, 1);
+  DUP_CHECK_NE(1, 2);
+  DUP_CHECK_LT(1, 2);
+  DUP_CHECK_LE(2, 2);
+  DUP_CHECK_GT(3, 2);
+  DUP_CHECK_GE(3, 3);
+  DUP_CHECK_OK(Status::OK());
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(DUP_CHECK(false) << "context " << 42,
+               "DUP_CHECK failed.*false.*context 42");
+}
+
+TEST(CheckDeathTest, EqPrintsBothValues) {
+  const int a = 3, b = 7;
+  EXPECT_DEATH(DUP_CHECK_EQ(a, b), "3 vs 7");
+}
+
+TEST(CheckDeathTest, CheckOkPrintsStatus) {
+  EXPECT_DEATH(DUP_CHECK_OK(Status::NotFound("missing thing")),
+               "NotFound: missing thing");
+}
+
+TEST(CheckDeathTest, ComparisonMacros) {
+  const int x = 5;
+  EXPECT_DEATH(DUP_CHECK_LT(x, 5), "5 vs 5");
+  EXPECT_DEATH(DUP_CHECK_GT(x, 5), "5 vs 5");
+}
+
+}  // namespace
+}  // namespace dupnet::util

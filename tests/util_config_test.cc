@@ -1,0 +1,76 @@
+#include "util/config.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+ConfigMap MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto result =
+      ConfigMap::FromArgs(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(ConfigMapTest, ParsesKeyValuePairs) {
+  const ConfigMap config = MustParse({"nodes=4096", "lambda=1.5"});
+  EXPECT_TRUE(config.Has("nodes"));
+  EXPECT_TRUE(config.Has("lambda"));
+  EXPECT_FALSE(config.Has("theta"));
+}
+
+TEST(ConfigMapTest, RejectsMissingEquals) {
+  const char* argv[] = {"prog", "nodes"};
+  EXPECT_TRUE(ConfigMap::FromArgs(2, argv).status().IsInvalidArgument());
+}
+
+TEST(ConfigMapTest, RejectsEmptyKey) {
+  const char* argv[] = {"prog", "=5"};
+  EXPECT_TRUE(ConfigMap::FromArgs(2, argv).status().IsInvalidArgument());
+}
+
+TEST(ConfigMapTest, EmptyArgsOk) {
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(ConfigMap::FromArgs(1, argv).ok());
+}
+
+TEST(ConfigMapTest, GetStringWithFallback) {
+  const ConfigMap config = MustParse({"scheme=dup"});
+  EXPECT_EQ(config.GetString("scheme", "pcx"), "dup");
+  EXPECT_EQ(config.GetString("missing", "pcx"), "pcx");
+}
+
+TEST(ConfigMapTest, GetIntWithFallback) {
+  const ConfigMap config = MustParse({"n=12"});
+  EXPECT_EQ(config.GetInt("n", 5), 12);
+  EXPECT_EQ(config.GetInt("m", 5), 5);
+}
+
+TEST(ConfigMapTest, GetDoubleWithFallback) {
+  const ConfigMap config = MustParse({"x=2.5"});
+  EXPECT_DOUBLE_EQ(config.GetDouble("x", 1.0), 2.5);
+  EXPECT_DOUBLE_EQ(config.GetDouble("y", 1.0), 1.0);
+}
+
+TEST(ConfigMapTest, GetBoolAcceptsCommonSpellings) {
+  const ConfigMap config = MustParse({"a=1", "b=true", "c=off", "d=no"});
+  EXPECT_TRUE(config.GetBool("a", false));
+  EXPECT_TRUE(config.GetBool("b", false));
+  EXPECT_FALSE(config.GetBool("c", true));
+  EXPECT_FALSE(config.GetBool("d", true));
+  EXPECT_TRUE(config.GetBool("missing", true));
+}
+
+TEST(ConfigMapTest, LastValueWins) {
+  const ConfigMap config = MustParse({"k=1", "k=2"});
+  EXPECT_EQ(config.GetInt("k", 0), 2);
+}
+
+TEST(ConfigMapTest, ValueMayContainEquals) {
+  const ConfigMap config = MustParse({"expr=a=b"});
+  EXPECT_EQ(config.GetString("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace dupnet::util

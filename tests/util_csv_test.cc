@@ -1,0 +1,59 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(CsvWriterTest, HeaderOnly) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_EQ(csv.ToString(), "a,b\n");
+  EXPECT_EQ(csv.rows(), 0u);
+}
+
+TEST(CsvWriterTest, SimpleRows) {
+  CsvWriter csv({"x", "y"});
+  csv.AddRow({"1", "2"});
+  csv.AddRow({"3", "4"});
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"field"});
+  csv.AddRow({"has,comma"});
+  csv.AddRow({"has\"quote"});
+  csv.AddRow({"has\nnewline"});
+  EXPECT_EQ(csv.ToString(),
+            "field\n\"has,comma\"\n\"has\"\"quote\"\n\"has\nnewline\"\n");
+}
+
+TEST(CsvWriterTest, NumericCells) {
+  EXPECT_EQ(CsvWriter::Cell(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::Cell(uint64_t{42}), "42");
+  EXPECT_EQ(CsvWriter::Cell(0.000012345), "1.2345e-05");
+}
+
+TEST(CsvWriterTest, WritesFile) {
+  CsvWriter csv({"k", "v"});
+  csv.AddRow({"latency", "0.5"});
+  const std::string path = ::testing::TempDir() + "/dup_csv_test.csv";
+  ASSERT_TRUE(csv.WriteToFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\nlatency,0.5\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, RejectsUnwritablePath) {
+  CsvWriter csv({"a"});
+  EXPECT_TRUE(
+      csv.WriteToFile("/nonexistent-dir/x/y.csv").IsUnavailable());
+}
+
+}  // namespace
+}  // namespace dupnet::util

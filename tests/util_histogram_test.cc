@@ -1,0 +1,103 @@
+#include "util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(HistogramTest, StartsEmpty) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Max(), 0u);
+  EXPECT_EQ(h.ToString(), "n=0");
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  for (uint64_t v : {1u, 2u, 3u, 4u}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(HistogramTest, CountAt) {
+  Histogram h;
+  h.Add(3);
+  h.Add(3);
+  h.Add(5);
+  EXPECT_EQ(h.CountAt(3), 2u);
+  EXPECT_EQ(h.CountAt(5), 1u);
+  EXPECT_EQ(h.CountAt(4), 0u);
+}
+
+TEST(HistogramTest, QuantilesOnUniformRamp) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) h.Add(v);
+  EXPECT_EQ(h.Percentile50(), 50u);
+  EXPECT_EQ(h.Percentile95(), 95u);
+  EXPECT_EQ(h.Percentile99(), 99u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+  EXPECT_EQ(h.Max(), 100u);
+}
+
+TEST(HistogramTest, QuantileOfConstant) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(7);
+  EXPECT_EQ(h.Percentile50(), 7u);
+  EXPECT_EQ(h.Percentile99(), 7u);
+}
+
+TEST(HistogramTest, OverflowKeepsExactMeanAndMax) {
+  Histogram h(/*max_tracked=*/10);
+  h.Add(5);
+  h.Add(1000);
+  EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 502.5);
+  EXPECT_EQ(h.Max(), 1000u);
+  // Quantiles report overflow observations as max_tracked + 1.
+  EXPECT_EQ(h.Quantile(1.0), 11u);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a(16), b(16);
+  a.Add(1);
+  a.Add(2);
+  b.Add(3);
+  b.Add(100);  // Overflow.
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 106.0 / 4.0);
+  EXPECT_EQ(a.Max(), 100u);
+  EXPECT_EQ(a.CountAt(3), 1u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(4);
+  h.Add(400);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  h.Add(2);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.0);
+}
+
+TEST(HistogramTest, ToStringSummarises) {
+  Histogram h;
+  for (uint64_t v = 0; v < 10; ++v) h.Add(v);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+}
+
+TEST(HistogramTest, SkewedDistributionTail) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Add(0);
+  h.Add(50);
+  EXPECT_EQ(h.Percentile50(), 0u);
+  EXPECT_EQ(h.Percentile99(), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 50u);
+}
+
+}  // namespace
+}  // namespace dupnet::util

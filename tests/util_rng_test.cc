@@ -1,0 +1,192 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUInt64(), b.NextUInt64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUInt64() == b.NextUInt64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenLowExcludesZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.NextDoubleOpenLow(), 0.0);
+    EXPECT_LE(rng.NextDoubleOpenLow(), 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(11);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5u);
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntIsApproximatelyUniform) {
+  Rng rng(17);
+  const int buckets = 10;
+  const int draws = 100000;
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.UniformInt(0, buckets - 1)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / buckets, draws / buckets * 0.1);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  const double mean = 0.1;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(mean);
+  EXPECT_NEAR(sum / n, mean, mean * 0.03);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.Exponential(5.0), 0.0);
+}
+
+TEST(RngTest, ParetoMeanMatchesLomaxFormula) {
+  // Mean of the Lomax/Pareto-II with shape alpha, scale k is k/(alpha-1).
+  Rng rng(29);
+  const double alpha = 1.5, k = 2.0;
+  double sum = 0;
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(alpha, k);
+  EXPECT_NEAR(sum / n, k / (alpha - 1.0), 0.2);
+}
+
+TEST(RngTest, ParetoCdfMatchesClosedForm) {
+  // P(X <= x) = 1 - (k/(x+k))^alpha.
+  Rng rng(31);
+  const double alpha = 1.2, k = 0.5, x = 1.0;
+  const int n = 200000;
+  int below = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Pareto(alpha, k) <= x) ++below;
+  }
+  const double expected = 1.0 - std::pow(k / (x + k), alpha);
+  EXPECT_NEAR(static_cast<double>(below) / n, expected, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(37);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()));
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(47);
+  std::vector<int> empty;
+  rng.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {9};
+  rng.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{9});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.Fork();
+  // Child and parent should not produce the same sequence.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUInt64() == child.NextUInt64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformDoubleWithinBounds) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.UniformDouble(-2.5, 4.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 4.5);
+  }
+}
+
+TEST_P(RngSeedSweep, ExponentialAlwaysFiniteAndPositive) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Exponential(1.0);
+    EXPECT_GT(x, 0.0);
+    EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0u, 1u, 2u, 42u, 1337u,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace dupnet::util

@@ -1,0 +1,121 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(RunningStatsTest, EmptyHasZeroCount) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownMeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.SampleStdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    a.Add(x);
+    combined.Add(x);
+  }
+  for (int i = 50; i < 120; ++i) {
+    const double x = std::cos(i) * 3 + 1;
+    b.Add(x);
+    combined.Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-9);
+  EXPECT_NEAR(a.SampleVariance(), combined.SampleVariance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.Min(), combined.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), combined.Max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  const double mean = a.Mean();
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), mean);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+}
+
+TEST(RunningStatsTest, ResetClearsEverything) {
+  RunningStats s;
+  s.Add(5.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(StudentTTest, KnownQuantiles) {
+  EXPECT_DOUBLE_EQ(StudentT975(1), 12.706);
+  EXPECT_DOUBLE_EQ(StudentT975(4), 2.776);
+  EXPECT_DOUBLE_EQ(StudentT975(10), 2.228);
+  EXPECT_DOUBLE_EQ(StudentT975(30), 2.042);
+  EXPECT_DOUBLE_EQ(StudentT975(100), 1.96);
+  EXPECT_DOUBLE_EQ(StudentT975(0), 0.0);
+}
+
+TEST(ConfidenceIntervalTest, EmptySamples) {
+  const ConfidenceInterval ci = ConfidenceInterval95({});
+  EXPECT_EQ(ci.samples, 0u);
+  EXPECT_DOUBLE_EQ(ci.mean, 0.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, SingleSampleHasNoWidth) {
+  const ConfidenceInterval ci = ConfidenceInterval95({4.2});
+  EXPECT_DOUBLE_EQ(ci.mean, 4.2);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, HandComputedFiveSamples) {
+  // Samples 1..5: mean 3, sample stddev sqrt(2.5), stderr sqrt(0.5),
+  // t(4) = 2.776 -> half width = 2.776 * sqrt(0.5).
+  const ConfidenceInterval ci = ConfidenceInterval95({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_NEAR(ci.half_width, 2.776 * std::sqrt(0.5), 1e-9);
+  EXPECT_NEAR(ci.lower(), 3.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.upper(), 3.0 + ci.half_width, 1e-12);
+}
+
+TEST(ConfidenceIntervalTest, IdenticalSamplesHaveZeroWidth) {
+  const ConfidenceInterval ci = ConfidenceInterval95({2.5, 2.5, 2.5});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, WidthShrinksWithMoreSamples) {
+  std::vector<double> few = {1, 3, 1, 3};
+  std::vector<double> many;
+  for (int i = 0; i < 100; ++i) many.push_back(i % 2 == 0 ? 1.0 : 3.0);
+  EXPECT_GT(ConfidenceInterval95(few).half_width,
+            ConfidenceInterval95(many).half_width);
+}
+
+}  // namespace
+}  // namespace dupnet::util

@@ -1,0 +1,86 @@
+#include "util/str.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f s=%s", 7, 1.5, "ok"), "x=7 y=1.50 s=ok");
+}
+
+TEST(StrFormatTest, EmptyFormat) { EXPECT_EQ(StrFormat("%s", ""), ""); }
+
+TEST(StrFormatTest, LongOutput) {
+  const std::string s = StrFormat("%0512d", 1);
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.back(), '1');
+}
+
+TEST(StrSplitTest, BasicSplit) {
+  const auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  const auto parts = StrSplit(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrSplitTest, NoSeparator) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" a b "), "a b");
+}
+
+TEST(ParseInt64Test, ParsesValid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("  13  ", &v));
+  EXPECT_EQ(v, 13);
+}
+
+TEST(ParseInt64Test, RejectsInvalid) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(ParseDoubleTest, ParsesValid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -0.001);
+  EXPECT_TRUE(ParseDouble("7", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsInvalid) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("x", &v));
+  EXPECT_FALSE(ParseDouble("1.5z", &v));
+}
+
+}  // namespace
+}  // namespace dupnet::util

@@ -1,0 +1,176 @@
+#include "workload/arrivals.h"
+#include "workload/update_schedule.h"
+#include "workload/zipf_selector.h"
+
+#include "util/stats.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace dupnet::workload {
+namespace {
+
+TEST(ExponentialArrivalsTest, MeanMatchesRate) {
+  ExponentialArrivals arrivals(/*lambda=*/4.0);
+  util::Rng rng(1);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += arrivals.NextInterArrival(&rng);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+  EXPECT_DOUBLE_EQ(arrivals.rate(), 4.0);
+  EXPECT_EQ(arrivals.name(), "exponential");
+}
+
+TEST(ParetoArrivalsTest, ScaleFollowsPaperFormula) {
+  // Paper: k chosen so that (alpha - 1) / k = lambda.
+  ParetoArrivals arrivals(/*alpha=*/1.2, /*lambda=*/2.0);
+  EXPECT_DOUBLE_EQ(arrivals.k(), 0.1);
+  EXPECT_DOUBLE_EQ(arrivals.alpha(), 1.2);
+  EXPECT_DOUBLE_EQ(arrivals.rate(), 2.0);
+}
+
+TEST(ParetoArrivalsTest, MeanMatchesRate) {
+  ParetoArrivals arrivals(/*alpha=*/1.5, /*lambda=*/1.0);
+  util::Rng rng(2);
+  double sum = 0;
+  const int n = 3000000;
+  for (int i = 0; i < n; ++i) sum += arrivals.NextInterArrival(&rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.1);
+}
+
+TEST(ParetoArrivalsTest, BurstierThanExponential) {
+  // Pareto (alpha close to 1) has far heavier tails: its sample coefficient
+  // of variation exceeds the exponential's (which is 1).
+  util::Rng rng(3);
+  ParetoArrivals pareto(1.1, 1.0);
+  util::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(pareto.NextInterArrival(&rng));
+  }
+  EXPECT_GT(stats.SampleStdDev() / stats.Mean(), 2.0);
+}
+
+TEST(MakeArrivalProcessTest, Factory) {
+  auto exp = MakeArrivalProcess("exponential", 1.0, 1.2);
+  ASSERT_TRUE(exp.ok());
+  EXPECT_EQ((*exp)->name(), "exponential");
+  auto pareto = MakeArrivalProcess("pareto", 1.0, 1.05);
+  ASSERT_TRUE(pareto.ok());
+  EXPECT_EQ((*pareto)->name(), "pareto");
+}
+
+TEST(MakeArrivalProcessTest, Rejections) {
+  EXPECT_FALSE(MakeArrivalProcess("uniform", 1.0, 1.2).ok());
+  EXPECT_FALSE(MakeArrivalProcess("exponential", 0.0, 1.2).ok());
+  EXPECT_FALSE(MakeArrivalProcess("pareto", 1.0, 1.0).ok());
+  EXPECT_FALSE(MakeArrivalProcess("pareto", 1.0, 2.5).ok());
+}
+
+std::vector<NodeId> Nodes(size_t n) {
+  std::vector<NodeId> nodes(n);
+  for (size_t i = 0; i < n; ++i) nodes[i] = static_cast<NodeId>(i);
+  return nodes;
+}
+
+TEST(ZipfSelectorTest, RankProbabilitiesFollowZipf) {
+  util::Rng perm(1);
+  ZipfNodeSelector zipf(Nodes(100), /*theta=*/1.0, &perm);
+  // P_1 / P_2 = 2^theta = 2.
+  EXPECT_NEAR(zipf.ProbabilityOfRank(1) / zipf.ProbabilityOfRank(2), 2.0,
+              1e-9);
+  EXPECT_NEAR(zipf.ProbabilityOfRank(1) / zipf.ProbabilityOfRank(10), 10.0,
+              1e-9);
+  double total = 0;
+  for (size_t r = 1; r <= 100; ++r) total += zipf.ProbabilityOfRank(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSelectorTest, ThetaZeroIsUniform) {
+  util::Rng perm(1);
+  ZipfNodeSelector zipf(Nodes(50), 0.0, &perm);
+  for (size_t r = 1; r <= 50; ++r) {
+    EXPECT_NEAR(zipf.ProbabilityOfRank(r), 0.02, 1e-9);
+  }
+}
+
+TEST(ZipfSelectorTest, EmpiricalFrequencyMatches) {
+  util::Rng perm(2);
+  ZipfNodeSelector zipf(Nodes(20), 0.8, &perm);
+  util::Rng rng(3);
+  std::map<NodeId, int> counts;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  const NodeId hottest = zipf.NodeAtRank(1);
+  EXPECT_NEAR(static_cast<double>(counts[hottest]) / n,
+              zipf.ProbabilityOfRank(1), 0.01);
+}
+
+TEST(ZipfSelectorTest, PermutationDecouplesRankFromId) {
+  // With different permutation seeds, rank 1 should land on different
+  // nodes at least once across a few tries.
+  bool differs = false;
+  util::Rng perm_a(1);
+  ZipfNodeSelector a(Nodes(100), 1.0, &perm_a);
+  for (uint64_t seed = 2; seed < 6 && !differs; ++seed) {
+    util::Rng perm_b(seed);
+    ZipfNodeSelector b(Nodes(100), 1.0, &perm_b);
+    differs = a.NodeAtRank(1) != b.NodeAtRank(1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ZipfSelectorTest, ReplaceNodeKeepsRank) {
+  util::Rng perm(4);
+  ZipfNodeSelector zipf(Nodes(10), 1.0, &perm);
+  const NodeId hottest = zipf.NodeAtRank(1);
+  zipf.ReplaceNode(hottest, 999);
+  EXPECT_EQ(zipf.NodeAtRank(1), 999u);
+  zipf.ReplaceNode(12345, 1000);  // Unknown node: no-op.
+  EXPECT_EQ(zipf.size(), 10u);
+}
+
+TEST(ZipfSelectorTest, AddNodeExtendsColdTail) {
+  util::Rng perm(5);
+  ZipfNodeSelector zipf(Nodes(10), 1.0, &perm);
+  zipf.AddNode(42);
+  EXPECT_EQ(zipf.size(), 11u);
+  EXPECT_EQ(zipf.NodeAtRank(11), 42u);
+  double total = 0;
+  for (size_t r = 1; r <= 11; ++r) total += zipf.ProbabilityOfRank(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The new node inherits (a copy of) the coldest rank's mass.
+  EXPECT_NEAR(zipf.ProbabilityOfRank(11), zipf.ProbabilityOfRank(10), 1e-12);
+}
+
+TEST(UpdateScheduleTest, PaperTimings) {
+  auto schedule = UpdateSchedule::Create(/*ttl=*/3600.0, /*push_lead=*/60.0);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_DOUBLE_EQ(schedule->period(), 3540.0);
+  EXPECT_DOUBLE_EQ(schedule->IssueTime(1), 0.0);
+  EXPECT_DOUBLE_EQ(schedule->ExpiryOf(1), 3600.0);
+  // "the root pushes the updated index exactly one minute before the
+  // previous index expires": version 2 issues at 3540 = 3600 - 60.
+  EXPECT_DOUBLE_EQ(schedule->IssueTime(2), 3540.0);
+  EXPECT_DOUBLE_EQ(schedule->ExpiryOf(2), 7140.0);
+}
+
+TEST(UpdateScheduleTest, CurrentVersionAt) {
+  auto schedule = UpdateSchedule::Create(3600.0, 60.0);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_EQ(schedule->CurrentVersionAt(-1.0), 0u);
+  EXPECT_EQ(schedule->CurrentVersionAt(0.0), 1u);
+  EXPECT_EQ(schedule->CurrentVersionAt(3539.0), 1u);
+  EXPECT_EQ(schedule->CurrentVersionAt(3540.0), 2u);
+  EXPECT_EQ(schedule->CurrentVersionAt(10000.0), 3u);
+}
+
+TEST(UpdateScheduleTest, Rejections) {
+  EXPECT_FALSE(UpdateSchedule::Create(0.0, 0.0).ok());
+  EXPECT_FALSE(UpdateSchedule::Create(100.0, 100.0).ok());
+  EXPECT_FALSE(UpdateSchedule::Create(100.0, -1.0).ok());
+  EXPECT_TRUE(UpdateSchedule::Create(100.0, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace dupnet::workload

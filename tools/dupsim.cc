@@ -1,0 +1,164 @@
+// dupsim — the full-featured command-line front end to the simulator.
+//
+//   dupsim [key=value ...]
+//
+// Runs one scheme (scheme=pcx|cup|dup) or all three (scheme=all), with any
+// combination of the paper's parameters, replications with 95% CIs, and
+// optional CSV output for downstream plotting:
+//
+//   dupsim scheme=all nodes=4096 lambda=10 reps=5 csv=/tmp/fig4_point.csv
+//   dupsim scheme=dup topology=chord lambda=3 theta=1.5
+//   dupsim scheme=dup join=0.05 leave=0.02 fail=0.02   # churn
+//
+// Keys (defaults in brackets): scheme[dup] topology[random-tree|chord|can]
+// nodes[4096] degree[4] can_dims[2] lambda[1] arrival[exponential|pareto]
+// alpha[1.2] theta[0.8] c[6] ttl[3600] lead[60] hoplat[0.1] warmup[3600]
+// measure[10620] reps[3] seed[42] shortcut[1] piggyback[0] percopy[1]
+// passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
+// detect[30] csv[]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiment/config.h"
+#include "experiment/replicator.h"
+#include "experiment/report.h"
+#include "util/check.h"
+#include "util/config.h"
+#include "util/csv.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dupnet;
+
+experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
+  experiment::ExperimentConfig config;
+  config.num_nodes = static_cast<size_t>(args.GetInt("nodes", 4096));
+  config.max_degree = static_cast<int>(args.GetInt("degree", 4));
+  config.can_dims = static_cast<int>(args.GetInt("can_dims", 2));
+  config.lambda = args.GetDouble("lambda", 1.0);
+  config.pareto_alpha = args.GetDouble("alpha", 1.2);
+  config.zipf_theta = args.GetDouble("theta", 0.8);
+  config.threshold_c = static_cast<uint32_t>(args.GetInt("c", 6));
+  config.ttl = args.GetDouble("ttl", 3600.0);
+  config.push_lead = args.GetDouble("lead", 60.0);
+  config.hop_latency_mean = args.GetDouble("hoplat", 0.1);
+  config.warmup_time = args.GetDouble("warmup", 3600.0);
+  config.measure_time = args.GetDouble("measure", 10620.0);
+  config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  config.dup.shortcut_push = args.GetBool("shortcut", true);
+  config.dup.piggyback_subscribe = args.GetBool("piggyback", false);
+  config.per_copy_ttl = args.GetBool("percopy", true);
+  config.cache_passing_replies = args.GetBool("passrep", false);
+  config.count_forwarded_queries = args.GetBool("fwd", true);
+  config.churn.join_rate = args.GetDouble("join", 0.0);
+  config.churn.leave_rate = args.GetDouble("leave", 0.0);
+  config.churn.fail_rate = args.GetDouble("fail", 0.0);
+  config.churn.detect_delay = args.GetDouble("detect", 30.0);
+
+  auto topology =
+      experiment::ParseTopology(args.GetString("topology", "random-tree"));
+  DUP_CHECK(topology.ok()) << topology.status().ToString();
+  config.topology = *topology;
+
+  auto arrival =
+      experiment::ParseArrival(args.GetString("arrival", "exponential"));
+  DUP_CHECK(arrival.ok()) << arrival.status().ToString();
+  config.arrival = *arrival;
+
+  auto update_mode =
+      experiment::ParseUpdateMode(args.GetString("updates", "ttl-aligned"));
+  DUP_CHECK(update_mode.ok()) << update_mode.status().ToString();
+  config.update_mode = *update_mode;
+  config.host_change_rate = args.GetDouble("change_rate", 1.0 / 3540.0);
+
+  const std::string policy = args.GetString("cup_policy", "demand-window");
+  if (policy == "demand-window") {
+    config.cup.policy = proto::CupPushPolicy::kDemandWindow;
+  } else if (policy == "popularity-threshold") {
+    config.cup.policy = proto::CupPushPolicy::kPopularityThreshold;
+  } else if (policy == "investment-return") {
+    config.cup.policy = proto::CupPushPolicy::kInvestmentReturn;
+  } else {
+    DUP_CHECK(false) << "unknown cup_policy \"" << policy << "\"";
+  }
+  return config;
+}
+
+std::vector<experiment::Scheme> SchemesFor(const std::string& name) {
+  if (name == "all") {
+    return {experiment::Scheme::kPcx, experiment::Scheme::kCup,
+            experiment::Scheme::kDup};
+  }
+  auto scheme = experiment::ParseScheme(name);
+  DUP_CHECK(scheme.ok()) << scheme.status().ToString();
+  return {*scheme};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = util::ConfigMap::FromArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "usage: %s [key=value ...]\n  %s\n", argv[0],
+                 args.status().ToString().c_str());
+    return 1;
+  }
+
+  const experiment::ExperimentConfig base = BuildConfig(*args);
+  const auto schemes = SchemesFor(args->GetString("scheme", "dup"));
+  const size_t reps = static_cast<size_t>(args->GetInt("reps", 3));
+
+  experiment::TableReport table(
+      "dupsim results (" + base.ToString() + ")",
+      {"scheme", "latency (hops)", "p95", "p99", "cost (hops/q)",
+       "local hit", "stale", "queries"});
+  util::CsvWriter csv({"scheme", "latency", "latency_hw", "latency_p95",
+                       "latency_p99", "cost", "cost_hw", "local_hit",
+                       "stale", "queries"});
+
+  for (experiment::Scheme scheme : schemes) {
+    experiment::ExperimentConfig config = base;
+    config.scheme = scheme;
+    auto summary = experiment::Replicator::Run(config, reps);
+    DUP_CHECK(summary.ok()) << summary.status().ToString();
+
+    uint64_t p95 = 0, p99 = 0;
+    for (const auto& run : summary->runs) {
+      p95 = std::max(p95, run.latency_p95);
+      p99 = std::max(p99, run.latency_p99);
+    }
+    const std::string name(experiment::SchemeToString(scheme));
+    table.AddRow({name,
+                  experiment::CiCell(summary->latency.mean,
+                                     summary->latency.half_width),
+                  util::StrFormat("%llu",
+                                  static_cast<unsigned long long>(p95)),
+                  util::StrFormat("%llu",
+                                  static_cast<unsigned long long>(p99)),
+                  experiment::CiCell(summary->cost.mean,
+                                     summary->cost.half_width),
+                  experiment::PercentCell(summary->local_hit_rate.mean),
+                  experiment::PercentCell(summary->stale_rate.mean),
+                  util::StrFormat("%llu", static_cast<unsigned long long>(
+                                              summary->total_queries))});
+    csv.AddRow({name, util::CsvWriter::Cell(summary->latency.mean),
+                util::CsvWriter::Cell(summary->latency.half_width),
+                util::CsvWriter::Cell(p95), util::CsvWriter::Cell(p99),
+                util::CsvWriter::Cell(summary->cost.mean),
+                util::CsvWriter::Cell(summary->cost.half_width),
+                util::CsvWriter::Cell(summary->local_hit_rate.mean),
+                util::CsvWriter::Cell(summary->stale_rate.mean),
+                util::CsvWriter::Cell(summary->total_queries)});
+  }
+  table.Print();
+
+  const std::string csv_path = args->GetString("csv", "");
+  if (!csv_path.empty()) {
+    DUP_CHECK_OK(csv.WriteToFile(csv_path));
+    std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
