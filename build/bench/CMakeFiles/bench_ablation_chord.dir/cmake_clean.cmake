@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_chord.dir/bench_ablation_chord.cc.o"
+  "CMakeFiles/bench_ablation_chord.dir/bench_ablation_chord.cc.o.d"
+  "bench_ablation_chord"
+  "bench_ablation_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

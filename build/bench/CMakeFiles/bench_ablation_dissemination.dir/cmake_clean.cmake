@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dissemination.dir/bench_ablation_dissemination.cc.o"
+  "CMakeFiles/bench_ablation_dissemination.dir/bench_ablation_dissemination.cc.o.d"
+  "bench_ablation_dissemination"
+  "bench_ablation_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multikey.dir/bench_ablation_multikey.cc.o"
+  "CMakeFiles/bench_ablation_multikey.dir/bench_ablation_multikey.cc.o.d"
+  "bench_ablation_multikey"
+  "bench_ablation_multikey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multikey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

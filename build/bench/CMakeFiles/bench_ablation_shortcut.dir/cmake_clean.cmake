@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shortcut.dir/bench_ablation_shortcut.cc.o"
+  "CMakeFiles/bench_ablation_shortcut.dir/bench_ablation_shortcut.cc.o.d"
+  "bench_ablation_shortcut"
+  "bench_ablation_shortcut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shortcut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

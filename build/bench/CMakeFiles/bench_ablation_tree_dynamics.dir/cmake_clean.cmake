@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.cc.o"
+  "CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.cc.o.d"
+  "bench_ablation_tree_dynamics"
+  "bench_ablation_tree_dynamics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tree_dynamics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_degree.dir/bench_fig6_degree.cc.o"
+  "CMakeFiles/bench_fig6_degree.dir/bench_fig6_degree.cc.o.d"
+  "bench_fig6_degree"
+  "bench_fig6_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_zipf.dir/bench_fig7_zipf.cc.o"
+  "CMakeFiles/bench_fig7_zipf.dir/bench_fig7_zipf.cc.o.d"
+  "bench_fig7_zipf"
+  "bench_fig7_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_threshold.dir/bench_table2_threshold.cc.o"
+  "CMakeFiles/bench_table2_threshold.dir/bench_table2_threshold.cc.o.d"
+  "bench_table2_threshold"
+  "bench_table2_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chord_trace.dir/chord_trace.cpp.o"
+  "CMakeFiles/chord_trace.dir/chord_trace.cpp.o.d"
+  "chord_trace"
+  "chord_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chord_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

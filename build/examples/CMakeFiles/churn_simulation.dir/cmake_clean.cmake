@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_simulation.dir/churn_simulation.cpp.o"
+  "CMakeFiles/churn_simulation.dir/churn_simulation.cpp.o.d"
+  "churn_simulation"
+  "churn_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dissemination_comparison.dir/dissemination_comparison.cpp.o"
+  "CMakeFiles/dissemination_comparison.dir/dissemination_comparison.cpp.o.d"
+  "dissemination_comparison"
+  "dissemination_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dissemination_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

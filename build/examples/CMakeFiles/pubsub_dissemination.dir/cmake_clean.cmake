@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pubsub_dissemination.dir/pubsub_dissemination.cpp.o"
+  "CMakeFiles/pubsub_dissemination.dir/pubsub_dissemination.cpp.o.d"
+  "pubsub_dissemination"
+  "pubsub_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pubsub_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

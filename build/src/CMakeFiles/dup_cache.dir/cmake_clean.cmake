@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_cache.dir/cache/access_tracker.cc.o"
+  "CMakeFiles/dup_cache.dir/cache/access_tracker.cc.o.d"
+  "CMakeFiles/dup_cache.dir/cache/index_cache.cc.o"
+  "CMakeFiles/dup_cache.dir/cache/index_cache.cc.o.d"
+  "libdup_cache.a"
+  "libdup_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_can.dir/can/space.cc.o"
+  "CMakeFiles/dup_can.dir/can/space.cc.o.d"
+  "libdup_can.a"
+  "libdup_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chord/dynamic_ring.cc" "src/CMakeFiles/dup_chord.dir/chord/dynamic_ring.cc.o" "gcc" "src/CMakeFiles/dup_chord.dir/chord/dynamic_ring.cc.o.d"
+  "/root/repo/src/chord/ring.cc" "src/CMakeFiles/dup_chord.dir/chord/ring.cc.o" "gcc" "src/CMakeFiles/dup_chord.dir/chord/ring.cc.o.d"
+  "/root/repo/src/chord/sha1.cc" "src/CMakeFiles/dup_chord.dir/chord/sha1.cc.o" "gcc" "src/CMakeFiles/dup_chord.dir/chord/sha1.cc.o.d"
+  "/root/repo/src/chord/tree_builder.cc" "src/CMakeFiles/dup_chord.dir/chord/tree_builder.cc.o" "gcc" "src/CMakeFiles/dup_chord.dir/chord/tree_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

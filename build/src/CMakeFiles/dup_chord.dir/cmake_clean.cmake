@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_chord.dir/chord/dynamic_ring.cc.o"
+  "CMakeFiles/dup_chord.dir/chord/dynamic_ring.cc.o.d"
+  "CMakeFiles/dup_chord.dir/chord/ring.cc.o"
+  "CMakeFiles/dup_chord.dir/chord/ring.cc.o.d"
+  "CMakeFiles/dup_chord.dir/chord/sha1.cc.o"
+  "CMakeFiles/dup_chord.dir/chord/sha1.cc.o.d"
+  "CMakeFiles/dup_chord.dir/chord/tree_builder.cc.o"
+  "CMakeFiles/dup_chord.dir/chord/tree_builder.cc.o.d"
+  "libdup_chord.a"
+  "libdup_chord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_chord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

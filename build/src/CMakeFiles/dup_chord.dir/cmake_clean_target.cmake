@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdup_chord.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_core.dir/core/dup_protocol.cc.o"
+  "CMakeFiles/dup_core.dir/core/dup_protocol.cc.o.d"
+  "CMakeFiles/dup_core.dir/core/subscriber_list.cc.o"
+  "CMakeFiles/dup_core.dir/core/subscriber_list.cc.o.d"
+  "libdup_core.a"
+  "libdup_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

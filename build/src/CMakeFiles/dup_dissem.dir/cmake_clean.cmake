@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_dissem.dir/dissem/bayeux.cc.o"
+  "CMakeFiles/dup_dissem.dir/dissem/bayeux.cc.o.d"
+  "CMakeFiles/dup_dissem.dir/dissem/dup_backend.cc.o"
+  "CMakeFiles/dup_dissem.dir/dissem/dup_backend.cc.o.d"
+  "CMakeFiles/dup_dissem.dir/dissem/scribe.cc.o"
+  "CMakeFiles/dup_dissem.dir/dissem/scribe.cc.o.d"
+  "libdup_dissem.a"
+  "libdup_dissem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_dissem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_experiment.dir/experiment/config.cc.o"
+  "CMakeFiles/dup_experiment.dir/experiment/config.cc.o.d"
+  "CMakeFiles/dup_experiment.dir/experiment/driver.cc.o"
+  "CMakeFiles/dup_experiment.dir/experiment/driver.cc.o.d"
+  "CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o"
+  "CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o.d"
+  "CMakeFiles/dup_experiment.dir/experiment/report.cc.o"
+  "CMakeFiles/dup_experiment.dir/experiment/report.cc.o.d"
+  "libdup_experiment.a"
+  "libdup_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_metrics.dir/metrics/recorder.cc.o"
+  "CMakeFiles/dup_metrics.dir/metrics/recorder.cc.o.d"
+  "CMakeFiles/dup_metrics.dir/metrics/summary.cc.o"
+  "CMakeFiles/dup_metrics.dir/metrics/summary.cc.o.d"
+  "libdup_metrics.a"
+  "libdup_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

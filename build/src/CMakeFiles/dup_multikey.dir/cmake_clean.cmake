@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_multikey.dir/multikey/simulation.cc.o"
+  "CMakeFiles/dup_multikey.dir/multikey/simulation.cc.o.d"
+  "libdup_multikey.a"
+  "libdup_multikey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_multikey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

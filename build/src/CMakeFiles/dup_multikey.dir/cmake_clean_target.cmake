@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdup_multikey.a"
+)

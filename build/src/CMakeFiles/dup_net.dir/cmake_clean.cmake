@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_net.dir/net/message.cc.o"
+  "CMakeFiles/dup_net.dir/net/message.cc.o.d"
+  "CMakeFiles/dup_net.dir/net/overlay_network.cc.o"
+  "CMakeFiles/dup_net.dir/net/overlay_network.cc.o.d"
+  "libdup_net.a"
+  "libdup_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

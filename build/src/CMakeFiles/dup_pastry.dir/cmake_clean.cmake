@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_pastry.dir/pastry/pastry.cc.o"
+  "CMakeFiles/dup_pastry.dir/pastry/pastry.cc.o.d"
+  "libdup_pastry.a"
+  "libdup_pastry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_pastry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/cup.cc" "src/CMakeFiles/dup_proto.dir/proto/cup.cc.o" "gcc" "src/CMakeFiles/dup_proto.dir/proto/cup.cc.o.d"
+  "/root/repo/src/proto/pcx.cc" "src/CMakeFiles/dup_proto.dir/proto/pcx.cc.o" "gcc" "src/CMakeFiles/dup_proto.dir/proto/pcx.cc.o.d"
+  "/root/repo/src/proto/protocol.cc" "src/CMakeFiles/dup_proto.dir/proto/protocol.cc.o" "gcc" "src/CMakeFiles/dup_proto.dir/proto/protocol.cc.o.d"
+  "/root/repo/src/proto/tree_protocol_base.cc" "src/CMakeFiles/dup_proto.dir/proto/tree_protocol_base.cc.o" "gcc" "src/CMakeFiles/dup_proto.dir/proto/tree_protocol_base.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dup_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_proto.dir/proto/cup.cc.o"
+  "CMakeFiles/dup_proto.dir/proto/cup.cc.o.d"
+  "CMakeFiles/dup_proto.dir/proto/pcx.cc.o"
+  "CMakeFiles/dup_proto.dir/proto/pcx.cc.o.d"
+  "CMakeFiles/dup_proto.dir/proto/protocol.cc.o"
+  "CMakeFiles/dup_proto.dir/proto/protocol.cc.o.d"
+  "CMakeFiles/dup_proto.dir/proto/tree_protocol_base.cc.o"
+  "CMakeFiles/dup_proto.dir/proto/tree_protocol_base.cc.o.d"
+  "libdup_proto.a"
+  "libdup_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

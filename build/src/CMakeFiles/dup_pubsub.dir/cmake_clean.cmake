@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_pubsub.dir/pubsub/hub.cc.o"
+  "CMakeFiles/dup_pubsub.dir/pubsub/hub.cc.o.d"
+  "libdup_pubsub.a"
+  "libdup_pubsub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_pubsub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_sim.dir/sim/engine.cc.o"
+  "CMakeFiles/dup_sim.dir/sim/engine.cc.o.d"
+  "CMakeFiles/dup_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/dup_sim.dir/sim/event_queue.cc.o.d"
+  "libdup_sim.a"
+  "libdup_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/churn.cc" "src/CMakeFiles/dup_topo.dir/topo/churn.cc.o" "gcc" "src/CMakeFiles/dup_topo.dir/topo/churn.cc.o.d"
+  "/root/repo/src/topo/dot_export.cc" "src/CMakeFiles/dup_topo.dir/topo/dot_export.cc.o" "gcc" "src/CMakeFiles/dup_topo.dir/topo/dot_export.cc.o.d"
+  "/root/repo/src/topo/tree.cc" "src/CMakeFiles/dup_topo.dir/topo/tree.cc.o" "gcc" "src/CMakeFiles/dup_topo.dir/topo/tree.cc.o.d"
+  "/root/repo/src/topo/tree_generator.cc" "src/CMakeFiles/dup_topo.dir/topo/tree_generator.cc.o" "gcc" "src/CMakeFiles/dup_topo.dir/topo/tree_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

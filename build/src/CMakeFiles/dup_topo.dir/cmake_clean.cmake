@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_topo.dir/topo/churn.cc.o"
+  "CMakeFiles/dup_topo.dir/topo/churn.cc.o.d"
+  "CMakeFiles/dup_topo.dir/topo/dot_export.cc.o"
+  "CMakeFiles/dup_topo.dir/topo/dot_export.cc.o.d"
+  "CMakeFiles/dup_topo.dir/topo/tree.cc.o"
+  "CMakeFiles/dup_topo.dir/topo/tree.cc.o.d"
+  "CMakeFiles/dup_topo.dir/topo/tree_generator.cc.o"
+  "CMakeFiles/dup_topo.dir/topo/tree_generator.cc.o.d"
+  "libdup_topo.a"
+  "libdup_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

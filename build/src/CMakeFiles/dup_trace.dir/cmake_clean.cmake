@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/dup_trace.dir/trace/trace.cc.o.d"
+  "libdup_trace.a"
+  "libdup_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

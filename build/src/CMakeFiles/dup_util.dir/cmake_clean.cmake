@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_util.dir/util/check.cc.o"
+  "CMakeFiles/dup_util.dir/util/check.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/config.cc.o"
+  "CMakeFiles/dup_util.dir/util/config.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/csv.cc.o"
+  "CMakeFiles/dup_util.dir/util/csv.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/histogram.cc.o"
+  "CMakeFiles/dup_util.dir/util/histogram.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/rng.cc.o"
+  "CMakeFiles/dup_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/stats.cc.o"
+  "CMakeFiles/dup_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/status.cc.o"
+  "CMakeFiles/dup_util.dir/util/status.cc.o.d"
+  "CMakeFiles/dup_util.dir/util/str.cc.o"
+  "CMakeFiles/dup_util.dir/util/str.cc.o.d"
+  "libdup_util.a"
+  "libdup_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrivals.cc" "src/CMakeFiles/dup_workload.dir/workload/arrivals.cc.o" "gcc" "src/CMakeFiles/dup_workload.dir/workload/arrivals.cc.o.d"
+  "/root/repo/src/workload/update_schedule.cc" "src/CMakeFiles/dup_workload.dir/workload/update_schedule.cc.o" "gcc" "src/CMakeFiles/dup_workload.dir/workload/update_schedule.cc.o.d"
+  "/root/repo/src/workload/zipf_selector.cc" "src/CMakeFiles/dup_workload.dir/workload/zipf_selector.cc.o" "gcc" "src/CMakeFiles/dup_workload.dir/workload/zipf_selector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

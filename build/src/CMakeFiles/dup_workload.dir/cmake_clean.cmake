@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dup_workload.dir/workload/arrivals.cc.o"
+  "CMakeFiles/dup_workload.dir/workload/arrivals.cc.o.d"
+  "CMakeFiles/dup_workload.dir/workload/update_schedule.cc.o"
+  "CMakeFiles/dup_workload.dir/workload/update_schedule.cc.o.d"
+  "CMakeFiles/dup_workload.dir/workload/zipf_selector.cc.o"
+  "CMakeFiles/dup_workload.dir/workload/zipf_selector.cc.o.d"
+  "libdup_workload.a"
+  "libdup_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dup_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/dup_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/can_test.cc" "tests/CMakeFiles/dup_tests.dir/can_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/can_test.cc.o.d"
+  "/root/repo/tests/chord_dynamic_test.cc" "tests/CMakeFiles/dup_tests.dir/chord_dynamic_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/chord_dynamic_test.cc.o.d"
+  "/root/repo/tests/chord_test.cc" "tests/CMakeFiles/dup_tests.dir/chord_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/chord_test.cc.o.d"
+  "/root/repo/tests/core_dup_churn_test.cc" "tests/CMakeFiles/dup_tests.dir/core_dup_churn_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/core_dup_churn_test.cc.o.d"
+  "/root/repo/tests/core_dup_test.cc" "tests/CMakeFiles/dup_tests.dir/core_dup_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/core_dup_test.cc.o.d"
+  "/root/repo/tests/core_subscriber_list_test.cc" "tests/CMakeFiles/dup_tests.dir/core_subscriber_list_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/core_subscriber_list_test.cc.o.d"
+  "/root/repo/tests/dissem_test.cc" "tests/CMakeFiles/dup_tests.dir/dissem_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/dissem_test.cc.o.d"
+  "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/dup_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/experiment_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dup_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/dup_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/multikey_test.cc" "tests/CMakeFiles/dup_tests.dir/multikey_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/multikey_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/dup_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/pastry_test.cc" "tests/CMakeFiles/dup_tests.dir/pastry_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/pastry_test.cc.o.d"
+  "/root/repo/tests/proto_base_test.cc" "tests/CMakeFiles/dup_tests.dir/proto_base_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/proto_base_test.cc.o.d"
+  "/root/repo/tests/proto_cup_test.cc" "tests/CMakeFiles/dup_tests.dir/proto_cup_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/proto_cup_test.cc.o.d"
+  "/root/repo/tests/proto_pcx_test.cc" "tests/CMakeFiles/dup_tests.dir/proto_pcx_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/proto_pcx_test.cc.o.d"
+  "/root/repo/tests/pubsub_test.cc" "tests/CMakeFiles/dup_tests.dir/pubsub_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/pubsub_test.cc.o.d"
+  "/root/repo/tests/regression_test.cc" "tests/CMakeFiles/dup_tests.dir/regression_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/regression_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/dup_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/topo_churn_test.cc" "tests/CMakeFiles/dup_tests.dir/topo_churn_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/topo_churn_test.cc.o.d"
+  "/root/repo/tests/topo_dot_test.cc" "tests/CMakeFiles/dup_tests.dir/topo_dot_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/topo_dot_test.cc.o.d"
+  "/root/repo/tests/topo_generator_test.cc" "tests/CMakeFiles/dup_tests.dir/topo_generator_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/topo_generator_test.cc.o.d"
+  "/root/repo/tests/topo_tree_test.cc" "tests/CMakeFiles/dup_tests.dir/topo_tree_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/topo_tree_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/dup_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/trace_test.cc.o.d"
+  "/root/repo/tests/util_check_test.cc" "tests/CMakeFiles/dup_tests.dir/util_check_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_check_test.cc.o.d"
+  "/root/repo/tests/util_config_test.cc" "tests/CMakeFiles/dup_tests.dir/util_config_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_config_test.cc.o.d"
+  "/root/repo/tests/util_csv_test.cc" "tests/CMakeFiles/dup_tests.dir/util_csv_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_csv_test.cc.o.d"
+  "/root/repo/tests/util_histogram_test.cc" "tests/CMakeFiles/dup_tests.dir/util_histogram_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_histogram_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/dup_tests.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/dup_tests.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_stats_test.cc.o.d"
+  "/root/repo/tests/util_status_test.cc" "tests/CMakeFiles/dup_tests.dir/util_status_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_status_test.cc.o.d"
+  "/root/repo/tests/util_str_test.cc" "tests/CMakeFiles/dup_tests.dir/util_str_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/util_str_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/dup_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dup_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_multikey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

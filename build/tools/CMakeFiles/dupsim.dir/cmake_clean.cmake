@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dupsim.dir/dupsim.cc.o"
+  "CMakeFiles/dupsim.dir/dupsim.cc.o.d"
+  "dupsim"
+  "dupsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dupsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

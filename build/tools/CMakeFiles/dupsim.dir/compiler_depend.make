@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dupsim.
+# This may be replaced when dependencies are built.

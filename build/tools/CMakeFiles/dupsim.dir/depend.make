@@ -1,0 +1,2 @@
+# Empty dependencies file for dupsim.
+# This may be replaced when dependencies are built.
