@@ -18,10 +18,7 @@ int main() {
               settings);
 
   const std::vector<double> lambdas = {1.0, 10.0};
-  experiment::TableReport table(
-      "same workload on every substrate (n=4096)",
-      {"lambda", "topology", "PCX latency", "DUP latency", "CUP cost/PCX",
-       "DUP cost/PCX"});
+  std::vector<experiment::ExperimentConfig> points;
   for (double lambda : lambdas) {
     for (auto topology : {experiment::TopologyKind::kRandomTree,
                           experiment::TopologyKind::kChord,
@@ -30,7 +27,22 @@ int main() {
       experiment::ExperimentConfig config = PaperDefaults(settings);
       config.lambda = lambda;
       config.topology = topology;
-      const auto cmp = MustCompare(config, settings.replications);
+      points.push_back(config);
+    }
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "same workload on every substrate (n=4096)",
+      {"lambda", "topology", "PCX latency", "DUP latency", "CUP cost/PCX",
+       "DUP cost/PCX"});
+  size_t p = 0;
+  for (double lambda : lambdas) {
+    for (auto topology : {experiment::TopologyKind::kRandomTree,
+                          experiment::TopologyKind::kChord,
+                          experiment::TopologyKind::kCan,
+                          experiment::TopologyKind::kPastry}) {
+      const experiment::SchemeComparison& cmp = sweep[p++];
       table.AddRow({util::StrFormat("%g", lambda),
                     std::string(experiment::TopologyToString(topology)),
                     util::StrFormat("%.3f", cmp.pcx.latency.mean),

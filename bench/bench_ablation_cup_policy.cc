@@ -26,16 +26,30 @@ int main() {
   };
   const std::vector<double> lambdas = {1.0, 10.0};
 
-  experiment::TableReport table(
-      "CUP policy variants vs DUP (n=4096)",
-      {"lambda", "variant", "latency", "cost", "push hops/query"});
+  // One sweep point per CUP variant plus the DUP reference, per lambda.
+  std::vector<experiment::ExperimentConfig> points;
   for (double lambda : lambdas) {
     for (const Variant& variant : variants) {
       experiment::ExperimentConfig config = PaperDefaults(settings);
       config.scheme = experiment::Scheme::kCup;
       config.lambda = lambda;
       config.cup.policy = variant.policy;
-      const auto summary = MustRun(config, settings.replications);
+      points.push_back(config);
+    }
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.scheme = experiment::Scheme::kDup;
+    config.lambda = lambda;
+    points.push_back(config);
+  }
+  const auto sweep = MustRunSweep(points, settings);
+
+  experiment::TableReport table(
+      "CUP policy variants vs DUP (n=4096)",
+      {"lambda", "variant", "latency", "cost", "push hops/query"});
+  size_t p = 0;
+  for (double lambda : lambdas) {
+    for (const Variant& variant : variants) {
+      const metrics::ReplicationSummary& summary = sweep[p++];
       uint64_t queries = 0, push = 0;
       for (const auto& run : summary.runs) {
         queries += run.queries;
@@ -50,10 +64,7 @@ int main() {
                                        : static_cast<double>(push) /
                                              static_cast<double>(queries))});
     }
-    experiment::ExperimentConfig config = PaperDefaults(settings);
-    config.scheme = experiment::Scheme::kDup;
-    config.lambda = lambda;
-    const auto dup = MustRun(config, settings.replications);
+    const metrics::ReplicationSummary& dup = sweep[p++];
     uint64_t queries = 0, push = 0;
     for (const auto& run : dup.runs) {
       queries += run.queries;

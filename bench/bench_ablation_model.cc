@@ -31,17 +31,24 @@ int main() {
       {"all alternatives at once", false, true, false},
   };
 
-  experiment::TableReport table(
-      "lambda = 10, Table I defaults otherwise",
-      {"variant", "PCX cost", "CUP cost/PCX", "DUP cost/PCX", "PCX latency",
-       "DUP latency"});
+  std::vector<experiment::ExperimentConfig> points;
   for (const Variant& variant : variants) {
     experiment::ExperimentConfig config = PaperDefaults(settings);
     config.lambda = 10.0;
     config.per_copy_ttl = variant.per_copy_ttl;
     config.cache_passing_replies = variant.cache_passing_replies;
     config.count_forwarded_queries = variant.count_forwarded_queries;
-    const auto cmp = MustCompare(config, settings.replications);
+    points.push_back(config);
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "lambda = 10, Table I defaults otherwise",
+      {"variant", "PCX cost", "CUP cost/PCX", "DUP cost/PCX", "PCX latency",
+       "DUP latency"});
+  for (size_t p = 0; p < variants.size(); ++p) {
+    const Variant& variant = variants[p];
+    const experiment::SchemeComparison& cmp = sweep[p];
     table.AddRow({variant.name, util::StrFormat("%.3f", cmp.pcx.cost.mean),
                   experiment::PercentCell(cmp.cup_cost_relative_to_pcx()),
                   experiment::PercentCell(cmp.dup_cost_relative_to_pcx()),

@@ -15,16 +15,25 @@ int main() {
   PrintHeader("Ablation — DUP with and without shortcut pushes", settings);
 
   const std::vector<double> lambdas = {1.0, 10.0};
-  experiment::TableReport table(
-      "push traffic and total cost per variant",
-      {"lambda", "variant", "push hops/query", "cost (hops/q)", "latency"});
+  std::vector<experiment::ExperimentConfig> points;
   for (double lambda : lambdas) {
     for (bool shortcut : {true, false}) {
       experiment::ExperimentConfig config = PaperDefaults(settings);
       config.scheme = experiment::Scheme::kDup;
       config.lambda = lambda;
       config.dup.shortcut_push = shortcut;
-      const auto summary = MustRun(config, settings.replications);
+      points.push_back(config);
+    }
+  }
+  const auto sweep = MustRunSweep(points, settings);
+
+  experiment::TableReport table(
+      "push traffic and total cost per variant",
+      {"lambda", "variant", "push hops/query", "cost (hops/q)", "latency"});
+  size_t p = 0;
+  for (double lambda : lambdas) {
+    for (bool shortcut : {true, false}) {
+      const metrics::ReplicationSummary& summary = sweep[p++];
       double push_per_query = 0;
       uint64_t queries = 0, push = 0;
       for (const auto& run : summary.runs) {

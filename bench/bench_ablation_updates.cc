@@ -20,17 +20,27 @@ int main() {
               settings);
 
   const std::vector<double> lambdas = {1.0, 10.0};
-  experiment::TableReport table(
-      "same mean update rate (1 per 3540 s), different timing",
-      {"lambda", "updates", "PCX lat.", "DUP lat.", "CUP cost/PCX",
-       "DUP cost/PCX", "PCX stale", "DUP stale"});
+  std::vector<experiment::ExperimentConfig> points;
   for (double lambda : lambdas) {
     for (auto mode : {experiment::UpdateMode::kTtlAligned,
                       experiment::UpdateMode::kHostDriven}) {
       experiment::ExperimentConfig config = PaperDefaults(settings);
       config.lambda = lambda;
       config.update_mode = mode;
-      const auto cmp = MustCompare(config, settings.replications);
+      points.push_back(config);
+    }
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "same mean update rate (1 per 3540 s), different timing",
+      {"lambda", "updates", "PCX lat.", "DUP lat.", "CUP cost/PCX",
+       "DUP cost/PCX", "PCX stale", "DUP stale"});
+  size_t p = 0;
+  for (double lambda : lambdas) {
+    for (auto mode : {experiment::UpdateMode::kTtlAligned,
+                      experiment::UpdateMode::kHostDriven}) {
+      const experiment::SchemeComparison& cmp = sweep[p++];
       table.AddRow(
           {util::StrFormat("%g", lambda),
            std::string(experiment::UpdateModeToString(mode)),

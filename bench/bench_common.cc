@@ -23,7 +23,17 @@ BenchSettings BenchSettings::FromEnv() {
       settings.replications = static_cast<size_t>(value);
     }
   }
+  if (const char* jobs = std::getenv("DUP_BENCH_JOBS")) {
+    int64_t value = 0;
+    if (util::ParseInt64(jobs, &value) && value >= 0) {
+      settings.jobs = static_cast<size_t>(value);
+    }
+  }
   return settings;
+}
+
+size_t BenchSettings::effective_jobs() const {
+  return jobs == 0 ? experiment::ParallelRunner::DefaultJobs() : jobs;
 }
 
 void BenchSettings::Apply(experiment::ExperimentConfig* config) const {
@@ -41,28 +51,63 @@ void PrintHeader(const std::string& exhibit, const BenchSettings& settings) {
   std::printf("=== Reproducing %s (DUP, Yin & Cao, ICDE 2005) ===\n",
               exhibit.c_str());
   std::printf(
-      "mode=%s reps=%zu warmup=%.0fs measure=%.0fs "
+      "mode=%s reps=%zu warmup=%.0fs measure=%.0fs jobs=%zu "
       "(DUP_BENCH_FULL=1 for the paper-scale horizon)\n\n",
       settings.full ? "full" : "quick", settings.replications,
-      settings.warmup_time, settings.measure_time);
+      settings.warmup_time, settings.measure_time, settings.effective_jobs());
 }
 
 void PrintExpectation(const std::string& text) {
   std::printf("\npaper's reported shape: %s\n\n", text.c_str());
 }
 
+void PrintBatchTiming(const experiment::BatchTiming& timing) {
+  const double mean = timing.runs > 0
+                          ? timing.total_run_seconds /
+                                static_cast<double>(timing.runs)
+                          : 0.0;
+  std::printf(
+      "batch: %zu runs on %zu threads in %.2fs wall (%.2f runs/s, "
+      "efficiency %.0f%%); per-run wall min/mean/max %.2f/%.2f/%.2fs\n",
+      timing.runs, timing.jobs, timing.wall_seconds, timing.runs_per_second(),
+      100.0 * timing.parallel_efficiency(), timing.min_run_seconds, mean,
+      timing.max_run_seconds);
+}
+
 experiment::SchemeComparison MustCompare(
-    const experiment::ExperimentConfig& config, size_t replications) {
-  auto comparison = experiment::CompareSchemes(config, replications);
+    const experiment::ExperimentConfig& config, size_t replications,
+    size_t jobs) {
+  auto comparison = experiment::CompareSchemes(config, replications, jobs);
   DUP_CHECK(comparison.ok()) << comparison.status().ToString();
   return std::move(*comparison);
 }
 
 metrics::ReplicationSummary MustRun(
-    const experiment::ExperimentConfig& config, size_t replications) {
-  auto summary = experiment::Replicator::Run(config, replications);
+    const experiment::ExperimentConfig& config, size_t replications,
+    size_t jobs) {
+  auto summary = experiment::Replicator::Run(config, replications, jobs);
   DUP_CHECK(summary.ok()) << summary.status().ToString();
   return std::move(*summary);
+}
+
+std::vector<experiment::SchemeComparison> MustCompareSweep(
+    const std::vector<experiment::ExperimentConfig>& points,
+    const BenchSettings& settings) {
+  auto sweep = experiment::CompareSweep(points, settings.replications,
+                                        settings.effective_jobs());
+  DUP_CHECK(sweep.ok()) << sweep.status().ToString();
+  PrintBatchTiming(sweep->timing);
+  return std::move(sweep->points);
+}
+
+std::vector<metrics::ReplicationSummary> MustRunSweep(
+    const std::vector<experiment::ExperimentConfig>& points,
+    const BenchSettings& settings) {
+  auto sweep = experiment::RunSweep(points, settings.replications,
+                                    settings.effective_jobs());
+  DUP_CHECK(sweep.ok()) << sweep.status().ToString();
+  PrintBatchTiming(sweep->timing);
+  return std::move(sweep->points);
 }
 
 void MaybeWriteCsv(const experiment::TableReport& table,

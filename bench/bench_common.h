@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "experiment/config.h"
+#include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
 
@@ -15,14 +17,21 @@ namespace dupnet::bench {
 /// Default ("quick") mode keeps every binary in the tens-of-seconds range;
 /// setting DUP_BENCH_FULL=1 restores the paper's 180,000 s horizon and the
 /// largest network sizes. DUP_BENCH_REPS overrides the replication count.
+/// DUP_BENCH_JOBS sets the worker-thread count for sweep fan-out (0 = one
+/// thread per hardware core, the default). Results are bit-identical for
+/// every jobs value.
 struct BenchSettings {
   size_t replications = 2;
   double warmup_time = 3600.0;
   double measure_time = 3 * 3540.0;
   bool full = false;
+  size_t jobs = 0;  ///< 0 = all hardware threads.
 
   /// Reads the environment.
   static BenchSettings FromEnv();
+
+  /// The resolved worker-thread count (jobs, with 0 mapped to cores).
+  size_t effective_jobs() const;
 
   /// Applies the horizon to a config (topology/workload fields untouched).
   void Apply(experiment::ExperimentConfig* config) const;
@@ -38,13 +47,32 @@ void PrintHeader(const std::string& exhibit, const BenchSettings& settings);
 /// Prints the expected-shape note from the paper for comparison.
 void PrintExpectation(const std::string& text);
 
+/// Prints one batch's wall-clock/throughput line (the "report path" for
+/// the parallel runner): runs, threads, wall seconds, runs/sec, and the
+/// min/mean/max per-run wall clock.
+void PrintBatchTiming(const experiment::BatchTiming& timing);
+
 /// Runs all three schemes at `config` and aborts on error.
 experiment::SchemeComparison MustCompare(
-    const experiment::ExperimentConfig& config, size_t replications);
+    const experiment::ExperimentConfig& config, size_t replications,
+    size_t jobs = 1);
 
 /// Runs one scheme and aborts on error.
 metrics::ReplicationSummary MustRun(
-    const experiment::ExperimentConfig& config, size_t replications);
+    const experiment::ExperimentConfig& config, size_t replications,
+    size_t jobs = 1);
+
+/// Runs the whole sweep — points × {PCX, CUP, DUP} × replications — as one
+/// shared-nothing batch on settings.effective_jobs() threads, prints the
+/// batch timing, and aborts on error. Results are in point order.
+std::vector<experiment::SchemeComparison> MustCompareSweep(
+    const std::vector<experiment::ExperimentConfig>& points,
+    const BenchSettings& settings);
+
+/// Same fan-out for single-scheme sweeps (each point keeps its scheme).
+std::vector<metrics::ReplicationSummary> MustRunSweep(
+    const std::vector<experiment::ExperimentConfig>& points,
+    const BenchSettings& settings);
 
 /// If DUP_BENCH_CSV_DIR is set, writes the table as
 /// "<dir>/<exhibit>.csv" for downstream plotting and says so on stdout.

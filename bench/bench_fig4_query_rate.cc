@@ -20,14 +20,21 @@ int main() {
     lambdas.push_back(100.0);
   }
 
+  std::vector<experiment::ExperimentConfig> points;
+  for (double lambda : lambdas) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.lambda = lambda;
+    points.push_back(config);
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
   experiment::TableReport table(
       "(a) latency ±95% CI in hops; (b) cost relative to PCX",
       {"lambda", "PCX latency", "CUP latency", "DUP latency", "CUP cost/PCX",
        "DUP cost/PCX"});
-  for (double lambda : lambdas) {
-    experiment::ExperimentConfig config = PaperDefaults(settings);
-    config.lambda = lambda;
-    const auto cmp = MustCompare(config, settings.replications);
+  for (size_t p = 0; p < lambdas.size(); ++p) {
+    const double lambda = lambdas[p];
+    const experiment::SchemeComparison& cmp = sweep[p];
     table.AddRow({util::StrFormat("%g", lambda),
                   experiment::CiCell(cmp.pcx.latency.mean,
                                      cmp.pcx.latency.half_width),

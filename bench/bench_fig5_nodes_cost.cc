@@ -16,13 +16,20 @@ int main() {
   std::vector<size_t> sizes = {1024, 2048, 4096, 8192, 16384};
   if (settings.full) sizes.push_back(65536);
 
-  experiment::TableReport table(
-      "cost relative to PCX (lambda = 1, Table I defaults otherwise)",
-      {"nodes", "PCX cost (hops/q)", "CUP cost/PCX", "DUP cost/PCX"});
+  std::vector<experiment::ExperimentConfig> points;
   for (size_t n : sizes) {
     experiment::ExperimentConfig config = PaperDefaults(settings);
     config.num_nodes = n;
-    const auto cmp = MustCompare(config, settings.replications);
+    points.push_back(config);
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "cost relative to PCX (lambda = 1, Table I defaults otherwise)",
+      {"nodes", "PCX cost (hops/q)", "CUP cost/PCX", "DUP cost/PCX"});
+  for (size_t p = 0; p < sizes.size(); ++p) {
+    const size_t n = sizes[p];
+    const experiment::SchemeComparison& cmp = sweep[p];
     table.AddRow({util::StrFormat("%zu", n),
                   util::StrFormat("%.3f", cmp.pcx.cost.mean),
                   experiment::PercentCell(cmp.cup_cost_relative_to_pcx()),

@@ -14,14 +14,21 @@ int main() {
   PrintHeader("Figure 6 — effect of the maximum node degree D", settings);
 
   const std::vector<int> degrees = {2, 4, 6, 8, 10};
+  std::vector<experiment::ExperimentConfig> points;
+  for (int degree : degrees) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.max_degree = degree;
+    points.push_back(config);
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
   experiment::TableReport table(
       "(a) latency; (b) cost relative to PCX",
       {"D", "PCX latency", "CUP latency", "DUP latency", "CUP cost/PCX",
        "DUP cost/PCX"});
-  for (int degree : degrees) {
-    experiment::ExperimentConfig config = PaperDefaults(settings);
-    config.max_degree = degree;
-    const auto cmp = MustCompare(config, settings.replications);
+  for (size_t p = 0; p < degrees.size(); ++p) {
+    const int degree = degrees[p];
+    const experiment::SchemeComparison& cmp = sweep[p];
     table.AddRow({util::StrFormat("%d", degree),
                   experiment::CiCell(cmp.pcx.latency.mean,
                                      cmp.pcx.latency.half_width),

@@ -14,14 +14,21 @@ int main() {
   PrintHeader("Figure 7 — effect of the Zipf parameter theta", settings);
 
   const std::vector<double> thetas = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0};
+  std::vector<experiment::ExperimentConfig> points;
+  for (double theta : thetas) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.zipf_theta = theta;
+    points.push_back(config);
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
   experiment::TableReport table(
       "(a) latency; (b) cost relative to PCX",
       {"theta", "PCX latency", "CUP latency", "DUP latency", "CUP cost/PCX",
        "DUP cost/PCX"});
-  for (double theta : thetas) {
-    experiment::ExperimentConfig config = PaperDefaults(settings);
-    config.zipf_theta = theta;
-    const auto cmp = MustCompare(config, settings.replications);
+  for (size_t p = 0; p < thetas.size(); ++p) {
+    const double theta = thetas[p];
+    const experiment::SchemeComparison& cmp = sweep[p];
     table.AddRow({util::StrFormat("%g", theta),
                   experiment::CiCell(cmp.pcx.latency.mean,
                                      cmp.pcx.latency.half_width),

@@ -18,17 +18,26 @@ int main() {
   if (settings.full) lambdas.push_back(100.0);
   const std::vector<double> alphas = {1.05, 1.20};
 
-  experiment::TableReport table(
-      "(a) latency; (b) cost relative to PCX",
-      {"lambda", "alpha", "PCX latency", "CUP latency", "DUP latency",
-       "CUP cost/PCX", "DUP cost/PCX"});
+  std::vector<experiment::ExperimentConfig> points;
   for (double lambda : lambdas) {
     for (double alpha : alphas) {
       experiment::ExperimentConfig config = PaperDefaults(settings);
       config.arrival = experiment::ArrivalKind::kPareto;
       config.pareto_alpha = alpha;
       config.lambda = lambda;
-      const auto cmp = MustCompare(config, settings.replications);
+      points.push_back(config);
+    }
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "(a) latency; (b) cost relative to PCX",
+      {"lambda", "alpha", "PCX latency", "CUP latency", "DUP latency",
+       "CUP cost/PCX", "DUP cost/PCX"});
+  size_t p = 0;
+  for (double lambda : lambdas) {
+    for (double alpha : alphas) {
+      const experiment::SchemeComparison& cmp = sweep[p++];
       table.AddRow(
           {util::StrFormat("%g", lambda), util::StrFormat("%.2f", alpha),
            experiment::CiCell(cmp.pcx.latency.mean,

@@ -1,0 +1,180 @@
+// Bench (ours): scaling of the parallel replication runner. Runs one
+// fixed (PCX, CUP, DUP) x replications batch at increasing thread counts,
+// asserts the summaries are bit-identical to serial execution, and records
+// wall-clock, throughput and speedup in results/bench_parallel.json so the
+// run-level parallelism trajectory is machine-readable.
+//
+// Environment: DUP_BENCH_JOBS caps the largest thread count tried;
+// DUP_BENCH_PARALLEL_JSON overrides the JSON output path.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "experiment/parallel_runner.h"
+#include "experiment/replicator.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dupnet;
+
+bool SameMetrics(const metrics::RunMetrics& a, const metrics::RunMetrics& b) {
+  return a.queries == b.queries && a.avg_latency_hops == b.avg_latency_hops &&
+         a.avg_cost_hops == b.avg_cost_hops &&
+         a.local_hit_rate == b.local_hit_rate &&
+         a.stale_rate == b.stale_rate && a.hops.total() == b.hops.total() &&
+         a.latency_p50 == b.latency_p50 && a.latency_p95 == b.latency_p95 &&
+         a.latency_p99 == b.latency_p99 && a.latency_max == b.latency_max;
+}
+
+bool SameSweep(const experiment::RunSweepResult& a,
+               const experiment::RunSweepResult& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (size_t p = 0; p < a.points.size(); ++p) {
+    const auto& ra = a.points[p].runs;
+    const auto& rb = b.points[p].runs;
+    if (ra.size() != rb.size()) return false;
+    for (size_t i = 0; i < ra.size(); ++i) {
+      if (!SameMetrics(ra[i], rb[i])) return false;
+    }
+  }
+  return true;
+}
+
+std::string JsonDoubleArray(const std::vector<double>& values) {
+  std::string out = "[";
+  for (size_t i = 0; i < values.size(); ++i) {
+    out += util::StrFormat("%s%.6f", i == 0 ? "" : ", ", values[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+int main() {
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("parallel runner scaling (runs/sec, speedup vs serial)",
+              settings);
+
+  // One sweep point per scheme; the batch is schemes x replications
+  // shared-nothing runs, the same shape every fig/table bench fans out.
+  const size_t reps = std::max<size_t>(4, settings.replications);
+  std::vector<experiment::ExperimentConfig> points;
+  for (auto scheme : {experiment::Scheme::kPcx, experiment::Scheme::kCup,
+                      experiment::Scheme::kDup}) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.scheme = scheme;
+    config.num_nodes = 1024;
+    config.lambda = 5.0;
+    points.push_back(config);
+  }
+
+  const size_t hardware = experiment::ParallelRunner::DefaultJobs();
+  std::vector<size_t> jobs_series = {1, 2, 4, 8};
+  if (settings.jobs != 0) {
+    jobs_series.push_back(settings.jobs);
+    std::sort(jobs_series.begin(), jobs_series.end());
+    jobs_series.erase(std::unique(jobs_series.begin(), jobs_series.end()),
+                      jobs_series.end());
+  }
+
+  experiment::TableReport table(
+      util::StrFormat("3 schemes x %zu reps = %zu runs per batch "
+                      "(%zu hardware threads)",
+                      reps, 3 * reps, hardware),
+      {"jobs", "wall (s)", "runs/s", "speedup", "efficiency", "identical"});
+
+  std::vector<std::string> json_series;
+  double serial_wall = 0.0;
+  double best_speedup = 1.0;
+  const experiment::RunSweepResult* serial = nullptr;
+  std::vector<experiment::RunSweepResult> results;
+  results.reserve(jobs_series.size());
+
+  for (size_t jobs : jobs_series) {
+    auto sweep = experiment::RunSweep(points, reps, jobs);
+    DUP_CHECK(sweep.ok()) << sweep.status().ToString();
+    results.push_back(std::move(*sweep));
+    const experiment::RunSweepResult& result = results.back();
+    const experiment::BatchTiming& timing = result.timing;
+    if (serial == nullptr) {
+      serial = &results.front();
+      serial_wall = timing.wall_seconds;
+    }
+    const bool identical = SameSweep(results.front(), result);
+    DUP_CHECK(identical) << "jobs=" << jobs
+                         << " diverged from serial execution";
+    const double speedup =
+        timing.wall_seconds > 0.0 ? serial_wall / timing.wall_seconds : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+    table.AddRow({util::StrFormat("%zu", jobs),
+                  util::StrFormat("%.2f", timing.wall_seconds),
+                  util::StrFormat("%.2f", timing.runs_per_second()),
+                  util::StrFormat("%.2fx", speedup),
+                  util::StrFormat("%.0f%%", 100.0 *
+                                                timing.parallel_efficiency()),
+                  identical ? "yes" : "NO"});
+
+    std::vector<double> per_run;
+    // RunSweep aggregates per-run walls into the timing; re-derive the
+    // per-run series from a direct batch for the JSON record.
+    per_run = {timing.min_run_seconds,
+               timing.runs > 0 ? timing.total_run_seconds /
+                                     static_cast<double>(timing.runs)
+                               : 0.0,
+               timing.max_run_seconds};
+    json_series.push_back(util::StrFormat(
+        "    {\"jobs\": %zu, \"wall_seconds\": %.6f, \"runs\": %zu, "
+        "\"runs_per_second\": %.4f, \"total_run_seconds\": %.6f, "
+        "\"per_run_wall_min_mean_max\": %s, \"speedup_vs_serial\": %.4f, "
+        "\"parallel_efficiency\": %.4f, \"identical_to_serial\": true}",
+        jobs, timing.wall_seconds, timing.runs, timing.runs_per_second(),
+        timing.total_run_seconds, JsonDoubleArray(per_run).c_str(), speedup,
+        timing.parallel_efficiency()));
+  }
+  table.Print();
+
+  const char* env_path = std::getenv("DUP_BENCH_PARALLEL_JSON");
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path
+                                               : "results/bench_parallel.json";
+  std::string json = "{\n";
+  json += "  \"exhibit\": \"parallel_scaling\",\n";
+  json += util::StrFormat("  \"hardware_concurrency\": %zu,\n", hardware);
+  json += util::StrFormat(
+      "  \"batch\": {\"schemes\": 3, \"replications\": %zu, \"runs\": %zu, "
+      "\"nodes\": 1024, \"lambda\": 5.0, \"warmup_s\": %.0f, "
+      "\"measure_s\": %.0f},\n",
+      reps, 3 * reps, settings.warmup_time, settings.measure_time);
+  json += util::StrFormat("  \"best_speedup_vs_serial\": %.4f,\n",
+                          best_speedup);
+  json += "  \"series\": [\n";
+  for (size_t i = 0; i < json_series.size(); ++i) {
+    json += json_series[i];
+    json += i + 1 == json_series.size() ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("\n(could not open %s; JSON record printed below)\n%s",
+                path.c_str(), json.c_str());
+  } else {
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  PrintExpectation(
+      "every jobs value reproduces the serial summaries bit-for-bit; "
+      "speedup approaches the hardware thread count while each run stays "
+      "strictly sequential inside its own simulation.");
+  return 0;
+}

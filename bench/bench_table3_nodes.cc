@@ -21,16 +21,26 @@ int main() {
   for (size_t n : sizes) columns.push_back(util::StrFormat("n=%zu", n));
   experiment::TableReport table("latency in hops", columns);
 
+  std::vector<experiment::ExperimentConfig> points;
+  for (double lambda : lambdas) {
+    for (size_t n : sizes) {
+      experiment::ExperimentConfig config = PaperDefaults(settings);
+      config.num_nodes = n;
+      config.lambda = lambda;
+      points.push_back(config);
+    }
+  }
+  const auto sweep = MustCompareSweep(points, settings);
+
+  size_t p = 0;
   for (double lambda : lambdas) {
     std::vector<std::vector<std::string>> rows(3);
     rows[0] = {util::StrFormat("PCX (lambda=%g)", lambda)};
     rows[1] = {util::StrFormat("CUP (lambda=%g)", lambda)};
     rows[2] = {util::StrFormat("DUP (lambda=%g)", lambda)};
     for (size_t n : sizes) {
-      experiment::ExperimentConfig config = PaperDefaults(settings);
-      config.num_nodes = n;
-      config.lambda = lambda;
-      const auto cmp = MustCompare(config, settings.replications);
+      (void)n;
+      const experiment::SchemeComparison& cmp = sweep[p++];
       rows[0].push_back(util::StrFormat("%.3f", cmp.pcx.latency.mean));
       rows[1].push_back(util::StrFormat("%.3f", cmp.cup.latency.mean));
       rows[2].push_back(util::StrFormat("%.3f", cmp.dup.latency.mean));

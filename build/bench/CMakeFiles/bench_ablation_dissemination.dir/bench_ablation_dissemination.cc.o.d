@@ -227,9 +227,9 @@ bench/CMakeFiles/bench_ablation_dissemination.dir/bench_ablation_dissemination.c
  /root/repo/src/util/rng.h /root/repo/src/proto/protocol.h \
  /root/repo/src/topo/tree.h /root/repo/src/util/status.h \
  /root/repo/src/proto/cup.h /root/repo/src/topo/churn.h \
- /root/repo/src/experiment/replicator.h \
- /root/repo/src/experiment/driver.h /root/repo/src/metrics/summary.h \
- /root/repo/src/workload/arrivals.h \
+ /root/repo/src/experiment/parallel_runner.h \
+ /root/repo/src/metrics/summary.h /root/repo/src/experiment/replicator.h \
+ /root/repo/src/experiment/driver.h /root/repo/src/workload/arrivals.h \
  /root/repo/src/workload/update_schedule.h \
  /root/repo/src/workload/zipf_selector.h \
  /root/repo/src/experiment/report.h /root/repo/src/dissem/bayeux.h \

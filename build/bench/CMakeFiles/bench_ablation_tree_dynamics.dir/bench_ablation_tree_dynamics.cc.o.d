@@ -118,10 +118,13 @@ bench/CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.c
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/experiment/config.h /root/repo/src/core/dup_protocol.h \
- /usr/include/c++/12/functional /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/experiment/config.h \
+ /root/repo/src/core/dup_protocol.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/typeinfo \
  /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/ext/aligned_buffer.h \
@@ -130,11 +133,7 @@ bench/CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.c
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
@@ -158,7 +157,8 @@ bench/CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.c
  /root/repo/src/util/rng.h /root/repo/src/proto/protocol.h \
  /root/repo/src/topo/tree.h /root/repo/src/util/status.h \
  /root/repo/src/proto/cup.h /root/repo/src/topo/churn.h \
- /root/repo/src/experiment/replicator.h \
+ /root/repo/src/experiment/parallel_runner.h \
+ /root/repo/src/metrics/summary.h /root/repo/src/experiment/replicator.h \
  /root/repo/src/experiment/driver.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -229,7 +229,7 @@ bench/CMakeFiles/bench_ablation_tree_dynamics.dir/bench_ablation_tree_dynamics.c
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/metrics/summary.h /root/repo/src/workload/arrivals.h \
+ /root/repo/src/workload/arrivals.h \
  /root/repo/src/workload/update_schedule.h \
  /root/repo/src/workload/zipf_selector.h \
  /root/repo/src/experiment/report.h /root/repo/src/util/check.h \

@@ -159,7 +159,8 @@ bench/CMakeFiles/bench_fig8_pareto.dir/bench_fig8_pareto.cc.o: \
  /root/repo/src/util/rng.h /root/repo/src/proto/protocol.h \
  /root/repo/src/topo/tree.h /root/repo/src/util/status.h \
  /root/repo/src/proto/cup.h /root/repo/src/topo/churn.h \
- /root/repo/src/experiment/replicator.h \
+ /root/repo/src/experiment/parallel_runner.h \
+ /root/repo/src/metrics/summary.h /root/repo/src/experiment/replicator.h \
  /root/repo/src/experiment/driver.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -230,7 +231,7 @@ bench/CMakeFiles/bench_fig8_pareto.dir/bench_fig8_pareto.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/metrics/summary.h /root/repo/src/workload/arrivals.h \
+ /root/repo/src/workload/arrivals.h \
  /root/repo/src/workload/update_schedule.h \
  /root/repo/src/workload/zipf_selector.h \
  /root/repo/src/experiment/report.h /root/repo/src/util/str.h

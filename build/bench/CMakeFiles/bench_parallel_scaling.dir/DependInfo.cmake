@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_parallel_scaling.cc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o" "gcc" "bench/CMakeFiles/bench_parallel_scaling.dir/bench_parallel_scaling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_dissem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_multikey.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_pastry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_pubsub.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_chord.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dup_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

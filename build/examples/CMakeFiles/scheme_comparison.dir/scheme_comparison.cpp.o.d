@@ -231,6 +231,7 @@ examples/CMakeFiles/scheme_comparison.dir/scheme_comparison.cpp.o: \
  /root/repo/src/metrics/summary.h /root/repo/src/workload/arrivals.h \
  /root/repo/src/workload/update_schedule.h \
  /root/repo/src/workload/zipf_selector.h \
+ /root/repo/src/experiment/parallel_runner.h \
  /root/repo/src/experiment/report.h /root/repo/src/util/check.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \

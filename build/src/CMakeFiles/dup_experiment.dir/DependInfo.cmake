@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/experiment/config.cc" "src/CMakeFiles/dup_experiment.dir/experiment/config.cc.o" "gcc" "src/CMakeFiles/dup_experiment.dir/experiment/config.cc.o.d"
   "/root/repo/src/experiment/driver.cc" "src/CMakeFiles/dup_experiment.dir/experiment/driver.cc.o" "gcc" "src/CMakeFiles/dup_experiment.dir/experiment/driver.cc.o.d"
+  "/root/repo/src/experiment/parallel_runner.cc" "src/CMakeFiles/dup_experiment.dir/experiment/parallel_runner.cc.o" "gcc" "src/CMakeFiles/dup_experiment.dir/experiment/parallel_runner.cc.o.d"
   "/root/repo/src/experiment/replicator.cc" "src/CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o" "gcc" "src/CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o.d"
   "/root/repo/src/experiment/report.cc" "src/CMakeFiles/dup_experiment.dir/experiment/report.cc.o" "gcc" "src/CMakeFiles/dup_experiment.dir/experiment/report.cc.o.d"
   )

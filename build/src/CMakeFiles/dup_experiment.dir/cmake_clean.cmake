@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/dup_experiment.dir/experiment/config.cc.o.d"
   "CMakeFiles/dup_experiment.dir/experiment/driver.cc.o"
   "CMakeFiles/dup_experiment.dir/experiment/driver.cc.o.d"
+  "CMakeFiles/dup_experiment.dir/experiment/parallel_runner.cc.o"
+  "CMakeFiles/dup_experiment.dir/experiment/parallel_runner.cc.o.d"
   "CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o"
   "CMakeFiles/dup_experiment.dir/experiment/replicator.cc.o.d"
   "CMakeFiles/dup_experiment.dir/experiment/report.cc.o"

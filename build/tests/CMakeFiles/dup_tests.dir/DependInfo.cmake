@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core_dup_test.cc" "tests/CMakeFiles/dup_tests.dir/core_dup_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/core_dup_test.cc.o.d"
   "/root/repo/tests/core_subscriber_list_test.cc" "tests/CMakeFiles/dup_tests.dir/core_subscriber_list_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/core_subscriber_list_test.cc.o.d"
   "/root/repo/tests/dissem_test.cc" "tests/CMakeFiles/dup_tests.dir/dissem_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/dissem_test.cc.o.d"
+  "/root/repo/tests/experiment_parallel_test.cc" "tests/CMakeFiles/dup_tests.dir/experiment_parallel_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/experiment_parallel_test.cc.o.d"
   "/root/repo/tests/experiment_test.cc" "tests/CMakeFiles/dup_tests.dir/experiment_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/experiment_test.cc.o.d"
   "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/dup_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/integration_test.cc.o.d"
   "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/dup_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/dup_tests.dir/metrics_test.cc.o.d"

@@ -232,6 +232,7 @@ tests/CMakeFiles/dup_tests.dir/experiment_test.cc.o: \
  /root/repo/src/workload/update_schedule.h \
  /root/repo/src/workload/zipf_selector.h \
  /root/repo/src/experiment/replicator.h \
+ /root/repo/src/experiment/parallel_runner.h \
  /root/repo/src/experiment/report.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

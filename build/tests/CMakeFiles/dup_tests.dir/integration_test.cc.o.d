@@ -311,5 +311,6 @@ tests/CMakeFiles/dup_tests.dir/integration_test.cc.o: \
  /root/repo/src/experiment/driver.h /root/repo/src/metrics/summary.h \
  /root/repo/src/workload/arrivals.h \
  /root/repo/src/workload/update_schedule.h \
- /root/repo/src/workload/zipf_selector.h /root/repo/src/proto/pcx.h \
+ /root/repo/src/workload/zipf_selector.h \
+ /root/repo/src/experiment/parallel_runner.h /root/repo/src/proto/pcx.h \
  /root/repo/tests/test_util.h /root/repo/src/util/check.h

@@ -1,23 +1,71 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite, and regenerates every paper
-# table/figure plus the ablations. CSVs land in results/.
+# table/figure plus the ablations. CSVs land in results/, and the parallel
+# runner's scaling record lands in results/bench_parallel.json.
 #
-#   scripts/reproduce.sh            # quick mode (minutes)
+#   scripts/reproduce.sh                    # quick mode (minutes)
+#   scripts/reproduce.sh --jobs 8           # fan sweeps over 8 threads
 #   DUP_BENCH_FULL=1 scripts/reproduce.sh   # paper-scale horizon
+#
+# --jobs N sets DUP_BENCH_JOBS: every fig/table/ablation bench fans its
+# sweep points x schemes x replications over N shared-nothing worker
+# threads. Results are bit-identical for any N (default: all cores).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+jobs=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)
+      [[ $# -ge 2 ]] || { echo "error: --jobs needs a value" >&2; exit 2; }
+      jobs="$2"; shift 2 ;;
+    --jobs=*)
+      jobs="${1#--jobs=}"; shift ;;
+    *)
+      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+if [[ -n "$jobs" ]]; then
+  export DUP_BENCH_JOBS="$jobs"
+fi
+
+# Prefer Ninja for fresh build trees; reuse whatever generator an
+# existing tree was configured with.
+if [[ ! -f build/CMakeCache.txt ]] && command -v ninja >/dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j"$(nproc)"
 ctest --test-dir build -j"$(nproc)" --output-on-failure
 
 mkdir -p results
 export DUP_BENCH_CSV_DIR="$PWD/results"
+export DUP_BENCH_PARALLEL_JSON="$PWD/results/bench_parallel.json"
+
+declare -a timing_names timing_secs
 for bench in build/bench/*; do
+  [[ -x "$bench" && ! -d "$bench" ]] || continue
+  name="$(basename "$bench")"
+  start=$(date +%s.%N)
+  status=0
   case "$bench" in
-    *bench_micro) "$bench" --benchmark_min_time=0.1 ;;
-    *) "$bench" ;;
+    *bench_micro) "$bench" --benchmark_min_time=0.1 || status=$? ;;
+    *) "$bench" || status=$? ;;
   esac
+  end=$(date +%s.%N)
+  if [[ $status -ne 0 ]]; then
+    echo "FAILED: $name exited with status $status" >&2
+    exit "$status"
+  fi
+  timing_names+=("$name")
+  timing_secs+=("$(awk -v a="$start" -v b="$end" 'BEGIN { printf "%.1f", b - a }')")
   echo
 done
-echo "CSV series written to results/."
+
+echo "=== per-figure timing (jobs=${DUP_BENCH_JOBS:-auto}) ==="
+for i in "${!timing_names[@]}"; do
+  printf '%-34s %ss\n' "${timing_names[$i]}" "${timing_secs[$i]}"
+done
+echo
+echo "CSV series written to results/; scaling record in results/bench_parallel.json."

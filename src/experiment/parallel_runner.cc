@@ -1,0 +1,109 @@
+#include "experiment/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "experiment/driver.h"
+
+namespace dupnet::experiment {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double BatchTiming::runs_per_second() const {
+  return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
+}
+
+double BatchTiming::parallel_efficiency() const {
+  const double budget = wall_seconds * static_cast<double>(jobs);
+  return budget > 0.0 ? total_run_seconds / budget : 0.0;
+}
+
+ParallelRunner::ParallelRunner(size_t jobs)
+    : jobs_(jobs == 0 ? DefaultJobs() : jobs) {}
+
+size_t ParallelRunner::DefaultJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+uint64_t ParallelRunner::SeedForRun(uint64_t base_seed, uint64_t sweep_index,
+                                    size_t rep) {
+  // Sweep index 0 keeps the historical seed series (base + stride·(rep+1));
+  // other indices remap the base through SplitMix64 so every sweep point
+  // owns an independent family of replication streams.
+  const uint64_t point_seed =
+      sweep_index == 0
+          ? base_seed
+          : SplitMix64(base_seed ^ (0xA0761D6478BD642FULL * sweep_index));
+  return point_seed + 0x9E3779B97F4A7C15ULL * (rep + 1);
+}
+
+std::vector<RunOutcome> ParallelRunner::RunBatch(
+    const std::vector<ExperimentConfig>& configs) {
+  std::vector<RunOutcome> outcomes(configs.size());
+  const auto batch_start = std::chrono::steady_clock::now();
+
+  // Work queue: a shared atomic cursor over the config array. Each worker
+  // claims the next unclaimed index and writes only its own slot, so no
+  // locking is needed and completion order cannot affect results.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= configs.size()) return;
+      RunOutcome& out = outcomes[i];
+      out.seed = configs[i].seed;
+      const auto run_start = std::chrono::steady_clock::now();
+      auto metrics = SimulationDriver::Run(configs[i]);
+      out.wall_seconds = SecondsSince(run_start);
+      if (metrics.ok()) {
+        out.metrics = std::move(*metrics);
+      } else {
+        out.status = metrics.status();
+      }
+    }
+  };
+
+  const size_t workers = std::min(jobs_, std::max<size_t>(1, configs.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  timing_ = BatchTiming{};
+  timing_.jobs = workers;
+  timing_.runs = outcomes.size();
+  timing_.wall_seconds = SecondsSince(batch_start);
+  for (const RunOutcome& out : outcomes) {
+    timing_.total_run_seconds += out.wall_seconds;
+    timing_.min_run_seconds = timing_.min_run_seconds == 0.0
+                                  ? out.wall_seconds
+                                  : std::min(timing_.min_run_seconds,
+                                             out.wall_seconds);
+    timing_.max_run_seconds =
+        std::max(timing_.max_run_seconds, out.wall_seconds);
+  }
+  return outcomes;
+}
+
+}  // namespace dupnet::experiment

@@ -1,32 +1,48 @@
 #include "experiment/replicator.h"
 
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
 
 namespace dupnet::experiment {
 
+namespace {
+
+/// Collects the outcomes of one batch into per-point replication
+/// summaries. Outcomes are laid out point-major, `reps` runs per point;
+/// the first non-OK run status is returned instead (siblings still ran —
+/// ParallelRunner never aborts a batch early).
+util::Result<std::vector<metrics::ReplicationSummary>> Summarize(
+    const std::vector<RunOutcome>& outcomes, size_t points, size_t reps) {
+  DUP_CHECK_EQ(outcomes.size(), points * reps);
+  for (const RunOutcome& out : outcomes) {
+    DUP_RETURN_IF_ERROR(out.status);
+  }
+  std::vector<metrics::ReplicationSummary> summaries;
+  summaries.reserve(points);
+  for (size_t p = 0; p < points; ++p) {
+    std::vector<metrics::RunMetrics> runs;
+    runs.reserve(reps);
+    for (size_t i = 0; i < reps; ++i) {
+      runs.push_back(outcomes[p * reps + i].metrics);
+    }
+    summaries.push_back(metrics::ReplicationSummary::FromRuns(std::move(runs)));
+  }
+  return summaries;
+}
+
+}  // namespace
+
 uint64_t Replicator::SeedForReplication(uint64_t base_seed, size_t i) {
-  // Large odd stride keeps replication seeds far apart; SplitMix inside
-  // Rng decorrelates them regardless.
-  return base_seed + 0x9E3779B97F4A7C15ULL * (i + 1);
+  return ParallelRunner::SeedForRun(base_seed, /*sweep_index=*/0, i);
 }
 
 util::Result<metrics::ReplicationSummary> Replicator::Run(
-    const ExperimentConfig& config, size_t replications) {
-  if (replications == 0) {
-    return util::Status::InvalidArgument("need at least one replication");
-  }
-  std::vector<metrics::RunMetrics> runs;
-  runs.reserve(replications);
-  for (size_t i = 0; i < replications; ++i) {
-    ExperimentConfig rep = config;
-    rep.seed = SeedForReplication(config.seed, i);
-    auto metrics = SimulationDriver::Run(rep);
-    DUP_RETURN_IF_ERROR(metrics.status());
-    runs.push_back(*metrics);
-  }
-  return metrics::ReplicationSummary::FromRuns(std::move(runs));
+    const ExperimentConfig& config, size_t replications, size_t jobs) {
+  auto sweep = RunSweep({config}, replications, jobs);
+  DUP_RETURN_IF_ERROR(sweep.status());
+  return std::move(sweep->points[0]);
 }
 
 double SchemeComparison::cup_cost_relative_to_pcx() const {
@@ -40,26 +56,79 @@ double SchemeComparison::dup_cost_relative_to_pcx() const {
 }
 
 util::Result<SchemeComparison> CompareSchemes(const ExperimentConfig& base,
-                                              size_t replications) {
-  SchemeComparison out;
-  for (Scheme scheme : {Scheme::kPcx, Scheme::kCup, Scheme::kDup}) {
-    ExperimentConfig config = base;
-    config.scheme = scheme;
-    auto summary = Replicator::Run(config, replications);
-    DUP_RETURN_IF_ERROR(summary.status());
-    switch (scheme) {
-      case Scheme::kPcx:
-        out.pcx = std::move(*summary);
-        break;
-      case Scheme::kCup:
-        out.cup = std::move(*summary);
-        break;
-      case Scheme::kDup:
-        out.dup = std::move(*summary);
-        break;
+                                              size_t replications,
+                                              size_t jobs) {
+  auto sweep = CompareSweep({base}, replications, jobs);
+  DUP_RETURN_IF_ERROR(sweep.status());
+  return std::move(sweep->points[0]);
+}
+
+util::Result<RunSweepResult> RunSweep(
+    const std::vector<ExperimentConfig>& points, size_t replications,
+    size_t jobs) {
+  if (replications == 0) {
+    return util::Status::InvalidArgument("need at least one replication");
+  }
+  if (points.empty()) {
+    return util::Status::InvalidArgument("need at least one sweep point");
+  }
+  std::vector<ExperimentConfig> batch;
+  batch.reserve(points.size() * replications);
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (size_t i = 0; i < replications; ++i) {
+      ExperimentConfig run = points[p];
+      run.seed = ParallelRunner::SeedForRun(points[p].seed, p, i);
+      batch.push_back(std::move(run));
     }
   }
-  return out;
+  ParallelRunner runner(jobs);
+  const auto outcomes = runner.RunBatch(batch);
+  auto summaries = Summarize(outcomes, points.size(), replications);
+  DUP_RETURN_IF_ERROR(summaries.status());
+  RunSweepResult result;
+  result.points = std::move(*summaries);
+  result.timing = runner.last_timing();
+  return result;
+}
+
+util::Result<CompareSweepResult> CompareSweep(
+    const std::vector<ExperimentConfig>& points, size_t replications,
+    size_t jobs) {
+  if (replications == 0) {
+    return util::Status::InvalidArgument("need at least one replication");
+  }
+  if (points.empty()) {
+    return util::Status::InvalidArgument("need at least one sweep point");
+  }
+  constexpr Scheme kSchemes[] = {Scheme::kPcx, Scheme::kCup, Scheme::kDup};
+  std::vector<ExperimentConfig> batch;
+  batch.reserve(points.size() * 3 * replications);
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (Scheme scheme : kSchemes) {
+      for (size_t i = 0; i < replications; ++i) {
+        ExperimentConfig run = points[p];
+        run.scheme = scheme;
+        // Schemes at one point share replication seeds: paired comparison.
+        run.seed = ParallelRunner::SeedForRun(points[p].seed, p, i);
+        batch.push_back(std::move(run));
+      }
+    }
+  }
+  ParallelRunner runner(jobs);
+  const auto outcomes = runner.RunBatch(batch);
+  auto summaries = Summarize(outcomes, points.size() * 3, replications);
+  DUP_RETURN_IF_ERROR(summaries.status());
+  CompareSweepResult result;
+  result.points.reserve(points.size());
+  for (size_t p = 0; p < points.size(); ++p) {
+    SchemeComparison cmp;
+    cmp.pcx = std::move((*summaries)[p * 3 + 0]);
+    cmp.cup = std::move((*summaries)[p * 3 + 1]);
+    cmp.dup = std::move((*summaries)[p * 3 + 2]);
+    result.points.push_back(std::move(cmp));
+  }
+  result.timing = runner.last_timing();
+  return result;
 }
 
 }  // namespace dupnet::experiment

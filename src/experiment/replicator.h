@@ -2,9 +2,11 @@
 #define DUP_EXPERIMENT_REPLICATOR_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "experiment/config.h"
 #include "experiment/driver.h"
+#include "experiment/parallel_runner.h"
 #include "metrics/summary.h"
 
 namespace dupnet::experiment {
@@ -14,11 +16,15 @@ namespace dupnet::experiment {
 /// intervals — the statistical protocol behind every paper table/figure.
 class Replicator {
  public:
-  /// Runs `replications` seeds derived from config.seed.
+  /// Runs `replications` seeds derived from config.seed, fanned out over
+  /// `jobs` worker threads (1 = serial, 0 = all hardware threads). The
+  /// summary is bit-identical for every jobs value: seeds depend only on
+  /// (config.seed, replication index) and runs land in index order.
   static util::Result<metrics::ReplicationSummary> Run(
-      const ExperimentConfig& config, size_t replications);
+      const ExperimentConfig& config, size_t replications, size_t jobs = 1);
 
-  /// Derives the i-th replication seed from a base seed.
+  /// Derives the i-th replication seed from a base seed. Identical to
+  /// ParallelRunner::SeedForRun(base_seed, /*sweep_index=*/0, i).
   static uint64_t SeedForReplication(uint64_t base_seed, size_t i);
 };
 
@@ -33,9 +39,38 @@ struct SchemeComparison {
   double dup_cost_relative_to_pcx() const;
 };
 
-/// Runs all three schemes on otherwise identical configurations.
+/// Runs all three schemes on otherwise identical configurations, fanning
+/// schemes × replications over `jobs` threads. All schemes share the same
+/// replication seed series (paired comparison / common random numbers),
+/// exactly as the serial harness always did.
 util::Result<SchemeComparison> CompareSchemes(const ExperimentConfig& base,
-                                              size_t replications);
+                                              size_t replications,
+                                              size_t jobs = 1);
+
+/// One full sweep executed as a single shared-nothing batch.
+struct CompareSweepResult {
+  std::vector<SchemeComparison> points;  ///< One per input config, in order.
+  BatchTiming timing;
+};
+
+struct RunSweepResult {
+  std::vector<metrics::ReplicationSummary> points;
+  BatchTiming timing;
+};
+
+/// Runs CompareSchemes at every config in `points` with the whole
+/// points × schemes × replications batch fanned out over `jobs` threads.
+/// Replication seeds are keyed by (point seed, sweep index, replication);
+/// point 0 reproduces the classic CompareSchemes series bit-for-bit.
+util::Result<CompareSweepResult> CompareSweep(
+    const std::vector<ExperimentConfig>& points, size_t replications,
+    size_t jobs = 1);
+
+/// Same fan-out for single-scheme sweeps (each point keeps its configured
+/// scheme).
+util::Result<RunSweepResult> RunSweep(
+    const std::vector<ExperimentConfig>& points, size_t replications,
+    size_t jobs = 1);
 
 }  // namespace dupnet::experiment
 

@@ -1,0 +1,180 @@
+#include "experiment/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "experiment/config.h"
+#include "experiment/replicator.h"
+
+namespace dupnet::experiment {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.num_nodes = 128;
+  config.lambda = 2.0;
+  config.ttl = 600.0;
+  config.push_lead = 30.0;
+  config.warmup_time = 600.0;
+  config.measure_time = 1800.0;
+  config.seed = 11;
+  return config;
+}
+
+void ExpectSameMetrics(const metrics::RunMetrics& a,
+                       const metrics::RunMetrics& b) {
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_DOUBLE_EQ(a.avg_latency_hops, b.avg_latency_hops);
+  EXPECT_DOUBLE_EQ(a.avg_cost_hops, b.avg_cost_hops);
+  EXPECT_DOUBLE_EQ(a.local_hit_rate, b.local_hit_rate);
+  EXPECT_DOUBLE_EQ(a.stale_rate, b.stale_rate);
+  EXPECT_EQ(a.hops.total(), b.hops.total());
+  EXPECT_EQ(a.latency_p50, b.latency_p50);
+  EXPECT_EQ(a.latency_p95, b.latency_p95);
+  EXPECT_EQ(a.latency_p99, b.latency_p99);
+  EXPECT_EQ(a.latency_max, b.latency_max);
+}
+
+TEST(ParallelRunnerTest, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(ParallelRunner::DefaultJobs(), 1u);
+  EXPECT_EQ(ParallelRunner(0).jobs(), ParallelRunner::DefaultJobs());
+  EXPECT_EQ(ParallelRunner(3).jobs(), 3u);
+}
+
+TEST(ParallelRunnerTest, SeedForRunSweepZeroMatchesLegacySeries) {
+  for (size_t rep = 0; rep < 4; ++rep) {
+    EXPECT_EQ(ParallelRunner::SeedForRun(42, 0, rep),
+              Replicator::SeedForReplication(42, rep));
+  }
+}
+
+TEST(ParallelRunnerTest, SeedForRunDistinctAcrossKeyComponents) {
+  EXPECT_NE(ParallelRunner::SeedForRun(42, 0, 0),
+            ParallelRunner::SeedForRun(42, 0, 1));
+  EXPECT_NE(ParallelRunner::SeedForRun(42, 0, 0),
+            ParallelRunner::SeedForRun(42, 1, 0));
+  EXPECT_NE(ParallelRunner::SeedForRun(42, 1, 0),
+            ParallelRunner::SeedForRun(43, 1, 0));
+}
+
+TEST(ParallelRunnerTest, BatchMatchesSerialForAnyJobCount) {
+  std::vector<ExperimentConfig> batch;
+  for (auto scheme : {Scheme::kPcx, Scheme::kCup, Scheme::kDup}) {
+    ExperimentConfig config = SmallConfig();
+    config.scheme = scheme;
+    batch.push_back(config);
+  }
+  ParallelRunner serial(1);
+  const auto expected = serial.RunBatch(batch);
+  ASSERT_EQ(expected.size(), batch.size());
+  for (size_t jobs : {2u, 8u}) {
+    ParallelRunner runner(jobs);
+    const auto outcomes = runner.RunBatch(batch);
+    ASSERT_EQ(outcomes.size(), expected.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+      EXPECT_EQ(outcomes[i].seed, expected[i].seed);
+      ExpectSameMetrics(outcomes[i].metrics, expected[i].metrics);
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, ErrorRunDoesNotPoisonSiblings) {
+  std::vector<ExperimentConfig> batch(3, SmallConfig());
+  batch[1].num_nodes = 1;  // Fails ExperimentConfig::Validate() in Init.
+  ParallelRunner runner(8);
+  const auto outcomes = runner.RunBatch(batch);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_FALSE(outcomes[1].status.ok());
+  for (size_t i : {0u, 2u}) {
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+    EXPECT_GT(outcomes[i].metrics.queries, 0u);
+  }
+}
+
+TEST(ParallelRunnerTest, TimingAccountsForEveryRun) {
+  std::vector<ExperimentConfig> batch(4, SmallConfig());
+  ParallelRunner runner(2);
+  runner.RunBatch(batch);
+  const BatchTiming& timing = runner.last_timing();
+  EXPECT_EQ(timing.runs, 4u);
+  EXPECT_EQ(timing.jobs, 2u);
+  EXPECT_GT(timing.wall_seconds, 0.0);
+  EXPECT_GT(timing.total_run_seconds, 0.0);
+  EXPECT_GT(timing.runs_per_second(), 0.0);
+  EXPECT_LE(timing.min_run_seconds, timing.max_run_seconds);
+}
+
+TEST(ReplicatorParallelTest, JobsOneAndEightProduceIdenticalRuns) {
+  const ExperimentConfig config = SmallConfig();
+  auto serial = Replicator::Run(config, 4, /*jobs=*/1);
+  auto parallel = Replicator::Run(config, 4, /*jobs=*/8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  ASSERT_EQ(serial->runs.size(), parallel->runs.size());
+  for (size_t i = 0; i < serial->runs.size(); ++i) {
+    ExpectSameMetrics(serial->runs[i], parallel->runs[i]);
+  }
+  EXPECT_DOUBLE_EQ(serial->latency.mean, parallel->latency.mean);
+  EXPECT_DOUBLE_EQ(serial->latency.half_width, parallel->latency.half_width);
+  EXPECT_DOUBLE_EQ(serial->cost.mean, parallel->cost.mean);
+  EXPECT_EQ(serial->total_queries, parallel->total_queries);
+}
+
+TEST(ReplicatorParallelTest, CompareSchemesIdenticalAcrossJobCounts) {
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 64;
+  auto serial = CompareSchemes(config, 2, /*jobs=*/1);
+  auto parallel = CompareSchemes(config, 2, /*jobs=*/4);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_DOUBLE_EQ(serial->pcx.latency.mean, parallel->pcx.latency.mean);
+  EXPECT_DOUBLE_EQ(serial->cup.cost.mean, parallel->cup.cost.mean);
+  EXPECT_DOUBLE_EQ(serial->dup.cost.mean, parallel->dup.cost.mean);
+  EXPECT_DOUBLE_EQ(serial->dup_cost_relative_to_pcx(),
+                   parallel->dup_cost_relative_to_pcx());
+}
+
+TEST(ReplicatorParallelTest, SweepPointsGetIndependentStreams) {
+  // Two sweep points with identical configs: point 0 keeps the legacy
+  // stream family, point 1 gets a decorrelated one, so their runs differ.
+  std::vector<ExperimentConfig> points(2, SmallConfig());
+  auto sweep = RunSweep(points, 2, /*jobs=*/4);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->points.size(), 2u);
+  EXPECT_NE(sweep->points[0].runs[0].hops.total(),
+            sweep->points[1].runs[0].hops.total());
+  EXPECT_EQ(sweep->timing.runs, 4u);
+}
+
+TEST(ReplicatorParallelTest, SweepMatchesPointwiseReplicator) {
+  // A single-point sweep is the replicator: bit-identical summaries.
+  ExperimentConfig config = SmallConfig();
+  config.num_nodes = 64;
+  auto sweep = RunSweep({config}, 3, /*jobs=*/8);
+  auto direct = Replicator::Run(config, 3, /*jobs=*/1);
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(sweep->points[0].runs.size(), direct->runs.size());
+  for (size_t i = 0; i < direct->runs.size(); ++i) {
+    ExpectSameMetrics(sweep->points[0].runs[i], direct->runs[i]);
+  }
+}
+
+TEST(ReplicatorParallelTest, SweepRejectsEmptyInput) {
+  EXPECT_FALSE(RunSweep({}, 2, 1).ok());
+  EXPECT_FALSE(RunSweep({SmallConfig()}, 0, 1).ok());
+  EXPECT_FALSE(CompareSweep({}, 2, 1).ok());
+}
+
+TEST(ReplicatorParallelTest, SweepSurfacesRunErrorAfterSiblingsFinish) {
+  std::vector<ExperimentConfig> points(2, SmallConfig());
+  points[1].num_nodes = 1;  // Invalid: the sweep must report, not abort.
+  auto sweep = RunSweep(points, 2, /*jobs=*/4);
+  EXPECT_FALSE(sweep.ok());
+  EXPECT_TRUE(sweep.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace dupnet::experiment

@@ -13,15 +13,22 @@
 // Keys (defaults in brackets): scheme[dup] topology[random-tree|chord|can]
 // nodes[4096] degree[4] can_dims[2] lambda[1] arrival[exponential|pareto]
 // alpha[1.2] theta[0.8] c[6] ttl[3600] lead[60] hoplat[0.1] warmup[3600]
-// measure[10620] reps[3] seed[42] shortcut[1] piggyback[0] percopy[1]
-// passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
+// measure[10620] reps[3] jobs[1] seed[42] shortcut[1] piggyback[0]
+// percopy[1] passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
 // detect[30] csv[]
+//
+// jobs=N fans the replications of each scheme over N worker threads
+// (jobs=0 uses every hardware thread). Results are bit-identical for any
+// jobs value: each replication is a shared-nothing simulation whose RNG
+// stream depends only on (seed, replication index).
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "experiment/config.h"
+#include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
 #include "util/check.h"
@@ -110,6 +117,11 @@ int main(int argc, char** argv) {
   const experiment::ExperimentConfig base = BuildConfig(*args);
   const auto schemes = SchemesFor(args->GetString("scheme", "dup"));
   const size_t reps = static_cast<size_t>(args->GetInt("reps", 3));
+  const int64_t jobs_arg = args->GetInt("jobs", 1);
+  DUP_CHECK(jobs_arg >= 0) << "jobs must be >= 0";
+  const size_t jobs = jobs_arg == 0
+                          ? experiment::ParallelRunner::DefaultJobs()
+                          : static_cast<size_t>(jobs_arg);
 
   experiment::TableReport table(
       "dupsim results (" + base.ToString() + ")",
@@ -119,11 +131,22 @@ int main(int argc, char** argv) {
                        "latency_p99", "cost", "cost_hw", "local_hit",
                        "stale", "queries"});
 
+  const auto wall_start = std::chrono::steady_clock::now();
+  size_t total_runs = 0;
   for (experiment::Scheme scheme : schemes) {
     experiment::ExperimentConfig config = base;
     config.scheme = scheme;
-    auto summary = experiment::Replicator::Run(config, reps);
+    const auto scheme_start = std::chrono::steady_clock::now();
+    auto summary = experiment::Replicator::Run(config, reps, jobs);
     DUP_CHECK(summary.ok()) << summary.status().ToString();
+    const double scheme_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scheme_start)
+            .count();
+    total_runs += reps;
+    std::printf("%s: %zu reps on %zu thread(s) in %.2fs wall\n",
+                std::string(experiment::SchemeToString(scheme)).c_str(), reps,
+                jobs, scheme_seconds);
 
     uint64_t p95 = 0, p99 = 0;
     for (const auto& run : summary->runs) {
@@ -153,6 +176,16 @@ int main(int argc, char** argv) {
                 util::CsvWriter::Cell(summary->stale_rate.mean),
                 util::CsvWriter::Cell(summary->total_queries)});
   }
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::printf("total: %zu runs in %.2fs wall (%.2f runs/s, jobs=%zu)\n\n",
+              total_runs, total_seconds,
+              total_seconds > 0.0
+                  ? static_cast<double>(total_runs) / total_seconds
+                  : 0.0,
+              jobs);
   table.Print();
 
   const std::string csv_path = args->GetString("csv", "");
