@@ -1,0 +1,200 @@
+// Ablation (ours): the three schemes under message loss. The paper assumes
+// a reliable overlay; this bench injects per-transmission loss (0–20%),
+// arms the network layer's ack/retry machinery and the protocols'
+// soft-state refresh (docs/fault-injection.md), and measures what loss
+// does to latency, cost, delivery ratio and the stale-read rate. After the
+// 5% point it additionally audits that the DUP tree reconverges: traffic
+// stops, one refresh round runs, and ValidatePropagationState() must pass.
+//
+// Environment: the usual DUP_BENCH_* knobs (bench_common.h), plus
+// DUP_BENCH_LOSS_JSON to override the machine-readable output path
+// (default results/bench_ablation_loss.json).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "experiment/driver.h"
+#include "net/fault_injection.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dupnet;
+
+/// Totals of the per-run transmission counters across all replications.
+struct DeliveryTotals {
+  uint64_t sent = 0;
+  uint64_t dropped = 0;
+  uint64_t control_retries = 0;
+  uint64_t push_retries = 0;
+  uint64_t giveups = 0;
+};
+
+DeliveryTotals Totals(const metrics::ReplicationSummary& summary) {
+  DeliveryTotals totals;
+  for (const auto& run : summary.runs) {
+    totals.sent += run.delivery.total_sent();
+    totals.dropped += run.delivery.total_dropped();
+    totals.control_retries +=
+        run.delivery.retries_for(metrics::HopClass::kControl);
+    totals.push_retries += run.delivery.retries_for(metrics::HopClass::kPush);
+    totals.giveups += run.delivery.total_giveups();
+  }
+  return totals;
+}
+
+net::FaultConfig FaultsAt(double loss_rate) {
+  net::FaultConfig faults;
+  if (loss_rate <= 0.0) return faults;  // Baseline point: strict no-op.
+  faults.loss_rate = loss_rate;
+  faults.retry_max = 5;
+  faults.retry_timeout = 2.0;
+  faults.retry_backoff = 2.0;
+  faults.refresh_interval = 600.0;
+  return faults;
+}
+
+std::string SchemeJson(const metrics::ReplicationSummary& summary) {
+  const DeliveryTotals totals = Totals(summary);
+  return util::StrFormat(
+      "{\"latency_hops\": %.6f, \"latency_hw\": %.6f, "
+      "\"cost_hops\": %.6f, \"cost_hw\": %.6f, "
+      "\"delivery_ratio\": %.6f, \"stale_rate\": %.6f, "
+      "\"sent\": %llu, \"dropped\": %llu, \"control_retries\": %llu, "
+      "\"push_retries\": %llu, \"giveups\": %llu}",
+      summary.latency.mean, summary.latency.half_width, summary.cost.mean,
+      summary.cost.half_width, summary.delivery_ratio.mean,
+      summary.stale_rate.mean, static_cast<unsigned long long>(totals.sent),
+      static_cast<unsigned long long>(totals.dropped),
+      static_cast<unsigned long long>(totals.control_retries),
+      static_cast<unsigned long long>(totals.push_retries),
+      static_cast<unsigned long long>(totals.giveups));
+}
+
+/// Runs one DUP simulation at `loss_rate`, then stops the loss, fires one
+/// refresh round and audits the propagation tree — the reconvergence
+/// guarantee documented in docs/fault-injection.md.
+bool DupReconverges(experiment::ExperimentConfig config, double loss_rate) {
+  config.scheme = experiment::Scheme::kDup;
+  config.faults = FaultsAt(loss_rate);
+  experiment::SimulationDriver driver(config);
+  DUP_CHECK_OK(driver.Init());
+  driver.RunToCompletion();
+  driver.engine().Run();  // Drain in-flight traffic and retry timers.
+  // Bounded-time repair: with the loss stopped, a single refresh round must
+  // rebuild every upstream subscription entry.
+  driver.network().set_faults(net::FaultConfig());
+  driver.protocol().OnSoftStateRefresh();
+  driver.engine().Run();
+  const auto audit = driver.dup_protocol()->ValidatePropagationState();
+  if (!audit.ok()) std::printf("audit: %s\n", audit.ToString().c_str());
+  return audit.ok();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dupnet::bench;
+
+  const BenchSettings settings = BenchSettings::FromEnv();
+  PrintHeader("Ablation — message loss with ack/retry and soft-state repair",
+              settings);
+
+  const std::vector<double> loss_levels = {0.0, 0.05, 0.10, 0.20};
+  std::vector<experiment::ExperimentConfig> points;
+  for (double loss : loss_levels) {
+    experiment::ExperimentConfig config = PaperDefaults(settings);
+    config.num_nodes = 1024;
+    config.lambda = 5.0;
+    config.faults = FaultsAt(loss);
+    points.push_back(config);
+  }
+  const auto results = MustCompareSweep(points, settings);
+
+  experiment::TableReport table(
+      "per-transmission loss (retry_max=5, refresh=600s at loss > 0)",
+      {"loss", "scheme", "latency", "cost", "delivery", "stale",
+       "ctl retries", "push retries", "giveups"});
+  std::vector<std::string> json_points;
+  for (size_t i = 0; i < loss_levels.size(); ++i) {
+    const auto& comparison = results[i];
+    const struct {
+      const char* name;
+      const metrics::ReplicationSummary& summary;
+    } rows[] = {{"pcx", comparison.pcx},
+                {"cup", comparison.cup},
+                {"dup", comparison.dup}};
+    for (const auto& row : rows) {
+      const DeliveryTotals totals = Totals(row.summary);
+      table.AddRow(
+          {util::StrFormat("%g", loss_levels[i]), row.name,
+           experiment::CiCell(row.summary.latency.mean,
+                              row.summary.latency.half_width),
+           experiment::CiCell(row.summary.cost.mean,
+                              row.summary.cost.half_width),
+           experiment::PercentCell(row.summary.delivery_ratio.mean),
+           experiment::PercentCell(row.summary.stale_rate.mean),
+           util::StrFormat("%llu", static_cast<unsigned long long>(
+                                       totals.control_retries)),
+           util::StrFormat("%llu", static_cast<unsigned long long>(
+                                       totals.push_retries)),
+           util::StrFormat("%llu",
+                           static_cast<unsigned long long>(totals.giveups))});
+    }
+    if (i + 1 < loss_levels.size()) table.AddSeparator();
+    json_points.push_back(util::StrFormat(
+        "    {\"loss_rate\": %g, \"pcx\": %s, \"cup\": %s, \"dup\": %s}",
+        loss_levels[i], SchemeJson(comparison.pcx).c_str(),
+        SchemeJson(comparison.cup).c_str(),
+        SchemeJson(comparison.dup).c_str()));
+  }
+  table.Print();
+  MaybeWriteCsv(table, "ablation_loss");
+
+  const bool reconverged = DupReconverges(points[1], 0.05);
+  DUP_CHECK(reconverged) << "DUP tree failed to reconverge at 5% loss";
+  std::printf(
+      "\nDUP propagation-tree audit after 5%% loss + one refresh round: ok\n");
+
+  const char* env_path = std::getenv("DUP_BENCH_LOSS_JSON");
+  const std::string path = env_path != nullptr && *env_path != '\0'
+                               ? env_path
+                               : "results/bench_ablation_loss.json";
+  std::string json = "{\n  \"exhibit\": \"ablation_loss\",\n";
+  json += util::StrFormat(
+      "  \"batch\": {\"nodes\": 1024, \"lambda\": 5.0, "
+      "\"replications\": %zu, \"warmup_s\": %.0f, \"measure_s\": %.0f},\n",
+      settings.replications, settings.warmup_time, settings.measure_time);
+  json +=
+      "  \"faults\": {\"retry_max\": 5, \"retry_timeout\": 2.0, "
+      "\"retry_backoff\": 2.0, \"refresh_interval\": 600.0},\n";
+  json += util::StrFormat("  \"dup_reconverged_at_5pct_loss\": %s,\n",
+                          reconverged ? "true" : "false");
+  json += "  \"points\": [\n";
+  for (size_t i = 0; i < json_points.size(); ++i) {
+    json += json_points[i];
+    json += i + 1 == json_points.size() ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("\n(could not open %s; JSON record printed below)\n%s",
+                path.c_str(), json.c_str());
+  } else {
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  PrintExpectation(
+      "(not in the paper) the loss=0 row is bit-identical to the lossless "
+      "harness; as loss grows, delivery ratio falls with retries bounding "
+      "the damage, DUP keeps its cost advantage while paying some control "
+      "retries, and the stale-read rate rises as pushed updates go missing. "
+      "The DUP tree reconverges after one clean refresh round.");
+  return 0;
+}

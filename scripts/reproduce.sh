@@ -5,15 +5,24 @@
 #
 #   scripts/reproduce.sh                    # quick mode (minutes)
 #   scripts/reproduce.sh --jobs 8           # fan sweeps over 8 threads
+#   scripts/reproduce.sh --with-faults      # also run the loss ablation
 #   DUP_BENCH_FULL=1 scripts/reproduce.sh   # paper-scale horizon
 #
 # --jobs N sets DUP_BENCH_JOBS: every fig/table/ablation bench fans its
 # sweep points x schemes x replications over N shared-nothing worker
 # threads. Results are bit-identical for any N (default: all cores).
+#
+# --with-faults additionally runs bench_ablation_loss (the fault-injection
+# sweep of docs/fault-injection.md, 0-20% message loss with ack/retry and
+# soft-state repair; skipped by default because the paper assumes a
+# reliable overlay). The sweep fails the whole script on a nonzero exit,
+# including when the DUP reconvergence audit trips. Its machine-readable
+# record lands in results/bench_ablation_loss.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=""
+with_faults=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs)
@@ -21,8 +30,10 @@ while [[ $# -gt 0 ]]; do
       jobs="$2"; shift 2 ;;
     --jobs=*)
       jobs="${1#--jobs=}"; shift ;;
+    --with-faults)
+      with_faults=1; shift ;;
     *)
-      echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--with-faults]" >&2; exit 2 ;;
   esac
 done
 if [[ -n "$jobs" ]]; then
@@ -50,6 +61,13 @@ for bench in build/bench/*; do
   start=$(date +%s.%N)
   status=0
   case "$bench" in
+    *bench_ablation_loss)
+      if [[ $with_faults -eq 0 ]]; then
+        echo "skipping $name (opt in with --with-faults)"
+        echo
+        continue
+      fi
+      "$bench" || status=$? ;;
     *bench_micro) "$bench" --benchmark_min_time=0.1 || status=$? ;;
     *) "$bench" || status=$? ;;
   esac
@@ -69,3 +87,6 @@ for i in "${!timing_names[@]}"; do
 done
 echo
 echo "CSV series written to results/; scaling record in results/bench_parallel.json."
+if [[ $with_faults -eq 1 ]]; then
+  echo "Fault-injection record in results/bench_ablation_loss.json."
+fi

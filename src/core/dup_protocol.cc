@@ -286,6 +286,29 @@ void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
   }
 }
 
+void DupProtocol::OnSoftStateRefresh() {
+  const NodeId root = tree()->root();
+  std::vector<NodeId> on_path;
+  for (const auto& [node, state] : dup_states_) {
+    if (node == root || !tree()->Contains(node)) continue;
+    if (state.slist.empty()) continue;
+    on_path.push_back(node);
+  }
+  // Iteration order of the state map is unspecified; sort so the refresh
+  // burst is identical across runs (determinism contract).
+  std::sort(on_path.begin(), on_path.end());
+  for (NodeId node : on_path) {
+    // Not SendUp(): a refresh announcement rides no query, so it is never
+    // free_ride even under the piggyback-subscribe ablation.
+    Message msg;
+    msg.type = MessageType::kSubscribe;
+    msg.from = node;
+    msg.to = tree()->Parent(node);
+    msg.subject = RepresentativeOf(node);
+    network()->Send(std::move(msg));
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Introspection.
 // ---------------------------------------------------------------------------

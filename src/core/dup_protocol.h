@@ -51,6 +51,13 @@ class DupProtocol : public proto::TreeProtocolBase {
                      const std::vector<NodeId>& former_children,
                      bool was_root, NodeId new_root) override;
 
+  /// Soft-state repair: every virtual-path node re-announces its branch
+  /// representative to its parent. Re-creates upstream entries wiped out by
+  /// lost subscribe/substitute messages, so the DUP tree reconverges within
+  /// one refresh interval of a loss (Section III-C's keep-alive soft state,
+  /// extended to message loss).
+  void OnSoftStateRefresh() override;
+
   // --- Explicit subscription API (pub/sub extension). -------------------
 
   /// Marks `node` permanently interested regardless of its query rate and

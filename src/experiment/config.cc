@@ -123,11 +123,14 @@ Status ExperimentConfig::Validate() const {
   if (churn.detect_delay < 0.0) {
     return Status::InvalidArgument("detect_delay must be non-negative");
   }
+  if (Status faults_status = faults.Validate(); !faults_status.ok()) {
+    return faults_status;
+  }
   return Status::OK();
 }
 
 std::string ExperimentConfig::ToString() const {
-  return util::StrFormat(
+  std::string out = util::StrFormat(
       "%s topo=%s n=%zu D=%d lambda=%g arrival=%s alpha=%g theta=%g c=%u "
       "ttl=%g lead=%g warmup=%g measure=%g seed=%llu%s%s",
       std::string(SchemeToString(scheme)).c_str(),
@@ -137,6 +140,12 @@ std::string ExperimentConfig::ToString() const {
       static_cast<unsigned long long>(seed),
       dup.shortcut_push ? "" : " no-shortcut",
       churn.enabled() ? " churn" : "");
+  if (faults.active() || faults.refresh_interval > 0.0) {
+    out += util::StrFormat(" loss=%g jitter=%g retry_max=%u refresh=%g",
+                           faults.loss_rate, faults.jitter, faults.retry_max,
+                           faults.refresh_interval);
+  }
+  return out;
 }
 
 }  // namespace dupnet::experiment

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "core/dup_protocol.h"
+#include "net/fault_injection.h"
 #include "proto/cup.h"
 #include "topo/churn.h"
 #include "util/status.h"
@@ -110,6 +111,12 @@ struct ExperimentConfig {
   /// Topology dynamics (all rates 0 = static network, the paper's
   /// evaluation setting).
   topo::ChurnConfig churn;
+
+  /// Network fault injection and reliable delivery (all off by default,
+  /// which is a strict no-op — see docs/fault-injection.md). The
+  /// refresh_interval member also drives the protocols' soft-state
+  /// subscription refresh, scheduled by the driver.
+  net::FaultConfig faults;
 
   uint64_t seed = 42;
 

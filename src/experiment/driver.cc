@@ -80,6 +80,7 @@ Status SimulationDriver::Init() {
   // --- Network + protocol ------------------------------------------------
   network_ = std::make_unique<net::OverlayNetwork>(
       &engine_, &rng_, &recorder_, config_.hop_latency_mean);
+  network_->set_faults(config_.faults);
   proto::ProtocolOptions options;
   options.ttl = config_.ttl;
   options.threshold_c = config_.threshold_c;
@@ -134,6 +135,9 @@ Status SimulationDriver::Init() {
   if (config_.churn.enabled()) {
     churn_planner_.emplace(config_.churn);
     ScheduleNextChurn();
+  }
+  if (config_.faults.refresh_interval > 0.0) {
+    ScheduleNextRefresh();
   }
   return Status::OK();
 }
@@ -261,6 +265,24 @@ void SimulationDriver::FireChurn() {
     }
   }
   ++churn_events_applied_;
+}
+
+// ---------------------------------------------------------------------------
+// Soft-state refresh.
+// ---------------------------------------------------------------------------
+
+void SimulationDriver::ScheduleNextRefresh() {
+  // Scheduled by the driver rather than by the protocols themselves so the
+  // event queue still drains at the horizon (a protocol-internal
+  // self-rescheduling timer would keep engine().Run() alive forever).
+  if (engine_.Now() >= horizon_end_) return;
+  engine_.ScheduleAfter(config_.faults.refresh_interval,
+                        [this] { FireRefresh(); });
+}
+
+void SimulationDriver::FireRefresh() {
+  ScheduleNextRefresh();
+  protocol_->OnSoftStateRefresh();
 }
 
 void SimulationDriver::RemoveNode(NodeId node) {

@@ -70,9 +70,11 @@ class SimulationDriver {
   void ScheduleNextQuery();
   void ScheduleNextPublish();
   void ScheduleNextChurn();
+  void ScheduleNextRefresh();
   void FireQuery();
   void FirePublish();
   void FireChurn();
+  void FireRefresh();
   /// Applies removal of `node` (leave or detected failure).
   void RemoveNode(NodeId node);
   void RemoveFromLive(NodeId node);

@@ -2,9 +2,41 @@
 
 namespace dupnet::metrics {
 
+double DeliveryCounters::delivery_ratio() const {
+  const uint64_t sent_total = total_sent();
+  if (sent_total == 0) return 1.0;
+  return static_cast<double>(total_delivered()) /
+         static_cast<double>(sent_total);
+}
+
 void Recorder::AddHops(HopClass hop_class, uint64_t hops) {
   if (!enabled_) return;
   hops_.counts[static_cast<int>(hop_class)] += hops;
+}
+
+void Recorder::OnMessageSent(HopClass hop_class) {
+  if (!enabled_) return;
+  ++delivery_.sent[static_cast<int>(hop_class)];
+}
+
+void Recorder::OnMessageDelivered(HopClass hop_class) {
+  if (!enabled_) return;
+  ++delivery_.delivered[static_cast<int>(hop_class)];
+}
+
+void Recorder::OnMessageDropped(HopClass hop_class) {
+  if (!enabled_) return;
+  ++delivery_.dropped[static_cast<int>(hop_class)];
+}
+
+void Recorder::OnRetry(HopClass hop_class) {
+  if (!enabled_) return;
+  ++delivery_.retries[static_cast<int>(hop_class)];
+}
+
+void Recorder::OnGiveUp(HopClass hop_class) {
+  if (!enabled_) return;
+  ++delivery_.giveups[static_cast<int>(hop_class)];
 }
 
 void Recorder::OnQueryIssued() {
@@ -27,6 +59,7 @@ void Recorder::Reset() {
   local_hits_ = 0;
   stale_serves_ = 0;
   hops_ = HopCounters();
+  delivery_ = DeliveryCounters();
   latency_.Reset();
   latency_histogram_.Reset();
 }

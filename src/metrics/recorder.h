@@ -40,9 +40,46 @@ struct HopCounters {
   }
 };
 
+/// Message-level delivery accounting, per hop class. One transmission (an
+/// original send or a retransmission) counts once in `sent` and then in
+/// exactly one of `delivered` or `dropped`; `retries` counts
+/// retransmissions and `giveups` counts reliable messages abandoned after
+/// the retry cap. Transport-level acks are excluded. Send-time drops to a
+/// down node count as sent + dropped: the sender did attempt the
+/// transmission.
+struct DeliveryCounters {
+  uint64_t sent[kNumHopClasses] = {0, 0, 0, 0};
+  uint64_t delivered[kNumHopClasses] = {0, 0, 0, 0};
+  uint64_t dropped[kNumHopClasses] = {0, 0, 0, 0};
+  uint64_t retries[kNumHopClasses] = {0, 0, 0, 0};
+  uint64_t giveups[kNumHopClasses] = {0, 0, 0, 0};
+
+  uint64_t total_sent() const { return Sum(sent); }
+  uint64_t total_delivered() const { return Sum(delivered); }
+  uint64_t total_dropped() const { return Sum(dropped); }
+  uint64_t total_retries() const { return Sum(retries); }
+  uint64_t total_giveups() const { return Sum(giveups); }
+
+  uint64_t retries_for(HopClass hop_class) const {
+    return retries[static_cast<int>(hop_class)];
+  }
+
+  /// Delivered transmissions / attempted transmissions; 1.0 when nothing
+  /// was sent (a lossless idle network delivers everything it is given).
+  double delivery_ratio() const;
+
+ private:
+  static uint64_t Sum(const uint64_t (&counts)[kNumHopClasses]) {
+    uint64_t total = 0;
+    for (int i = 0; i < kNumHopClasses; ++i) total += counts[i];
+    return total;
+  }
+};
+
 /// Collects the paper's two headline metrics (average query latency in hops,
 /// average query cost in hops/query) plus auxiliary rates (local-hit, stale
-/// read, per-class hop breakdown).
+/// read, per-class hop breakdown) and the fault layer's delivery/retry
+/// counters.
 ///
 /// The recorder supports a warm-up phase: `Reset()` clears all accumulators
 /// so the driver can discard the cache-cold transient before measuring.
@@ -57,6 +94,15 @@ class Recorder {
 
   /// One hop traveled by a message of the given class.
   void AddHops(HopClass hop_class, uint64_t hops = 1);
+
+  /// One transmission attempted / delivered / lost (network layer).
+  void OnMessageSent(HopClass hop_class);
+  void OnMessageDelivered(HopClass hop_class);
+  void OnMessageDropped(HopClass hop_class);
+  /// One retransmission of a reliable message.
+  void OnRetry(HopClass hop_class);
+  /// A reliable message was abandoned after exhausting its retry cap.
+  void OnGiveUp(HopClass hop_class);
 
   /// A query was issued at some node.
   void OnQueryIssued();
@@ -74,6 +120,7 @@ class Recorder {
   uint64_t local_hits() const { return local_hits_; }
   uint64_t stale_serves() const { return stale_serves_; }
   const HopCounters& hops() const { return hops_; }
+  const DeliveryCounters& delivery() const { return delivery_; }
   const util::RunningStats& latency_stats() const { return latency_; }
   /// Full latency distribution (hops), for percentile reporting.
   const util::Histogram& latency_histogram() const {
@@ -88,6 +135,8 @@ class Recorder {
   double LocalHitRate() const;
   /// Fraction of queries answered with a superseded index version.
   double StaleRate() const;
+  /// Fraction of transmissions that reached their destination.
+  double DeliveryRatio() const { return delivery_.delivery_ratio(); }
 
  private:
   bool enabled_ = true;
@@ -96,6 +145,7 @@ class Recorder {
   uint64_t local_hits_ = 0;
   uint64_t stale_serves_ = 0;
   HopCounters hops_;
+  DeliveryCounters delivery_;
   util::RunningStats latency_;
   util::Histogram latency_histogram_{/*max_tracked=*/128};
 };

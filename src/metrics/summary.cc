@@ -12,6 +12,8 @@ RunMetrics RunMetrics::FromRecorder(const Recorder& recorder) {
   m.local_hit_rate = recorder.LocalHitRate();
   m.stale_rate = recorder.StaleRate();
   m.hops = recorder.hops();
+  m.delivery_ratio = recorder.DeliveryRatio();
+  m.delivery = recorder.delivery();
   if (recorder.latency_histogram().count() > 0) {
     m.latency_p50 = recorder.latency_histogram().Percentile50();
     m.latency_p95 = recorder.latency_histogram().Percentile95();
@@ -22,7 +24,7 @@ RunMetrics RunMetrics::FromRecorder(const Recorder& recorder) {
 }
 
 std::string RunMetrics::ToString() const {
-  return util::StrFormat(
+  std::string out = util::StrFormat(
       "queries=%llu latency=%.4f cost=%.4f local_hit=%.3f stale=%.3f "
       "hops[req=%llu rep=%llu push=%llu ctl=%llu]",
       static_cast<unsigned long long>(queries), avg_latency_hops,
@@ -31,26 +33,38 @@ std::string RunMetrics::ToString() const {
       static_cast<unsigned long long>(hops.reply()),
       static_cast<unsigned long long>(hops.push()),
       static_cast<unsigned long long>(hops.control()));
+  if (delivery.total_dropped() > 0 || delivery.total_retries() > 0) {
+    out += util::StrFormat(
+        " delivery=%.4f dropped=%llu retries=%llu giveups=%llu",
+        delivery_ratio,
+        static_cast<unsigned long long>(delivery.total_dropped()),
+        static_cast<unsigned long long>(delivery.total_retries()),
+        static_cast<unsigned long long>(delivery.total_giveups()));
+  }
+  return out;
 }
 
 ReplicationSummary ReplicationSummary::FromRuns(std::vector<RunMetrics> runs) {
   ReplicationSummary s;
-  std::vector<double> latency, cost, hit, stale;
+  std::vector<double> latency, cost, hit, stale, delivery;
   latency.reserve(runs.size());
   cost.reserve(runs.size());
   hit.reserve(runs.size());
   stale.reserve(runs.size());
+  delivery.reserve(runs.size());
   for (const RunMetrics& r : runs) {
     latency.push_back(r.avg_latency_hops);
     cost.push_back(r.avg_cost_hops);
     hit.push_back(r.local_hit_rate);
     stale.push_back(r.stale_rate);
+    delivery.push_back(r.delivery_ratio);
     s.total_queries += r.queries;
   }
   s.latency = util::ConfidenceInterval95(latency);
   s.cost = util::ConfidenceInterval95(cost);
   s.local_hit_rate = util::ConfidenceInterval95(hit);
   s.stale_rate = util::ConfidenceInterval95(stale);
+  s.delivery_ratio = util::ConfidenceInterval95(delivery);
   s.runs = std::move(runs);
   return s;
 }

@@ -18,6 +18,10 @@ struct RunMetrics {
   double local_hit_rate = 0.0;
   double stale_rate = 0.0;
   HopCounters hops;
+  /// Fault-layer view: per-class transmissions, losses, retries, give-ups
+  /// (all 1.0 / 0 on a lossless network).
+  double delivery_ratio = 1.0;
+  DeliveryCounters delivery;
   /// Latency distribution tail (hops).
   uint64_t latency_p50 = 0;
   uint64_t latency_p95 = 0;
@@ -36,6 +40,7 @@ struct ReplicationSummary {
   util::ConfidenceInterval cost;
   util::ConfidenceInterval local_hit_rate;
   util::ConfidenceInterval stale_rate;
+  util::ConfidenceInterval delivery_ratio;
   uint64_t total_queries = 0;
   std::vector<RunMetrics> runs;
 

@@ -1,0 +1,27 @@
+#include "net/fault_injection.h"
+
+#include "util/str.h"
+
+namespace dupnet::net {
+
+util::Status FaultConfig::Validate() const {
+  if (loss_rate < 0.0 || loss_rate > 1.0) {
+    return util::Status::InvalidArgument("loss_rate must be in [0, 1]");
+  }
+  if (jitter < 0.0) {
+    return util::Status::InvalidArgument("jitter must be non-negative");
+  }
+  if (reliable() && retry_timeout <= 0.0) {
+    return util::Status::InvalidArgument("retry_timeout must be positive");
+  }
+  if (reliable() && retry_backoff < 1.0) {
+    return util::Status::InvalidArgument("retry_backoff must be >= 1");
+  }
+  if (refresh_interval < 0.0) {
+    return util::Status::InvalidArgument(
+        "refresh_interval must be non-negative");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace dupnet::net

@@ -1,0 +1,52 @@
+#ifndef DUP_NET_FAULT_INJECTION_H_
+#define DUP_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace dupnet::net {
+
+/// Fault-injection and reliable-delivery knobs for the overlay network.
+///
+/// Two orthogonal switches (see docs/fault-injection.md):
+///  * `loss_rate` / `jitter` inject faults: each transmission is lost with
+///    probability loss_rate after its hop is charged (the packet did
+///    travel), and per-message latency gets a uniform [0, jitter) addend.
+///  * `retry_max > 0` arms reliable delivery for DUP/CUP control messages
+///    and pushes: the receiver's network layer acks each reliable
+///    transmission, and the sender retransmits on ack timeout with
+///    exponential backoff until acked or `retry_max` attempts are spent.
+///
+/// The default-constructed config is a strict no-op: no extra RNG draws,
+/// no acks, no timers — runs are bit-identical to a build without the
+/// fault layer (the determinism contract of docs/fault-injection.md).
+struct FaultConfig {
+  /// Per-transmission loss probability in [0, 1].
+  double loss_rate = 0.0;
+  /// Uniform extra latency in [0, jitter) seconds added once per message.
+  double jitter = 0.0;
+  /// Retransmission attempts after the initial send (0 = reliable delivery
+  /// off: no acks, no timers, losses are final).
+  uint32_t retry_max = 0;
+  /// Ack timeout for the first retransmission, seconds.
+  double retry_timeout = 2.0;
+  /// Timeout multiplier per subsequent attempt (exponential backoff).
+  double retry_backoff = 2.0;
+  /// Period of the protocols' soft-state subscription refresh in seconds
+  /// (0 = off). Consumed by the experiment driver, not the network.
+  double refresh_interval = 0.0;
+
+  /// True when sends must draw loss/jitter randomness.
+  bool lossy() const { return loss_rate > 0.0 || jitter > 0.0; }
+  /// True when control/push messages are acked and retransmitted.
+  bool reliable() const { return retry_max > 0; }
+  /// True when any part of the fault machinery is engaged.
+  bool active() const { return lossy() || reliable(); }
+
+  util::Status Validate() const;
+};
+
+}  // namespace dupnet::net
+
+#endif  // DUP_NET_FAULT_INJECTION_H_

@@ -22,8 +22,27 @@ std::string_view MessageTypeToString(MessageType type) {
       return "InterestRegister";
     case MessageType::kInterestDeregister:
       return "InterestDeregister";
+    case MessageType::kAck:
+      return "Ack";
   }
   return "Unknown";
+}
+
+bool NeedsAck(MessageType type) {
+  switch (type) {
+    case MessageType::kPush:
+    case MessageType::kSubscribe:
+    case MessageType::kUnsubscribe:
+    case MessageType::kSubstitute:
+    case MessageType::kInterestRegister:
+    case MessageType::kInterestDeregister:
+      return true;
+    case MessageType::kRequest:
+    case MessageType::kReply:
+    case MessageType::kAck:
+      return false;
+  }
+  return false;
 }
 
 metrics::HopClass HopClassOf(MessageType type) {
@@ -39,6 +58,8 @@ metrics::HopClass HopClassOf(MessageType type) {
     case MessageType::kSubstitute:
     case MessageType::kInterestRegister:
     case MessageType::kInterestDeregister:
+    // Acks are always free_ride so the class is never actually charged.
+    case MessageType::kAck:
       return metrics::HopClass::kControl;
   }
   return metrics::HopClass::kControl;

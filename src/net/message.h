@@ -30,7 +30,17 @@ enum class MessageType : uint8_t {
   kInterestRegister,
   /// CUP: child withdraws interest from its parent.
   kInterestDeregister,
+  /// Transport-level delivery acknowledgment for a reliable transmission.
+  /// Emitted and consumed by net::OverlayNetwork itself (never dispatched
+  /// to a protocol) and free of hop charges, modelling a TCP-level ack.
+  kAck,
 };
+
+/// True for the message classes that are sent reliably (acked and
+/// retransmitted) once FaultConfig::reliable() is armed: tree-maintenance
+/// control traffic and pushes. Requests/replies stay best-effort — a lost
+/// query is simply re-issued by the application at its next arrival.
+bool NeedsAck(MessageType type);
 
 std::string_view MessageTypeToString(MessageType type);
 
@@ -58,6 +68,12 @@ struct Message {
   /// When true the message is piggybacked on other traffic and its hops are
   /// not charged to the cost metric (DUP's interest-bit subscribe option).
   bool free_ride = false;
+
+  /// Reliable-delivery sequence number (0 = best-effort). Assigned by the
+  /// network layer when FaultConfig::reliable() is armed and the type
+  /// NeedsAck(); the receiver acks it and the sender retransmits on
+  /// timeout. kAck carries the sequence it acknowledges.
+  uint64_t seq = 0;
 
   /// kSubscribe: the advertised nearest-interested node.
   /// kSubstitute: the entry to replace.

@@ -1,6 +1,7 @@
 #include "net/overlay_network.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "util/check.h"
@@ -27,24 +28,69 @@ OverlayNetwork::OverlayNetwork(sim::Engine* engine, util::Rng* rng,
   DUP_CHECK_GT(mean_hop_latency, 0.0);
 }
 
+void OverlayNetwork::set_faults(const FaultConfig& config) {
+  DUP_CHECK_OK(config.Validate());
+  faults_ = config;
+}
+
 void OverlayNetwork::Send(Message message) { SendMultiHop(std::move(message), 0); }
 
 void OverlayNetwork::SendMultiHop(Message message, uint32_t extra_hops) {
   DUP_CHECK(handler_ != nullptr) << "no handler installed";
   DUP_CHECK_NE(message.to, kInvalidNode);
+  if (faults_.reliable() && NeedsAck(message.type) && message.seq == 0) {
+    message.seq = ++next_seq_;
+    Pending& pending = pending_[message.seq];
+    pending.message = message;
+    pending.extra_hops = extra_hops;
+    Transmit(message, extra_hops);
+    ScheduleRetry(message.seq);
+    return;
+  }
+  Transmit(message, extra_hops);
+}
+
+void OverlayNetwork::Transmit(const Message& message, uint32_t extra_hops) {
+  const metrics::HopClass hop_class = HopClassOf(message.type);
+  // Transport acks are invisible to the delivery counters: they model the
+  // TCP ack stream, not protocol traffic.
+  const bool counted = message.type != MessageType::kAck;
   if (IsDown(message.from) || IsDown(message.to)) {
+    // The sender committed the transmission before discovering the peer (or
+    // itself) is gone, so the hop cost is charged like any other attempt.
+    ++messages_sent_;
     ++messages_dropped_;
+    if (!message.free_ride) {
+      recorder_->AddHops(hop_class, 1 + extra_hops);
+    }
+    if (counted) {
+      recorder_->OnMessageSent(hop_class);
+      recorder_->OnMessageDropped(hop_class);
+    }
     if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
     return;
   }
   ++messages_sent_;
   if (observer_ != nullptr) observer_->OnSend(engine_->Now(), message);
   if (!message.free_ride) {
-    recorder_->AddHops(HopClassOf(message.type), 1 + extra_hops);
+    recorder_->AddHops(hop_class, 1 + extra_hops);
   }
+  if (counted) recorder_->OnMessageSent(hop_class);
   double latency = rng_->Exponential(mean_hop_latency_);
   for (uint32_t i = 0; i < extra_hops; ++i) {
     latency += rng_->Exponential(mean_hop_latency_);
+  }
+  // Each fault-injection draw is guarded so the default config consumes no
+  // randomness at all — lossless runs stay bit-identical.
+  if (faults_.jitter > 0.0) {
+    latency += rng_->UniformDouble(0.0, faults_.jitter);
+  }
+  bool lost = false;
+  if (faults_.loss_rate > 0.0) {
+    lost = rng_->Bernoulli(faults_.loss_rate);
+  }
+  if (!lost && loss_filter_ && loss_filter_(message)) {
+    lost = true;
   }
   sim::SimTime deliver_at = engine_->Now() + latency;
   if (fifo_pairs_) {
@@ -52,16 +98,77 @@ void OverlayNetwork::SendMultiHop(Message message, uint32_t extra_hops) {
     deliver_at = std::max(deliver_at, last);
     last = deliver_at;
   }
-  engine_->ScheduleAt(deliver_at, [this, msg = std::move(message)]() {
-    // The destination may have crashed while the message was in flight.
-    if (IsDown(msg.to)) {
-      ++messages_dropped_;
-      if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), msg);
-      return;
+  if (lost) {
+    ++messages_dropped_;
+    if (counted) recorder_->OnMessageDropped(hop_class);
+    if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
+    return;
+  }
+  engine_->ScheduleAt(deliver_at,
+                      [this, msg = message]() { Deliver(msg); });
+}
+
+void OverlayNetwork::Deliver(const Message& message) {
+  const metrics::HopClass hop_class = HopClassOf(message.type);
+  // The destination may have crashed while the message was in flight.
+  if (IsDown(message.to)) {
+    ++messages_dropped_;
+    if (message.type != MessageType::kAck) {
+      recorder_->OnMessageDropped(hop_class);
     }
-    if (observer_ != nullptr) observer_->OnDeliver(engine_->Now(), msg);
-    handler_(msg);
-  });
+    if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
+    return;
+  }
+  if (observer_ != nullptr) observer_->OnDeliver(engine_->Now(), message);
+  if (message.type == MessageType::kAck) {
+    // Consume the ack: the matching transmission is confirmed, its retry
+    // timer becomes a no-op. Never dispatched to the protocol.
+    pending_.erase(message.seq);
+    return;
+  }
+  recorder_->OnMessageDelivered(hop_class);
+  if (message.seq != 0 && faults_.reliable()) {
+    Message ack;
+    ack.type = MessageType::kAck;
+    ack.from = message.to;
+    ack.to = message.from;
+    ack.seq = message.seq;
+    ack.free_ride = true;
+    Transmit(ack, 0);
+  }
+  // Dispatch after acking: a retransmitted message that raced its ack may
+  // arrive more than once, so protocols see at-least-once delivery.
+  handler_(message);
+}
+
+void OverlayNetwork::ScheduleRetry(uint64_t seq) {
+  auto it = pending_.find(seq);
+  DUP_CHECK(it != pending_.end());
+  const double delay =
+      faults_.retry_timeout *
+      std::pow(faults_.retry_backoff, static_cast<double>(it->second.attempts));
+  engine_->ScheduleAfter(delay, [this, seq]() { OnRetryTimer(seq); });
+}
+
+void OverlayNetwork::OnRetryTimer(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // Acked before the timer fired.
+  Pending& pending = it->second;
+  if (IsDown(pending.message.from)) {
+    // The sender crashed; its unacked traffic dies with it (no give-up
+    // charge — there is no surviving endpoint to account it to).
+    pending_.erase(it);
+    return;
+  }
+  if (pending.attempts >= faults_.retry_max) {
+    recorder_->OnGiveUp(HopClassOf(pending.message.type));
+    pending_.erase(it);
+    return;
+  }
+  ++pending.attempts;
+  recorder_->OnRetry(HopClassOf(pending.message.type));
+  Transmit(pending.message, pending.extra_hops);
+  ScheduleRetry(seq);
 }
 
 void OverlayNetwork::SetNodeDown(NodeId node, bool down) {

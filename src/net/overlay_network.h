@@ -1,11 +1,13 @@
 #ifndef DUP_NET_OVERLAY_NETWORK_H_
 #define DUP_NET_OVERLAY_NETWORK_H_
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "metrics/recorder.h"
+#include "net/fault_injection.h"
 #include "net/message.h"
 #include "sim/engine.h"
 #include "util/rng.h"
@@ -29,12 +31,31 @@ class MessageObserver {
 /// transfer latency drawn from Exp(mean_hop_latency) — paper Section IV.
 ///
 /// Hop accounting is done at send time against the shared
-/// metrics::Recorder, classed by message type. Messages addressed to a node
-/// marked down are silently dropped (failure detection is the protocols'
-/// job, via keep-alive timeouts).
+/// metrics::Recorder, classed by message type. Messages addressed to or
+/// from a node marked down are dropped, but their hops ARE charged: the
+/// sender committed the transmission before learning of the failure, so
+/// the paper's cost metric must include it (failure detection is the
+/// protocols' job, via soft-state refresh and ack timeouts).
+///
+/// Fault injection (see FaultConfig): with `loss_rate > 0` each
+/// transmission is lost independently with that probability; with
+/// `jitter > 0` one extra Uniform[0, jitter) latency term is added per
+/// message. Both draw from the run's own Rng stream, so outcomes are a
+/// pure function of `(seed, sweep_index, rep)` and identical at any job
+/// count. With the default config no extra draws happen at all, keeping
+/// lossless runs bit-identical to a build without the fault layer.
+///
+/// Reliability (`retry_max > 0`): message types for which NeedsAck() holds
+/// are assigned a sequence number, acknowledged by the receiver with a
+/// free-ride kAck (consumed by the network itself, never dispatched), and
+/// retransmitted on timeout with exponential backoff until acked or the
+/// retry cap is reached. Acks are themselves lossy, so delivery is
+/// at-least-once: protocols must tolerate duplicate messages.
 class OverlayNetwork {
  public:
   using Handler = std::function<void(const Message&)>;
+  /// Test seam: returns true to force-drop a message in flight.
+  using LossFilter = std::function<bool(const Message&)>;
 
   OverlayNetwork(sim::Engine* engine, util::Rng* rng,
                  metrics::Recorder* recorder, double mean_hop_latency = 0.1);
@@ -46,9 +67,17 @@ class OverlayNetwork {
   /// protocol under simulation).
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Arms fault injection and/or reliable delivery. Call before traffic
+  /// starts; `config` must Validate().
+  void set_faults(const FaultConfig& config);
+  const FaultConfig& faults() const { return faults_; }
+
+  /// Installs a deterministic force-drop predicate (tests only; nullptr to
+  /// remove). Applies regardless of `loss_rate`, after down-node checks.
+  void set_loss_filter(LossFilter filter) { loss_filter_ = std::move(filter); }
+
   /// Sends one overlay hop: charges the hop, draws a latency, schedules
-  /// delivery. Messages from or to a down node are dropped (the hop is not
-  /// charged: the TCP connection fails immediately at the sender).
+  /// delivery (or retransmission bookkeeping when reliability is armed).
   void Send(Message message);
 
   /// Sends a message that logically traverses `1 + extra_hops` overlay hops
@@ -59,7 +88,8 @@ class OverlayNetwork {
 
   /// When true (default), deliveries between the same ordered node pair are
   /// FIFO, modelling a TCP connection per overlay link. DUP's substitute
-  /// handshake relies on this; disabling it is only for tests.
+  /// handshake relies on this; disabling it is only for tests. Lost
+  /// messages still advance the pair clock (they occupied the connection).
   void set_fifo_pairs(bool fifo) { fifo_pairs_ = fifo; }
 
   /// Installs a diagnostic observer (nullptr to detach). Not owned.
@@ -72,11 +102,29 @@ class OverlayNetwork {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Reliable transmissions still awaiting an ack.
+  size_t pending_acks() const { return pending_.size(); }
 
   sim::Engine* engine() const { return engine_; }
   metrics::Recorder* recorder() const { return recorder_; }
 
  private:
+  /// A reliable message awaiting its ack.
+  struct Pending {
+    Message message;
+    uint32_t extra_hops = 0;
+    uint32_t attempts = 0;  ///< Retransmissions performed so far.
+  };
+
+  /// Performs one transmission attempt: charges hops, updates delivery
+  /// counters, draws loss/latency, schedules delivery.
+  void Transmit(const Message& message, uint32_t extra_hops);
+  /// Schedules the retry timer for `seq` based on its attempt count.
+  void ScheduleRetry(uint64_t seq);
+  void OnRetryTimer(uint64_t seq);
+  /// Runs at the scheduled delivery time of one transmission.
+  void Deliver(const Message& message);
+
   sim::Engine* engine_;
   util::Rng* rng_;
   metrics::Recorder* recorder_;
@@ -84,9 +132,14 @@ class OverlayNetwork {
   Handler handler_;
   MessageObserver* observer_ = nullptr;
   bool fifo_pairs_ = true;
+  FaultConfig faults_;
+  LossFilter loss_filter_;
   /// Last scheduled delivery time per ordered (from, to) pair.
   std::unordered_map<uint64_t, sim::SimTime> pair_last_delivery_;
   std::unordered_set<NodeId> down_;
+  /// Unacked reliable transmissions, keyed by sequence number.
+  std::unordered_map<uint64_t, Pending> pending_;
+  uint64_t next_seq_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
 };

@@ -130,6 +130,25 @@ void CupProtocol::HandlePush(const Message& message) {
   ForwardPush(at, message.version, message.expiry);
 }
 
+void CupProtocol::OnSoftStateRefresh() {
+  std::vector<NodeId> notified;
+  for (const auto& [node, state] : cup_states_) {
+    if (!state.interest_notified) continue;
+    if (!tree()->Contains(node) || node == tree()->root()) continue;
+    notified.push_back(node);
+  }
+  // Map order is unspecified; sort so the refresh burst is deterministic.
+  std::sort(notified.begin(), notified.end());
+  for (NodeId node : notified) {
+    Message msg;
+    msg.type = MessageType::kInterestRegister;
+    msg.from = node;
+    msg.to = tree()->Parent(node);
+    msg.subject = node;
+    network()->Send(std::move(msg));
+  }
+}
+
 void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
                                 const std::vector<NodeId>& former_children,
                                 bool /*was_root*/, NodeId /*new_root*/) {

@@ -78,6 +78,11 @@ class CupProtocol : public TreeProtocolBase {
                      const std::vector<NodeId>& former_children,
                      bool was_root, NodeId new_root) override;
 
+  /// Soft-state repair (fairness counterpart to DUP's): every node whose
+  /// one-shot interest notification may have been lost re-registers with
+  /// its parent, refreshing the demand window it depends on for pushes.
+  void OnSoftStateRefresh() override;
+
   /// Test accessor: would `node` forward the next update to `child`?
   bool WouldPushTo(NodeId node, NodeId child);
 

@@ -13,4 +13,6 @@ void Protocol::OnNodeRemoved(NodeId /*node*/, NodeId /*former_parent*/,
                              const std::vector<NodeId>& /*former_children*/,
                              bool /*was_root*/, NodeId /*new_root*/) {}
 
+void Protocol::OnSoftStateRefresh() {}
+
 }  // namespace dupnet::proto

@@ -87,6 +87,14 @@ class Protocol {
   virtual void OnNodeRemoved(NodeId node, NodeId former_parent,
                              const std::vector<NodeId>& former_children,
                              bool was_root, NodeId new_root);
+
+  /// Periodic soft-state refresh tick (driver-scheduled when
+  /// FaultConfig::refresh_interval > 0). Schemes that keep remote
+  /// subscription state re-announce it here so entries wiped out by message
+  /// loss are rebuilt: DUP re-subscribes every virtual-path node upstream,
+  /// CUP re-registers interest. Default is a no-op (PCX keeps no remote
+  /// state).
+  virtual void OnSoftStateRefresh();
 };
 
 }  // namespace dupnet::proto

@@ -192,6 +192,58 @@ TEST_F(DupChurnTest, SequentialFailuresStayConsistent) {
   ExpectPushReaches(2, {4, 8});
 }
 
+// ---------------------------------------------------------------------------
+// Message loss and repair (docs/fault-injection.md).
+// ---------------------------------------------------------------------------
+
+// A lost substitute leaves the upstream pusher pointing at the old
+// representative; the soft-state refresh re-announces representatives and
+// reconverges the DUP tree.
+TEST_F(DupChurnTest, DroppedSubstituteRepairedBySoftStateRefresh) {
+  Subscribe(6);
+  // Subscribing N4 turns N3 into a branch point, which announces
+  // substitute(6 -> 3) to N2. Drop exactly that message.
+  bool dropped = false;
+  harness_.network().set_loss_filter([&dropped](const net::Message& m) {
+    if (m.type != net::MessageType::kSubstitute || dropped) return false;
+    dropped = true;
+    return true;
+  });
+  Subscribe(4);
+  ASSERT_TRUE(dropped);
+  // Upstream still routes the branch through the stale representative N6.
+  EXPECT_FALSE(protocol_->ValidatePropagationState().ok());
+
+  harness_.network().set_loss_filter(nullptr);
+  protocol_->OnSoftStateRefresh();
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  ExpectPushReaches(2, {4, 6});
+}
+
+// With the ack/retry machinery armed the same loss heals by itself: the
+// unacked substitute is retransmitted before any refresh runs.
+TEST_F(DupChurnTest, DroppedSubstituteRecoveredByRetry) {
+  net::FaultConfig faults;
+  faults.retry_max = 3;
+  faults.retry_timeout = 1.0;
+  harness_.network().set_faults(faults);
+  Subscribe(6);
+  bool dropped = false;
+  harness_.network().set_loss_filter([&dropped](const net::Message& m) {
+    if (m.type != net::MessageType::kSubstitute || dropped) return false;
+    dropped = true;
+    return true;
+  });
+  Subscribe(4);  // Drain runs the retry timer: the retransmission lands.
+  ASSERT_TRUE(dropped);
+  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_EQ(
+      harness_.recorder().delivery().retries_for(metrics::HopClass::kControl),
+      1u);
+  ExpectPushReaches(2, {4, 6});
+}
+
 // Property test: random subscribe/unsubscribe/churn sequences leave the
 // propagation state consistent and every interested node reachable.
 class DupChurnPropertyTest : public ::testing::TestWithParam<uint64_t> {};

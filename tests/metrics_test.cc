@@ -75,6 +75,53 @@ TEST(RecorderTest, ResetClears) {
   EXPECT_EQ(r.hops().total(), 0u);
 }
 
+TEST(RecorderTest, DeliveryCountersTrackTransmissions) {
+  Recorder r;
+  r.OnMessageSent(HopClass::kPush);
+  r.OnMessageDelivered(HopClass::kPush);
+  r.OnMessageSent(HopClass::kControl);
+  r.OnMessageDropped(HopClass::kControl);
+  r.OnRetry(HopClass::kControl);
+  r.OnGiveUp(HopClass::kControl);
+  EXPECT_EQ(r.delivery().total_sent(), 2u);
+  EXPECT_EQ(r.delivery().total_delivered(), 1u);
+  EXPECT_EQ(r.delivery().total_dropped(), 1u);
+  EXPECT_EQ(r.delivery().retries_for(HopClass::kControl), 1u);
+  EXPECT_EQ(r.delivery().retries_for(HopClass::kPush), 0u);
+  EXPECT_EQ(r.delivery().total_giveups(), 1u);
+  EXPECT_DOUBLE_EQ(r.DeliveryRatio(), 0.5);
+}
+
+TEST(RecorderTest, DeliveryRatioIsOneWhenIdle) {
+  // A lossless idle network delivers everything it is given.
+  Recorder r;
+  EXPECT_DOUBLE_EQ(r.DeliveryRatio(), 1.0);
+}
+
+TEST(RecorderTest, DisabledDropsDeliveryEvents) {
+  Recorder r;
+  r.set_enabled(false);
+  r.OnMessageSent(HopClass::kPush);
+  r.OnMessageDropped(HopClass::kPush);
+  r.OnRetry(HopClass::kPush);
+  r.OnGiveUp(HopClass::kPush);
+  EXPECT_EQ(r.delivery().total_sent(), 0u);
+  EXPECT_EQ(r.delivery().total_retries(), 0u);
+  EXPECT_EQ(r.delivery().total_giveups(), 0u);
+}
+
+TEST(RecorderTest, ResetClearsDelivery) {
+  Recorder r;
+  r.OnMessageSent(HopClass::kControl);
+  r.OnMessageDropped(HopClass::kControl);
+  r.OnRetry(HopClass::kControl);
+  r.Reset();
+  EXPECT_EQ(r.delivery().total_sent(), 0u);
+  EXPECT_EQ(r.delivery().total_dropped(), 0u);
+  EXPECT_EQ(r.delivery().total_retries(), 0u);
+  EXPECT_DOUBLE_EQ(r.DeliveryRatio(), 1.0);
+}
+
 TEST(RunMetricsTest, FromRecorderSnapshots) {
   Recorder r;
   r.OnQueryIssued();
@@ -86,6 +133,27 @@ TEST(RunMetricsTest, FromRecorderSnapshots) {
   EXPECT_DOUBLE_EQ(m.avg_latency_hops, 2.0);
   EXPECT_DOUBLE_EQ(m.avg_cost_hops, 4.0);
   EXPECT_FALSE(m.ToString().empty());
+}
+
+TEST(RunMetricsTest, FromRecorderCapturesDelivery) {
+  Recorder r;
+  r.OnMessageSent(HopClass::kPush);
+  r.OnMessageDropped(HopClass::kPush);
+  r.OnMessageSent(HopClass::kPush);
+  r.OnMessageDelivered(HopClass::kPush);
+  const RunMetrics m = RunMetrics::FromRecorder(r);
+  EXPECT_DOUBLE_EQ(m.delivery_ratio, 0.5);
+  EXPECT_EQ(m.delivery.total_dropped(), 1u);
+  // Lossy runs surface their delivery accounting in the one-line summary.
+  EXPECT_NE(m.ToString().find("delivery"), std::string::npos);
+}
+
+TEST(ReplicationSummaryTest, AggregatesDeliveryRatio) {
+  RunMetrics a, b;
+  a.delivery_ratio = 0.9;
+  b.delivery_ratio = 0.7;
+  const ReplicationSummary s = ReplicationSummary::FromRuns({a, b});
+  EXPECT_DOUBLE_EQ(s.delivery_ratio.mean, 0.8);
 }
 
 TEST(ReplicationSummaryTest, AggregatesWithCi) {

@@ -129,13 +129,17 @@ TEST_F(OverlayNetworkTest, NonFifoCanReorder) {
   EXPECT_TRUE(reordered);
 }
 
-TEST_F(OverlayNetworkTest, DownDestinationDropsAtSend) {
+TEST_F(OverlayNetworkTest, DownDestinationDropsAtSendButChargesHop) {
   network_.SetNodeDown(2, true);
   network_.Send(MakeMessage(MessageType::kRequest, 1, 2));
   engine_.Run();
   EXPECT_TRUE(delivered_.empty());
   EXPECT_EQ(network_.messages_dropped(), 1u);
-  EXPECT_EQ(recorder_.hops().total(), 0u);
+  // The sender committed the transmission before discovering the peer is
+  // gone, so the paper's cost metric includes the wasted hop.
+  EXPECT_EQ(recorder_.hops().total(), 1u);
+  EXPECT_EQ(recorder_.delivery().total_sent(), 1u);
+  EXPECT_EQ(recorder_.delivery().total_dropped(), 1u);
 }
 
 TEST_F(OverlayNetworkTest, DownSenderDrops) {

@@ -17,6 +17,11 @@
 // percopy[1] passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
 // detect[30] csv[]
 //
+// Fault injection (docs/fault-injection.md): loss_rate[0] jitter[0]
+// retry_max[0] retry_timeout[2] retry_backoff[2] refresh_interval[0].
+// All-zero defaults are a strict no-op, so baseline runs stay
+// bit-identical to a build without the fault layer.
+//
 // jobs=N fans the replications of each scheme over N worker threads
 // (jobs=0 uses every hardware thread). Results are bit-identical for any
 // jobs value: each replication is a shared-nothing simulation whose RNG
@@ -64,6 +69,13 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
   config.churn.leave_rate = args.GetDouble("leave", 0.0);
   config.churn.fail_rate = args.GetDouble("fail", 0.0);
   config.churn.detect_delay = args.GetDouble("detect", 30.0);
+  config.faults.loss_rate = args.GetDouble("loss_rate", 0.0);
+  config.faults.jitter = args.GetDouble("jitter", 0.0);
+  config.faults.retry_max =
+      static_cast<uint32_t>(args.GetInt("retry_max", 0));
+  config.faults.retry_timeout = args.GetDouble("retry_timeout", 2.0);
+  config.faults.retry_backoff = args.GetDouble("retry_backoff", 2.0);
+  config.faults.refresh_interval = args.GetDouble("refresh_interval", 0.0);
 
   auto topology =
       experiment::ParseTopology(args.GetString("topology", "random-tree"));
