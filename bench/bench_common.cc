@@ -17,17 +17,22 @@ BenchSettings BenchSettings::FromEnv() {
     settings.warmup_time = 2 * 3540.0;
     settings.measure_time = 180000.0;  // The paper's horizon.
   }
+  // A typo in these knobs must not silently run the wrong experiment, so
+  // malformed values are fatal rather than ignored.
   if (const char* reps = std::getenv("DUP_BENCH_REPS")) {
     int64_t value = 0;
-    if (util::ParseInt64(reps, &value) && value > 0) {
-      settings.replications = static_cast<size_t>(value);
-    }
+    DUP_CHECK(util::ParseInt64(reps, &value) && value > 0)
+        << "DUP_BENCH_REPS must be a positive integer, got \"" << reps
+        << "\"";
+    settings.replications = static_cast<size_t>(value);
   }
   if (const char* jobs = std::getenv("DUP_BENCH_JOBS")) {
     int64_t value = 0;
-    if (util::ParseInt64(jobs, &value) && value >= 0) {
-      settings.jobs = static_cast<size_t>(value);
-    }
+    DUP_CHECK(util::ParseInt64(jobs, &value) && value >= 0)
+        << "DUP_BENCH_JOBS must be a non-negative integer (0 = all cores), "
+           "got \""
+        << jobs << "\"";
+    settings.jobs = static_cast<size_t>(value);
   }
   return settings;
 }

@@ -19,7 +19,8 @@ namespace dupnet::bench {
 /// largest network sizes. DUP_BENCH_REPS overrides the replication count.
 /// DUP_BENCH_JOBS sets the worker-thread count for sweep fan-out (0 = one
 /// thread per hardware core, the default). Results are bit-identical for
-/// every jobs value.
+/// every jobs value. Malformed DUP_BENCH_REPS/DUP_BENCH_JOBS values abort
+/// with a diagnostic instead of being ignored.
 struct BenchSettings {
   size_t replications = 2;
   double warmup_time = 3600.0;

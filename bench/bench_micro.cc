@@ -1,8 +1,20 @@
 // Micro-benchmarks (google-benchmark) for the core data structures: the
-// event queue, the subscriber list, Chord lookups, Zipf sampling, SHA-1 and
-// a full end-to-end mini simulation.
+// event queue (closure and typed paths), the subscriber list, Chord
+// lookups, Zipf sampling, SHA-1 and a full end-to-end mini simulation.
+//
+// Besides the google-benchmark suite, main() runs a calibrated measurement
+// pass over the typed event engine — events/sec plus a heap-allocation
+// census proving the steady-state hot path allocates nothing — and records
+// it to results/bench_micro.json (override with DUP_BENCH_MICRO_JSON).
 
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <string>
 
 #include "chord/ring.h"
 #include "chord/sha1.h"
@@ -11,12 +23,49 @@
 #include "experiment/driver.h"
 #include "sim/event_queue.h"
 #include "topo/tree_generator.h"
+#include "util/check.h"
 #include "util/rng.h"
+#include "util/str.h"
 #include "workload/zipf_selector.h"
+
+// --------------------------------------------------------------------------
+// Heap-allocation census. The whole binary's operator new funnels through
+// here so the measurement pass can prove "zero allocations per event" on
+// the typed engine path rather than assert it in a comment.
+// --------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace dupnet;
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------------------------
+// google-benchmark suite.
+// --------------------------------------------------------------------------
 
 void BM_EventQueuePushPop(benchmark::State& state) {
   const size_t batch = static_cast<size_t>(state.range(0));
@@ -35,6 +84,30 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Range(64, 65536);
 
+/// Trivial target for queue/engine benches.
+class NullTarget : public sim::EventTarget {
+ public:
+  void OnSimEvent(uint32_t, uint64_t) override {}
+};
+
+void BM_EventQueueTypedPushPop(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  NullTarget target;
+  sim::EventQueue queue;  // Reused across iterations: pool stays warm.
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      queue.Push(rng.NextDouble(), &target, 0, i);
+    }
+    while (!queue.empty()) {
+      benchmark::DoNotOptimize(queue.Pop());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueTypedPushPop)->Range(64, 65536);
+
 void BM_EngineEventChain(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
@@ -49,6 +122,30 @@ void BM_EngineEventChain(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
 }
 BENCHMARK(BM_EngineEventChain);
+
+/// Self-rescheduling typed tick: arg counts the remaining events.
+class ChainTicker : public sim::EventTarget {
+ public:
+  explicit ChainTicker(sim::Engine* engine) : engine_(engine) {}
+  void OnSimEvent(uint32_t, uint64_t remaining) override {
+    if (remaining > 0) engine_->ScheduleAfter(0.1, this, 0, remaining - 1);
+  }
+
+ private:
+  sim::Engine* engine_;
+};
+
+void BM_EngineTypedEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    ChainTicker ticker(&engine);
+    engine.ScheduleAfter(0.1, &ticker, 0, 10000 - 1);
+    engine.Run();
+    benchmark::DoNotOptimize(engine.processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_EngineTypedEventChain);
 
 void BM_SubscriberListSetRemove(benchmark::State& state) {
   const NodeId branches = static_cast<NodeId>(state.range(0));
@@ -129,4 +226,215 @@ BENCHMARK(BM_FullSimulation)
     ->Arg(static_cast<int>(experiment::Scheme::kCup))
     ->Arg(static_cast<int>(experiment::Scheme::kDup));
 
+// --------------------------------------------------------------------------
+// Calibrated measurement pass: events/sec and allocations/event on the
+// typed engine, recorded to JSON as the repo's perf baseline.
+// --------------------------------------------------------------------------
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+struct EngineBaseline {
+  uint64_t events = 0;
+  double wall_seconds = 0.0;
+  uint64_t allocations = 0;
+  size_t pool_slots = 0;
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+};
+
+/// Self-rescheduling typed chain: after a short warm-up the engine's pool
+/// and heap storage are at their high-water mark, so the measured window
+/// must perform zero heap allocations.
+EngineBaseline MeasureTypedChain(uint64_t events) {
+  sim::Engine engine;
+  ChainTicker ticker(&engine);
+  engine.ScheduleAfter(0.1, &ticker, 0, 1024 - 1);
+  engine.Run();  // Warm-up: grows the pool to steady state.
+
+  EngineBaseline result;
+  result.events = events;
+  const uint64_t allocs_before = AllocCount();
+  const auto start = std::chrono::steady_clock::now();
+  engine.ScheduleAfter(0.1, &ticker, 0, events - 1);
+  engine.Run();
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = Seconds(start, end);
+  result.allocations = AllocCount() - allocs_before;
+  result.pool_slots = engine.pool_slots();
+  DUP_CHECK_EQ(result.allocations, 0u)
+      << "typed event hot path allocated on the heap";
+  return result;
+}
+
+/// Sorted drain: pushes `batch` typed events at random times into a warm
+/// queue, pops them all. Exercises the heap sift paths rather than the
+/// single-pending-event chain.
+EngineBaseline MeasureQueueChurn(size_t batch, size_t rounds) {
+  NullTarget target;
+  sim::EventQueue queue;
+  util::Rng rng(17);
+  // Warm-up round grows heap + pool to the batch's high-water mark.
+  for (size_t i = 0; i < batch; ++i) {
+    queue.Push(rng.NextDouble(), &target, 0, i);
+  }
+  while (!queue.empty()) queue.Pop().Fire();
+
+  EngineBaseline result;
+  result.events = static_cast<uint64_t>(batch) * rounds;
+  const uint64_t allocs_before = AllocCount();
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < rounds; ++r) {
+    for (size_t i = 0; i < batch; ++i) {
+      queue.Push(rng.NextDouble(), &target, 0, i);
+    }
+    while (!queue.empty()) queue.Pop().Fire();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.wall_seconds = Seconds(start, end);
+  result.allocations = AllocCount() - allocs_before;
+  result.pool_slots = queue.pool_slots();
+  DUP_CHECK_EQ(result.allocations, 0u)
+      << "typed queue churn allocated on the heap";
+  return result;
+}
+
+struct SimBaseline {
+  const char* scheme = "";
+  uint64_t events = 0;
+  double wall_seconds = 0.0;
+  uint64_t allocations = 0;
+  double events_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
+                              : 0.0;
+  }
+  double allocations_per_event() const {
+    return events > 0 ? static_cast<double>(allocations) /
+                            static_cast<double>(events)
+                      : 0.0;
+  }
+};
+
+/// Whole-simulation throughput: all layers (network, protocol, workload,
+/// metrics) on top of the typed engine. Protocol state still allocates
+/// (caches, tracker maps), so allocations/event here is informational — the
+/// hard zero is asserted on the engine-only measurements above.
+SimBaseline MeasureFullSim(experiment::Scheme scheme, const char* name) {
+  experiment::ExperimentConfig config;
+  config.scheme = scheme;
+  config.num_nodes = 1024;
+  config.lambda = 5.0;
+  config.warmup_time = 0.0;
+  config.measure_time = 3540.0;
+
+  SimBaseline result;
+  result.scheme = name;
+  const uint64_t allocs_before = AllocCount();
+  const auto start = std::chrono::steady_clock::now();
+  experiment::SimulationDriver driver(config);
+  DUP_CHECK_OK(driver.Init());
+  driver.RunToCompletion();
+  const auto end = std::chrono::steady_clock::now();
+  result.events = driver.engine().processed();
+  result.wall_seconds = Seconds(start, end);
+  result.allocations = AllocCount() - allocs_before;
+  return result;
+}
+
+void RunMeasurementPass() {
+  std::printf("\n=== Typed event-engine baseline ===\n");
+
+  const EngineBaseline chain = MeasureTypedChain(2'000'000);
+  std::printf(
+      "event chain : %llu events in %.3fs = %.3gM events/s, "
+      "%llu allocs (pool %zu slots)\n",
+      static_cast<unsigned long long>(chain.events), chain.wall_seconds,
+      chain.events_per_second() / 1e6,
+      static_cast<unsigned long long>(chain.allocations), chain.pool_slots);
+
+  const EngineBaseline churn = MeasureQueueChurn(4096, 256);
+  std::printf(
+      "queue churn : %llu events in %.3fs = %.3gM events/s, "
+      "%llu allocs (pool %zu slots)\n",
+      static_cast<unsigned long long>(churn.events), churn.wall_seconds,
+      churn.events_per_second() / 1e6,
+      static_cast<unsigned long long>(churn.allocations), churn.pool_slots);
+
+  SimBaseline sims[] = {
+      MeasureFullSim(experiment::Scheme::kPcx, "pcx"),
+      MeasureFullSim(experiment::Scheme::kCup, "cup"),
+      MeasureFullSim(experiment::Scheme::kDup, "dup"),
+  };
+  for (const SimBaseline& sim : sims) {
+    std::printf(
+        "full sim %s: %llu events in %.3fs = %.3gM events/s, "
+        "%.2f allocs/event (protocol state)\n",
+        sim.scheme, static_cast<unsigned long long>(sim.events),
+        sim.wall_seconds, sim.events_per_second() / 1e6,
+        sim.allocations_per_event());
+  }
+
+  std::string json = "{\n  \"exhibit\": \"micro_baseline\",\n";
+  json += util::StrFormat(
+      "  \"event_chain\": {\"events\": %llu, \"wall_seconds\": %.6f, "
+      "\"events_per_second\": %.0f, \"allocations\": %llu, "
+      "\"allocations_per_event\": %.6f, \"pool_slots\": %zu},\n",
+      static_cast<unsigned long long>(chain.events), chain.wall_seconds,
+      chain.events_per_second(),
+      static_cast<unsigned long long>(chain.allocations),
+      chain.events > 0 ? static_cast<double>(chain.allocations) /
+                             static_cast<double>(chain.events)
+                       : 0.0,
+      chain.pool_slots);
+  json += util::StrFormat(
+      "  \"queue_churn\": {\"events\": %llu, \"wall_seconds\": %.6f, "
+      "\"events_per_second\": %.0f, \"allocations\": %llu, "
+      "\"allocations_per_event\": %.6f, \"pool_slots\": %zu},\n",
+      static_cast<unsigned long long>(churn.events), churn.wall_seconds,
+      churn.events_per_second(),
+      static_cast<unsigned long long>(churn.allocations),
+      churn.events > 0 ? static_cast<double>(churn.allocations) /
+                             static_cast<double>(churn.events)
+                       : 0.0,
+      churn.pool_slots);
+  json += "  \"full_simulation\": [\n";
+  for (size_t i = 0; i < 3; ++i) {
+    const SimBaseline& sim = sims[i];
+    json += util::StrFormat(
+        "    {\"scheme\": \"%s\", \"events\": %llu, \"wall_seconds\": %.6f, "
+        "\"events_per_second\": %.0f, \"allocations_per_event\": %.4f}%s\n",
+        sim.scheme, static_cast<unsigned long long>(sim.events),
+        sim.wall_seconds, sim.events_per_second(),
+        sim.allocations_per_event(), i + 1 == 3 ? "" : ",");
+  }
+  json += "  ]\n}\n";
+
+  const char* env_path = std::getenv("DUP_BENCH_MICRO_JSON");
+  const std::string path = env_path != nullptr && *env_path != '\0'
+                               ? env_path
+                               : "results/bench_micro.json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("\n(could not open %s; JSON record printed below)\n%s",
+                path.c_str(), json.c_str());
+  } else {
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunMeasurementPass();
+  return 0;
+}

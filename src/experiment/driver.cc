@@ -104,8 +104,7 @@ Status SimulationDriver::Init() {
       break;
     }
   }
-  network_->set_handler(
-      [this](const net::Message& msg) { protocol_->OnMessage(msg); });
+  network_->set_sink(protocol_.get());
 
   // --- Workload -----------------------------------------------------------
   auto arrivals = workload::MakeArrivalProcess(
@@ -126,10 +125,7 @@ Status SimulationDriver::Init() {
   // --- Initial events -----------------------------------------------------
   horizon_end_ = config_.warmup_time + config_.measure_time;
   recorder_.set_enabled(false);  // Warm-up.
-  engine_.ScheduleAt(config_.warmup_time, [this] {
-    recorder_.Reset();
-    recorder_.set_enabled(true);
-  });
+  engine_.ScheduleAt(config_.warmup_time, this, kEventWarmupEnd);
   FirePublish();  // Version 1 at t = 0.
   ScheduleNextQuery();
   if (config_.churn.enabled()) {
@@ -156,14 +152,42 @@ metrics::RunMetrics SimulationDriver::Collect() const {
   return metrics::RunMetrics::FromRecorder(recorder_);
 }
 
+void SimulationDriver::OnSimEvent(uint32_t code, uint64_t arg) {
+  switch (code) {
+    case kEventWarmupEnd:
+      recorder_.Reset();
+      recorder_.set_enabled(true);
+      break;
+    case kEventQuery:
+      FireQuery();
+      break;
+    case kEventPublish:
+      FirePublish();
+      break;
+    case kEventChurn:
+      FireChurn();
+      break;
+    case kEventChurnDetect: {
+      const NodeId victim = static_cast<NodeId>(arg);
+      pending_failures_.erase(victim);
+      RemoveNode(victim);
+      break;
+    }
+    case kEventRefresh:
+      FireRefresh();
+      break;
+    default:
+      DUP_CHECK(false) << "unknown driver event code " << code;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Queries.
 // ---------------------------------------------------------------------------
 
 void SimulationDriver::ScheduleNextQuery() {
   if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_),
-                        [this] { FireQuery(); });
+  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_), this, kEventQuery);
 }
 
 void SimulationDriver::FireQuery() {
@@ -185,12 +209,11 @@ void SimulationDriver::ScheduleNextPublish() {
     const sim::SimTime next =
         engine_.Now() + rng_.Exponential(1.0 / config_.host_change_rate);
     if (next > horizon_end_) return;
-    engine_.ScheduleAt(next, [this] { FirePublish(); });
+    engine_.ScheduleAt(next, this, kEventPublish);
     return;
   }
   if (schedule_->IssueTime(next_version_) > horizon_end_) return;
-  engine_.ScheduleAt(schedule_->IssueTime(next_version_),
-                     [this] { FirePublish(); });
+  engine_.ScheduleAt(schedule_->IssueTime(next_version_), this, kEventPublish);
 }
 
 void SimulationDriver::FirePublish() {
@@ -208,8 +231,8 @@ void SimulationDriver::FirePublish() {
 
 void SimulationDriver::ScheduleNextChurn() {
   if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(churn_planner_->NextInterval(&rng_),
-                        [this] { FireChurn(); });
+  engine_.ScheduleAfter(churn_planner_->NextInterval(&rng_), this,
+                        kEventChurn);
 }
 
 void SimulationDriver::FireChurn() {
@@ -257,10 +280,8 @@ void SimulationDriver::FireChurn() {
       const NodeId victim = action->subject;
       network_->SetNodeDown(victim, true);
       pending_failures_.insert(victim);
-      engine_.ScheduleAfter(config_.churn.detect_delay, [this, victim] {
-        pending_failures_.erase(victim);
-        RemoveNode(victim);
-      });
+      engine_.ScheduleAfter(config_.churn.detect_delay, this,
+                            kEventChurnDetect, victim);
       break;
     }
   }
@@ -276,8 +297,7 @@ void SimulationDriver::ScheduleNextRefresh() {
   // event queue still drains at the horizon (a protocol-internal
   // self-rescheduling timer would keep engine().Run() alive forever).
   if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(config_.faults.refresh_interval,
-                        [this] { FireRefresh(); });
+  engine_.ScheduleAfter(config_.faults.refresh_interval, this, kEventRefresh);
 }
 
 void SimulationDriver::FireRefresh() {

@@ -31,13 +31,20 @@ namespace dupnet::experiment {
 ///   DUP_CHECK_OK(driver.Init());
 ///   driver.RunToCompletion();
 ///   auto metrics = driver.Collect();
-class SimulationDriver {
+///
+/// The driver is a sim::EventTarget: workload arrivals, publishes, churn
+/// and refresh ticks are typed events (no closure allocation per event).
+class SimulationDriver : public sim::EventTarget {
  public:
   /// Builds, runs and collects in one call.
   static util::Result<metrics::RunMetrics> Run(const ExperimentConfig& config);
 
   explicit SimulationDriver(const ExperimentConfig& config);
-  ~SimulationDriver();
+  ~SimulationDriver() override;
+
+  /// Typed event dispatch (workload/publish/churn/refresh timers).
+  /// Internal — only the sim engine calls this.
+  void OnSimEvent(uint32_t code, uint64_t arg) override;
 
   SimulationDriver(const SimulationDriver&) = delete;
   SimulationDriver& operator=(const SimulationDriver&) = delete;
@@ -67,6 +74,15 @@ class SimulationDriver {
   uint64_t churn_events_applied() const { return churn_events_applied_; }
 
  private:
+  /// Typed event codes (OnSimEvent). kEventChurnDetect's arg carries the
+  /// crashed node's id; the others take no argument.
+  static constexpr uint32_t kEventWarmupEnd = 0;
+  static constexpr uint32_t kEventQuery = 1;
+  static constexpr uint32_t kEventPublish = 2;
+  static constexpr uint32_t kEventChurn = 3;
+  static constexpr uint32_t kEventChurnDetect = 4;
+  static constexpr uint32_t kEventRefresh = 5;
+
   void ScheduleNextQuery();
   void ScheduleNextPublish();
   void ScheduleNextChurn();

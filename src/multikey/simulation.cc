@@ -83,9 +83,7 @@ Status MultiKeySimulation::Init() {
             key.network.get(), key.tree.get(), options);
         break;
     }
-    proto::TreeProtocolBase* protocol = key.protocol.get();
-    key.network->set_handler(
-        [protocol](const net::Message& m) { protocol->OnMessage(m); });
+    key.network->set_sink(key.protocol.get());
     // Stagger version boundaries uniformly across keys.
     key.phase_offset = schedule_->period() * static_cast<double>(k) /
                        static_cast<double>(config_.num_keys);
@@ -113,25 +111,37 @@ Status MultiKeySimulation::Init() {
   arrivals_ =
       std::make_unique<workload::ExponentialArrivals>(config_.lambda);
 
-  engine_.ScheduleAt(config_.warmup_time, [this] {
-    for (KeyState& key : keys_) {
-      key.recorder->Reset();
-      key.recorder->set_enabled(true);
-    }
-  });
+  engine_.ScheduleAt(config_.warmup_time, this, kEventWarmupEnd);
   for (size_t k = 0; k < config_.num_keys; ++k) {
     // First version at the key's phase offset; keys start cold before it.
-    engine_.ScheduleAt(keys_[k].phase_offset,
-                       [this, k] { FirePublish(k); });
+    engine_.ScheduleAt(keys_[k].phase_offset, this, kEventPublish, k);
   }
   ScheduleNextQuery();
   return Status::OK();
 }
 
+void MultiKeySimulation::OnSimEvent(uint32_t code, uint64_t arg) {
+  switch (code) {
+    case kEventWarmupEnd:
+      for (KeyState& key : keys_) {
+        key.recorder->Reset();
+        key.recorder->set_enabled(true);
+      }
+      break;
+    case kEventQuery:
+      FireQuery();
+      break;
+    case kEventPublish:
+      FirePublish(static_cast<size_t>(arg));
+      break;
+    default:
+      DUP_CHECK(false) << "unknown multikey event code " << code;
+  }
+}
+
 void MultiKeySimulation::ScheduleNextQuery() {
   if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_),
-                        [this] { FireQuery(); });
+  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_), this, kEventQuery);
 }
 
 void MultiKeySimulation::FireQuery() {
@@ -152,7 +162,7 @@ void MultiKeySimulation::FirePublish(size_t key_index) {
   key.protocol->OnRootPublish(version, engine_.Now() + config_.ttl);
   const sim::SimTime next = engine_.Now() + schedule_->period();
   if (next <= horizon_end_) {
-    engine_.ScheduleAt(next, [this, key_index] { FirePublish(key_index); });
+    engine_.ScheduleAt(next, this, kEventPublish, key_index);
   }
 }
 

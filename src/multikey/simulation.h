@@ -75,11 +75,20 @@ struct MultiKeyResult {
 /// the node population and the query process are shared. Update schedules
 /// are phase-staggered across keys so version boundaries do not
 /// synchronise artificially.
-class MultiKeySimulation {
+class MultiKeySimulation : public sim::EventTarget {
  public:
   static util::Result<MultiKeyResult> Run(const MultiKeyConfig& config);
 
+  /// Typed event dispatch (warmup/query/publish). Internal — only the sim
+  /// engine calls this.
+  void OnSimEvent(uint32_t code, uint64_t arg) override;
+
  private:
+  /// Typed event codes (OnSimEvent). kEventPublish's arg is the key index.
+  static constexpr uint32_t kEventWarmupEnd = 0;
+  static constexpr uint32_t kEventQuery = 1;
+  static constexpr uint32_t kEventPublish = 2;
+
   struct KeyState {
     std::string name;
     std::unique_ptr<topo::IndexSearchTree> tree;

@@ -89,6 +89,17 @@ struct Message {
   std::string ToString() const;
 };
 
+/// Receiver of delivered overlay messages. Protocols implement this so the
+/// network can dispatch deliveries through a plain virtual call instead of a
+/// boxed std::function (see OverlayNetwork::set_sink). The message reference
+/// is only valid for the duration of the call — the network recycles the
+/// backing storage afterwards.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void OnMessage(const Message& message) = 0;
+};
+
 }  // namespace dupnet::net
 
 #endif  // DUP_NET_MESSAGE_H_

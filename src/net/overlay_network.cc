@@ -35,8 +35,41 @@ void OverlayNetwork::set_faults(const FaultConfig& config) {
 
 void OverlayNetwork::Send(Message message) { SendMultiHop(std::move(message), 0); }
 
+uint32_t OverlayNetwork::AcquireInFlight(const Message& message) {
+  uint32_t slot;
+  if (!in_flight_free_.empty()) {
+    slot = in_flight_free_.back();
+    in_flight_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(in_flight_.size());
+    in_flight_.emplace_back();
+  }
+  // Copy-assign (not move) so the slot's route vector keeps its capacity
+  // across reuses — steady-state traffic then allocates nothing.
+  in_flight_[slot] = message;
+  return slot;
+}
+
+void OverlayNetwork::OnSimEvent(uint32_t code, uint64_t arg) {
+  switch (code) {
+    case kEventDeliver: {
+      const uint32_t slot = static_cast<uint32_t>(arg);
+      // The slab reference stays valid across reentrant sends (deque), and
+      // the slot is recycled only after Deliver returns.
+      Deliver(in_flight_[slot]);
+      in_flight_free_.push_back(slot);
+      break;
+    }
+    case kEventRetry:
+      OnRetryTimer(arg);
+      break;
+    default:
+      DUP_CHECK(false) << "unknown network event code " << code;
+  }
+}
+
 void OverlayNetwork::SendMultiHop(Message message, uint32_t extra_hops) {
-  DUP_CHECK(handler_ != nullptr) << "no handler installed";
+  DUP_CHECK(sink_ != nullptr || handler_ != nullptr) << "no handler installed";
   DUP_CHECK_NE(message.to, kInvalidNode);
   if (faults_.reliable() && NeedsAck(message.type) && message.seq == 0) {
     message.seq = ++next_seq_;
@@ -104,8 +137,8 @@ void OverlayNetwork::Transmit(const Message& message, uint32_t extra_hops) {
     if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
     return;
   }
-  engine_->ScheduleAt(deliver_at,
-                      [this, msg = message]() { Deliver(msg); });
+  engine_->ScheduleAt(deliver_at, this, kEventDeliver,
+                      AcquireInFlight(message));
 }
 
 void OverlayNetwork::Deliver(const Message& message) {
@@ -138,7 +171,11 @@ void OverlayNetwork::Deliver(const Message& message) {
   }
   // Dispatch after acking: a retransmitted message that raced its ack may
   // arrive more than once, so protocols see at-least-once delivery.
-  handler_(message);
+  if (sink_ != nullptr) {
+    sink_->OnMessage(message);
+  } else {
+    handler_(message);
+  }
 }
 
 void OverlayNetwork::ScheduleRetry(uint64_t seq) {
@@ -147,7 +184,7 @@ void OverlayNetwork::ScheduleRetry(uint64_t seq) {
   const double delay =
       faults_.retry_timeout *
       std::pow(faults_.retry_backoff, static_cast<double>(it->second.attempts));
-  engine_->ScheduleAfter(delay, [this, seq]() { OnRetryTimer(seq); });
+  engine_->ScheduleAfter(delay, this, kEventRetry, seq);
 }
 
 void OverlayNetwork::OnRetryTimer(uint64_t seq) {

@@ -2,6 +2,7 @@
 #define DUP_NET_OVERLAY_NETWORK_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <unordered_set>
@@ -51,7 +52,13 @@ class MessageObserver {
 /// retransmitted on timeout with exponential backoff until acked or the
 /// retry cap is reached. Acks are themselves lossy, so delivery is
 /// at-least-once: protocols must tolerate duplicate messages.
-class OverlayNetwork {
+///
+/// The network is itself a sim::EventTarget: deliveries and retry timers
+/// are typed events whose payloads (in-flight Messages) live in an
+/// internal slab recycled through a free list, so steady-state traffic
+/// schedules zero closures and performs zero per-message allocations once
+/// route-vector capacities have warmed up.
+class OverlayNetwork : public sim::EventTarget {
  public:
   using Handler = std::function<void(const Message&)>;
   /// Test seam: returns true to force-drop a message in flight.
@@ -63,9 +70,18 @@ class OverlayNetwork {
   OverlayNetwork(const OverlayNetwork&) = delete;
   OverlayNetwork& operator=(const OverlayNetwork&) = delete;
 
-  /// Installs the single dispatch point for delivered messages (the
-  /// protocol under simulation).
+  /// Installs the dispatch point for delivered messages as a virtual-call
+  /// interface (the protocol under simulation). Preferred over
+  /// set_handler(); when both are set the sink wins.
+  void set_sink(MessageSink* sink) { sink_ = sink; }
+
+  /// Installs a closure dispatch point for delivered messages. Fallback
+  /// seam for tests and ad-hoc harnesses; see set_sink().
   void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Typed event dispatch (delivery / retry timers). Internal — only the
+  /// sim engine calls this.
+  void OnSimEvent(uint32_t code, uint64_t arg) override;
 
   /// Arms fault injection and/or reliable delivery. Call before traffic
   /// starts; `config` must Validate().
@@ -104,11 +120,18 @@ class OverlayNetwork {
   uint64_t messages_dropped() const { return messages_dropped_; }
   /// Reliable transmissions still awaiting an ack.
   size_t pending_acks() const { return pending_.size(); }
+  /// In-flight message slots ever allocated (pool high-water mark).
+  size_t message_pool_slots() const { return in_flight_.size(); }
 
   sim::Engine* engine() const { return engine_; }
   metrics::Recorder* recorder() const { return recorder_; }
 
  private:
+  /// Typed event codes (OnSimEvent). kEventDeliver's arg is an in_flight_
+  /// slot index; kEventRetry's arg is a reliable sequence number.
+  static constexpr uint32_t kEventDeliver = 0;
+  static constexpr uint32_t kEventRetry = 1;
+
   /// A reliable message awaiting its ack.
   struct Pending {
     Message message;
@@ -124,11 +147,15 @@ class OverlayNetwork {
   void OnRetryTimer(uint64_t seq);
   /// Runs at the scheduled delivery time of one transmission.
   void Deliver(const Message& message);
+  /// Copies `message` into a recycled in-flight slot (the copy reuses the
+  /// slot's route-vector capacity) and returns the slot index.
+  uint32_t AcquireInFlight(const Message& message);
 
   sim::Engine* engine_;
   util::Rng* rng_;
   metrics::Recorder* recorder_;
   double mean_hop_latency_;
+  MessageSink* sink_ = nullptr;
   Handler handler_;
   MessageObserver* observer_ = nullptr;
   bool fifo_pairs_ = true;
@@ -139,6 +166,12 @@ class OverlayNetwork {
   std::unordered_set<NodeId> down_;
   /// Unacked reliable transmissions, keyed by sequence number.
   std::unordered_map<uint64_t, Pending> pending_;
+  /// In-flight message slab, indexed by kEventDeliver's arg. A deque so
+  /// references held across reentrant Transmit() calls (delivery ->
+  /// protocol -> Send) survive pool growth; slots are recycled once
+  /// Deliver() returns.
+  std::deque<Message> in_flight_;
+  std::vector<uint32_t> in_flight_free_;
   uint64_t next_seq_ = 0;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;

@@ -51,9 +51,13 @@ struct ProtocolOptions {
 /// (PCX, CUP, or DUP). The driver owns the clock, topology, workload and
 /// churn; the protocol owns all per-node caching/propagation state and
 /// reacts to queries, message deliveries, publishes and topology changes.
-class Protocol {
+///
+/// A Protocol is a net::MessageSink, so drivers install it on the network
+/// directly (OverlayNetwork::set_sink) and deliveries dispatch through one
+/// virtual call with no per-run closure.
+class Protocol : public net::MessageSink {
  public:
-  virtual ~Protocol() = default;
+  ~Protocol() override = default;
 
   /// Scheme name for reports ("pcx", "cup", "dup").
   virtual std::string_view name() const = 0;
@@ -61,8 +65,9 @@ class Protocol {
   /// The application at `node` looks up the index.
   virtual void OnLocalQuery(NodeId node) = 0;
 
-  /// The network delivers a message addressed to `message.to`.
-  virtual void OnMessage(const net::Message& message) = 0;
+  /// The network delivers a message addressed to `message.to`
+  /// (net::MessageSink; installed via OverlayNetwork::set_sink).
+  void OnMessage(const net::Message& message) override = 0;
 
   /// The authority issues a new index version (and, for push-based schemes,
   /// starts propagation).

@@ -16,12 +16,24 @@ void Engine::ScheduleAfter(SimTime delay, std::function<void()> action) {
   queue_.Push(now_ + delay, std::move(action));
 }
 
+void Engine::ScheduleAt(SimTime time, EventTarget* target, uint32_t code,
+                        uint64_t arg) {
+  DUP_CHECK_GE(time, now_);
+  queue_.Push(time, target, code, arg);
+}
+
+void Engine::ScheduleAfter(SimTime delay, EventTarget* target, uint32_t code,
+                           uint64_t arg) {
+  DUP_CHECK_GE(delay, 0.0);
+  queue_.Push(now_ + delay, target, code, arg);
+}
+
 bool Engine::Step() {
   if (queue_.empty()) return false;
   Event e = queue_.Pop();
   now_ = e.time;
   ++processed_;
-  e.action();
+  e.Fire();
   return true;
 }
 

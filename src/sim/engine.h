@@ -33,6 +33,12 @@ class Engine {
   /// Schedules `action` `delay` seconds from Now(). Pre: delay >= 0.
   void ScheduleAfter(SimTime delay, std::function<void()> action);
 
+  /// Typed, allocation-free variants: fire `target->OnSimEvent(code, arg)`.
+  void ScheduleAt(SimTime time, EventTarget* target, uint32_t code,
+                  uint64_t arg = 0);
+  void ScheduleAfter(SimTime delay, EventTarget* target, uint32_t code,
+                     uint64_t arg = 0);
+
   /// Runs a single event if one is pending; returns false when idle.
   bool Step();
 
@@ -45,6 +51,9 @@ class Engine {
 
   size_t pending() const { return queue_.size(); }
   uint64_t processed() const { return processed_; }
+
+  /// Event-pool high-water mark (see EventQueue::pool_slots()).
+  size_t pool_slots() const { return queue_.pool_slots(); }
 
  private:
   EventQueue queue_;

@@ -1,28 +1,73 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
 
 namespace dupnet::sim {
 
+uint32_t EventQueue::AcquireSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  uint32_t slot = static_cast<uint32_t>(pool_.size());
+  pool_.emplace_back();
+  return slot;
+}
+
+void EventQueue::PushRef(SimTime time, uint32_t slot) {
+  heap_.push_back(Ref{time, next_seq_++, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void EventQueue::Push(SimTime time, EventTarget* target, uint32_t code,
+                      uint64_t arg) {
+  DUP_CHECK(target != nullptr);
+  uint32_t slot = AcquireSlot();
+  Node& node = pool_[slot];
+  node.target = target;
+  node.code = code;
+  node.arg = arg;
+  PushRef(time, slot);
+}
+
 void EventQueue::Push(SimTime time, std::function<void()> action) {
   DUP_CHECK(action != nullptr);
-  heap_.push(Event{time, next_seq_++, std::move(action)});
+  uint32_t slot = AcquireSlot();
+  Node& node = pool_[slot];
+  node.target = nullptr;
+  node.action = std::move(action);
+  PushRef(time, slot);
 }
 
 SimTime EventQueue::PeekTime() const {
   DUP_CHECK(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 Event EventQueue::Pop() {
   DUP_CHECK(!heap_.empty());
-  // priority_queue::top() is const; the move is safe because we pop
-  // immediately after.
-  Event e = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
-  return e;
+  // pop_heap only shuffles trivially-copyable Refs; payloads never take part
+  // in comparator calls.
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Ref ref = heap_.back();
+  heap_.pop_back();
+
+  Node& node = pool_[ref.slot];
+  Event event;
+  event.time = ref.time;
+  event.seq = ref.seq;
+  event.target = node.target;
+  event.code = node.code;
+  event.arg = node.arg;
+  event.action = std::move(node.action);
+  node.target = nullptr;
+  node.action = nullptr;
+  free_slots_.push_back(ref.slot);
+  return event;
 }
 
 }  // namespace dupnet::sim

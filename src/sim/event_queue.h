@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace dupnet::sim {
@@ -11,23 +10,61 @@ namespace dupnet::sim {
 /// Simulated wall-clock time, in seconds.
 using SimTime = double;
 
-/// A scheduled callback. Events with equal timestamps run in scheduling
-/// order (FIFO via the monotonically increasing sequence number), which makes
-/// runs fully deterministic for a fixed RNG seed.
+/// Receiver of typed events. Domain objects with recurring event kinds (the
+/// overlay network's deliveries and retry timers, the drivers' workload
+/// arrivals, publishes, churn and soft-state refresh ticks) implement this
+/// once and dispatch on a small private `code`, so the simulation hot path
+/// never boxes a closure. `arg` carries one small operand: a pooled-message
+/// slot, a reliable-send sequence number, a node id, a key index.
+class EventTarget {
+ public:
+  virtual ~EventTarget() = default;
+  virtual void OnSimEvent(uint32_t code, uint64_t arg) = 0;
+};
+
+/// One dequeued event: either a typed payload (`target` non-null) or a
+/// boxed closure (fallback for one-shot setup events and tests). Events
+/// with equal timestamps run in scheduling order (FIFO via the
+/// monotonically increasing sequence number), which makes runs fully
+/// deterministic for a fixed RNG seed.
 struct Event {
   SimTime time = 0.0;
   uint64_t seq = 0;
-  std::function<void()> action;
+  EventTarget* target = nullptr;  ///< Non-null selects the typed path.
+  uint32_t code = 0;
+  uint64_t arg = 0;
+  std::function<void()> action;  ///< Fallback payload (target == nullptr).
+
+  /// Dispatches the payload.
+  void Fire() {
+    if (target != nullptr) {
+      target->OnSimEvent(code, arg);
+    } else {
+      action();
+    }
+  }
 };
 
 /// Min-heap of events ordered by (time, seq).
+///
+/// The heap itself holds only trivially-copyable (time, seq, slot)
+/// references — sifting never touches payloads, so there is no moved-from
+/// comparator hazard — while payloads live in a slab recycled through a
+/// free list. Once the slab has grown to the simulation's peak in-flight
+/// event count, typed pushes and pops perform zero allocations.
 class EventQueue {
  public:
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Enqueues `action` to fire at absolute time `time`.
+  /// Enqueues a typed event for `target` to fire at absolute time `time`.
+  /// Steady-state allocation-free.
+  void Push(SimTime time, EventTarget* target, uint32_t code,
+            uint64_t arg = 0);
+
+  /// Enqueues a boxed closure (fallback path; the closure itself may
+  /// allocate).
   void Push(SimTime time, std::function<void()> action);
 
   bool empty() const { return heap_.empty(); }
@@ -36,21 +73,50 @@ class EventQueue {
   /// Pre: !empty(). Timestamp of the next event without removing it.
   SimTime PeekTime() const;
 
-  /// Pre: !empty(). Removes and returns the next event.
+  /// Pre: !empty(). Removes and returns the next event; its payload slot is
+  /// recycled immediately.
   Event Pop();
 
   /// Total number of events ever pushed.
   uint64_t pushed() const { return next_seq_; }
 
+  /// Payload slots ever allocated — the pool's high-water mark (equals the
+  /// peak number of simultaneously pending events). Benchmarks use this to
+  /// verify the pool stops growing in steady state.
+  size_t pool_slots() const { return pool_.size(); }
+
  private:
+  /// Heap element. POD on purpose: heap sifts move 24-byte values and the
+  /// comparator only ever reads live scalars.
+  struct Ref {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+  };
+
+  /// Pooled payload.
+  struct Node {
+    EventTarget* target = nullptr;
+    uint32_t code = 0;
+    uint64_t arg = 0;
+    std::function<void()> action;
+  };
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Ref& a, const Ref& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  /// Takes a recycled payload slot, or grows the slab.
+  uint32_t AcquireSlot();
+  /// Pushes the (time, seq, slot) reference onto the heap.
+  void PushRef(SimTime time, uint32_t slot);
+
+  std::vector<Ref> heap_;          ///< Binary min-heap by (time, seq).
+  std::vector<Node> pool_;         ///< Payload slab, indexed by Ref::slot.
+  std::vector<uint32_t> free_slots_;  ///< Recycled slab indices.
   uint64_t next_seq_ = 0;
 };
 

@@ -60,7 +60,10 @@ uint64_t Histogram::Quantile(double quantile) const {
     seen += buckets_[v];
     if (seen >= target && seen > 0) return static_cast<uint64_t>(v);
   }
-  return buckets_.size();  // Overflow bucket: max_tracked + 1.
+  // The quantile falls among the overflowed observations. Their individual
+  // values are not retained, so clamp to the exact overflow maximum — a real
+  // observed value, never larger than Max().
+  return overflow_max_;
 }
 
 uint64_t Histogram::Max() const {
@@ -79,13 +82,18 @@ uint64_t Histogram::CountAt(uint64_t value) const {
 
 std::string Histogram::ToString() const {
   if (count_ == 0) return "n=0";
-  return StrFormat(
+  std::string out = StrFormat(
       "n=%llu mean=%.3f p50=%llu p95=%llu p99=%llu max=%llu",
       static_cast<unsigned long long>(count_), Mean(),
       static_cast<unsigned long long>(Percentile50()),
       static_cast<unsigned long long>(Percentile95()),
       static_cast<unsigned long long>(Percentile99()),
       static_cast<unsigned long long>(Max()));
+  if (overflowed()) {
+    out += StrFormat(" overflow=%llu",
+                     static_cast<unsigned long long>(overflow_count_));
+  }
+  return out;
 }
 
 }  // namespace dupnet::util

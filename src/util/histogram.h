@@ -27,8 +27,10 @@ class Histogram {
   double Mean() const;
 
   /// Smallest recorded value v such that at least `quantile` of the
-  /// observations are <= v. Pre: count() > 0, 0 < quantile <= 1. Overflow
-  /// observations report as max_tracked + 1.
+  /// observations are <= v. Pre: count() > 0, 0 < quantile <= 1. A quantile
+  /// that lands in the overflow bucket reports the largest overflowed
+  /// observation (= Max()), so Quantile(q) <= Max() always holds; check
+  /// overflowed() to know the tail is bucketed coarsely.
   uint64_t Quantile(double quantile) const;
 
   uint64_t Percentile50() const { return Quantile(0.50); }
@@ -39,8 +41,12 @@ class Histogram {
   /// Count of observations equal to `value` (<= max_tracked).
   uint64_t CountAt(uint64_t value) const;
   uint64_t overflow_count() const { return overflow_count_; }
+  /// True when any observation exceeded max_tracked, i.e. quantiles that
+  /// fall in the tail are clamped to the exact overflow maximum.
+  bool overflowed() const { return overflow_count_ > 0; }
 
-  /// Compact single-line rendering: "n=… mean=… p50=… p95=… p99=… max=…".
+  /// Compact single-line rendering: "n=… mean=… p50=… p95=… p99=… max=…",
+  /// with an " overflow=…" suffix when observations exceeded max_tracked.
   std::string ToString() const;
 
  private:

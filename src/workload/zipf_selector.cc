@@ -21,8 +21,22 @@ ZipfNodeSelector::ZipfNodeSelector(std::vector<NodeId> nodes, double theta,
     total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
     cdf_[i] = total;
   }
+  raw_total_ = total;
   for (double& c : cdf_) c /= total;
   cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+void ZipfNodeSelector::RecomputeCdf() {
+  cdf_.resize(ranked_nodes_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < ranked_nodes_.size(); ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    cdf_[i] = total;
+  }
+  raw_total_ = total;
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+  ++exact_recomputes_;
 }
 
 NodeId ZipfNodeSelector::Sample(util::Rng* rng) const {
@@ -55,15 +69,24 @@ void ZipfNodeSelector::ReplaceNode(NodeId old_node, NodeId new_node) {
 void ZipfNodeSelector::AddNode(NodeId node) {
   // Recomputing the full CDF on every join would be O(n); instead the new
   // node inherits the tail rank's probability mass by extending the CDF
-  // with a copy of the last gap. The distribution stays a close
-  // approximation of Zipf over the grown population, which matches the
-  // paper's fixed-population experiments (churn runs are ablations).
+  // with a copy of the last gap. Each such renormalization slightly
+  // over-weights the tail (the copied gap exceeds the true new rank's
+  // mass), which compounds across joins and drains probability from the
+  // head ranks. The exact series sum is maintained incrementally below, and
+  // once the rank-1 probability has drifted more than kMaxHeadMassDrift
+  // from exact, the CDF is rebuilt exactly.
   ranked_nodes_.push_back(node);
   const size_t n = cdf_.size();
   const double last_gap = n >= 2 ? cdf_[n - 1] - cdf_[n - 2] : cdf_[n - 1];
   const double appended = cdf_[n - 1] + last_gap;
   for (double& c : cdf_) c /= appended;
   cdf_.push_back(1.0);
+  raw_total_ +=
+      1.0 / std::pow(static_cast<double>(ranked_nodes_.size()), theta_);
+  const double exact_head = 1.0 / raw_total_;
+  if (std::abs(cdf_[0] - exact_head) > kMaxHeadMassDrift) {
+    RecomputeCdf();
+  }
 }
 
 }  // namespace dupnet::workload

@@ -36,16 +36,35 @@ class ZipfNodeSelector {
   /// query mass (used under churn). No-op if `old_node` is not ranked.
   void ReplaceNode(NodeId old_node, NodeId new_node);
 
-  /// Appends a new node at the coldest (last) rank.
+  /// Appends a new node at the coldest (last) rank. Uses an O(1)
+  /// renormalization per join but tracks its drift against the exact Zipf
+  /// law and falls back to an exact O(n) recompute once the rank-1 mass has
+  /// drifted by more than kMaxHeadMassDrift.
   void AddNode(NodeId node);
 
   size_t size() const { return ranked_nodes_.size(); }
   double theta() const { return theta_; }
 
+  /// Exact recomputes triggered by drift (observability for tests).
+  uint64_t exact_recomputes() const { return exact_recomputes_; }
+
+  /// Largest tolerated |approximate - exact| rank-1 probability before
+  /// AddNode recomputes the CDF exactly.
+  static constexpr double kMaxHeadMassDrift = 1e-3;
+
  private:
+  /// Rebuilds cdf_ exactly for the current population (same arithmetic as
+  /// the constructor).
+  void RecomputeCdf();
+
   double theta_;
   std::vector<NodeId> ranked_nodes_;  ///< index i holds the (i+1)-th rank.
   std::vector<double> cdf_;           ///< cumulative P over ranks.
+  /// Exact (unnormalized) sum_{k=1..n} 1/k^theta for the current n,
+  /// maintained incrementally across joins; 1/raw_total_ is the exact
+  /// rank-1 probability the approximation is checked against.
+  double raw_total_ = 0.0;
+  uint64_t exact_recomputes_ = 0;
 };
 
 }  // namespace dupnet::workload

@@ -52,10 +52,58 @@ TEST(HistogramTest, OverflowKeepsExactMeanAndMax) {
   h.Add(5);
   h.Add(1000);
   EXPECT_EQ(h.overflow_count(), 1u);
+  EXPECT_TRUE(h.overflowed());
   EXPECT_DOUBLE_EQ(h.Mean(), 502.5);
   EXPECT_EQ(h.Max(), 1000u);
-  // Quantiles report overflow observations as max_tracked + 1.
-  EXPECT_EQ(h.Quantile(1.0), 11u);
+  // A quantile that lands in the overflow bucket clamps to the exact
+  // overflow maximum — a real observation, never a sentinel.
+  EXPECT_EQ(h.Quantile(1.0), 1000u);
+}
+
+TEST(HistogramTest, OverflowQuantileClampsToOverflowMax) {
+  // Regression: quantiles falling in the overflow bucket used to report the
+  // impossible sentinel max_tracked + 1, so latency_p95/p99 misreported
+  // while Max() was exact. They must now return the overflow maximum and
+  // keep Quantile(q) <= Max() for every q.
+  Histogram h(/*max_tracked=*/10);
+  for (int i = 0; i < 10; ++i) h.Add(2);
+  for (uint64_t v : {500u, 600u, 700u}) h.Add(v);
+  EXPECT_TRUE(h.overflowed());
+  EXPECT_EQ(h.Percentile50(), 2u);
+  EXPECT_EQ(h.Percentile95(), 700u);
+  EXPECT_EQ(h.Percentile99(), 700u);
+  EXPECT_EQ(h.Quantile(1.0), 700u);
+  EXPECT_EQ(h.Max(), 700u);
+  for (double q : {0.5, 0.77, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_LE(h.Quantile(q), h.Max()) << "q=" << q;
+  }
+  EXPECT_NE(h.Quantile(1.0), 11u) << "sentinel leaked";
+}
+
+TEST(HistogramTest, AllObservationsOverflowing) {
+  Histogram h(/*max_tracked=*/4);
+  h.Add(100);
+  h.Add(200);
+  EXPECT_EQ(h.Percentile50(), 200u);
+  EXPECT_EQ(h.Percentile99(), 200u);
+  EXPECT_EQ(h.Max(), 200u);
+}
+
+TEST(HistogramTest, NotOverflowedWithoutLargeValues) {
+  Histogram h(/*max_tracked=*/10);
+  h.Add(10);  // Exactly max_tracked is still tracked.
+  EXPECT_FALSE(h.overflowed());
+  EXPECT_EQ(h.Quantile(1.0), 10u);
+}
+
+TEST(HistogramTest, ToStringMarksOverflow) {
+  Histogram h(/*max_tracked=*/4);
+  h.Add(1);
+  EXPECT_EQ(h.ToString().find("overflow="), std::string::npos);
+  h.Add(99);
+  const std::string s = h.ToString();
+  EXPECT_NE(s.find("overflow=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("max=99"), std::string::npos) << s;
 }
 
 TEST(HistogramTest, MergeCombines) {

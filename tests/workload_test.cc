@@ -143,6 +143,50 @@ TEST(ZipfSelectorTest, AddNodeExtendsColdTail) {
   EXPECT_NEAR(zipf.ProbabilityOfRank(11), zipf.ProbabilityOfRank(10), 1e-12);
 }
 
+TEST(ZipfSelectorTest, AddNodeHeadMassStaysBoundedAgainstExact) {
+  // Regression: the O(1) AddNode renormalization over-weights the tail on
+  // every join, so the rank-1 probability drifted monotonically below the
+  // exact Zipf value — unboundedly with enough churn. The selector now
+  // tracks the exact series sum and recomputes once the head has drifted
+  // more than kMaxHeadMassDrift, so the bound must hold at EVERY
+  // intermediate population, not just the final one.
+  util::Rng perm(6);
+  ZipfNodeSelector zipf(Nodes(16), 1.0, &perm);
+  for (int joins = 0; joins < 2000; ++joins) {
+    zipf.AddNode(static_cast<NodeId>(1000 + joins));
+    const size_t n = zipf.size();
+    double exact_total = 0.0;
+    for (size_t k = 1; k <= n; ++k) {
+      exact_total += 1.0 / static_cast<double>(k);
+    }
+    const double exact_head = 1.0 / exact_total;
+    EXPECT_NEAR(zipf.ProbabilityOfRank(1), exact_head,
+                ZipfNodeSelector::kMaxHeadMassDrift + 1e-12)
+        << "after " << joins + 1 << " joins";
+  }
+  // The approximation alone drifts far past the bound over 2000 joins, so
+  // the exact recompute must actually have fired.
+  EXPECT_GT(zipf.exact_recomputes(), 0u);
+  // The CDF stays a proper distribution throughout.
+  double total = 0.0;
+  for (size_t r = 1; r <= zipf.size(); ++r) total += zipf.ProbabilityOfRank(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSelectorTest, AddNodeWithoutDriftDoesNotRecompute) {
+  // theta = 0 is uniform: the copied-last-gap approximation is exact, so
+  // the drift detector must stay quiet.
+  util::Rng perm(7);
+  ZipfNodeSelector zipf(Nodes(10), 0.0, &perm);
+  for (int joins = 0; joins < 500; ++joins) {
+    zipf.AddNode(static_cast<NodeId>(1000 + joins));
+  }
+  EXPECT_EQ(zipf.exact_recomputes(), 0u);
+  for (size_t r = 1; r <= zipf.size(); ++r) {
+    EXPECT_NEAR(zipf.ProbabilityOfRank(r), 1.0 / 510.0, 1e-9);
+  }
+}
+
 TEST(UpdateScheduleTest, PaperTimings) {
   auto schedule = UpdateSchedule::Create(/*ttl=*/3600.0, /*push_lead=*/60.0);
   ASSERT_TRUE(schedule.ok());
