@@ -19,6 +19,7 @@
 #include "experiment/driver.h"
 #include "net/fault_injection.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/str.h"
 
 namespace {
@@ -58,21 +59,21 @@ net::FaultConfig FaultsAt(double loss_rate) {
   return faults;
 }
 
-std::string SchemeJson(const metrics::ReplicationSummary& summary) {
+util::JsonValue SchemeJson(const metrics::ReplicationSummary& summary) {
   const DeliveryTotals totals = Totals(summary);
-  return util::StrFormat(
-      "{\"latency_hops\": %.6f, \"latency_hw\": %.6f, "
-      "\"cost_hops\": %.6f, \"cost_hw\": %.6f, "
-      "\"delivery_ratio\": %.6f, \"stale_rate\": %.6f, "
-      "\"sent\": %llu, \"dropped\": %llu, \"control_retries\": %llu, "
-      "\"push_retries\": %llu, \"giveups\": %llu}",
-      summary.latency.mean, summary.latency.half_width, summary.cost.mean,
-      summary.cost.half_width, summary.delivery_ratio.mean,
-      summary.stale_rate.mean, static_cast<unsigned long long>(totals.sent),
-      static_cast<unsigned long long>(totals.dropped),
-      static_cast<unsigned long long>(totals.control_retries),
-      static_cast<unsigned long long>(totals.push_retries),
-      static_cast<unsigned long long>(totals.giveups));
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("latency_hops", summary.latency.mean);
+  json.Set("latency_hw", summary.latency.half_width);
+  json.Set("cost_hops", summary.cost.mean);
+  json.Set("cost_hw", summary.cost.half_width);
+  json.Set("delivery_ratio", summary.delivery_ratio.mean);
+  json.Set("stale_rate", summary.stale_rate.mean);
+  json.Set("sent", totals.sent);
+  json.Set("dropped", totals.dropped);
+  json.Set("control_retries", totals.control_retries);
+  json.Set("push_retries", totals.push_retries);
+  json.Set("giveups", totals.giveups);
+  return json;
 }
 
 /// Runs one DUP simulation at `loss_rate`, then stops the loss, fires one
@@ -119,7 +120,7 @@ int main() {
       "per-transmission loss (retry_max=5, refresh=600s at loss > 0)",
       {"loss", "scheme", "latency", "cost", "delivery", "stale",
        "ctl retries", "push retries", "giveups"});
-  std::vector<std::string> json_points;
+  util::JsonValue json_points = util::JsonValue::MakeArray();
   for (size_t i = 0; i < loss_levels.size(); ++i) {
     const auto& comparison = results[i];
     const struct {
@@ -146,11 +147,12 @@ int main() {
                            static_cast<unsigned long long>(totals.giveups))});
     }
     if (i + 1 < loss_levels.size()) table.AddSeparator();
-    json_points.push_back(util::StrFormat(
-        "    {\"loss_rate\": %g, \"pcx\": %s, \"cup\": %s, \"dup\": %s}",
-        loss_levels[i], SchemeJson(comparison.pcx).c_str(),
-        SchemeJson(comparison.cup).c_str(),
-        SchemeJson(comparison.dup).c_str()));
+    util::JsonValue point = util::JsonValue::MakeObject();
+    point.Set("loss_rate", loss_levels[i]);
+    point.Set("pcx", SchemeJson(comparison.pcx));
+    point.Set("cup", SchemeJson(comparison.cup));
+    point.Set("dup", SchemeJson(comparison.dup));
+    json_points.Append(std::move(point));
   }
   table.Print();
   MaybeWriteCsv(table, "ablation_loss");
@@ -160,35 +162,32 @@ int main() {
   std::printf(
       "\nDUP propagation-tree audit after 5%% loss + one refresh round: ok\n");
 
-  const char* env_path = std::getenv("DUP_BENCH_LOSS_JSON");
-  const std::string path = env_path != nullptr && *env_path != '\0'
-                               ? env_path
-                               : "results/bench_ablation_loss.json";
-  std::string json = "{\n  \"exhibit\": \"ablation_loss\",\n";
-  json += util::StrFormat(
-      "  \"batch\": {\"nodes\": 1024, \"lambda\": 5.0, "
-      "\"replications\": %zu, \"warmup_s\": %.0f, \"measure_s\": %.0f},\n",
-      settings.replications, settings.warmup_time, settings.measure_time);
-  json +=
-      "  \"faults\": {\"retry_max\": 5, \"retry_timeout\": 2.0, "
-      "\"retry_backoff\": 2.0, \"refresh_interval\": 600.0},\n";
-  json += util::StrFormat("  \"dup_reconverged_at_5pct_loss\": %s,\n",
-                          reconverged ? "true" : "false");
-  json += "  \"points\": [\n";
-  for (size_t i = 0; i < json_points.size(); ++i) {
-    json += json_points[i];
-    json += i + 1 == json_points.size() ? "\n" : ",\n";
-  }
-  json += "  ]\n}\n";
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::printf("\n(could not open %s; JSON record printed below)\n%s",
-                path.c_str(), json.c_str());
-  } else {
-    std::fwrite(json.data(), 1, json.size(), file);
-    std::fclose(file);
-    std::printf("wrote %s\n", path.c_str());
-  }
+  metrics::RunManifest manifest =
+      MakeBenchManifest("bench_ablation_loss", "ablation_loss", points[0],
+                        settings);
+
+  util::JsonValue batch = util::JsonValue::MakeObject();
+  batch.Set("nodes", 1024);
+  batch.Set("lambda", 5.0);
+  batch.Set("replications", static_cast<uint64_t>(settings.replications));
+  batch.Set("warmup_s", settings.warmup_time);
+  batch.Set("measure_s", settings.measure_time);
+
+  util::JsonValue faults = util::JsonValue::MakeObject();
+  faults.Set("retry_max", 5);
+  faults.Set("retry_timeout", 2.0);
+  faults.Set("retry_backoff", 2.0);
+  faults.Set("refresh_interval", 600.0);
+
+  util::JsonValue doc = util::JsonValue::MakeObject();
+  doc.Set("manifest", manifest.ToJson());
+  doc.Set("exhibit", "ablation_loss");
+  doc.Set("batch", std::move(batch));
+  doc.Set("faults", std::move(faults));
+  doc.Set("dup_reconverged_at_5pct_loss", reconverged);
+  doc.Set("points", std::move(json_points));
+  WriteJsonArtifact(doc, "results/bench_ablation_loss.json",
+                    "DUP_BENCH_LOSS_JSON");
 
   PrintExpectation(
       "(not in the paper) the loss=0 row is bit-identical to the lossless "

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "trace/jsonl_writer.h"
 #include "util/check.h"
 #include "util/str.h"
 
@@ -34,6 +35,15 @@ BenchSettings BenchSettings::FromEnv() {
         << jobs << "\"";
     settings.jobs = static_cast<size_t>(value);
   }
+  if (const char* trace = std::getenv("DUP_TRACE_OUT")) {
+    settings.trace_out = trace;
+  }
+  if (const char* sample = std::getenv("DUP_TRACE_SAMPLE")) {
+    DUP_CHECK(trace::TraceSampling::Parse(sample).ok())
+        << "DUP_TRACE_SAMPLE must be \"N\" or \"req,rep,push,ctl\", got \""
+        << sample << "\"";
+    settings.trace_sample = sample;
+  }
   return settings;
 }
 
@@ -44,6 +54,8 @@ size_t BenchSettings::effective_jobs() const {
 void BenchSettings::Apply(experiment::ExperimentConfig* config) const {
   config->warmup_time = warmup_time;
   config->measure_time = measure_time;
+  config->trace_path = trace_out;
+  config->trace_sample = trace_sample;
 }
 
 experiment::ExperimentConfig PaperDefaults(const BenchSettings& settings) {
@@ -127,6 +139,37 @@ void MaybeWriteCsv(const experiment::TableReport& table,
   std::fwrite(csv.data(), 1, csv.size(), file);
   std::fclose(file);
   std::printf("wrote %s\n", path.c_str());
+}
+
+metrics::RunManifest MakeBenchManifest(
+    const std::string& tool, const std::string& exhibit,
+    const experiment::ExperimentConfig& config,
+    const BenchSettings& settings) {
+  metrics::RunManifest manifest = experiment::MakeRunManifest(
+      tool, exhibit, config, settings.effective_jobs());
+  manifest.config.Set("bench_replications",
+                      static_cast<uint64_t>(settings.replications));
+  manifest.config.Set("bench_mode", settings.full ? "full" : "quick");
+  return manifest;
+}
+
+void WriteJsonArtifact(const util::JsonValue& doc,
+                       const std::string& default_path,
+                       const char* env_override) {
+  const char* env_path =
+      env_override != nullptr ? std::getenv(env_override) : nullptr;
+  const std::string path =
+      env_path != nullptr && *env_path != '\0' ? env_path : default_path;
+  const std::string text = doc.Dump(2) + "\n";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::printf("\n(could not open %s; JSON record printed below)\n%s",
+                path.c_str(), text.c_str());
+    return;
+  }
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  std::printf("\nwrote %s\n", path.c_str());
 }
 
 }  // namespace dupnet::bench

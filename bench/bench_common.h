@@ -6,9 +6,12 @@
 #include <vector>
 
 #include "experiment/config.h"
+#include "experiment/manifest.h"
 #include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
+#include "metrics/run_manifest.h"
+#include "util/json.h"
 
 namespace dupnet::bench {
 
@@ -21,12 +24,19 @@ namespace dupnet::bench {
 /// thread per hardware core, the default). Results are bit-identical for
 /// every jobs value. Malformed DUP_BENCH_REPS/DUP_BENCH_JOBS values abort
 /// with a diagnostic instead of being ignored.
+///
+/// DUP_TRACE_OUT streams every run's message events to JSONL files derived
+/// from the given path (".p<point>.r<rep>" per batch slot), decimated by
+/// DUP_TRACE_SAMPLE (see trace::TraceSampling::Parse). Tracing draws no
+/// randomness, so traced results stay bit-identical to untraced ones.
 struct BenchSettings {
   size_t replications = 2;
   double warmup_time = 3600.0;
   double measure_time = 3 * 3540.0;
   bool full = false;
   size_t jobs = 0;  ///< 0 = all hardware threads.
+  std::string trace_out;        ///< Empty = no trace export.
+  std::string trace_sample = "1";
 
   /// Reads the environment.
   static BenchSettings FromEnv();
@@ -79,6 +89,22 @@ std::vector<metrics::ReplicationSummary> MustRunSweep(
 /// "<dir>/<exhibit>.csv" for downstream plotting and says so on stdout.
 void MaybeWriteCsv(const experiment::TableReport& table,
                    const std::string& exhibit);
+
+/// Provenance manifest for a bench run of `config`: tool/exhibit, commit,
+/// host, seed, jobs, flattened config plus the harness knobs (reps, mode).
+/// The caller stamps wall_seconds before embedding.
+metrics::RunManifest MakeBenchManifest(const std::string& tool,
+                                       const std::string& exhibit,
+                                       const experiment::ExperimentConfig& config,
+                                       const BenchSettings& settings);
+
+/// Writes `doc` pretty-printed to `env_override`'s value when that
+/// environment variable is set and non-empty, else to `default_path`.
+/// Falls back to printing the JSON on stdout when the file cannot be
+/// opened (so CI logs still capture the artifact).
+void WriteJsonArtifact(const util::JsonValue& doc,
+                       const std::string& default_path,
+                       const char* env_override);
 
 }  // namespace dupnet::bench
 

@@ -16,14 +16,18 @@
 #include <new>
 #include <string>
 
+#include "bench_common.h"
 #include "chord/ring.h"
 #include "chord/sha1.h"
 #include "core/subscriber_list.h"
 #include "experiment/config.h"
 #include "experiment/driver.h"
+#include "experiment/manifest.h"
+#include "metrics/run_manifest.h"
 #include "sim/event_queue.h"
 #include "topo/tree_generator.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/str.h"
 #include "workload/zipf_selector.h"
@@ -207,17 +211,25 @@ void BM_TreeGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeGeneration)->Range(1024, 65536);
 
+/// The mid-size end-to-end configuration both the google-benchmark
+/// full-sim cases and the measurement pass run (also recorded in the JSON
+/// manifest).
+experiment::ExperimentConfig MicroSimConfig(experiment::Scheme scheme) {
+  experiment::ExperimentConfig config;
+  config.scheme = scheme;
+  config.num_nodes = 1024;
+  config.lambda = 5.0;
+  config.warmup_time = 0.0;
+  config.measure_time = 3540.0;
+  return config;
+}
+
 void BM_FullSimulation(benchmark::State& state) {
   // One TTL period on a mid-size network: the end-to-end cost per scheme.
   const auto scheme = static_cast<experiment::Scheme>(state.range(0));
   for (auto _ : state) {
-    experiment::ExperimentConfig config;
-    config.scheme = scheme;
-    config.num_nodes = 1024;
-    config.lambda = 5.0;
-    config.warmup_time = 0.0;
-    config.measure_time = 3540.0;
-    auto metrics = experiment::SimulationDriver::Run(config);
+    auto metrics =
+        experiment::SimulationDriver::Run(MicroSimConfig(scheme));
     benchmark::DoNotOptimize(metrics);
   }
 }
@@ -324,12 +336,7 @@ struct SimBaseline {
 /// (caches, tracker maps), so allocations/event here is informational — the
 /// hard zero is asserted on the engine-only measurements above.
 SimBaseline MeasureFullSim(experiment::Scheme scheme, const char* name) {
-  experiment::ExperimentConfig config;
-  config.scheme = scheme;
-  config.num_nodes = 1024;
-  config.lambda = 5.0;
-  config.warmup_time = 0.0;
-  config.measure_time = 3540.0;
+  const experiment::ExperimentConfig config = MicroSimConfig(scheme);
 
   SimBaseline result;
   result.scheme = name;
@@ -378,54 +385,47 @@ void RunMeasurementPass() {
         sim.allocations_per_event());
   }
 
-  std::string json = "{\n  \"exhibit\": \"micro_baseline\",\n";
-  json += util::StrFormat(
-      "  \"event_chain\": {\"events\": %llu, \"wall_seconds\": %.6f, "
-      "\"events_per_second\": %.0f, \"allocations\": %llu, "
-      "\"allocations_per_event\": %.6f, \"pool_slots\": %zu},\n",
-      static_cast<unsigned long long>(chain.events), chain.wall_seconds,
-      chain.events_per_second(),
-      static_cast<unsigned long long>(chain.allocations),
-      chain.events > 0 ? static_cast<double>(chain.allocations) /
-                             static_cast<double>(chain.events)
-                       : 0.0,
-      chain.pool_slots);
-  json += util::StrFormat(
-      "  \"queue_churn\": {\"events\": %llu, \"wall_seconds\": %.6f, "
-      "\"events_per_second\": %.0f, \"allocations\": %llu, "
-      "\"allocations_per_event\": %.6f, \"pool_slots\": %zu},\n",
-      static_cast<unsigned long long>(churn.events), churn.wall_seconds,
-      churn.events_per_second(),
-      static_cast<unsigned long long>(churn.allocations),
-      churn.events > 0 ? static_cast<double>(churn.allocations) /
-                             static_cast<double>(churn.events)
-                       : 0.0,
-      churn.pool_slots);
-  json += "  \"full_simulation\": [\n";
-  for (size_t i = 0; i < 3; ++i) {
-    const SimBaseline& sim = sims[i];
-    json += util::StrFormat(
-        "    {\"scheme\": \"%s\", \"events\": %llu, \"wall_seconds\": %.6f, "
-        "\"events_per_second\": %.0f, \"allocations_per_event\": %.4f}%s\n",
-        sim.scheme, static_cast<unsigned long long>(sim.events),
-        sim.wall_seconds, sim.events_per_second(),
-        sim.allocations_per_event(), i + 1 == 3 ? "" : ",");
-  }
-  json += "  ]\n}\n";
+  const auto engine_json = [](const EngineBaseline& b) {
+    util::JsonValue json = util::JsonValue::MakeObject();
+    json.Set("events", b.events);
+    json.Set("wall_seconds", b.wall_seconds);
+    json.Set("events_per_second", b.events_per_second());
+    json.Set("allocations", b.allocations);
+    json.Set("allocations_per_event",
+             b.events > 0 ? static_cast<double>(b.allocations) /
+                                static_cast<double>(b.events)
+                          : 0.0);
+    json.Set("pool_slots", static_cast<uint64_t>(b.pool_slots));
+    return json;
+  };
 
-  const char* env_path = std::getenv("DUP_BENCH_MICRO_JSON");
-  const std::string path = env_path != nullptr && *env_path != '\0'
-                               ? env_path
-                               : "results/bench_micro.json";
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::printf("\n(could not open %s; JSON record printed below)\n%s",
-                path.c_str(), json.c_str());
-  } else {
-    std::fwrite(json.data(), 1, json.size(), file);
-    std::fclose(file);
-    std::printf("\nwrote %s\n", path.c_str());
+  double total_wall = chain.wall_seconds + churn.wall_seconds;
+  util::JsonValue full_sims = util::JsonValue::MakeArray();
+  for (const SimBaseline& sim : sims) {
+    total_wall += sim.wall_seconds;
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("scheme", sim.scheme);
+    entry.Set("events", sim.events);
+    entry.Set("wall_seconds", sim.wall_seconds);
+    entry.Set("events_per_second", sim.events_per_second());
+    entry.Set("allocations_per_event", sim.allocations_per_event());
+    full_sims.Append(std::move(entry));
   }
+
+  metrics::RunManifest manifest = experiment::MakeRunManifest(
+      "bench_micro", "micro_baseline",
+      MicroSimConfig(experiment::Scheme::kDup), /*jobs=*/1);
+  manifest.wall_seconds = total_wall;
+
+  util::JsonValue doc = util::JsonValue::MakeObject();
+  doc.Set("manifest", manifest.ToJson());
+  doc.Set("exhibit", "micro_baseline");
+  doc.Set("event_chain", engine_json(chain));
+  doc.Set("queue_churn", engine_json(churn));
+  doc.Set("full_simulation", std::move(full_sims));
+
+  bench::WriteJsonArtifact(doc, "results/bench_micro.json",
+                           "DUP_BENCH_MICRO_JSON");
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/str.h"
 
 namespace {
@@ -46,12 +47,10 @@ bool SameSweep(const experiment::RunSweepResult& a,
   return true;
 }
 
-std::string JsonDoubleArray(const std::vector<double>& values) {
-  std::string out = "[";
-  for (size_t i = 0; i < values.size(); ++i) {
-    out += util::StrFormat("%s%.6f", i == 0 ? "" : ", ", values[i]);
-  }
-  return out + "]";
+util::JsonValue JsonDoubleArray(const std::vector<double>& values) {
+  util::JsonValue array = util::JsonValue::MakeArray();
+  for (double v : values) array.Append(v);
+  return array;
 }
 
 }  // namespace
@@ -91,7 +90,7 @@ int main() {
                       reps, 3 * reps, hardware),
       {"jobs", "wall (s)", "runs/s", "speedup", "efficiency", "identical"});
 
-  std::vector<std::string> json_series;
+  util::JsonValue json_series = util::JsonValue::MakeArray();
   double serial_wall = 0.0;
   double best_speedup = 1.0;
   const experiment::RunSweepResult* serial = nullptr;
@@ -122,55 +121,51 @@ int main() {
                                                 timing.parallel_efficiency()),
                   identical ? "yes" : "NO"});
 
-    std::vector<double> per_run;
-    // RunSweep aggregates per-run walls into the timing; re-derive the
-    // per-run series from a direct batch for the JSON record.
-    per_run = {timing.min_run_seconds,
-               timing.runs > 0 ? timing.total_run_seconds /
-                                     static_cast<double>(timing.runs)
-                               : 0.0,
-               timing.max_run_seconds};
-    json_series.push_back(util::StrFormat(
-        "    {\"jobs\": %zu, \"wall_seconds\": %.6f, \"runs\": %zu, "
-        "\"runs_per_second\": %.4f, \"total_run_seconds\": %.6f, "
-        "\"per_run_wall_min_mean_max\": %s, \"speedup_vs_serial\": %.4f, "
-        "\"parallel_efficiency\": %.4f, \"identical_to_serial\": true}",
-        jobs, timing.wall_seconds, timing.runs, timing.runs_per_second(),
-        timing.total_run_seconds, JsonDoubleArray(per_run).c_str(), speedup,
-        timing.parallel_efficiency()));
+    // RunSweep aggregates per-run walls into the timing; the JSON record
+    // keeps the min/mean/max envelope.
+    const std::vector<double> per_run = {
+        timing.min_run_seconds,
+        timing.runs > 0
+            ? timing.total_run_seconds / static_cast<double>(timing.runs)
+            : 0.0,
+        timing.max_run_seconds};
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("jobs", static_cast<uint64_t>(jobs));
+    entry.Set("wall_seconds", timing.wall_seconds);
+    entry.Set("runs", static_cast<uint64_t>(timing.runs));
+    entry.Set("runs_per_second", timing.runs_per_second());
+    entry.Set("total_run_seconds", timing.total_run_seconds);
+    entry.Set("per_run_wall_min_mean_max", JsonDoubleArray(per_run));
+    entry.Set("speedup_vs_serial", speedup);
+    entry.Set("parallel_efficiency", timing.parallel_efficiency());
+    entry.Set("identical_to_serial", true);
+    json_series.Append(std::move(entry));
   }
   table.Print();
 
-  const char* env_path = std::getenv("DUP_BENCH_PARALLEL_JSON");
-  const std::string path =
-      env_path != nullptr && *env_path != '\0' ? env_path
-                                               : "results/bench_parallel.json";
-  std::string json = "{\n";
-  json += "  \"exhibit\": \"parallel_scaling\",\n";
-  json += util::StrFormat("  \"hardware_concurrency\": %zu,\n", hardware);
-  json += util::StrFormat(
-      "  \"batch\": {\"schemes\": 3, \"replications\": %zu, \"runs\": %zu, "
-      "\"nodes\": 1024, \"lambda\": 5.0, \"warmup_s\": %.0f, "
-      "\"measure_s\": %.0f},\n",
-      reps, 3 * reps, settings.warmup_time, settings.measure_time);
-  json += util::StrFormat("  \"best_speedup_vs_serial\": %.4f,\n",
-                          best_speedup);
-  json += "  \"series\": [\n";
-  for (size_t i = 0; i < json_series.size(); ++i) {
-    json += json_series[i];
-    json += i + 1 == json_series.size() ? "\n" : ",\n";
-  }
-  json += "  ]\n}\n";
+  metrics::RunManifest manifest =
+      MakeBenchManifest("bench_parallel_scaling", "parallel_scaling",
+                        points.back(), settings);
+  manifest.wall_seconds = serial_wall;
 
-  std::FILE* file = std::fopen(path.c_str(), "w");
-  if (file == nullptr) {
-    std::printf("\n(could not open %s; JSON record printed below)\n%s",
-                path.c_str(), json.c_str());
-  } else {
-    std::fwrite(json.data(), 1, json.size(), file);
-    std::fclose(file);
-    std::printf("\nwrote %s\n", path.c_str());
-  }
+  util::JsonValue batch = util::JsonValue::MakeObject();
+  batch.Set("schemes", 3);
+  batch.Set("replications", static_cast<uint64_t>(reps));
+  batch.Set("runs", static_cast<uint64_t>(3 * reps));
+  batch.Set("nodes", 1024);
+  batch.Set("lambda", 5.0);
+  batch.Set("warmup_s", settings.warmup_time);
+  batch.Set("measure_s", settings.measure_time);
+
+  util::JsonValue doc = util::JsonValue::MakeObject();
+  doc.Set("manifest", manifest.ToJson());
+  doc.Set("exhibit", "parallel_scaling");
+  doc.Set("hardware_concurrency", static_cast<uint64_t>(hardware));
+  doc.Set("batch", std::move(batch));
+  doc.Set("best_speedup_vs_serial", best_speedup);
+  doc.Set("series", std::move(json_series));
+  WriteJsonArtifact(doc, "results/bench_parallel.json",
+                    "DUP_BENCH_PARALLEL_JSON");
 
   PrintExpectation(
       "every jobs value reproduces the serial summaries bit-for-bit; "

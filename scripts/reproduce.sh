@@ -18,11 +18,18 @@
 # reliable overlay). The sweep fails the whole script on a nonzero exit,
 # including when the DUP reconvergence audit trips. Its machine-readable
 # record lands in results/bench_ablation_loss.json.
+#
+# --check-against DIR gates the run on the pinned perf baseline: after the
+# benches finish, tools/benchdiff compares every "<name>.json" in DIR
+# against the fresh results/<name>.json and fails the script when any
+# gated metric regressed beyond the threshold (docs/observability.md).
+# The committed baseline lives in results/baseline/.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=""
 with_faults=0
+check_against=""
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --jobs)
@@ -32,10 +39,19 @@ while [[ $# -gt 0 ]]; do
       jobs="${1#--jobs=}"; shift ;;
     --with-faults)
       with_faults=1; shift ;;
+    --check-against)
+      [[ $# -ge 2 ]] || { echo "error: --check-against needs a directory" >&2; exit 2; }
+      check_against="$2"; shift 2 ;;
+    --check-against=*)
+      check_against="${1#--check-against=}"; shift ;;
     *)
-      echo "usage: $0 [--jobs N] [--with-faults]" >&2; exit 2 ;;
+      echo "usage: $0 [--jobs N] [--with-faults] [--check-against DIR]" >&2; exit 2 ;;
   esac
 done
+if [[ -n "$check_against" && ! -d "$check_against" ]]; then
+  echo "error: --check-against: \"$check_against\" is not a directory" >&2
+  exit 2
+fi
 if [[ -n "$jobs" ]]; then
   export DUP_BENCH_JOBS="$jobs"
 fi
@@ -89,4 +105,32 @@ echo
 echo "CSV series written to results/; scaling record in results/bench_parallel.json."
 if [[ $with_faults -eq 1 ]]; then
   echo "Fault-injection record in results/bench_ablation_loss.json."
+fi
+
+if [[ -n "$check_against" ]]; then
+  echo
+  echo "=== benchdiff regression gate (baseline: $check_against) ==="
+  gate_status=0
+  compared=0
+  for baseline in "$check_against"/*.json; do
+    [[ -e "$baseline" ]] || continue
+    name="$(basename "$baseline")"
+    current="results/$name"
+    if [[ ! -f "$current" ]]; then
+      echo "skipping $name (no fresh results/$name this run)"
+      continue
+    fi
+    compared=$((compared + 1))
+    build/tools/benchdiff "$baseline" "$current" || gate_status=$?
+    echo
+  done
+  if [[ $compared -eq 0 ]]; then
+    echo "error: no baseline JSON in $check_against matched a fresh result" >&2
+    exit 2
+  fi
+  if [[ $gate_status -ne 0 ]]; then
+    echo "FAILED: perf regression against $check_against (benchdiff exit $gate_status)" >&2
+    exit "$gate_status"
+  fi
+  echo "benchdiff: no regressions against $check_against."
 fi

@@ -4,6 +4,11 @@ namespace dupnet::cache {
 
 bool IndexCache::Put(const IndexEntry& entry) {
   if (entry.version < entry_.version) return false;
+  if (entry.version == entry_.version && entry.expiry <= entry_.expiry) {
+    // An equal-version copy can only extend the lifetime, never shorten it:
+    // a stale reply racing a fresh push must not expire the cache early.
+    return false;
+  }
   entry_ = entry;
   return true;
 }

@@ -26,7 +26,9 @@ class IndexCache {
  public:
   IndexCache() = default;
 
-  /// Stores `entry` if it is at least as new as the current content.
+  /// Stores `entry` if it is strictly newer, or the same version with a
+  /// later expiry (an equal-version copy may extend the lifetime but never
+  /// shorten it — a stale reply arriving after a fresh push is ignored).
   /// Returns true when the cache changed.
   bool Put(const IndexEntry& entry);
 

@@ -1,5 +1,6 @@
 #include "experiment/config.h"
 
+#include "trace/jsonl_writer.h"
 #include "util/str.h"
 
 namespace dupnet::experiment {
@@ -125,6 +126,10 @@ Status ExperimentConfig::Validate() const {
   }
   if (Status faults_status = faults.Validate(); !faults_status.ok()) {
     return faults_status;
+  }
+  if (auto sampling = trace::TraceSampling::Parse(trace_sample);
+      !sampling.ok()) {
+    return sampling.status();
   }
   return Status::OK();
 }

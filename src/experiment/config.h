@@ -120,6 +120,18 @@ struct ExperimentConfig {
 
   uint64_t seed = 42;
 
+  /// When non-empty, the driver attaches a trace::JsonlTraceWriter to the
+  /// overlay network and streams every observed send/deliver/drop there
+  /// (sampled per message class, see trace_sample). Batch runners derive a
+  /// unique ".p<point>.r<rep>" path per run so parallel replications never
+  /// share a file. Purely observational: tracing performs no RNG draws and
+  /// cannot perturb RunMetrics.
+  std::string trace_path;
+  /// Per-class decimation for the streamed trace, in
+  /// trace::TraceSampling::Parse form: "N" or "req,rep,push,ctl" (keep
+  /// every Nth event of each class; 0 drops a class).
+  std::string trace_sample = "1";
+
   /// Rejects inconsistent parameter combinations.
   util::Status Validate() const;
 

@@ -81,6 +81,14 @@ Status SimulationDriver::Init() {
   network_ = std::make_unique<net::OverlayNetwork>(
       &engine_, &rng_, &recorder_, config_.hop_latency_mean);
   network_->set_faults(config_.faults);
+  if (!config_.trace_path.empty()) {
+    auto sampling = trace::TraceSampling::Parse(config_.trace_sample);
+    DUP_RETURN_IF_ERROR(sampling.status());
+    auto writer = trace::JsonlTraceWriter::Open(config_.trace_path, *sampling);
+    DUP_RETURN_IF_ERROR(writer.status());
+    trace_writer_ = std::move(*writer);
+    network_->set_observer(trace_writer_.get());
+  }
   proto::ProtocolOptions options;
   options.ttl = config_.ttl;
   options.threshold_c = config_.threshold_c;

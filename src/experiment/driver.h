@@ -13,6 +13,7 @@
 #include "proto/tree_protocol_base.h"
 #include "sim/engine.h"
 #include "topo/churn.h"
+#include "trace/jsonl_writer.h"
 #include "topo/tree.h"
 #include "util/rng.h"
 #include "workload/arrivals.h"
@@ -68,6 +69,8 @@ class SimulationDriver : public sim::EventTarget {
   proto::TreeProtocolBase& protocol() { return *protocol_; }
   metrics::Recorder& recorder() { return recorder_; }
   net::OverlayNetwork& network() { return *network_; }
+  /// Non-null only when config.trace_path is set.
+  trace::JsonlTraceWriter* trace_writer() { return trace_writer_.get(); }
   /// Non-null only when the configured scheme is DUP.
   core::DupProtocol* dup_protocol() { return dup_protocol_; }
   const std::vector<NodeId>& live_nodes() const { return live_nodes_; }
@@ -102,6 +105,7 @@ class SimulationDriver : public sim::EventTarget {
 
   std::unique_ptr<topo::IndexSearchTree> tree_;
   std::unique_ptr<net::OverlayNetwork> network_;
+  std::unique_ptr<trace::JsonlTraceWriter> trace_writer_;
   std::unique_ptr<proto::TreeProtocolBase> protocol_;
   core::DupProtocol* dup_protocol_ = nullptr;  // Aliases protocol_ if DUP.
 

@@ -1,0 +1,30 @@
+#ifndef DUP_EXPERIMENT_MANIFEST_H_
+#define DUP_EXPERIMENT_MANIFEST_H_
+
+#include <string>
+
+#include "experiment/config.h"
+#include "experiment/parallel_runner.h"
+#include "metrics/run_manifest.h"
+#include "util/json.h"
+
+namespace dupnet::experiment {
+
+/// Flattens an ExperimentConfig into the free-form JSON object a
+/// metrics::RunManifest carries (the metrics layer must not depend on this
+/// one). Every knob that affects simulation results is included; the seed
+/// is serialised as a decimal string because JSON doubles lose 64-bit
+/// precision.
+util::JsonValue ConfigToJson(const ExperimentConfig& config);
+
+/// Builds the provenance manifest for a run of `config`: tool/exhibit,
+/// commit, host, seed, jobs and the full flattened config. The caller
+/// stamps wall_seconds once the batch finishes (e.g. from
+/// BatchTiming::wall_seconds).
+metrics::RunManifest MakeRunManifest(std::string tool, std::string exhibit,
+                                     const ExperimentConfig& config,
+                                     size_t jobs);
+
+}  // namespace dupnet::experiment
+
+#endif  // DUP_EXPERIMENT_MANIFEST_H_

@@ -4,10 +4,26 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/str.h"
 
 namespace dupnet::experiment {
 
 namespace {
+
+/// Batch runs execute concurrently, so every run needs its own trace file:
+/// "out.jsonl" for point p, rep i becomes "out.p<p>.r<i>.jsonl" (the suffix
+/// goes before the last extension when there is one).
+std::string PerRunTracePath(const std::string& base, size_t point,
+                            size_t rep) {
+  const std::string suffix = util::StrFormat(".p%zu.r%zu", point, rep);
+  const size_t dot = base.rfind('.');
+  const size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
 
 /// Collects the outcomes of one batch into per-point replication
 /// summaries. Outcomes are laid out point-major, `reps` runs per point;
@@ -78,6 +94,9 @@ util::Result<RunSweepResult> RunSweep(
     for (size_t i = 0; i < replications; ++i) {
       ExperimentConfig run = points[p];
       run.seed = ParallelRunner::SeedForRun(points[p].seed, p, i);
+      if (!run.trace_path.empty()) {
+        run.trace_path = PerRunTracePath(run.trace_path, p, i);
+      }
       batch.push_back(std::move(run));
     }
   }
@@ -104,12 +123,16 @@ util::Result<CompareSweepResult> CompareSweep(
   std::vector<ExperimentConfig> batch;
   batch.reserve(points.size() * 3 * replications);
   for (size_t p = 0; p < points.size(); ++p) {
-    for (Scheme scheme : kSchemes) {
+    for (size_t s = 0; s < 3; ++s) {
       for (size_t i = 0; i < replications; ++i) {
         ExperimentConfig run = points[p];
-        run.scheme = scheme;
+        run.scheme = kSchemes[s];
         // Schemes at one point share replication seeds: paired comparison.
         run.seed = ParallelRunner::SeedForRun(points[p].seed, p, i);
+        if (!run.trace_path.empty()) {
+          // Distinct per scheme too: flatten (point, scheme) into one index.
+          run.trace_path = PerRunTracePath(run.trace_path, p * 3 + s, i);
+        }
         batch.push_back(std::move(run));
       }
     }

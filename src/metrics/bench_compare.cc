@@ -1,0 +1,204 @@
+#include "metrics/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/str.h"
+
+namespace dupnet::metrics {
+
+namespace {
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// True when every element of the array is a number (and there is at
+/// least one), i.e. the array looks like replication samples.
+bool IsNumericArray(const util::JsonValue::Array& array) {
+  if (array.empty()) return false;
+  for (const util::JsonValue& v : array) {
+    if (!v.is_number()) return false;
+  }
+  return true;
+}
+
+std::vector<double> ToSamples(const util::JsonValue::Array& array) {
+  std::vector<double> samples;
+  samples.reserve(array.size());
+  for (const util::JsonValue& v : array) samples.push_back(v.AsDouble());
+  return samples;
+}
+
+std::string JoinPath(const std::string& prefix, std::string_view leaf) {
+  if (prefix.empty()) return std::string(leaf);
+  return prefix + "." + std::string(leaf);
+}
+
+class Comparator {
+ public:
+  Comparator(const CompareOptions& options, CompareReport* report)
+      : options_(options), report_(report) {}
+
+  void Walk(const std::string& path, const util::JsonValue& baseline,
+            const util::JsonValue& current) {
+    if (baseline.is_object() && current.is_object()) {
+      for (const auto& [key, base_child] : baseline.AsObject()) {
+        if (path.empty() && key == "manifest") continue;  // Provenance.
+        const util::JsonValue* cur_child = current.Find(key);
+        if (cur_child == nullptr) continue;  // Not shared: ignored.
+        Walk(JoinPath(path, key), base_child, *cur_child);
+      }
+      return;
+    }
+    if (baseline.is_array() && current.is_array()) {
+      const auto& base_array = baseline.AsArray();
+      const auto& cur_array = current.AsArray();
+      if (IsNumericArray(base_array) && IsNumericArray(cur_array)) {
+        CompareSamples(path, ToSamples(base_array), ToSamples(cur_array));
+        return;
+      }
+      const size_t shared = std::min(base_array.size(), cur_array.size());
+      for (size_t i = 0; i < shared; ++i) {
+        Walk(util::StrFormat("%s[%zu]", path.c_str(), i), base_array[i],
+             cur_array[i]);
+      }
+      return;
+    }
+    if (baseline.is_number() && current.is_number()) {
+      Record(path, baseline.AsDouble(), current.AsDouble(),
+             /*ci_overlap=*/false);
+    }
+    // Type mismatches and non-numeric scalars are simply not comparable.
+  }
+
+ private:
+  /// Numeric arrays are replication samples: compare the means, but let an
+  /// overlap of the 95% confidence intervals veto any verdict — a shift
+  /// inside the noise band is not a regression.
+  void CompareSamples(const std::string& path,
+                      const std::vector<double>& baseline,
+                      const std::vector<double>& current) {
+    const util::ConfidenceInterval base_ci =
+        util::ConfidenceInterval95(baseline);
+    const util::ConfidenceInterval cur_ci = util::ConfidenceInterval95(current);
+    const bool overlap =
+        base_ci.lower() <= cur_ci.upper() && cur_ci.lower() <= base_ci.upper();
+    Record(path, base_ci.mean, cur_ci.mean, overlap);
+  }
+
+  void Record(const std::string& path, double baseline, double current,
+              bool ci_overlap) {
+    MetricDelta delta;
+    delta.path = path;
+    delta.baseline = baseline;
+    delta.current = current;
+    const double denom = std::fabs(baseline);
+    delta.rel_change = denom > 0.0 ? (current - baseline) / denom : 0.0;
+
+    const size_t dot = path.rfind('.');
+    const std::string_view leaf =
+        dot == std::string::npos ? std::string_view(path)
+                                 : std::string_view(path).substr(dot + 1);
+    const MetricDirection direction = DirectionForMetric(leaf);
+    if (direction == MetricDirection::kInformational) {
+      delta.verdict = DeltaVerdict::kInfo;
+    } else if (ci_overlap || std::fabs(delta.rel_change) <= options_.threshold) {
+      delta.verdict = DeltaVerdict::kUnchanged;
+    } else {
+      const bool got_bigger = delta.rel_change > 0.0;
+      const bool better =
+          (direction == MetricDirection::kHigherBetter) == got_bigger;
+      delta.verdict =
+          better ? DeltaVerdict::kImproved : DeltaVerdict::kRegressed;
+    }
+    if (delta.verdict == DeltaVerdict::kRegressed) ++report_->regressions;
+    if (delta.verdict == DeltaVerdict::kImproved) ++report_->improvements;
+    report_->deltas.push_back(std::move(delta));
+  }
+
+  const CompareOptions& options_;
+  CompareReport* report_;
+};
+
+}  // namespace
+
+MetricDirection DirectionForMetric(std::string_view leaf_name) {
+  // Order matters: "events_per_second" must hit the throughput rule before
+  // any substring of it could match a lower-better one.
+  for (std::string_view good :
+       {"per_second", "throughput", "speedup", "efficiency", "hit",
+        "delivery"}) {
+    if (Contains(leaf_name, good)) return MetricDirection::kHigherBetter;
+  }
+  for (std::string_view bad :
+       {"seconds", "latency", "cost", "stale", "alloc", "hops", "drop",
+        "bytes", "p95", "p99", "retries"}) {
+    if (Contains(leaf_name, bad)) return MetricDirection::kLowerBetter;
+  }
+  return MetricDirection::kInformational;
+}
+
+std::string_view DeltaVerdictToString(DeltaVerdict verdict) {
+  switch (verdict) {
+    case DeltaVerdict::kImproved:
+      return "improved";
+    case DeltaVerdict::kUnchanged:
+      return "unchanged";
+    case DeltaVerdict::kRegressed:
+      return "REGRESSED";
+    case DeltaVerdict::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+std::string MetricDelta::ToString() const {
+  return util::StrFormat("%-9s %-45s %14.6g -> %14.6g (%+.1f%%)",
+                         std::string(DeltaVerdictToString(verdict)).c_str(),
+                         path.c_str(), baseline, current,
+                         100.0 * rel_change);
+}
+
+std::string CompareReport::ToString() const {
+  std::string out;
+  for (const MetricDelta& delta : deltas) {
+    out += delta.ToString();
+    out += '\n';
+  }
+  out += util::StrFormat(
+      "%zu metric(s) compared: %zu regressed, %zu improved, %zu "
+      "unchanged/info\n",
+      deltas.size(), regressions, improvements,
+      deltas.size() - regressions - improvements);
+  return out;
+}
+
+util::Result<CompareReport> CompareBenchJson(const util::JsonValue& baseline,
+                                             const util::JsonValue& current,
+                                             const CompareOptions& options) {
+  if (!baseline.is_object() || !current.is_object()) {
+    return util::Status::InvalidArgument(
+        "bench results must be JSON objects");
+  }
+  const util::JsonValue* base_manifest = baseline.Find("manifest");
+  const util::JsonValue* cur_manifest = current.Find("manifest");
+  if (base_manifest != nullptr && cur_manifest != nullptr) {
+    const util::JsonValue* base_schema = base_manifest->Find("schema_version");
+    const util::JsonValue* cur_schema = cur_manifest->Find("schema_version");
+    if (base_schema != nullptr && cur_schema != nullptr &&
+        !(*base_schema == *cur_schema)) {
+      return util::Status::FailedPrecondition(
+          "manifest schema_version mismatch: the files are not comparable");
+    }
+  }
+  CompareReport report;
+  Comparator comparator(options, &report);
+  comparator.Walk("", baseline, current);
+  return report;
+}
+
+}  // namespace dupnet::metrics

@@ -1,0 +1,74 @@
+#ifndef DUP_METRICS_BENCH_COMPARE_H_
+#define DUP_METRICS_BENCH_COMPARE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace dupnet::metrics {
+
+/// Whether a bigger value of a metric is good, bad, or neither. benchdiff
+/// infers this from the metric's leaf name so result files need no
+/// per-metric annotations.
+enum class MetricDirection {
+  kHigherBetter,    ///< Throughputs, hit rates, efficiencies.
+  kLowerBetter,     ///< Wall clocks, latencies, costs, allocation counts.
+  kInformational,   ///< Reported but never gated (raw counts, sizes).
+};
+
+MetricDirection DirectionForMetric(std::string_view leaf_name);
+
+/// Outcome for one shared numeric leaf.
+enum class DeltaVerdict { kImproved, kUnchanged, kRegressed, kInfo };
+
+std::string_view DeltaVerdictToString(DeltaVerdict verdict);
+
+/// One compared metric: the dotted JSON path, both values and the verdict.
+struct MetricDelta {
+  std::string path;         ///< e.g. "event_chain.events_per_second".
+  double baseline = 0.0;
+  double current = 0.0;
+  /// (current - baseline) / |baseline|; 0 when the baseline is 0.
+  double rel_change = 0.0;
+  DeltaVerdict verdict = DeltaVerdict::kInfo;
+
+  std::string ToString() const;
+};
+
+struct CompareOptions {
+  /// Relative change a gated metric may move in the bad direction before
+  /// it counts as a regression. The default is deliberately loose: the
+  /// gate exists to catch order-of-magnitude accidents (a debug build, an
+  /// O(n^2) slip) without flaking on shared-CI noise.
+  double threshold = 0.25;
+};
+
+/// Result of comparing two bench/experiment JSON artifacts.
+struct CompareReport {
+  std::vector<MetricDelta> deltas;  ///< Every shared numeric leaf, in path order.
+  size_t regressions = 0;
+  size_t improvements = 0;
+
+  bool ok() const { return regressions == 0; }
+  /// Multi-line human-readable report (one line per delta + a summary).
+  std::string ToString() const;
+};
+
+/// Compares every numeric leaf the two documents share, walking objects by
+/// key and arrays index-wise; numeric arrays are treated as replication
+/// samples and compared through their 95% confidence intervals
+/// (overlapping CIs are "unchanged" regardless of the mean shift). Leaves
+/// present in only one document are ignored — benchdiff must keep working
+/// when a PR adds new metrics. The "manifest" subtree is provenance, not
+/// data: it is skipped, except that mismatched manifest schema_versions
+/// are an error.
+util::Result<CompareReport> CompareBenchJson(const util::JsonValue& baseline,
+                                             const util::JsonValue& current,
+                                             const CompareOptions& options = {});
+
+}  // namespace dupnet::metrics
+
+#endif  // DUP_METRICS_BENCH_COMPARE_H_

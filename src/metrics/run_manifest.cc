@@ -1,0 +1,107 @@
+#include "metrics/run_manifest.h"
+
+#include <cstdlib>
+#include <thread>
+
+#ifndef DUP_GIT_COMMIT
+#define DUP_GIT_COMMIT "unknown"
+#endif
+
+namespace dupnet::metrics {
+
+std::string RunManifest::CurrentGitCommit() {
+  if (const char* env = std::getenv("DUP_GIT_COMMIT")) {
+    if (*env != '\0') return env;
+  }
+  return DUP_GIT_COMMIT;
+}
+
+RunManifest RunManifest::Create(std::string tool, std::string exhibit) {
+  RunManifest manifest;
+  manifest.tool = std::move(tool);
+  manifest.exhibit = std::move(exhibit);
+  manifest.hardware_concurrency = std::thread::hardware_concurrency();
+  return manifest;
+}
+
+util::JsonValue RunManifest::ToJson() const {
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("schema_version", schema_version);
+  json.Set("tool", tool);
+  json.Set("exhibit", exhibit);
+  json.Set("git_commit", git_commit);
+  // Decimal string: a JSON double cannot hold a full 64-bit seed exactly.
+  json.Set("seed", std::to_string(seed));
+  json.Set("jobs", jobs);
+  json.Set("hardware_concurrency", hardware_concurrency);
+  json.Set("wall_seconds", wall_seconds);
+  json.Set("config", config);
+  return json;
+}
+
+namespace {
+
+util::Status MissingField(const char* name) {
+  return util::Status::InvalidArgument(
+      std::string("manifest is missing field \"") + name + "\"");
+}
+
+}  // namespace
+
+util::Result<RunManifest> RunManifest::FromJson(const util::JsonValue& json) {
+  if (!json.is_object()) {
+    return util::Status::InvalidArgument("manifest must be a JSON object");
+  }
+  RunManifest manifest;
+  const util::JsonValue* field = json.Find("schema_version");
+  if (field == nullptr || !field->is_number()) {
+    return MissingField("schema_version");
+  }
+  manifest.schema_version = static_cast<int>(field->AsDouble());
+
+  struct StringField {
+    const char* name;
+    std::string* out;
+  };
+  for (const StringField& f :
+       {StringField{"tool", &manifest.tool},
+        StringField{"exhibit", &manifest.exhibit},
+        StringField{"git_commit", &manifest.git_commit}}) {
+    field = json.Find(f.name);
+    if (field == nullptr || !field->is_string()) return MissingField(f.name);
+    *f.out = field->AsString();
+  }
+
+  struct NumberField {
+    const char* name;
+    double* out;
+  };
+  double jobs = 0.0, hardware = 0.0;
+  for (const NumberField& f :
+       {NumberField{"jobs", &jobs},
+        NumberField{"hardware_concurrency", &hardware},
+        NumberField{"wall_seconds", &manifest.wall_seconds}}) {
+    field = json.Find(f.name);
+    if (field == nullptr || !field->is_number()) return MissingField(f.name);
+    *f.out = field->AsDouble();
+  }
+  field = json.Find("seed");
+  if (field == nullptr || !field->is_string()) return MissingField("seed");
+  {
+    const std::string& text = field->AsString();
+    char* end = nullptr;
+    manifest.seed = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      return util::Status::InvalidArgument("manifest seed is not a decimal");
+    }
+  }
+  manifest.jobs = static_cast<uint64_t>(jobs);
+  manifest.hardware_concurrency = static_cast<uint64_t>(hardware);
+
+  field = json.Find("config");
+  if (field == nullptr || !field->is_object()) return MissingField("config");
+  manifest.config = *field;
+  return manifest;
+}
+
+}  // namespace dupnet::metrics

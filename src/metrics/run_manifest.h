@@ -1,0 +1,52 @@
+#ifndef DUP_METRICS_RUN_MANIFEST_H_
+#define DUP_METRICS_RUN_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace dupnet::metrics {
+
+/// Provenance record embedded in every bench/experiment JSON artifact so
+/// the paper's headline numbers stay attributable and comparable across
+/// PRs: which binary produced the file, from which commit, under which
+/// configuration/seed, on how much hardware, and how long it took.
+///
+/// `config` is a free-form JSON object (the flattened ExperimentConfig for
+/// simulation runs; harness knobs for micro-benchmarks) so the metrics
+/// layer does not depend on the experiment layer. tools/benchdiff refuses
+/// to compare artifacts whose manifests disagree on schema_version.
+struct RunManifest {
+  /// Bump when the meaning of recorded metrics changes incompatibly.
+  static constexpr int kSchemaVersion = 1;
+
+  int schema_version = kSchemaVersion;
+  std::string tool;     ///< Producing binary, e.g. "bench_micro".
+  std::string exhibit;  ///< What the artifact reproduces, e.g. "fig4".
+  std::string git_commit = CurrentGitCommit();
+  uint64_t seed = 0;
+  uint64_t jobs = 1;               ///< Worker threads the batch ran on.
+  uint64_t hardware_concurrency = 0;  ///< Hardware threads of the host.
+  double wall_seconds = 0.0;       ///< Wall clock of the producing batch.
+  util::JsonValue config = util::JsonValue::MakeObject();
+
+  /// The commit the binary was built from: the DUP_GIT_COMMIT environment
+  /// variable when set (CI override), else the configure-time `git
+  /// rev-parse` baked in by CMake, else "unknown".
+  static std::string CurrentGitCommit();
+
+  /// Fills tool/exhibit and measures the host (hardware_concurrency).
+  static RunManifest Create(std::string tool, std::string exhibit);
+
+  util::JsonValue ToJson() const;
+  static util::Result<RunManifest> FromJson(const util::JsonValue& json);
+
+  /// Convenience: ToJson() pretty-printed with 2-space indent.
+  std::string ToJsonString() const { return ToJson().Dump(2); }
+};
+
+}  // namespace dupnet::metrics
+
+#endif  // DUP_METRICS_RUN_MANIFEST_H_

@@ -15,7 +15,8 @@ namespace dupnet::trace {
 enum class EventKind : uint8_t {
   kSend,     ///< Handed to the overlay.
   kDeliver,  ///< Arrived at its destination.
-  kDrop,     ///< Lost to a down endpoint.
+  kDrop,     ///< Lost in flight: down endpoint, random loss (FaultConfig
+             ///< loss_rate), or a test LossFilter.
 };
 
 std::string_view EventKindToString(EventKind kind);

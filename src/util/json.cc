@@ -1,0 +1,393 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace dupnet::util {
+
+bool JsonValue::AsBool() const {
+  DUP_CHECK(is_bool());
+  return std::get<bool>(value_);
+}
+
+double JsonValue::AsDouble() const {
+  DUP_CHECK(is_number());
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::AsString() const {
+  DUP_CHECK(is_string());
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::AsArray() const {
+  DUP_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+JsonValue::Array& JsonValue::AsArray() {
+  DUP_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::AsObject() const {
+  DUP_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+JsonValue::Object& JsonValue::AsObject() {
+  DUP_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  const Object& object = std::get<Object>(value_);
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  AsObject().insert_or_assign(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  AsArray().push_back(std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Serialisation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EscapeStringTo(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StrFormat("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void NumberTo(std::string* out, double d) {
+  DUP_CHECK(std::isfinite(d)) << "JSON cannot represent " << d;
+  // Integers up to 2^53 print without an exponent or fraction; everything
+  // else uses shortest-round-trip %.17g and is re-parsed bit-identically.
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    *out += StrFormat("%lld", static_cast<long long>(d));
+    return;
+  }
+  char buf[64];
+  // Try increasing precision until the value round-trips.
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, d);
+    double reparsed = 0.0;
+    if (ParseDouble(buf, &reparsed) && reparsed == d) break;
+  }
+  *out += buf;
+}
+
+void Newline(std::string* out, int indent, int depth) {
+  if (indent <= 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  if (is_null()) {
+    *out += "null";
+  } else if (is_bool()) {
+    *out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    NumberTo(out, std::get<double>(value_));
+  } else if (is_string()) {
+    EscapeStringTo(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const Array& array = std::get<Array>(value_);
+    if (array.empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      Newline(out, indent, depth + 1);
+      array[i].DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out->push_back(']');
+  } else {
+    const Object& object = std::get<Object>(value_);
+    if (object.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : object) {
+      if (!first) out->push_back(',');
+      first = false;
+      Newline(out, indent, depth + 1);
+      EscapeStringTo(out, key);
+      *out += indent > 0 ? ": " : ":";
+      value.DumpTo(out, indent, depth + 1);
+    }
+    Newline(out, indent, depth);
+    out->push_back('}');
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (recursive descent).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> ParseDocument() {
+    auto value = ParseValue();
+    DUP_RETURN_IF_ERROR(value.status());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue() {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    Result<JsonValue> result = ParseValueInner();
+    --depth_;
+    return result;
+  }
+
+  Result<JsonValue> ParseValueInner() {
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      DUP_RETURN_IF_ERROR(s.status());
+      return JsonValue(std::move(*s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue(nullptr);
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    DUP_CHECK(Consume('{'));
+    JsonValue::Object object;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(object));
+    while (true) {
+      SkipWhitespace();
+      auto key = ParseString();
+      DUP_RETURN_IF_ERROR(key.status());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      auto value = ParseValue();
+      DUP_RETURN_IF_ERROR(value.status());
+      object.insert_or_assign(std::move(*key), std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return JsonValue(std::move(object));
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    DUP_CHECK(Consume('['));
+    JsonValue::Array array;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(array));
+    while (true) {
+      auto value = ParseValue();
+      DUP_RETURN_IF_ERROR(value.status());
+      array.push_back(std::move(*value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return JsonValue(std::move(array));
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("bad hex digit in \\u escape");
+            }
+          }
+          // The harness only ever escapes control characters; encode the
+          // code point as UTF-8 (BMP only, no surrogate pairs).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape sequence");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    double value = 0.0;
+    if (pos_ == start ||
+        !ParseDouble(text_.substr(start, pos_ - start), &value)) {
+      return Error("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  static constexpr int kMaxDepth = 64;
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace dupnet::util

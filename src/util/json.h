@@ -1,0 +1,85 @@
+#ifndef DUP_UTIL_JSON_H_
+#define DUP_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dupnet::util {
+
+/// Minimal JSON document model for the observability layer: run manifests,
+/// JSONL trace lines and the benchdiff regression gate all need to write
+/// *and re-read* structured records, so string concatenation is not enough.
+///
+/// Numbers are stored as double (every metric the harness records — counts,
+/// rates, seconds — round-trips exactly below 2^53). Object keys are kept
+/// sorted, which makes serialised output canonical and diffable.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue, std::less<>>;
+
+  JsonValue() : value_(nullptr) {}  ///< null
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(int i) : value_(static_cast<double>(i)) {}
+  JsonValue(int64_t i) : value_(static_cast<double>(i)) {}
+  JsonValue(uint64_t u) : value_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(std::string_view s) : value_(std::string(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors. Pre: the value holds that alternative (DUP_CHECK).
+  bool AsBool() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object field lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Inserts or overwrites an object field. Pre: is_object().
+  void Set(std::string key, JsonValue value);
+  /// Appends to an array. Pre: is_array().
+  void Append(JsonValue value);
+
+  /// Serialises the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits one compact line (the JSONL form). Numbers
+  /// use shortest-round-trip formatting, so Parse(Dump(v)) == v.
+  std::string Dump(int indent = 0) const;
+
+  /// Parses a complete JSON document (trailing non-whitespace is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+  bool operator==(const JsonValue& other) const { return value_ == other.value_; }
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_JSON_H_

@@ -57,6 +57,32 @@ TEST(IndexCacheTest, SameVersionRefreshesExpiry) {
   EXPECT_TRUE(cache.HasValid(150.0));
 }
 
+TEST(IndexCacheTest, SameVersionNeverShortensLifetime) {
+  // Regression: a stale reply (same version, earlier expiry) arriving after
+  // a fresh push used to overwrite the entry and expire the cache early.
+  IndexCache cache;
+  cache.Put({5, 200.0});
+  EXPECT_FALSE(cache.Put({5, 100.0}));
+  EXPECT_TRUE(cache.HasValid(150.0));
+  auto entry = cache.Peek(0.0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->expiry, 200.0);
+  // An identical duplicate is a no-op, not a change.
+  EXPECT_FALSE(cache.Put({5, 200.0}));
+}
+
+TEST(IndexCacheTest, NewerVersionWithEarlierExpiryStillWins) {
+  // Version ordering dominates: a genuinely newer index replaces the entry
+  // even when its TTL window ends sooner.
+  IndexCache cache;
+  cache.Put({5, 500.0});
+  EXPECT_TRUE(cache.Put({6, 300.0}));
+  auto entry = cache.Peek(0.0);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->version, 6u);
+  EXPECT_EQ(entry->expiry, 300.0);
+}
+
 TEST(IndexCacheTest, NewerVersionReplaces) {
   IndexCache cache;
   cache.Put({1, 100.0});

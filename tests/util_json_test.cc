@@ -1,0 +1,97 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace dupnet::util {
+namespace {
+
+TEST(JsonTest, ScalarRoundTrip) {
+  for (const char* doc : {"null", "true", "false", "0", "-17", "3.5",
+                          "\"hello\"", "[]", "{}"}) {
+    auto parsed = JsonValue::Parse(doc);
+    ASSERT_TRUE(parsed.ok()) << doc << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->Dump(), doc);
+  }
+}
+
+TEST(JsonTest, ObjectAccessors) {
+  auto parsed = JsonValue::Parse(
+      R"({"name": "dup", "nodes": 4096, "lossy": false, "rates": [1, 2.5]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->Find("name")->AsString(), "dup");
+  EXPECT_EQ(parsed->Find("nodes")->AsDouble(), 4096.0);
+  EXPECT_FALSE(parsed->Find("lossy")->AsBool());
+  ASSERT_EQ(parsed->Find("rates")->AsArray().size(), 2u);
+  EXPECT_EQ(parsed->Find("rates")->AsArray()[1].AsDouble(), 2.5);
+  EXPECT_EQ(parsed->Find("absent"), nullptr);
+}
+
+TEST(JsonTest, BuildDumpParseEquality) {
+  JsonValue object = JsonValue::MakeObject();
+  object.Set("schema", 1);
+  object.Set("seed", uint64_t{12345678901234567ull});
+  object.Set("ratio", 0.8517364201);
+  object.Set("label", "fig4 \"query rate\"\n");
+  JsonValue array = JsonValue::MakeArray();
+  array.Append(1.5);
+  array.Append(nullptr);
+  array.Append(true);
+  object.Set("series", std::move(array));
+
+  for (const int indent : {0, 2}) {
+    auto reparsed = JsonValue::Parse(object.Dump(indent));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_EQ(*reparsed, object) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, DoublesRoundTripBitIdentically) {
+  for (const double value :
+       {0.40491626148028059, 1.0 / 3.0, 1e-9, 123456789.123456789,
+        9.007199254740992e15, -0.0097534543484150641}) {
+    JsonValue json(value);
+    auto reparsed = JsonValue::Parse(json.Dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->AsDouble(), value);
+  }
+}
+
+TEST(JsonTest, StringEscapes) {
+  JsonValue json(std::string("a\"b\\c\nd\te\x01"));
+  const std::string dumped = json.Dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  auto reparsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, json);
+}
+
+TEST(JsonTest, NestedPrettyPrintIsStable) {
+  auto parsed = JsonValue::Parse(R"({"b": {"y": [1, 2]}, "a": 1})");
+  ASSERT_TRUE(parsed.ok());
+  // Keys are canonically sorted and the pretty form re-parses to the same
+  // document.
+  const std::string pretty = parsed->Dump(2);
+  EXPECT_LT(pretty.find("\"a\""), pretty.find("\"b\""));
+  auto reparsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, *parsed);
+}
+
+TEST(JsonTest, ParseErrors) {
+  for (const char* doc :
+       {"", "{", "[1,", "{\"a\" 1}", "tru", "\"unterminated", "1 2",
+        "{\"a\": }", "[1, 2,]", "nan"}) {
+    auto parsed = JsonValue::Parse(doc);
+    EXPECT_FALSE(parsed.ok()) << "should reject: " << doc;
+  }
+}
+
+TEST(JsonTest, DeepNestingRejectedNotCrashing) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+}
+
+}  // namespace
+}  // namespace dupnet::util

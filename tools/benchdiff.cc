@@ -1,0 +1,93 @@
+// benchdiff — the perf-regression gate.
+//
+//   benchdiff <baseline.json> <current.json> [threshold=0.25]
+//
+// Loads two bench/experiment result files, compares every numeric metric
+// they share (see metrics::CompareBenchJson for the walk and verdict
+// rules), prints one line per metric, and exits
+//
+//   0  no gated metric regressed beyond the threshold,
+//   1  at least one regression — CI should fail the build,
+//   2  usage / unreadable / unparsable input.
+//
+// Typical use, via scripts/reproduce.sh --check-against results/baseline:
+//
+//   benchdiff results/baseline/bench_micro.json results/bench_micro.json
+
+#include <cstdio>
+#include <string>
+
+#include "metrics/bench_compare.h"
+#include "util/json.h"
+#include "util/str.h"
+
+namespace {
+
+using namespace dupnet;
+
+/// Reads a whole file; empty Result on I/O failure.
+util::Result<util::JsonValue> LoadJsonFile(const char* path) {
+  std::FILE* file = std::fopen(path, "rb");
+  if (file == nullptr) {
+    return util::Status::Unavailable(
+        util::StrFormat("cannot open \"%s\"", path));
+  }
+  std::string text;
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  auto json = util::JsonValue::Parse(text);
+  if (!json.ok()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%s: %s", path, json.status().message().c_str()));
+  }
+  return json;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 && argc != 4) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline.json> <current.json> [threshold]\n",
+                 argv[0]);
+    return 2;
+  }
+  metrics::CompareOptions options;
+  if (argc == 4) {
+    double threshold = 0.0;
+    if (!util::ParseDouble(argv[3], &threshold) || threshold < 0.0) {
+      std::fprintf(stderr, "bad threshold \"%s\"\n", argv[3]);
+      return 2;
+    }
+    options.threshold = threshold;
+  }
+
+  auto baseline = LoadJsonFile(argv[1]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto current = LoadJsonFile(argv[2]);
+  if (!current.ok()) {
+    std::fprintf(stderr, "%s\n", current.status().ToString().c_str());
+    return 2;
+  }
+
+  auto report = metrics::CompareBenchJson(*baseline, *current, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("benchdiff %s vs %s (threshold %.0f%%)\n", argv[1], argv[2],
+              100.0 * options.threshold);
+  std::fputs(report->ToString().c_str(), stdout);
+  if (report->deltas.empty()) {
+    std::fprintf(stderr, "no shared numeric metrics: nothing compared\n");
+    return 2;
+  }
+  return report->ok() ? 0 : 1;
+}

@@ -15,7 +15,14 @@
 // alpha[1.2] theta[0.8] c[6] ttl[3600] lead[60] hoplat[0.1] warmup[3600]
 // measure[10620] reps[3] jobs[1] seed[42] shortcut[1] piggyback[0]
 // percopy[1] passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
-// detect[30] csv[]
+// detect[30] csv[] json[]
+//
+// Observability (docs/observability.md): trace_out[] streams every
+// observed message event as JSONL (decimated by trace_sample[1], "N" or
+// "req,rep,push,ctl"); the DUP_TRACE_OUT / DUP_TRACE_SAMPLE environment
+// variables are fallbacks for the same knobs. json=PATH writes the summary
+// table plus a provenance manifest (commit, seed, config, schema version)
+// as a machine-readable artifact for tools/benchdiff.
 //
 // Fault injection (docs/fault-injection.md): loss_rate[0] jitter[0]
 // retry_max[0] retry_timeout[2] retry_backoff[2] refresh_interval[0].
@@ -29,16 +36,19 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "experiment/config.h"
+#include "experiment/manifest.h"
 #include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
 #include "util/check.h"
 #include "util/config.h"
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/str.h"
 
 namespace {
@@ -76,6 +86,14 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
   config.faults.retry_timeout = args.GetDouble("retry_timeout", 2.0);
   config.faults.retry_backoff = args.GetDouble("retry_backoff", 2.0);
   config.faults.refresh_interval = args.GetDouble("refresh_interval", 0.0);
+
+  // Keys beat the environment so one-off overrides stay one-off.
+  const char* env_trace = std::getenv("DUP_TRACE_OUT");
+  config.trace_path =
+      args.GetString("trace_out", env_trace != nullptr ? env_trace : "");
+  const char* env_sample = std::getenv("DUP_TRACE_SAMPLE");
+  config.trace_sample =
+      args.GetString("trace_sample", env_sample != nullptr ? env_sample : "1");
 
   auto topology =
       experiment::ParseTopology(args.GetString("topology", "random-tree"));
@@ -116,6 +134,21 @@ std::vector<experiment::Scheme> SchemesFor(const std::string& name) {
   return {*scheme};
 }
 
+/// Inserts ".<scheme>" before the last extension of `base` so scheme=all
+/// runs don't overwrite each other's traces (the Replicator then appends
+/// its own ".p<point>.r<rep>" per replication).
+std::string PerSchemeTracePath(const std::string& base,
+                               experiment::Scheme scheme) {
+  const std::string suffix = "." + std::string(experiment::SchemeToString(scheme));
+  const size_t dot = base.rfind('.');
+  const size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -145,9 +178,13 @@ int main(int argc, char** argv) {
 
   const auto wall_start = std::chrono::steady_clock::now();
   size_t total_runs = 0;
+  util::JsonValue json_schemes = util::JsonValue::MakeObject();
   for (experiment::Scheme scheme : schemes) {
     experiment::ExperimentConfig config = base;
     config.scheme = scheme;
+    if (!config.trace_path.empty() && schemes.size() > 1) {
+      config.trace_path = PerSchemeTracePath(config.trace_path, scheme);
+    }
     const auto scheme_start = std::chrono::steady_clock::now();
     auto summary = experiment::Replicator::Run(config, reps, jobs);
     DUP_CHECK(summary.ok()) << summary.status().ToString();
@@ -187,6 +224,18 @@ int main(int argc, char** argv) {
                 util::CsvWriter::Cell(summary->local_hit_rate.mean),
                 util::CsvWriter::Cell(summary->stale_rate.mean),
                 util::CsvWriter::Cell(summary->total_queries)});
+
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("latency_mean", summary->latency.mean);
+    entry.Set("latency_half_width", summary->latency.half_width);
+    entry.Set("latency_p95", p95);
+    entry.Set("latency_p99", p99);
+    entry.Set("cost_mean", summary->cost.mean);
+    entry.Set("cost_half_width", summary->cost.half_width);
+    entry.Set("local_hit_rate", summary->local_hit_rate.mean);
+    entry.Set("stale_rate", summary->stale_rate.mean);
+    entry.Set("total_queries", summary->total_queries);
+    json_schemes.Set(name, std::move(entry));
   }
   const double total_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -204,6 +253,22 @@ int main(int argc, char** argv) {
   if (!csv_path.empty()) {
     DUP_CHECK_OK(csv.WriteToFile(csv_path));
     std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+
+  const std::string json_path = args->GetString("json", "");
+  if (!json_path.empty()) {
+    metrics::RunManifest manifest = experiment::MakeRunManifest(
+        "dupsim", args->GetString("scheme", "dup"), base, jobs);
+    manifest.wall_seconds = total_seconds;
+    util::JsonValue doc = util::JsonValue::MakeObject();
+    doc.Set("manifest", manifest.ToJson());
+    doc.Set("schemes", std::move(json_schemes));
+    const std::string text = doc.Dump(2) + "\n";
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    DUP_CHECK(file != nullptr) << "cannot write " << json_path;
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", json_path.c_str());
   }
   return 0;
 }
