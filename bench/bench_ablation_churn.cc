@@ -32,14 +32,15 @@ int main() {
     config.churn.leave_rate = rate / 3;
     config.churn.fail_rate = rate / 3;
     config.churn.detect_delay = 30.0;
+    // Checkpointed invariant audits during the run, plus the forced global
+    // audit after RunToCompletion's reconvergence round.
+    config.audit_mode = audit::AuditMode::kCheckpoints;
 
     experiment::SimulationDriver driver(config);
     DUP_CHECK_OK(driver.Init());
     driver.RunToCompletion();
-    driver.engine().Run();  // Drain before auditing.
     const auto metrics = driver.Collect();
-    const auto audit = driver.dup_protocol()->ValidatePropagationState();
-    DUP_CHECK(audit.ok()) << audit.ToString();
+    DUP_CHECK_OK(driver.audit_checker()->ToStatus());
     const double control_per_query =
         metrics.queries == 0
             ? 0.0

@@ -4,7 +4,7 @@
 // soft-state refresh (docs/fault-injection.md), and measures what loss
 // does to latency, cost, delivery ratio and the stale-read rate. After the
 // 5% point it additionally audits that the DUP tree reconverges: traffic
-// stops, one refresh round runs, and ValidatePropagationState() must pass.
+// stops, one refresh round runs, and the invariant audit must pass.
 //
 // Environment: the usual DUP_BENCH_* knobs (bench_common.h), plus
 // DUP_BENCH_LOSS_JSON to override the machine-readable output path
@@ -76,22 +76,19 @@ util::JsonValue SchemeJson(const metrics::ReplicationSummary& summary) {
   return json;
 }
 
-/// Runs one DUP simulation at `loss_rate`, then stops the loss, fires one
-/// refresh round and audits the propagation tree — the reconvergence
-/// guarantee documented in docs/fault-injection.md.
+/// Runs one DUP simulation at `loss_rate` with checkpointed invariant
+/// auditing armed: RunToCompletion ends with the reconvergence sequence
+/// (loss stopped, one clean refresh round, prune of entries the refresh
+/// did not re-announce) and a forced global audit — the bounded-time
+/// repair guarantee documented in docs/fault-injection.md.
 bool DupReconverges(experiment::ExperimentConfig config, double loss_rate) {
   config.scheme = experiment::Scheme::kDup;
   config.faults = FaultsAt(loss_rate);
+  config.audit_mode = audit::AuditMode::kCheckpoints;
   experiment::SimulationDriver driver(config);
   DUP_CHECK_OK(driver.Init());
   driver.RunToCompletion();
-  driver.engine().Run();  // Drain in-flight traffic and retry timers.
-  // Bounded-time repair: with the loss stopped, a single refresh round must
-  // rebuild every upstream subscription entry.
-  driver.network().set_faults(net::FaultConfig());
-  driver.protocol().OnSoftStateRefresh();
-  driver.engine().Run();
-  const auto audit = driver.dup_protocol()->ValidatePropagationState();
+  const auto audit = driver.audit_checker()->ToStatus();
   if (!audit.ok()) std::printf("audit: %s\n", audit.ToString().c_str());
   return audit.ok();
 }

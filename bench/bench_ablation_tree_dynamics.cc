@@ -46,7 +46,7 @@ int main() {
   MaybeWriteCsv(table, "ablation_tree_dynamics");
 
   driver.engine().Run();
-  DUP_CHECK_OK(driver.dup_protocol()->ValidatePropagationState());
+  DUP_CHECK_OK(driver.AuditQuiescent());
   std::printf("final propagation-state audit: ok\n");
 
   PrintExpectation(

@@ -44,6 +44,18 @@ BenchSettings BenchSettings::FromEnv() {
         << sample << "\"";
     settings.trace_sample = sample;
   }
+  if (const char* audit = std::getenv("DUP_AUDIT")) {
+    auto mode = audit::ParseAuditMode(audit);
+    DUP_CHECK(mode.ok()) << "DUP_AUDIT: " << mode.status().ToString();
+    settings.audit_mode = *mode;
+  }
+  if (const char* interval = std::getenv("DUP_AUDIT_INTERVAL")) {
+    double value = 0.0;
+    DUP_CHECK(util::ParseDouble(interval, &value) && value >= 0.0)
+        << "DUP_AUDIT_INTERVAL must be a non-negative number, got \""
+        << interval << "\"";
+    settings.audit_interval = value;
+  }
   return settings;
 }
 
@@ -56,6 +68,8 @@ void BenchSettings::Apply(experiment::ExperimentConfig* config) const {
   config->measure_time = measure_time;
   config->trace_path = trace_out;
   config->trace_sample = trace_sample;
+  config->audit_mode = audit_mode;
+  config->audit_interval = audit_interval;
 }
 
 experiment::ExperimentConfig PaperDefaults(const BenchSettings& settings) {

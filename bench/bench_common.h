@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit_mode.h"
 #include "experiment/config.h"
 #include "experiment/manifest.h"
 #include "experiment/parallel_runner.h"
@@ -29,6 +30,11 @@ namespace dupnet::bench {
 /// from the given path (".p<point>.r<rep>" per batch slot), decimated by
 /// DUP_TRACE_SAMPLE (see trace::TraceSampling::Parse). Tracing draws no
 /// randomness, so traced results stay bit-identical to untraced ones.
+///
+/// DUP_AUDIT (off|checkpoints|paranoid) arms the invariant auditor on every
+/// run, checkpointed every DUP_AUDIT_INTERVAL sim-seconds (0 = once per
+/// TTL); see docs/invariants.md. Auditing is likewise metrics-neutral, but
+/// an invariant violation aborts the bench with its diagnostic.
 struct BenchSettings {
   size_t replications = 2;
   double warmup_time = 3600.0;
@@ -37,6 +43,8 @@ struct BenchSettings {
   size_t jobs = 0;  ///< 0 = all hardware threads.
   std::string trace_out;        ///< Empty = no trace export.
   std::string trace_sample = "1";
+  audit::AuditMode audit_mode = audit::AuditMode::kOff;
+  double audit_interval = 0.0;  ///< 0 = one checkpoint per TTL.
 
   /// Reads the environment.
   static BenchSettings FromEnv();

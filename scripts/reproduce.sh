@@ -19,6 +19,12 @@
 # including when the DUP reconvergence audit trips. Its machine-readable
 # record lands in results/bench_ablation_loss.json.
 #
+# DUP_AUDIT=checkpoints arms the protocol invariant auditor
+# (docs/invariants.md) in every bench run: DUP/CUP tree-consistency checks
+# run at checkpoints and after end-of-run reconvergence, and any violation
+# aborts the run. DUP_AUDIT_INTERVAL=SECS overrides the checkpoint spacing
+# (default: one checkpoint per TTL). Metrics stay bit-identical either way.
+#
 # --check-against DIR gates the run on the pinned perf baseline: after the
 # benches finish, tools/benchdiff compares every "<name>.json" in DIR
 # against the fresh results/<name>.json and fails the script when any

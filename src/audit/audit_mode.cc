@@ -1,0 +1,31 @@
+#include "audit/audit_mode.h"
+
+#include <string>
+
+#include "util/str.h"
+
+namespace dupnet::audit {
+
+std::string_view AuditModeToString(AuditMode mode) {
+  switch (mode) {
+    case AuditMode::kOff:
+      return "off";
+    case AuditMode::kCheckpoints:
+      return "checkpoints";
+    case AuditMode::kParanoid:
+      return "paranoid";
+  }
+  return "unknown";
+}
+
+util::Result<AuditMode> ParseAuditMode(std::string_view text) {
+  for (const AuditMode mode :
+       {AuditMode::kOff, AuditMode::kCheckpoints, AuditMode::kParanoid}) {
+    if (text == AuditModeToString(mode)) return mode;
+  }
+  return util::Status::InvalidArgument(util::StrFormat(
+      "unknown audit mode \"%s\" (off|checkpoints|paranoid)",
+      std::string(text).c_str()));
+}
+
+}  // namespace dupnet::audit

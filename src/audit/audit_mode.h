@@ -1,0 +1,30 @@
+#ifndef DUP_AUDIT_AUDIT_MODE_H_
+#define DUP_AUDIT_AUDIT_MODE_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace dupnet::audit {
+
+/// How often the invariant auditor (audit::InvariantChecker) inspects a
+/// run. Kept in its own header so experiment::ExperimentConfig can carry
+/// the knob without pulling in the checker.
+enum class AuditMode {
+  /// No auditing (the default; zero overhead).
+  kOff,
+  /// Checkpointed: the driver audits at a configurable sim-time interval,
+  /// and always at end of run (after reconvergence in lossy runs).
+  kCheckpoints,
+  /// After every simulation event — exhaustive, for tests and bug hunts.
+  kParanoid,
+};
+
+std::string_view AuditModeToString(AuditMode mode);
+
+/// Parses "off" / "checkpoints" / "paranoid".
+util::Result<AuditMode> ParseAuditMode(std::string_view text);
+
+}  // namespace dupnet::audit
+
+#endif  // DUP_AUDIT_AUDIT_MODE_H_

@@ -1,10 +1,10 @@
 #include "core/dup_protocol.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "util/check.h"
-#include "util/str.h"
 
 namespace dupnet::core {
 
@@ -32,7 +32,7 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
   if (state.slist.HasBranch(branch)) {
     // The branch is already represented; this is a representative change
     // (e.g. a nearer node subscribed, or a churn re-announcement).
-    state.slist.Set(branch, subject);
+    state.slist.Set(branch, subject, Now());
     if (!is_root && state.slist.size() == 1) {
       // Pass-through virtual-path node: the new representative must reach
       // whoever actually pushes for this branch.
@@ -46,7 +46,7 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
   NodeId old_sole = kInvalidNode;
   if (state.slist.size() == 1) old_sole = state.slist.Sole().second;
 
-  state.slist.Set(branch, subject);
+  state.slist.Set(branch, subject, Now());
   if (is_root) return;
 
   if (state.slist.size() == 1) {
@@ -90,7 +90,7 @@ void DupProtocol::ProcessSubstitute(NodeId at, NodeId branch,
                                     NodeId replacement) {
   DupNodeState& state = DupStateOf(at);
   if (!state.slist.HasBranch(branch)) return;  // Stale after churn.
-  state.slist.Set(branch, replacement);
+  state.slist.Set(branch, replacement, Now());
   if (at == tree()->root()) return;
   if (state.slist.size() == 1) {
     // Not a DUP-tree node: the actual pusher is further upstream.
@@ -117,18 +117,43 @@ void DupProtocol::HandleProtocolMessage(const Message& message) {
       HandlePush(message);
       return;
     case MessageType::kSubscribe:
+    case MessageType::kUnsubscribe:
+    case MessageType::kSubstitute: {
+      // A control message can cross a topology change while in flight.
+      // Sender departed: its upstream entry was already repaired
+      // synchronously by OnNodeRemoved, so the message is stale — drop it.
+      // Sender re-parented (the edge it announced over was split): the
+      // branch entry it operates on now lives at the newcomer, so hand the
+      // message to the sender's current parent. Without this, the old
+      // parent would install an entry keyed by a node that is no longer
+      // its child — an orphan no unsubscribe can ever reach.
+      const NodeId from = message.from;
+      if (!tree()->Contains(from) || from == tree()->root()) return;
+      if (const NodeId parent = tree()->Parent(from); parent != at) {
+        Message forward = message;
+        forward.to = parent;
+        forward.seq = 0;         // A fresh transmission, reliably re-tracked.
+        forward.free_ride = false;
+        network()->Send(std::move(forward));
+        return;
+      }
+      break;
+    }
+    default:
+      DUP_CHECK(false) << "DUP received unexpected message: "
+                       << message.ToString();
+  }
+  switch (message.type) {
+    case MessageType::kSubscribe:
       ProcessSubscribe(at, /*branch=*/message.from, message.subject);
       return;
     case MessageType::kUnsubscribe:
       ProcessUnsubscribe(at, /*branch=*/message.from);
       return;
-    case MessageType::kSubstitute:
+    default:
       ProcessSubstitute(at, /*branch=*/message.from, message.subject,
                         message.subject2);
       return;
-    default:
-      DUP_CHECK(false) << "DUP received unexpected message: "
-                       << message.ToString();
   }
 }
 
@@ -237,8 +262,8 @@ void DupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
   // is a one-hop local handover between neighbours ("N3 notifies N3' that
   // N6 is in its subscriber list").
   parent_state.slist.Remove(child);
-  parent_state.slist.Set(node, *inherited);
-  DupStateOf(node).slist.Set(child, *inherited);
+  parent_state.slist.Set(node, *inherited, Now());
+  DupStateOf(node).slist.Set(child, *inherited, Now());
   recorder()->AddHops(metrics::HopClass::kControl);
 }
 
@@ -251,7 +276,7 @@ void DupProtocol::OnGracefulLeave(NodeId node) {
   }
 }
 
-NodeId DupProtocol::RepresentativeOf(NodeId node) {
+NodeId DupProtocol::RepresentativeOf(NodeId node) const {
   auto it = dup_states_.find(node);
   if (it == dup_states_.end() || it->second.slist.empty()) {
     return kInvalidNode;
@@ -346,89 +371,33 @@ DupProtocol::TreeStats DupProtocol::ComputeTreeStats() const {
   return stats;
 }
 
-util::Status DupProtocol::ValidatePropagationState() {
-  // Only meaningful when the network is quiescent (no messages in flight).
-  //
-  // Invariant A (per-edge consistency): a non-root node with a non-empty
-  //   S_list is represented at its parent by exactly RepresentativeOf(node)
-  //   under its branch key, and vice versa.
-  // Invariant B (structure): every branch key is SELF or a current child;
-  //   the SELF entry's subscriber is the node itself; |S_list| is bounded
-  //   by the child count + 1.
-  // Invariant C (reachability): following subscriber entries from the root
-  //   reaches every node that holds a SELF entry — i.e. a push from the
-  //   authority reaches every interested node.
-  const NodeId root = tree()->root();
-  for (const auto& [node, state] : dup_states_) {
-    if (!tree()->Contains(node)) {
-      if (!state.slist.empty()) {
-        return util::Status::Internal(util::StrFormat(
-            "departed node %u still holds subscriber state", node));
-      }
-      continue;
-    }
-    const auto& children = tree()->Children(node);
-    if (state.slist.size() > children.size() + 1) {
-      return util::Status::Internal(util::StrFormat(
-          "node %u has %zu entries for %zu children", node,
-          state.slist.size(), children.size()));
-    }
-    for (const auto& [branch, subscriber] : state.slist.entries()) {
-      if (branch == kSelfBranch) {
-        if (subscriber != node) {
-          return util::Status::Internal(util::StrFormat(
-              "node %u self entry points to %u", node, subscriber));
-        }
-        continue;
-      }
-      if (tree()->Parent(branch) != node) {
-        return util::Status::Internal(util::StrFormat(
-            "node %u has entry for branch %u which is not a child", node,
-            branch));
-      }
-      const NodeId expected = RepresentativeOf(branch);
-      if (expected != subscriber) {
-        return util::Status::Internal(util::StrFormat(
-            "node %u branch %u points to %u, expected representative %u",
-            node, branch, subscriber, expected));
-      }
-    }
-    if (node != root && !state.slist.empty()) {
-      // find() rather than DupStateOf(): no insertion while iterating.
-      auto parent_it = dup_states_.find(tree()->Parent(node));
-      std::optional<NodeId> parent_entry;
-      if (parent_it != dup_states_.end()) {
-        parent_entry = parent_it->second.slist.Get(node);
-      }
-      if (!parent_entry.has_value()) {
-        return util::Status::Internal(util::StrFormat(
-            "node %u is on a virtual path but parent %u has no entry", node,
-            tree()->Parent(node)));
-      }
-    }
-  }
+void DupProtocol::VisitSubscriberStates(
+    const std::function<void(NodeId, const SubscriberList&)>& fn) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(dup_states_.size());
+  for (const auto& [node, state] : dup_states_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  for (NodeId node : nodes) fn(node, dup_states_.find(node)->second.slist);
+}
 
-  // Invariant C: BFS over subscriber entries from the root.
-  std::unordered_set<NodeId> reached = {root};
-  std::vector<NodeId> frontier = {root};
-  while (!frontier.empty()) {
-    const NodeId cur = frontier.back();
-    frontier.pop_back();
-    auto it = dup_states_.find(cur);
-    if (it == dup_states_.end()) continue;
-    for (const auto& [branch, subscriber] : it->second.slist.entries()) {
-      if (subscriber == cur) continue;
-      if (reached.insert(subscriber).second) frontier.push_back(subscriber);
-    }
-  }
+void DupProtocol::PruneEntriesNotAnnouncedSince(sim::SimTime cutoff) {
+  // Collect first: the unsubscribe cascade mutates lists while we scan.
+  // Sorted (node, branch) order keeps the emitted message burst
+  // deterministic regardless of map iteration order.
+  std::vector<std::pair<NodeId, NodeId>> expired;
   for (const auto& [node, state] : dup_states_) {
     if (!tree()->Contains(node)) continue;
-    if (state.slist.HasSelf() && reached.find(node) == reached.end()) {
-      return util::Status::Internal(util::StrFormat(
-          "interested node %u is not reachable from the authority", node));
+    for (const auto& [branch, subscriber] : state.slist.entries()) {
+      if (branch == kSelfBranch) continue;  // Local interest, not soft state.
+      if (state.slist.AnnouncedAt(branch) < cutoff) {
+        expired.emplace_back(node, branch);
+      }
     }
   }
-  return util::Status::OK();
+  std::sort(expired.begin(), expired.end());
+  for (const auto& [node, branch] : expired) {
+    ProcessUnsubscribe(node, branch);
+  }
 }
 
 }  // namespace dupnet::core

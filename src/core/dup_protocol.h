@@ -91,7 +91,22 @@ class DupProtocol : public proto::TreeProtocolBase {
   /// The id this node's branch is represented by upstream: itself when it
   /// is a branch point, its sole entry otherwise; kInvalidNode when the
   /// node is not on any virtual path.
-  NodeId RepresentativeOf(NodeId node);
+  NodeId RepresentativeOf(NodeId node) const;
+
+  /// Read-only visit of every node's subscriber list, in ascending node
+  /// order (audit introspection; never creates state).
+  void VisitSubscriberStates(
+      const std::function<void(NodeId, const SubscriberList&)>& fn) const;
+
+  /// Soft-state reconciliation: drops every non-self entry whose last
+  /// announcement predates `cutoff`, cascading upstream exactly like an
+  /// explicit unsubscribe. After one OnSoftStateRefresh round has drained,
+  /// calling this with the round's start time removes precisely the
+  /// entries no live branch re-announced — the orphans left behind by
+  /// lost messages that exhausted their retries (the keep-alive expiry of
+  /// Section III-C, applied to message loss). Used by the driver's
+  /// end-of-run reconvergence audit and by tests.
+  void PruneEntriesNotAnnouncedSince(sim::SimTime cutoff);
 
   /// Largest subscriber list currently held by any node — the paper's
   /// scalability bound ("at most equal to the number of its direct
@@ -107,9 +122,10 @@ class DupProtocol : public proto::TreeProtocolBase {
   };
   TreeStats ComputeTreeStats() const;
 
-  /// Audits global DUP-tree consistency against the current index search
-  /// tree (see .cc for the invariants). Intended for tests; cost O(n).
-  util::Status ValidatePropagationState();
+  // The former ValidatePropagationState() audit lives in
+  // audit::InvariantChecker now (audit/invariant_checker.h), which checks
+  // a superset of its invariants; use audit::AuditQuiescent() for the
+  // one-shot form.
 
   const DupOptions& dup_options() const { return dup_options_; }
 

@@ -6,14 +6,17 @@
 
 namespace dupnet::core {
 
-bool SubscriberList::Set(NodeId branch, NodeId subscriber) {
-  for (auto& [b, s] : entries_) {
-    if (b == branch) {
-      s = subscriber;
+bool SubscriberList::Set(NodeId branch, NodeId subscriber,
+                         sim::SimTime announced) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == branch) {
+      entries_[i].second = subscriber;
+      announced_[i] = announced;
       return false;
     }
   }
   entries_.emplace_back(branch, subscriber);
+  announced_.push_back(announced);
   return true;
 }
 
@@ -21,8 +24,16 @@ bool SubscriberList::Remove(NodeId branch) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [&](const auto& e) { return e.first == branch; });
   if (it == entries_.end()) return false;
+  announced_.erase(announced_.begin() + (it - entries_.begin()));
   entries_.erase(it);
   return true;
+}
+
+sim::SimTime SubscriberList::AnnouncedAt(NodeId branch) const {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == branch) return announced_[i];
+  }
+  return 0.0;
 }
 
 bool SubscriberList::HasBranch(NodeId branch) const {

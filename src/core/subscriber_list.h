@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "util/types.h"
 
 namespace dupnet::core {
@@ -28,11 +29,18 @@ class SubscriberList {
   SubscriberList() = default;
 
   /// Inserts or overwrites the entry for `branch`. Returns true if a new
-  /// branch was added (false = existing branch re-pointed).
-  bool Set(NodeId branch, NodeId subscriber);
+  /// branch was added (false = existing branch re-pointed). `announced`
+  /// records when the entry was last (re-)announced by its branch — the
+  /// soft-state keep-alive timestamp consulted by
+  /// DupProtocol::PruneEntriesNotAnnouncedSince.
+  bool Set(NodeId branch, NodeId subscriber, sim::SimTime announced = 0.0);
 
   /// Removes the entry for `branch`; returns false if absent.
   bool Remove(NodeId branch);
+
+  /// When the entry for `branch` was last announced (0 when absent or never
+  /// announced with a timestamp).
+  sim::SimTime AnnouncedAt(NodeId branch) const;
 
   bool HasBranch(NodeId branch) const;
   std::optional<NodeId> Get(NodeId branch) const;
@@ -56,8 +64,11 @@ class SubscriberList {
 
  private:
   // Degree-bounded (the paper: "at most equal to the number of direct
-  // children"), so a flat vector beats a hash map.
+  // children"), so a flat vector beats a hash map. `announced_` runs
+  // parallel to `entries_` (same index = same branch) so entries() keeps
+  // its plain (branch, subscriber) shape for iteration.
   std::vector<std::pair<NodeId, NodeId>> entries_;
+  std::vector<sim::SimTime> announced_;
 };
 
 }  // namespace dupnet::core

@@ -131,6 +131,9 @@ Status ExperimentConfig::Validate() const {
       !sampling.ok()) {
     return sampling.status();
   }
+  if (audit_interval < 0.0) {
+    return Status::InvalidArgument("audit_interval must be non-negative");
+  }
   return Status::OK();
 }
 
@@ -149,6 +152,14 @@ std::string ExperimentConfig::ToString() const {
     out += util::StrFormat(" loss=%g jitter=%g retry_max=%u refresh=%g",
                            faults.loss_rate, faults.jitter, faults.retry_max,
                            faults.refresh_interval);
+  }
+  if (audit_mode != audit::AuditMode::kOff) {
+    out += util::StrFormat(
+        " audit=%s",
+        std::string(audit::AuditModeToString(audit_mode)).c_str());
+    if (audit_interval > 0.0) {
+      out += util::StrFormat(" audit_interval=%g", audit_interval);
+    }
   }
   return out;
 }

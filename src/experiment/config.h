@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "audit/audit_mode.h"
 #include "core/dup_protocol.h"
 #include "net/fault_injection.h"
 #include "proto/cup.h"
@@ -131,6 +132,16 @@ struct ExperimentConfig {
   /// trace::TraceSampling::Parse form: "N" or "req,rep,push,ctl" (keep
   /// every Nth event of each class; 0 drops a class).
   std::string trace_sample = "1";
+
+  /// Protocol invariant auditing (audit::InvariantChecker). kCheckpoints
+  /// audits every audit_interval sim-seconds and at end of run (after
+  /// reconvergence in lossy/churny runs); kParanoid re-checks after every
+  /// simulation event (tests). Purely observational — the checker draws no
+  /// RNG samples and RunMetrics stay bit-identical to an audit-off run —
+  /// but violations make SimulationDriver::Run return Internal.
+  audit::AuditMode audit_mode = audit::AuditMode::kOff;
+  /// Checkpoint spacing in sim-seconds; 0 means one checkpoint per TTL.
+  double audit_interval = 0.0;
 
   /// Rejects inconsistent parameter combinations.
   util::Status Validate() const;

@@ -25,6 +25,12 @@ Result<metrics::RunMetrics> SimulationDriver::Run(
   SimulationDriver driver(config);
   DUP_RETURN_IF_ERROR(driver.Init());
   driver.RunToCompletion();
+  // Invariant violations fail the run outright (CI-gating property) — the
+  // collected metrics would describe a structurally corrupt simulation.
+  if (driver.audit_checker_ != nullptr &&
+      driver.audit_checker_->total_violations() > 0) {
+    return driver.audit_checker_->ToStatus();
+  }
   return driver.Collect();
 }
 
@@ -143,12 +149,29 @@ Status SimulationDriver::Init() {
   if (config_.faults.refresh_interval > 0.0) {
     ScheduleNextRefresh();
   }
+  if (config_.audit_mode != audit::AuditMode::kOff) {
+    audit::InvariantChecker::Options audit_options;
+    // Under churn or loss a quiescent moment can still hold state that is
+    // legitimately awaiting soft-state repair; only force-checked (post-
+    // reconvergence) global passes are meaningful there.
+    audit_options.allow_mid_global =
+        !config_.churn.enabled() && config_.faults.loss_rate == 0.0;
+    audit_checker_ = std::make_unique<audit::InvariantChecker>(
+        tree_.get(), network_.get(), protocol_.get(), trace_writer_.get(),
+        audit_options);
+    if (config_.audit_mode == audit::AuditMode::kParanoid) {
+      engine_.set_post_event_hook([this] { audit_checker_->CheckNow(); });
+    } else {
+      ScheduleNextAudit();
+    }
+  }
   return Status::OK();
 }
 
 void SimulationDriver::RunToCompletion() {
   DUP_CHECK(initialized_);
   engine_.RunUntil(config_.warmup_time + config_.measure_time);
+  if (audit_checker_ != nullptr) FinalizeAudit();
 }
 
 void SimulationDriver::RunUntil(sim::SimTime until) {
@@ -183,6 +206,9 @@ void SimulationDriver::OnSimEvent(uint32_t code, uint64_t arg) {
     }
     case kEventRefresh:
       FireRefresh();
+      break;
+    case kEventAudit:
+      FireAudit();
       break;
     default:
       DUP_CHECK(false) << "unknown driver event code " << code;
@@ -311,6 +337,49 @@ void SimulationDriver::ScheduleNextRefresh() {
 void SimulationDriver::FireRefresh() {
   ScheduleNextRefresh();
   protocol_->OnSoftStateRefresh();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant auditing.
+// ---------------------------------------------------------------------------
+
+void SimulationDriver::ScheduleNextAudit() {
+  if (engine_.Now() >= horizon_end_) return;
+  const double interval =
+      config_.audit_interval > 0.0 ? config_.audit_interval : config_.ttl;
+  engine_.ScheduleAfter(interval, this, kEventAudit);
+}
+
+void SimulationDriver::FireAudit() {
+  ScheduleNextAudit();
+  audit_checker_->CheckNow();
+}
+
+void SimulationDriver::FinalizeAudit() {
+  // Everything past the horizon is audit bookkeeping: freeze the metrics so
+  // RunMetrics stay bit-identical to an audit-off run, then drain whatever
+  // was still in flight.
+  recorder_.set_enabled(false);
+  engine_.Run();
+  const bool needs_reconvergence = config_.churn.enabled() ||
+                                   config_.faults.active() ||
+                                   config_.faults.refresh_interval > 0.0;
+  if (needs_reconvergence) {
+    // One lossless soft-state round: every survivor re-announces, then DUP
+    // expires the keep-alives nobody refreshed (the orphans left by lost
+    // messages that exhausted their retries). This is the reconvergence
+    // after which the paper's soft-state argument promises a consistent
+    // tree — exactly what the forced global check below asserts.
+    network_->set_faults(net::FaultConfig());
+    const sim::SimTime round_start = engine_.Now();
+    protocol_->OnSoftStateRefresh();
+    engine_.Run();
+    if (dup_protocol_ != nullptr) {
+      dup_protocol_->PruneEntriesNotAnnouncedSince(round_start);
+      engine_.Run();
+    }
+  }
+  audit_checker_->CheckNow(/*force_global=*/true);
 }
 
 void SimulationDriver::RemoveNode(NodeId node) {

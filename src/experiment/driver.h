@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/invariant_checker.h"
 #include "experiment/config.h"
 #include "metrics/recorder.h"
 #include "metrics/summary.h"
@@ -54,7 +55,10 @@ class SimulationDriver : public sim::EventTarget {
   /// events. Must be called exactly once before running.
   util::Status Init();
 
-  /// Runs the simulation through warmup + measurement.
+  /// Runs the simulation through warmup + measurement. With auditing
+  /// enabled, finishes with the end-of-run audit: drain (recorder off, so
+  /// RunMetrics stay bit-identical to an audit-off run), reconverge lossy /
+  /// churny soft state, then a forced global invariant pass.
   void RunToCompletion();
 
   /// Advances simulated time to `until` (for incremental test control).
@@ -71,6 +75,13 @@ class SimulationDriver : public sim::EventTarget {
   net::OverlayNetwork& network() { return *network_; }
   /// Non-null only when config.trace_path is set.
   trace::JsonlTraceWriter* trace_writer() { return trace_writer_.get(); }
+  /// Non-null only when config.audit_mode != kOff.
+  audit::InvariantChecker* audit_checker() { return audit_checker_.get(); }
+  /// One-shot invariant audit of the current state (works at any
+  /// audit_mode, including kOff). Requires a drained event queue.
+  util::Status AuditQuiescent() const {
+    return audit::AuditQuiescent(*tree_, *network_, *protocol_);
+  }
   /// Non-null only when the configured scheme is DUP.
   core::DupProtocol* dup_protocol() { return dup_protocol_; }
   const std::vector<NodeId>& live_nodes() const { return live_nodes_; }
@@ -85,15 +96,22 @@ class SimulationDriver : public sim::EventTarget {
   static constexpr uint32_t kEventChurn = 3;
   static constexpr uint32_t kEventChurnDetect = 4;
   static constexpr uint32_t kEventRefresh = 5;
+  static constexpr uint32_t kEventAudit = 6;
 
   void ScheduleNextQuery();
   void ScheduleNextPublish();
   void ScheduleNextChurn();
   void ScheduleNextRefresh();
+  void ScheduleNextAudit();
   void FireQuery();
   void FirePublish();
   void FireChurn();
   void FireRefresh();
+  void FireAudit();
+  /// End-of-run audit: drains the queue with the recorder disabled, runs
+  /// one reconvergence round (lossless refresh + DUP keep-alive expiry)
+  /// when faults or churn were active, then a forced global check.
+  void FinalizeAudit();
   /// Applies removal of `node` (leave or detected failure).
   void RemoveNode(NodeId node);
   void RemoveFromLive(NodeId node);
@@ -107,6 +125,7 @@ class SimulationDriver : public sim::EventTarget {
   std::unique_ptr<net::OverlayNetwork> network_;
   std::unique_ptr<trace::JsonlTraceWriter> trace_writer_;
   std::unique_ptr<proto::TreeProtocolBase> protocol_;
+  std::unique_ptr<audit::InvariantChecker> audit_checker_;
   core::DupProtocol* dup_protocol_ = nullptr;  // Aliases protocol_ if DUP.
 
   std::unique_ptr<workload::ArrivalProcess> arrivals_;

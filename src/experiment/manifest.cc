@@ -61,6 +61,11 @@ util::JsonValue ConfigToJson(const ExperimentConfig& config) {
     json.Set("trace_path", config.trace_path);
     json.Set("trace_sample", config.trace_sample);
   }
+  if (config.audit_mode != audit::AuditMode::kOff) {
+    json.Set("audit_mode",
+             std::string(audit::AuditModeToString(config.audit_mode)));
+    json.Set("audit_interval", config.audit_interval);
+  }
   return json;
 }
 

@@ -120,6 +120,12 @@ class OverlayNetwork : public sim::EventTarget {
   uint64_t messages_dropped() const { return messages_dropped_; }
   /// Reliable transmissions still awaiting an ack.
   size_t pending_acks() const { return pending_.size(); }
+  /// Transmissions currently scheduled for delivery. Together with
+  /// pending_acks() == 0 this defines network quiescence: no message is on
+  /// the wire and none will be retransmitted.
+  size_t in_flight_count() const {
+    return in_flight_.size() - in_flight_free_.size();
+  }
   /// In-flight message slots ever allocated (pool high-water mark).
   size_t message_pool_slots() const { return in_flight_.size(); }
 

@@ -111,10 +111,25 @@ void CupProtocol::HandleProtocolMessage(const Message& message) {
     case MessageType::kPush:
       HandlePush(message);
       return;
-    case MessageType::kInterestRegister:
+    case MessageType::kInterestRegister: {
+      // Registrations can cross topology changes in flight, exactly like
+      // DUP's control messages: a departed sender's registration is stale
+      // (OnNodeRemoved already re-registered its orphans), and one whose
+      // edge was split belongs at the sender's current parent — otherwise
+      // this node would track demand for a branch it no longer has.
+      const NodeId from = message.from;
+      if (!tree()->Contains(from) || from == tree()->root()) return;
+      if (const NodeId parent = tree()->Parent(from); parent != at) {
+        Message forward = message;
+        forward.to = parent;
+        forward.seq = 0;  // A fresh transmission, reliably re-tracked.
+        network()->Send(std::move(forward));
+        return;
+      }
       // An explicit notification counts as one unit of branch demand.
-      RecordDemand(at, message.from);
+      RecordDemand(at, from);
       return;
+    }
     default:
       DUP_CHECK(false) << "CUP received unexpected message: "
                        << message.ToString();
@@ -149,6 +164,24 @@ void CupProtocol::OnSoftStateRefresh() {
   }
 }
 
+void CupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
+  auto parent_it = cup_states_.find(parent);
+  if (parent_it == cup_states_.end()) return;
+  auto branch_it = parent_it->second.branches.find(child);
+  if (branch_it == parent_it->second.branches.end()) return;
+  // The parent's demand record for the split branch now describes the edge
+  // to the newcomer, and the newcomer inherits a copy for the child, so
+  // neither endpoint of the old edge loses the branch's push eligibility —
+  // in particular a child whose one-shot interest notification already
+  // fired stays registered along its (new) upstream path. A one-hop local
+  // handover between neighbours, mirroring DUP's OnSplitJoined.
+  BranchState inherited = std::move(branch_it->second);
+  parent_it->second.branches.erase(branch_it);
+  CupStateOf(node).branches[child] = inherited;
+  CupStateOf(parent).branches[node] = std::move(inherited);
+  recorder()->AddHops(metrics::HopClass::kControl);
+}
+
 void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
                                 const std::vector<NodeId>& former_children,
                                 bool /*was_root*/, NodeId /*new_root*/) {
@@ -168,6 +201,21 @@ void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
     msg.subject = child;
     network()->Send(std::move(msg));
   }
+}
+
+std::vector<NodeId> CupProtocol::NotifiedNodes() const {
+  std::vector<NodeId> notified;
+  for (const auto& [node, state] : cup_states_) {
+    if (state.interest_notified) notified.push_back(node);
+  }
+  std::sort(notified.begin(), notified.end());
+  return notified;
+}
+
+bool CupProtocol::HasBranchEntry(NodeId node, NodeId child) const {
+  auto it = cup_states_.find(node);
+  if (it == cup_states_.end()) return false;
+  return it->second.branches.find(child) != it->second.branches.end();
 }
 
 }  // namespace dupnet::proto

@@ -74,6 +74,7 @@ class CupProtocol : public TreeProtocolBase {
 
   void OnRootPublish(IndexVersion version, sim::SimTime expiry) override;
 
+  void OnSplitJoined(NodeId node, NodeId parent, NodeId child) override;
   void OnNodeRemoved(NodeId node, NodeId former_parent,
                      const std::vector<NodeId>& former_children,
                      bool was_root, NodeId new_root) override;
@@ -85,6 +86,14 @@ class CupProtocol : public TreeProtocolBase {
 
   /// Test accessor: would `node` forward the next update to `child`?
   bool WouldPushTo(NodeId node, NodeId child);
+
+  // --- Audit introspection (read-only, never creates state). --------------
+
+  /// Nodes whose one-shot interest notification has been sent, ascending.
+  std::vector<NodeId> NotifiedNodes() const;
+
+  /// Whether `node` currently holds a demand-branch entry for `child`.
+  bool HasBranchEntry(NodeId node, NodeId child) const;
 
  protected:
   void AfterQueryObserved(NodeId node) override;

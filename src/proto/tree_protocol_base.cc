@@ -1,5 +1,8 @@
 #include "proto/tree_protocol_base.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "util/check.h"
 
 namespace dupnet::proto {
@@ -36,6 +39,15 @@ const cache::IndexCache& TreeProtocolBase::CacheOf(NodeId node) {
 
 bool TreeProtocolBase::NodeInterested(NodeId node) {
   return StateOf(node).tracker.Interested(Now());
+}
+
+void TreeProtocolBase::VisitCaches(
+    const std::function<void(NodeId, const cache::IndexCache&)>& fn) const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(states_.size());
+  for (const auto& [node, state] : states_) nodes.push_back(node);
+  std::sort(nodes.begin(), nodes.end());
+  for (NodeId node : nodes) fn(node, states_.find(node)->second.cache);
 }
 
 void TreeProtocolBase::AfterRequestObserved(NodeId /*at*/,

@@ -1,6 +1,7 @@
 #ifndef DUP_PROTO_TREE_PROTOCOL_BASE_H_
 #define DUP_PROTO_TREE_PROTOCOL_BASE_H_
 
+#include <functional>
 #include <unordered_map>
 
 #include "cache/access_tracker.h"
@@ -39,6 +40,11 @@ class TreeProtocolBase : public Protocol {
   /// nodes that have not been touched yet.
   const cache::IndexCache& CacheOf(NodeId node);
   bool NodeInterested(NodeId node);
+
+  /// Read-only visit of every node's cache, in ascending node order (audit
+  /// introspection; never creates state).
+  void VisitCaches(
+      const std::function<void(NodeId, const cache::IndexCache&)>& fn) const;
 
   const ProtocolOptions& options() const { return options_; }
 

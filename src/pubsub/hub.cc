@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "audit/invariant_checker.h"
 #include "chord/sha1.h"
 #include "chord/tree_builder.h"
 #include "util/check.h"
@@ -139,6 +140,16 @@ Result<core::DupProtocol*> DisseminationHub::ProtocolOf(
         util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
   }
   return state->protocol.get();
+}
+
+Status DisseminationHub::AuditTopic(std::string_view topic) const {
+  const TopicState* state = Find(topic);
+  if (state == nullptr) {
+    return Status::NotFound(
+        util::StrFormat("no topic \"%s\"", std::string(topic).c_str()));
+  }
+  return audit::AuditQuiescent(*state->tree, *state->network,
+                               *state->protocol);
 }
 
 }  // namespace dupnet::pubsub

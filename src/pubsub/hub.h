@@ -75,6 +75,10 @@ class DisseminationHub {
   /// Direct access to a topic's DUP protocol (tests / inspection).
   util::Result<core::DupProtocol*> ProtocolOf(std::string_view topic);
 
+  /// Runs the invariant audit (docs/invariants.md) over a topic's DUP tree.
+  /// The topic's network must be quiescent (run the engine dry first).
+  util::Status AuditTopic(std::string_view topic) const;
+
  private:
   struct TopicState {
     std::unique_ptr<topo::IndexSearchTree> tree;

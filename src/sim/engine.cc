@@ -34,6 +34,7 @@ bool Engine::Step() {
   now_ = e.time;
   ++processed_;
   e.Fire();
+  if (post_event_hook_) post_event_hook_();
   return true;
 }
 

@@ -52,6 +52,13 @@ class Engine {
   size_t pending() const { return queue_.size(); }
   uint64_t processed() const { return processed_; }
 
+  /// Invoked after every fired event (empty = disabled). Used by the
+  /// paranoid audit mode to re-check invariants between events; the hook
+  /// must not schedule events of its own.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
   /// Event-pool high-water mark (see EventQueue::pool_slots()).
   size_t pool_slots() const { return queue_.pool_slots(); }
 
@@ -59,6 +66,7 @@ class Engine {
   EventQueue queue_;
   SimTime now_ = 0.0;
   uint64_t processed_ = 0;
+  std::function<void()> post_event_hook_;
 };
 
 }  // namespace dupnet::sim

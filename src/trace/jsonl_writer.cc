@@ -136,6 +136,16 @@ void JsonlTraceWriter::Record(sim::SimTime time, EventKind kind,
   std::fputc('\n', stream_);
 }
 
+void JsonlTraceWriter::WriteCommentLine(std::string_view tag,
+                                        std::string_view json) {
+  DUP_CHECK(!finished_);
+  std::fputc('#', stream_);
+  std::fwrite(tag.data(), 1, tag.size(), stream_);
+  std::fputc(' ', stream_);
+  std::fwrite(json.data(), 1, json.size(), stream_);
+  std::fputc('\n', stream_);
+}
+
 void JsonlTraceWriter::Finish() {
   if (finished_) return;
   finished_ = true;

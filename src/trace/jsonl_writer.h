@@ -66,6 +66,12 @@ class JsonlTraceWriter : public net::MessageObserver {
   /// flushes. Called automatically by the destructor (once).
   void Finish();
 
+  /// Appends a "#<tag> <json>" comment line, immune to sampling. ParseLine
+  /// rejects '#' lines with NotFound, so existing scanners skip these; the
+  /// invariant auditor uses tag "audit" to stream structured violation
+  /// diagnostics into the run's trace file.
+  void WriteCommentLine(std::string_view tag, std::string_view json);
+
   uint64_t events_seen() const { return seen_total_; }
   uint64_t events_written() const { return written_total_; }
 

@@ -1,0 +1,185 @@
+#include "audit/invariant_checker.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit_mode.h"
+#include "core/dup_protocol.h"
+#include "test_util.h"
+
+namespace dupnet::audit {
+namespace {
+
+using ::dupnet::testing::MakePaperTree;
+using ::dupnet::testing::ProtocolHarness;
+
+TEST(AuditModeTest, ParseRoundTrips) {
+  for (AuditMode mode :
+       {AuditMode::kOff, AuditMode::kCheckpoints, AuditMode::kParanoid}) {
+    auto parsed = ParseAuditMode(AuditModeToString(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+}
+
+TEST(AuditModeTest, ParseRejectsUnknown) {
+  EXPECT_TRUE(ParseAuditMode("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseAuditMode("Checkpoints").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseAuditMode("always").status().IsInvalidArgument());
+}
+
+TEST(ViolationTest, RendersNodeKeyAndValues) {
+  Violation v;
+  v.time = 12.5;
+  v.invariant = "dup-branch-key";
+  v.node = 3;
+  v.key = 5;
+  v.expected = "a current child";
+  v.actual = "departed node";
+  const std::string text = v.ToString();
+  EXPECT_NE(text.find("dup-branch-key"), std::string::npos) << text;
+  EXPECT_NE(text.find("node 3"), std::string::npos) << text;
+  const std::string json = v.ToJson();
+  EXPECT_NE(json.find("\"invariant\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"expected\":"), std::string::npos) << json;
+}
+
+/// Harness + DUP protocol with one subscriber, drained to quiescence.
+class AuditCheckerTest : public ::testing::Test {
+ protected:
+  AuditCheckerTest() : harness_(MakePaperTree()) {
+    protocol_ = std::make_unique<core::DupProtocol>(
+        &harness_.network(), &harness_.tree(), proto::ProtocolOptions());
+    harness_.Attach(protocol_.get());
+    protocol_->OnRootPublish(1, harness_.engine().Now() + 3600.0);
+    protocol_->ForceSubscribe(6);
+    harness_.Drain();
+  }
+
+  ProtocolHarness harness_;
+  std::unique_ptr<core::DupProtocol> protocol_;
+};
+
+TEST_F(AuditCheckerTest, CleanStateAuditsClean) {
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get());
+  EXPECT_TRUE(checker.quiescent());
+  EXPECT_EQ(checker.CheckNow(/*force_global=*/true), 0u);
+  EXPECT_EQ(checker.total_violations(), 0u);
+  EXPECT_EQ(checker.checks_run(), 1u);
+  EXPECT_EQ(checker.global_checks_run(), 1u);
+  EXPECT_NE(checker.Summary().find("clean"), std::string::npos);
+  EXPECT_TRUE(checker.ToStatus().ok());
+}
+
+TEST_F(AuditCheckerTest, InFlightTrafficIsFailedPrecondition) {
+  protocol_->ForceSubscribe(4);  // No drain: the subscribe is in flight.
+  EXPECT_TRUE(harness_.Audit().IsFailedPrecondition());
+  harness_.Drain();
+  EXPECT_TRUE(harness_.Audit().ok());
+}
+
+// A dropped substitute leaves the upstream pusher pointing at the old
+// branch representative; the audit must pin the stale entry to its
+// (node, branch) pair as a dup-upstream-entry violation.
+TEST_F(AuditCheckerTest, StaleUpstreamEntryIsPinned) {
+  bool dropped = false;
+  harness_.network().set_loss_filter([&dropped](const net::Message& m) {
+    if (m.type != net::MessageType::kSubstitute || dropped) return false;
+    dropped = true;
+    return true;
+  });
+  protocol_->ForceSubscribe(4);
+  harness_.Drain();
+  ASSERT_TRUE(dropped);
+
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get());
+  EXPECT_GT(checker.CheckNow(/*force_global=*/true), 0u);
+  ASSERT_FALSE(checker.violations().empty());
+  bool pinned = false;
+  for (const Violation& v : checker.violations()) {
+    pinned |= v.invariant == "dup-upstream-entry";
+  }
+  EXPECT_TRUE(pinned) << checker.Summary();
+  const auto status = checker.ToStatus();
+  EXPECT_TRUE(status.IsInternal());
+  EXPECT_NE(status.ToString().find("violation"), std::string::npos)
+      << status.ToString();
+}
+
+// Corrupting the topology behind the protocol's back (removing a node
+// without the OnNodeRemoved handshake) must surface as a departed-state
+// violation — the checker's job is exactly to catch handlers that forgot
+// to clean up.
+TEST_F(AuditCheckerTest, DepartedNodeStateIsDetected) {
+  ASSERT_TRUE(harness_.tree().RemoveNode(6).ok());
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get());
+  EXPECT_GT(checker.CheckNow(), 0u);  // Stable tier: no quiescence needed.
+  bool departed = false;
+  bool bogus_key = false;
+  for (const Violation& v : checker.violations()) {
+    departed |= v.invariant == "dup-departed-state" && v.node == 6;
+    // N5 still keys a subscriber entry under the vanished child N6.
+    bogus_key |= v.invariant == "dup-branch-key" && v.node == 5 && v.key == 6;
+  }
+  EXPECT_TRUE(departed) << checker.Summary();
+  EXPECT_TRUE(bogus_key) << checker.Summary();
+}
+
+TEST_F(AuditCheckerTest, ViolationsStreamAsTraceComments) {
+  std::FILE* stream = std::tmpfile();
+  ASSERT_NE(stream, nullptr);
+  trace::JsonlTraceWriter writer(stream, trace::TraceSampling(),
+                                 /*owns_stream=*/false);
+  ASSERT_TRUE(harness_.tree().RemoveNode(6).ok());
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get(), &writer);
+  EXPECT_GT(checker.CheckNow(), 0u);
+  writer.Finish();
+
+  std::rewind(stream);
+  char line[512];
+  bool saw_audit_comment = false;
+  while (std::fgets(line, sizeof(line), stream) != nullptr) {
+    if (std::string(line).rfind("#audit ", 0) == 0) saw_audit_comment = true;
+    // Comment lines must be invisible to the event scanner.
+    EXPECT_TRUE(trace::JsonlTraceWriter::ParseLine(line).status()
+                    .IsNotFound());
+  }
+  std::fclose(stream);
+  EXPECT_TRUE(saw_audit_comment);
+}
+
+TEST_F(AuditCheckerTest, RecordedViolationsAreCapped) {
+  InvariantChecker::Options options;
+  options.max_recorded = 1;
+  ASSERT_TRUE(harness_.tree().RemoveNode(6).ok());
+  ASSERT_TRUE(harness_.tree().RemoveNode(5).ok());
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get(), nullptr, options);
+  checker.CheckNow();
+  EXPECT_GE(checker.total_violations(), 2u);  // Both departures counted...
+  EXPECT_EQ(checker.violations().size(), 1u);  // ...one kept in detail.
+}
+
+// The checker must be purely observational: a full pass leaves the metrics
+// recorder's counters untouched and schedules nothing.
+TEST_F(AuditCheckerTest, AuditPassIsMetricsNeutral) {
+  const uint64_t control = harness_.recorder().hops().control();
+  const uint64_t push = harness_.recorder().hops().push();
+  const size_t processed = harness_.engine().processed();
+  InvariantChecker checker(&harness_.tree(), &harness_.network(),
+                           protocol_.get());
+  checker.CheckNow(/*force_global=*/true);
+  EXPECT_EQ(harness_.recorder().hops().control(), control);
+  EXPECT_EQ(harness_.recorder().hops().push(), push);
+  EXPECT_EQ(harness_.engine().processed(), processed);
+  EXPECT_EQ(harness_.network().in_flight_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dupnet::audit

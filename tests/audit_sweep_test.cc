@@ -1,0 +1,139 @@
+// Exhaustive small-topology audit sweep (ISSUE 5 tentpole): enumerate
+// small index search trees crossed with churn / loss schedules and run
+// every scheme under audit_mode=paranoid, where the invariant checker
+// fires after EVERY simulation event. Any protocol handler that leaves
+// even transiently-visible broken state (stable tier) or fails to
+// reconverge (global tier, checked at quiescence and after the end-of-run
+// reconvergence round) turns into a structured violation and fails the
+// sweep. Lives in its own binary (ctest label "audit") so the CI
+// ThreadSanitizer job can run just this suite.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit_mode.h"
+#include "experiment/config.h"
+#include "experiment/driver.h"
+#include "util/status.h"
+
+namespace dupnet {
+namespace {
+
+using experiment::ExperimentConfig;
+using experiment::Scheme;
+using experiment::SimulationDriver;
+
+struct Schedule {
+  const char* name;
+  void (*apply)(ExperimentConfig*);
+};
+
+void Lossless(ExperimentConfig*) {}
+
+void ChurnWithRefresh(ExperimentConfig* config) {
+  config->churn.join_rate = 0.02;
+  config->churn.leave_rate = 0.01;
+  config->churn.fail_rate = 0.01;
+  config->churn.detect_delay = 5.0;
+  config->faults.refresh_interval = 150.0;
+}
+
+void TenPercentLoss(ExperimentConfig* config) {
+  config->faults.loss_rate = 0.10;
+  config->faults.jitter = 0.02;
+  config->faults.retry_max = 3;
+  config->faults.retry_timeout = 1.0;
+  config->faults.retry_backoff = 2.0;
+  config->faults.refresh_interval = 150.0;
+}
+
+constexpr Schedule kSchedules[] = {
+    {"lossless", Lossless},
+    {"churn+refresh", ChurnWithRefresh},
+    {"loss10+retry+refresh", TenPercentLoss},
+};
+
+/// Runs one audited simulation to completion and returns the audit status;
+/// fails the calling test if the checker never actually ran.
+util::Status RunAudited(const ExperimentConfig& config) {
+  SimulationDriver driver(config);
+  auto init = driver.Init();
+  if (!init.ok()) return init;
+  driver.RunToCompletion();
+  EXPECT_NE(driver.audit_checker(), nullptr);
+  EXPECT_GT(driver.audit_checker()->checks_run(), 0u);
+  return driver.audit_checker()->ToStatus();
+}
+
+class AuditSweepTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AuditSweepTest, SmallTopologiesStayCleanUnderParanoidAudit) {
+  for (size_t num_nodes : {6u, 9u, 12u}) {
+    for (uint32_t degree : {2u, 3u}) {
+      for (const Schedule& schedule : kSchedules) {
+        ExperimentConfig config;
+        config.scheme = GetParam();
+        config.num_nodes = num_nodes;
+        config.max_degree = degree;
+        config.lambda = 1.0;
+        config.ttl = 120.0;
+        config.push_lead = 10.0;
+        config.warmup_time = 100.0;
+        config.measure_time = 300.0;
+        config.seed = 100 + num_nodes * 10 + degree;
+        config.audit_mode = audit::AuditMode::kParanoid;
+        schedule.apply(&config);
+        SCOPED_TRACE(std::string(schedule.name) + " n=" +
+                     std::to_string(num_nodes) + " d=" +
+                     std::to_string(degree));
+        const auto status = RunAudited(config);
+        EXPECT_TRUE(status.ok()) << status.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AuditSweepTest,
+                         ::testing::Values(Scheme::kPcx, Scheme::kCup,
+                                           Scheme::kDup),
+                         [](const auto& info) {
+                           return std::string(
+                               experiment::SchemeToString(info.param));
+                         });
+
+// Acceptance criterion: the paper-shaped 128-node configs — lossless and
+// 10% loss — audit clean for every scheme under checkpointed mode.
+class AuditAcceptanceTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AuditAcceptanceTest, GoldenShapedRunsReportZeroViolations) {
+  for (const bool lossy : {false, true}) {
+    ExperimentConfig config;
+    config.scheme = GetParam();
+    config.num_nodes = 128;
+    config.lambda = 2.0;
+    config.ttl = 600.0;
+    config.push_lead = 30.0;
+    config.warmup_time = 600.0;
+    config.measure_time = 1800.0;
+    config.seed = 11;
+    config.audit_mode = audit::AuditMode::kCheckpoints;
+    if (lossy) TenPercentLoss(&config);
+    SCOPED_TRACE(lossy ? "loss10" : "lossless");
+    const auto status = RunAudited(config);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AuditAcceptanceTest,
+                         ::testing::Values(Scheme::kPcx, Scheme::kCup,
+                                           Scheme::kDup),
+                         [](const auto& info) {
+                           return std::string(
+                               experiment::SchemeToString(info.param));
+                         });
+
+}  // namespace
+}  // namespace dupnet

@@ -152,5 +152,37 @@ TEST(AccessTrackerTest, ThresholdZeroNeedsOneQuery) {
   EXPECT_TRUE(tracker.Interested(1.0));
 }
 
+// Regression (interest-expiry accounting): the window is half-open,
+// (now - window, now]. A query stamped exactly at `now` counts; a query
+// stamped exactly at `now - window` does not — counting both ends would
+// keep a node "interested" for one extra event at every window boundary.
+TEST(AccessTrackerTest, WindowBoundariesAreHalfOpen) {
+  AccessTracker tracker(10.0, 0);
+  tracker.RecordQuery(0.0);
+  tracker.RecordQuery(10.0);
+  EXPECT_EQ(tracker.CountInWindow(10.0), 1u);  // t=0 aged out exactly here.
+  EXPECT_EQ(tracker.CountInWindow(20.0), 0u);  // And t=10 ages out at 20.
+}
+
+// Regression (double-count audit): two distinct queries at the same
+// instant are two units of demand, but merely *observing* the tracker —
+// any number of times — must not add or remove demand. Re-subscription
+// logic polls Interested() repeatedly within one window and would
+// otherwise drift.
+TEST(AccessTrackerTest, ObservationDoesNotPerturbCounts) {
+  AccessTracker tracker(10.0, 1);
+  tracker.RecordQuery(1.0);
+  tracker.RecordQuery(1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tracker.CountInWindow(5.0), 2u);
+    EXPECT_TRUE(tracker.Interested(5.0));
+  }
+  // Trimming is lazy but permanent: after a probe at a later time aged the
+  // stamps out, an earlier (out-of-order) probe cannot resurrect them.
+  // Simulation time is monotonic, so only the forward direction matters.
+  EXPECT_EQ(tracker.CountInWindow(11.5), 0u);
+  EXPECT_EQ(tracker.CountInWindow(5.0), 0u);
+}
+
 }  // namespace
 }  // namespace dupnet::cache

@@ -76,7 +76,7 @@ class DupChurnTest : public ::testing::Test {
 TEST_F(DupChurnTest, FailureOutsideVirtualPath) {
   Subscribe(6);
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 4, /*graceful=*/false);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {6});
 }
 
@@ -85,7 +85,7 @@ TEST_F(DupChurnTest, FailureOfEndNodeClearsPath) {
   Subscribe(6);
   Subscribe(4);
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 6, /*graceful=*/false);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   // Figure 2 (c): the root now pushes directly to N4.
   EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(4));
   EXPECT_FALSE(protocol_->OnVirtualPath(5));
@@ -98,7 +98,7 @@ TEST_F(DupChurnTest, FailureInsideVirtualPathReconnectsDownstream) {
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 5, /*graceful=*/false);
   // N6 reparented under N3 and re-announced itself.
   EXPECT_EQ(harness_.tree().Parent(6), 3u);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(6));
   ExpectPushReaches(2, {6});
 }
@@ -111,7 +111,7 @@ TEST_F(DupChurnTest, FailureOfBranchPoint) {
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 3, /*graceful=*/false);
   // N4 and N5's subtree reparent under N2; both branches re-announce and
   // N2 becomes the new branch point.
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   EXPECT_TRUE(protocol_->InDupTree(2));
   ExpectPushReaches(2, {4, 6});
 }
@@ -124,7 +124,7 @@ TEST_F(DupChurnTest, FailureOfRoot) {
   Subscribe(9);
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 1, /*graceful=*/false);
   EXPECT_EQ(harness_.tree().root(), 2u);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {6, 9});
 }
 
@@ -134,7 +134,7 @@ TEST_F(DupChurnTest, GracefulLeaveOfEndNodeSendsUnsubscribe) {
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 6, /*graceful=*/true);
   // The courtesy unsubscribe traveled before departure.
   EXPECT_GT(harness_.recorder().hops().control(), control);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   for (NodeId n : {1u, 2u, 3u, 5u}) {
     EXPECT_FALSE(protocol_->OnVirtualPath(n)) << "node " << n;
   }
@@ -143,7 +143,7 @@ TEST_F(DupChurnTest, GracefulLeaveOfEndNodeSendsUnsubscribe) {
 TEST_F(DupChurnTest, GracefulLeaveOfVirtualPathMiddle) {
   Subscribe(6);
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 5, /*graceful=*/true);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {6});
 }
 
@@ -157,7 +157,7 @@ TEST_F(DupChurnTest, SplitJoinInheritsSubscriberEntry) {
   EXPECT_TRUE(protocol_->OnVirtualPath(35));
   EXPECT_EQ(protocol_->SubscriberListOf(35).Get(5), std::optional<NodeId>(6));
   EXPECT_EQ(protocol_->SubscriberListOf(3).Get(35), std::optional<NodeId>(6));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {6});
 }
 
@@ -167,14 +167,14 @@ TEST_F(DupChurnTest, SplitJoinOutsideVirtualPathIsInert) {
   protocol_->OnSplitJoined(68, 6, 8);
   harness_.Drain();
   EXPECT_FALSE(protocol_->OnVirtualPath(68));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupChurnTest, LeafJoinThenSubscribe) {
   ASSERT_TRUE(harness_.tree().AttachLeaf(7, 70).ok());
   protocol_->OnLeafJoined(70, 7);
   Subscribe(70);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {70});
 }
 
@@ -183,13 +183,57 @@ TEST_F(DupChurnTest, SequentialFailuresStayConsistent) {
   Subscribe(4);
   Subscribe(8);
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 5, false);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 6, false);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   RemoveNodeLikeDriver(&harness_, protocol_.get(), 3, false);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   // N8 was reparented twice; N4 once. Both still receive updates.
   ExpectPushReaches(2, {4, 8});
+}
+
+// Regression: a subscribe in flight across an edge split. N6 subscribes;
+// after the announcement has been relayed by N5 but before it reaches N3,
+// N3' (35) splits the 3-5 edge. The stale message arrives at N3 from a
+// node that is no longer its child; N3 must re-route it to N5's new parent
+// instead of recording a subscriber entry under the bogus branch key 5.
+TEST_F(DupChurnTest, SubscribeInFlightAcrossEdgeSplitIsRerouted) {
+  protocol_->ForceSubscribe(6);
+  // One step delivers 6's announcement at N5, which relays it toward N3.
+  harness_.engine().Step();
+  ASSERT_EQ(protocol_->SubscriberListOf(5).Get(6), std::optional<NodeId>(6));
+  ASSERT_GT(harness_.network().in_flight_count(), 0u);
+
+  ASSERT_TRUE(harness_.tree().SplitEdge(3, 5, 35).ok());
+  protocol_->OnSplitJoined(35, 3, 5);
+  harness_.Drain();
+
+  // The re-routed announcement built the virtual path through N3', and no
+  // node holds an entry keyed by a non-child (the pre-fix corruption).
+  EXPECT_EQ(protocol_->SubscriberListOf(35).Get(5), std::optional<NodeId>(6));
+  EXPECT_EQ(protocol_->SubscriberListOf(3).Get(35), std::optional<NodeId>(6));
+  EXPECT_TRUE(harness_.Audit().ok());
+  ExpectPushReaches(2, {6});
+}
+
+// Regression: an in-flight substitute racing the unsubscribe that collapses
+// its branch point. Subscribing N7 and N8 makes N6 a branch point, which
+// announces substitute(rep -> 6) upstream; unsubscribing both without
+// draining lets that substitute interleave with the unsubscribes that drop
+// N6 back below branch-point arity. After quiescence no stale upstream
+// entry may survive (the ISSUE's prime suspect).
+TEST_F(DupChurnTest, SubstituteRacingUnsubscribeAtCollapsingBranchPoint) {
+  Subscribe(7);
+  Subscribe(8);
+  ASSERT_TRUE(protocol_->InDupTree(6));  // Branch point for {7, 8}.
+  protocol_->ForceUnsubscribe(7);
+  protocol_->ForceUnsubscribe(8);  // No drain: control traffic interleaves.
+  harness_.Drain();
+  const auto audit = harness_.Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  for (NodeId n : {1u, 2u, 3u, 5u, 6u}) {
+    EXPECT_FALSE(protocol_->OnVirtualPath(n)) << "node " << n;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -212,12 +256,12 @@ TEST_F(DupChurnTest, DroppedSubstituteRepairedBySoftStateRefresh) {
   Subscribe(4);
   ASSERT_TRUE(dropped);
   // Upstream still routes the branch through the stale representative N6.
-  EXPECT_FALSE(protocol_->ValidatePropagationState().ok());
+  EXPECT_FALSE(harness_.Audit().ok());
 
   harness_.network().set_loss_filter(nullptr);
   protocol_->OnSoftStateRefresh();
   harness_.Drain();
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   ExpectPushReaches(2, {4, 6});
 }
 
@@ -237,7 +281,7 @@ TEST_F(DupChurnTest, DroppedSubstituteRecoveredByRetry) {
   });
   Subscribe(4);  // Drain runs the retry timer: the retransmission lands.
   ASSERT_TRUE(dropped);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   EXPECT_EQ(
       harness_.recorder().delivery().retries_for(metrics::HopClass::kControl),
       1u);
@@ -319,7 +363,7 @@ TEST_P(DupChurnPropertyTest, RandomOperationsPreserveInvariants) {
     }
     harness.Drain();
     ASSERT_TRUE(harness.tree().Validate().ok()) << "step " << step;
-    const auto audit = protocol.ValidatePropagationState();
+    const auto audit = harness.Audit();
     ASSERT_TRUE(audit.ok()) << "step " << step << ": " << audit.ToString();
 
     if (step % 20 == 19) {
@@ -370,7 +414,7 @@ TEST_P(DupConcurrencyPropertyTest, InterleavedSubscriptionsConverge) {
       for (int step = 0; step < 3; ++step) harness.engine().Step();
     }
     harness.Drain();
-    const auto audit = protocol.ValidatePropagationState();
+    const auto audit = harness.Audit();
     ASSERT_TRUE(audit.ok())
         << "round " << round << ": " << audit.ToString();
 

@@ -58,7 +58,7 @@ TEST_F(DupTest, SubscribeBuildsVirtualPath) {
   EXPECT_FALSE(protocol_->InDupTree(3));
   EXPECT_TRUE(protocol_->InDupTree(6));
   EXPECT_TRUE(protocol_->InDupTree(1));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, DirectPushCostsOneHop) {
@@ -90,7 +90,7 @@ TEST_F(DupTest, SecondSubscriberCreatesBranchPoint) {
   ExpectEntry(2, 3, 3);
   ExpectEntry(1, 2, 3);
   EXPECT_TRUE(protocol_->InDupTree(3));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, PaperFigure2PushCostIsThree) {
@@ -124,7 +124,7 @@ TEST_F(DupTest, MidPathNodeJoinsTreeAndReplacesDownstream) {
   ExpectEntry(5, 6, 6);
   ExpectEntry(5, kSelfBranch, 5);
   ExpectEntry(1, 2, 5);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 
   const uint64_t before = PushHops();
   harness_.Publish(2);
@@ -147,7 +147,7 @@ TEST_F(DupTest, DeepDescendantHandledByNearestTreeNode) {
   EXPECT_EQ(ControlHops() - control_before, 1u);
   ExpectEntry(6, 7, 7);
   ExpectEntry(1, 2, 6);  // Root still points at N6.
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 
   const uint64_t before = PushHops();
   harness_.Publish(2);
@@ -170,7 +170,7 @@ TEST_F(DupTest, UnsubscribeEndNodeClearsVirtualPath) {
   ExpectEntry(2, 3, 4);
   ExpectEntry(3, 4, 4);
   EXPECT_FALSE(protocol_->InDupTree(3));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 
   const uint64_t before = PushHops();
   harness_.Publish(2);
@@ -192,7 +192,7 @@ TEST_F(DupTest, LastUnsubscribeEmptiesEverything) {
   const uint64_t before = PushHops();
   harness_.Publish(2);
   EXPECT_EQ(PushHops() - before, 0u);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, InterestViaQueriesSubscribes) {
@@ -205,7 +205,7 @@ TEST_F(DupTest, InterestViaQueriesSubscribes) {
   harness_.QueryAt(6, 1);
   EXPECT_TRUE(protocol_->OnVirtualPath(6));  // c+1: subscribed.
   ExpectEntry(1, 2, 6);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, InterestDecayUnsubscribesOnPush) {
@@ -220,7 +220,7 @@ TEST_F(DupTest, InterestDecayUnsubscribesOnPush) {
   protocol_->OnRootPublish(2, harness_.engine().Now() + 100.0);
   harness_.Drain();  // Push arrives, node notices it lost interest.
   EXPECT_FALSE(protocol_->OnVirtualPath(6));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, PushDeduplicationStopsCycles) {
@@ -295,7 +295,7 @@ TEST_F(DupTest, ForceSubscribeIdempotent) {
   protocol_->ForceSubscribe(6);
   harness_.Drain();
   EXPECT_EQ(ControlHops(), control);
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupTest, RootNeverSubscribes) {
@@ -311,7 +311,7 @@ TEST_F(DupTest, SubscriberListBoundedByChildren) {
   harness_.Publish(1);
   for (NodeId n = 2; n <= 8; ++n) protocol_->ForceSubscribe(n);
   harness_.Drain();
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   for (NodeId n = 1; n <= 8; ++n) {
     EXPECT_LE(protocol_->SubscriberListOf(n).size(),
               harness_.tree().Children(n).size() + 1)

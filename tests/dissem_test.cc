@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit/invariant_checker.h"
 #include "dissem/bayeux.h"
 #include "dissem/dup_backend.h"
 #include "dissem/scribe.h"
@@ -187,7 +188,9 @@ TEST_F(DupBackendTest, StateBoundedByDegree) {
   auto* dup = Make<DupDissemination>();
   SubscribeAll({2, 3, 4, 5, 6, 7, 8});
   EXPECT_LE(dup->MaxNodeState(), 3u);  // children + self entry.
-  EXPECT_TRUE(dup->protocol().ValidatePropagationState().ok());
+  EXPECT_TRUE(audit::AuditQuiescent(harness_.tree(), harness_.network(),
+                                    dup->protocol())
+                  .ok());
 }
 
 // --- Cross-scheme comparison (paper Section V, quantified) ------------------

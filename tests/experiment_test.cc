@@ -172,13 +172,17 @@ TEST(DriverTest, ChurnRunStaysConsistent) {
   config.churn.leave_rate = 0.02;
   config.churn.fail_rate = 0.02;
   config.churn.detect_delay = 10.0;
+  config.audit_mode = audit::AuditMode::kCheckpoints;
   SimulationDriver driver(config);
   ASSERT_TRUE(driver.Init().ok());
+  // RunToCompletion drains in-flight traffic, runs the reconvergence
+  // sequence (clean refresh round + prune), and force-audits globally.
   driver.RunToCompletion();
-  driver.engine().Run();  // Drain in-flight traffic.
   EXPECT_GT(driver.churn_events_applied(), 0u);
   EXPECT_TRUE(driver.tree().Validate().ok());
-  EXPECT_TRUE(driver.dup_protocol()->ValidatePropagationState().ok());
+  ASSERT_NE(driver.audit_checker(), nullptr);
+  EXPECT_EQ(driver.audit_checker()->total_violations(), 0u)
+      << driver.audit_checker()->Summary();
   EXPECT_EQ(driver.tree().size(), driver.live_nodes().size());
 }
 

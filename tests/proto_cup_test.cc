@@ -190,6 +190,51 @@ TEST_F(CupTest, NodeRemovalPurgesStateAndReNotifies) {
   EXPECT_TRUE(protocol_->WouldPushTo(3, 6));
 }
 
+TEST_F(CupTest, SplitJoinInheritsBranchDemand) {
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6, 4);  // N6 interested and notified to N5.
+  ASSERT_TRUE(protocol_->WouldPushTo(5, 6));
+  // N5' (56) splits the 5-6 edge (paper Section III-C arrival case 2).
+  ASSERT_TRUE(harness_.tree().SplitEdge(5, 6, 56).ok());
+  protocol_->OnSplitJoined(56, 5, 6);
+  harness_.Drain();
+  // N5' inherited N5's branch entry for N6, and N5 re-keyed the branch
+  // under its new child N5' — neither a duplicate registration for the
+  // departed key nor lost interest.
+  EXPECT_TRUE(protocol_->HasBranchEntry(56, 6));
+  EXPECT_TRUE(protocol_->HasBranchEntry(5, 56));
+  EXPECT_FALSE(protocol_->HasBranchEntry(5, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(56, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 56));
+  const auto audit = harness_.Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  // The next update still reaches the interested node via the new hop.
+  harness_.Publish(2);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+}
+
+TEST_F(CupTest, InterestRegisterInFlightAcrossSplitIsRerouted) {
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6);
+  protocol_->OnLocalQuery(6);  // Crosses c=2: the register is in flight.
+  ASSERT_TRUE(harness_.tree().SplitEdge(5, 6, 56).ok());
+  protocol_->OnSplitJoined(56, 5, 6);
+  harness_.Drain();
+  // The stale register reached N5 from a node that is no longer its child
+  // and was re-routed to N6's new parent N5', so the registration
+  // invariant (notified node => parent holds its branch entry) holds.
+  EXPECT_TRUE(protocol_->HasBranchEntry(56, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(56, 6));
+  const auto audit = harness_.Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
 TEST_F(CupTest, PolicyNames) {
   EXPECT_EQ(CupPushPolicyToString(CupPushPolicy::kDemandWindow),
             "demand-window");

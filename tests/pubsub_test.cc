@@ -134,7 +134,8 @@ TEST_F(HubTest, ProtocolOfExposesDupTree) {
   ASSERT_TRUE(hub_->Subscribe("t", node).ok());
   engine_.Run();
   EXPECT_TRUE((*protocol)->InDupTree(node));
-  EXPECT_TRUE((*protocol)->ValidatePropagationState().ok());
+  EXPECT_TRUE(hub_->AuditTopic("t").ok());
+  EXPECT_TRUE(hub_->AuditTopic("ghost").IsNotFound());
   EXPECT_TRUE(hub_->ProtocolOf("ghost").status().IsNotFound());
 }
 

@@ -46,7 +46,7 @@ TEST_F(DupEdgeTest, NearerSubscriberTakesOverBranchRepresentation) {
   harness_.Drain();
   EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(6));
   EXPECT_EQ(protocol_->SubscriberListOf(6).Get(7), std::optional<NodeId>(7));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   // Both get the next version.
   protocol_->OnRootPublish(2, 7200.0);
   harness_.Drain();
@@ -64,13 +64,13 @@ TEST_F(DupEdgeTest, SiblingLeavesDeepBranchIntact) {
   // N6 collapses out of the tree; upstream points straight to N7.
   EXPECT_FALSE(protocol_->InDupTree(6));
   EXPECT_EQ(protocol_->SubscriberListOf(1).Get(2), std::optional<NodeId>(7));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 TEST_F(DupEdgeTest, ThreeGenerationsOfBranchPoints) {
   for (NodeId n : {4u, 7u, 8u, 5u}) protocol_->ForceSubscribe(n);
   harness_.Drain();
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   // N3 (4 vs 5-side), N5 (self + 6-side), N6 (7 vs 8) are branch points.
   EXPECT_TRUE(protocol_->InDupTree(3));
   EXPECT_TRUE(protocol_->InDupTree(5));
@@ -91,13 +91,13 @@ TEST_F(DupEdgeTest, UnsubscribeWhileSubscribeInFlight) {
   protocol_->ForceUnsubscribe(6);
   harness_.Drain();
   EXPECT_FALSE(protocol_->OnVirtualPath(6));
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
   // And the reverse order ends subscribed.
   protocol_->ForceUnsubscribe(6);
   protocol_->ForceSubscribe(6);
   harness_.Drain();
   EXPECT_TRUE(protocol_->SubscriberListOf(6).HasSelf());
-  EXPECT_TRUE(protocol_->ValidatePropagationState().ok());
+  EXPECT_TRUE(harness_.Audit().ok());
 }
 
 // --- Driver option plumbing -------------------------------------------------

@@ -141,6 +141,32 @@ TEST(SimDeterminismTest, GoldenValuesHoldAtAnyJobCount) {
   }
 }
 
+// The invariant auditor must be provably metrics-neutral: a checkpointed
+// audit draws no RNG samples, sends no messages and records no hops, so
+// audit_mode=checkpoints must reproduce the audit-off goldens above
+// bit-for-bit — serially and at any parallel-runner job count.
+TEST(SimDeterminismTest, CheckpointAuditingIsBitIdenticalToAuditOff) {
+  std::vector<ExperimentConfig> batch;
+  for (const GoldenRow& row : kGolden) {
+    ExperimentConfig config = ConfigFor(row);
+    config.audit_mode = audit::AuditMode::kCheckpoints;
+    batch.push_back(config);
+  }
+  for (size_t jobs : {1u, 4u}) {
+    ParallelRunner runner(jobs);
+    const auto outcomes = runner.RunBatch(batch);
+    ASSERT_EQ(outcomes.size(), std::size(kGolden));
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      SCOPED_TRACE("jobs=" + std::to_string(jobs));
+      // A status failure here is an invariant violation: audit-clean runs
+      // are part of the golden contract.
+      ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+      ExpectMatchesGolden(outcomes[i].metrics, kGolden[i],
+                          RowName(kGolden[i]));
+    }
+  }
+}
+
 TEST(SimDeterminismTest, RerunningIsBitIdentical) {
   // Same config twice in one process: no hidden global state (static RNGs,
   // pool carry-over) may leak between runs.

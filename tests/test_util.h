@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "audit/invariant_checker.h"
 #include "metrics/recorder.h"
 #include "net/overlay_network.h"
 #include "proto/tree_protocol_base.h"
@@ -51,6 +52,13 @@ class ProtocolHarness {
 
   /// Runs the event loop dry (the network becomes quiescent).
   void Drain() { engine_.Run(); }
+
+  /// Runs the full invariant audit at quiescence (docs/invariants.md):
+  /// stable plus global checks for the attached protocol. Requires a prior
+  /// Drain(); returns FailedPrecondition while traffic is still in flight.
+  util::Status Audit() const {
+    return audit::AuditQuiescent(tree_, network_, *protocol_);
+  }
 
   /// Issues `count` queries at `node`, draining after each.
   void QueryAt(NodeId node, int count = 1) {

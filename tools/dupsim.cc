@@ -29,6 +29,13 @@
 // All-zero defaults are a strict no-op, so baseline runs stay
 // bit-identical to a build without the fault layer.
 //
+// Invariant auditing (docs/invariants.md): audit[off|checkpoints|paranoid]
+// walks every node's protocol/cache state and asserts the paper's
+// structural invariants (checkpoint spacing audit_interval[ttl] seconds);
+// the DUP_AUDIT / DUP_AUDIT_INTERVAL environment variables are fallbacks
+// for the same knobs. Auditing never changes RunMetrics; a violation
+// aborts the run with the structured diagnostic.
+//
 // jobs=N fans the replications of each scheme over N worker threads
 // (jobs=0 uses every hardware thread). Results are bit-identical for any
 // jobs value: each replication is a shared-nothing simulation whose RNG
@@ -94,6 +101,15 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
   const char* env_sample = std::getenv("DUP_TRACE_SAMPLE");
   config.trace_sample =
       args.GetString("trace_sample", env_sample != nullptr ? env_sample : "1");
+  const char* env_audit = std::getenv("DUP_AUDIT");
+  auto audit_mode = audit::ParseAuditMode(
+      args.GetString("audit", env_audit != nullptr ? env_audit : "off"));
+  DUP_CHECK(audit_mode.ok()) << audit_mode.status().ToString();
+  config.audit_mode = *audit_mode;
+  const char* env_audit_interval = std::getenv("DUP_AUDIT_INTERVAL");
+  config.audit_interval = args.GetDouble(
+      "audit_interval",
+      env_audit_interval != nullptr ? std::atof(env_audit_interval) : 0.0);
 
   auto topology =
       experiment::ParseTopology(args.GetString("topology", "random-tree"));
@@ -247,6 +263,13 @@ int main(int argc, char** argv) {
                   ? static_cast<double>(total_runs) / total_seconds
                   : 0.0,
               jobs);
+  if (base.audit_mode != audit::AuditMode::kOff) {
+    // A violation would have aborted above with its diagnostic; reaching
+    // here means every audited run was invariant-clean.
+    std::printf("audit: %s mode, all %zu runs clean\n",
+                std::string(audit::AuditModeToString(base.audit_mode)).c_str(),
+                total_runs);
+  }
   table.Print();
 
   const std::string csv_path = args->GetString("csv", "");
