@@ -3,9 +3,12 @@
 // lookups, Zipf sampling, SHA-1 and a full end-to-end mini simulation.
 //
 // Besides the google-benchmark suite, main() runs a calibrated measurement
-// pass over the typed event engine — events/sec plus a heap-allocation
-// census proving the steady-state hot path allocates nothing — and records
-// it to results/bench_micro.json (override with DUP_BENCH_MICRO_JSON).
+// pass — events/sec plus a heap-allocation census — and records it to
+// results/bench_micro.json (override with DUP_BENCH_MICRO_JSON). The census
+// covers both the bare typed engine AND whole PCX/CUP/DUP simulations: each
+// full sim runs twice, the first run sizing every pool (events, in-flight
+// messages, FIFO pair clocks), the second hard-asserting that a fully
+// prewarmed run performs zero heap allocations end to end.
 
 #include <benchmark/benchmark.h>
 
@@ -320,6 +323,8 @@ struct SimBaseline {
   uint64_t events = 0;
   double wall_seconds = 0.0;
   uint64_t allocations = 0;
+  size_t event_slots = 0;    ///< Engine event-pool high-water mark.
+  size_t message_slots = 0;  ///< Network in-flight slab high-water mark.
   double events_per_second() const {
     return wall_seconds > 0.0 ? static_cast<double>(events) / wall_seconds
                               : 0.0;
@@ -331,24 +336,45 @@ struct SimBaseline {
   }
 };
 
-/// Whole-simulation throughput: all layers (network, protocol, workload,
-/// metrics) on top of the typed engine. Protocol state still allocates
-/// (caches, tracker maps), so allocations/event here is informational — the
-/// hard zero is asserted on the engine-only measurements above.
+/// Whole-simulation census, two runs. The first run learns the
+/// configuration's pool high-water marks (event slots, in-flight message
+/// slots and their route capacities, FIFO pair-clock links); the second
+/// replays the identical run with every pool preallocated
+/// (ExperimentConfig::prealloc) and hard-asserts that the entire
+/// simulation — every event from the first to the last — performed zero
+/// heap allocations. Protocol state is flat slabs sized at construction
+/// (docs/scaling.md), so once the transport pools are pre-sized there is
+/// nothing left that touches the heap.
 SimBaseline MeasureFullSim(experiment::Scheme scheme, const char* name) {
-  const experiment::ExperimentConfig config = MicroSimConfig(scheme);
+  experiment::ExperimentConfig config = MicroSimConfig(scheme);
+
+  {
+    experiment::SimulationDriver sizing(config);
+    DUP_CHECK_OK(sizing.Init());
+    sizing.RunToCompletion();
+    config.prealloc.event_slots = sizing.engine().pool_slots();
+    config.prealloc.message_slots = sizing.network().message_pool_slots();
+    config.prealloc.route_capacity = sizing.network().max_route_capacity();
+    config.prealloc.pair_clock_slots =
+        static_cast<size_t>(sizing.network().pair_clock_inserts()) + 1;
+    config.prealloc.max_node_id = config.num_nodes;
+  }
 
   SimBaseline result;
   result.scheme = name;
+  experiment::SimulationDriver driver(config);
+  DUP_CHECK_OK(driver.Init());  // Builds topology + pools: may allocate.
   const uint64_t allocs_before = AllocCount();
   const auto start = std::chrono::steady_clock::now();
-  experiment::SimulationDriver driver(config);
-  DUP_CHECK_OK(driver.Init());
   driver.RunToCompletion();
   const auto end = std::chrono::steady_clock::now();
   result.events = driver.engine().processed();
   result.wall_seconds = Seconds(start, end);
   result.allocations = AllocCount() - allocs_before;
+  result.event_slots = driver.engine().pool_slots();
+  result.message_slots = driver.network().message_pool_slots();
+  DUP_CHECK_EQ(result.allocations, 0u)
+      << "prewarmed " << name << " simulation allocated on the heap";
   return result;
 }
 
@@ -379,10 +405,11 @@ void RunMeasurementPass() {
   for (const SimBaseline& sim : sims) {
     std::printf(
         "full sim %s: %llu events in %.3fs = %.3gM events/s, "
-        "%.2f allocs/event (protocol state)\n",
+        "%llu allocs (prewarmed run; %zu event slots, %zu message slots)\n",
         sim.scheme, static_cast<unsigned long long>(sim.events),
         sim.wall_seconds, sim.events_per_second() / 1e6,
-        sim.allocations_per_event());
+        static_cast<unsigned long long>(sim.allocations), sim.event_slots,
+        sim.message_slots);
   }
 
   const auto engine_json = [](const EngineBaseline& b) {
@@ -408,7 +435,10 @@ void RunMeasurementPass() {
     entry.Set("events", sim.events);
     entry.Set("wall_seconds", sim.wall_seconds);
     entry.Set("events_per_second", sim.events_per_second());
+    entry.Set("allocations", sim.allocations);
     entry.Set("allocations_per_event", sim.allocations_per_event());
+    entry.Set("event_slots", static_cast<uint64_t>(sim.event_slots));
+    entry.Set("message_slots", static_cast<uint64_t>(sim.message_slots));
     full_sims.Append(std::move(entry));
   }
 

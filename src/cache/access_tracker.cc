@@ -2,25 +2,39 @@
 
 namespace dupnet::cache {
 
+void AccessTracker::Reset(sim::SimTime window, uint32_t threshold) {
+  window_ = window;
+  threshold_ = threshold;
+  ring_.resize(static_cast<size_t>(threshold) + 1);
+  head_ = 0;
+  count_ = 0;
+}
+
 void AccessTracker::RecordQuery(sim::SimTime now) {
-  Trim(now);
-  timestamps_.push_back(now);
-}
-
-uint32_t AccessTracker::CountInWindow(sim::SimTime now) {
-  Trim(now);
-  return static_cast<uint32_t>(timestamps_.size());
-}
-
-bool AccessTracker::Interested(sim::SimTime now) {
-  return CountInWindow(now) > threshold_;
-}
-
-void AccessTracker::Trim(sim::SimTime now) {
-  const sim::SimTime cutoff = now - window_;
-  while (!timestamps_.empty() && timestamps_.front() <= cutoff) {
-    timestamps_.pop_front();
+  const uint32_t cap = static_cast<uint32_t>(ring_.size());
+  if (count_ == cap) {
+    // Ring full: the oldest stamp can no longer affect Interested().
+    head_ = (head_ + 1) % cap;
+    --count_;
   }
+  ring_[(head_ + count_) % cap] = now;
+  ++count_;
+}
+
+uint32_t AccessTracker::CountInWindow(sim::SimTime now) const {
+  const uint32_t cap = static_cast<uint32_t>(ring_.size());
+  const sim::SimTime cutoff = now - window_;
+  uint32_t in_window = 0;
+  // Stamps are nondecreasing from head_; newest-first scan exits early.
+  for (uint32_t i = count_; i > 0; --i) {
+    if (ring_[(head_ + i - 1) % cap] <= cutoff) break;
+    ++in_window;
+  }
+  return in_window;
+}
+
+bool AccessTracker::Interested(sim::SimTime now) const {
+  return CountInWindow(now) > threshold_;
 }
 
 }  // namespace dupnet::cache

@@ -2,7 +2,7 @@
 #define DUP_CACHE_ACCESS_TRACKER_H_
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "sim/event_queue.h"
 
@@ -13,33 +13,49 @@ namespace dupnet::cache {
 /// greater than a threshold value c, the node is considered to be
 /// interested in the index."
 ///
-/// Timestamps are kept in a deque and trimmed lazily; memory is bounded by
-/// the queries that actually fall within one window at this node.
+/// Storage is a fixed ring of the newest `threshold + 1` timestamps. That
+/// bound is exact, not an approximation: Interested() only compares the
+/// in-window count against `threshold`, so once threshold + 1 in-window
+/// timestamps exist the decision is already saturated — older ones can
+/// never change it. Recording a query is O(1) and allocation-free; the
+/// ring is sized once (at construction or Reset).
 class AccessTracker {
  public:
+  /// An empty tracker; Reset must run before first use (slab recycling).
+  AccessTracker() = default;
+
   /// `window` is the TTL interval; `threshold` is c.
-  AccessTracker(sim::SimTime window, uint32_t threshold)
-      : window_(window), threshold_(threshold) {}
+  AccessTracker(sim::SimTime window, uint32_t threshold) {
+    Reset(window, threshold);
+  }
+
+  /// Re-parameterises and clears the tracker in place. Does not allocate
+  /// when the ring already has capacity for `threshold + 1` stamps (the
+  /// slab-recycling path: every node uses the same protocol options).
+  void Reset(sim::SimTime window, uint32_t threshold);
 
   /// Records one query received (the node's own or a forwarded request).
+  /// Timestamps must be nondecreasing (simulation time).
   void RecordQuery(sim::SimTime now);
 
-  /// Queries received in (now - window, now].
-  uint32_t CountInWindow(sim::SimTime now);
+  /// Queries received in (now - window, now], saturating at threshold + 1
+  /// (the ring keeps no more; every value up to the saturation point is
+  /// exact, and Interested() is exact everywhere).
+  uint32_t CountInWindow(sim::SimTime now) const;
 
-  /// True iff CountInWindow(now) > threshold (strictly greater, as the
-  /// paper states).
-  bool Interested(sim::SimTime now);
+  /// True iff more than `threshold` queries arrived in the last window
+  /// (strictly greater, as the paper states).
+  bool Interested(sim::SimTime now) const;
 
   sim::SimTime window() const { return window_; }
   uint32_t threshold() const { return threshold_; }
 
  private:
-  void Trim(sim::SimTime now);
-
-  sim::SimTime window_;
-  uint32_t threshold_;
-  std::deque<sim::SimTime> timestamps_;
+  sim::SimTime window_ = 0.0;
+  uint32_t threshold_ = 0;
+  std::vector<sim::SimTime> ring_;  ///< Newest stamps, oldest at head_.
+  uint32_t head_ = 0;
+  uint32_t count_ = 0;
 };
 
 }  // namespace dupnet::cache

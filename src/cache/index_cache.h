@@ -43,6 +43,15 @@ class IndexCache {
   /// Drops the entry (node reset / explicit invalidation).
   void Invalidate();
 
+  /// Returns the cache to its freshly-constructed state, counters
+  /// included (slab slot recycling after churn — the new owner must not
+  /// inherit the departed node's entry or hit/miss history).
+  void Reset() {
+    entry_ = IndexEntry{};
+    hits_ = 0;
+    misses_ = 0;
+  }
+
   IndexVersion stored_version() const { return entry_.version; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }

@@ -15,7 +15,26 @@ DupProtocol::DupProtocol(net::OverlayNetwork* network,
                          topo::IndexSearchTree* tree,
                          const proto::ProtocolOptions& options,
                          const DupOptions& dup_options)
-    : TreeProtocolBase(network, tree, options), dup_options_(dup_options) {}
+    : TreeProtocolBase(network, tree, options), dup_options_(dup_options) {
+  // Eager S_lists for every current tree node, each reserved to its degree
+  // bound (|S_list| <= children + self) so steady-state subscribes and the
+  // push fan-out scratch never allocate.
+  size_t max_degree = 0;
+  for (NodeId node : tree->NodesPreOrder()) {
+    const size_t degree = tree->Children(node).size();
+    DupStateOf(node).slist.Reserve(degree + 1);
+    max_degree = std::max(max_degree, degree);
+  }
+  push_scratch_.reserve(max_degree + 1);
+}
+
+DupProtocol::DupNodeState& DupProtocol::DupStateOf(NodeId node) {
+  return dup_states_.GetOrInit(tree()->registry(), node,
+                               [](DupNodeState& state) {
+                                 state.slist.Clear();
+                                 state.last_forwarded = 0;
+                               });
+}
 
 bool DupProtocol::Interested(NodeId node) {
   return forced_.count(node) > 0 || NodeInterested(node);
@@ -134,7 +153,7 @@ void DupProtocol::HandleProtocolMessage(const Message& message) {
         forward.to = parent;
         forward.seq = 0;         // A fresh transmission, reliably re-tracked.
         forward.free_ride = false;
-        network()->Send(std::move(forward));
+        network()->Send(forward);
         return;
       }
       break;
@@ -181,10 +200,12 @@ void DupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
 
 void DupProtocol::PushToSubscribers(NodeId from, IndexVersion version,
                                     sim::SimTime expiry) {
-  // Copy: SendPush never mutates the list, but the entries vector may move
-  // if a callback reenters; stay safe.
-  const auto entries = DupStateOf(from).slist.entries();
-  for (const auto& [branch, subscriber] : entries) {
+  // Snapshot into the scratch: SendPush never mutates the list, but the
+  // entries vector may move if a callback reenters; stay safe. The scratch
+  // keeps its capacity across pushes (degree-bounded).
+  const auto& entries = DupStateOf(from).slist.entries();
+  push_scratch_.assign(entries.begin(), entries.end());
+  for (const auto& [branch, subscriber] : push_scratch_) {
     if (subscriber == from) continue;  // Self entry.
     SendPush(from, subscriber, version, expiry);
   }
@@ -205,7 +226,7 @@ void DupProtocol::SendUp(NodeId from, MessageType type, NodeId subject,
   msg.subject2 = subject2;
   msg.free_ride =
       dup_options_.piggyback_subscribe && type == MessageType::kSubscribe;
-  network()->Send(std::move(msg));
+  network()->Send(msg);
 }
 
 void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
@@ -218,7 +239,7 @@ void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
   push.version = version;
   push.expiry = expiry;
   if (dup_options_.shortcut_push) {
-    network()->Send(std::move(push));
+    network()->Send(push);
     return;
   }
   // Ablation: without the overlay shortcut the push has to travel the index
@@ -226,7 +247,7 @@ void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
   const NodeId nca = tree()->NearestCommonAncestor(from, to);
   const uint32_t distance = tree()->Depth(from) + tree()->Depth(to) -
                             2 * tree()->Depth(nca);
-  network()->SendMultiHop(std::move(push), distance > 0 ? distance - 1 : 0);
+  network()->SendMultiHop(push, distance > 0 ? distance - 1 : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -277,18 +298,18 @@ void DupProtocol::OnGracefulLeave(NodeId node) {
 }
 
 NodeId DupProtocol::RepresentativeOf(NodeId node) const {
-  auto it = dup_states_.find(node);
-  if (it == dup_states_.end() || it->second.slist.empty()) {
-    return kInvalidNode;
-  }
-  if (it->second.slist.size() >= 2) return node;
-  return it->second.slist.Sole().second;
+  const DupNodeState* state = dup_states_.Find(tree()->registry(), node);
+  if (state == nullptr || state->slist.empty()) return kInvalidNode;
+  if (state->slist.size() >= 2) return node;
+  return state->slist.Sole().second;
 }
 
 void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
                                 const std::vector<NodeId>& former_children,
                                 bool was_root, NodeId new_root) {
-  dup_states_.erase(node);
+  // The tree already released the node's registry slot; the raw id -> slot
+  // mapping still resolves its lingering state for these erases.
+  dup_states_.Erase(tree()->registry(), node);
   EraseState(node);
   forced_.erase(node);
 
@@ -314,13 +335,13 @@ void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
 void DupProtocol::OnSoftStateRefresh() {
   const NodeId root = tree()->root();
   std::vector<NodeId> on_path;
-  for (const auto& [node, state] : dup_states_) {
-    if (node == root || !tree()->Contains(node)) continue;
-    if (state.slist.empty()) continue;
+  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
+    if (node == root || !tree()->Contains(node)) return;
+    if (state.slist.empty()) return;
     on_path.push_back(node);
-  }
-  // Iteration order of the state map is unspecified; sort so the refresh
-  // burst is identical across runs (determinism contract).
+  });
+  // Slab iteration follows slot order, which churn scrambles; sort so the
+  // refresh burst is identical across runs (determinism contract).
   std::sort(on_path.begin(), on_path.end());
   for (NodeId node : on_path) {
     // Not SendUp(): a refresh announcement rides no query, so it is never
@@ -330,7 +351,7 @@ void DupProtocol::OnSoftStateRefresh() {
     msg.from = node;
     msg.to = tree()->Parent(node);
     msg.subject = RepresentativeOf(node);
-    network()->Send(std::move(msg));
+    network()->Send(msg);
   }
 }
 
@@ -350,50 +371,52 @@ bool DupProtocol::OnVirtualPath(NodeId node) {
 
 size_t DupProtocol::MaxSubscriberListSize() const {
   size_t max_size = 0;
-  for (const auto& [node, state] : dup_states_) {
+  dup_states_.ForEach([&max_size](NodeId, const DupNodeState& state) {
     max_size = std::max(max_size, state.slist.size());
-  }
+  });
   return max_size;
 }
 
 DupProtocol::TreeStats DupProtocol::ComputeTreeStats() const {
   TreeStats stats;
   const NodeId root = tree()->root();
-  for (const auto& [node, state] : dup_states_) {
-    if (!tree()->Contains(node) || state.slist.empty()) continue;
+  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
+    if (!tree()->Contains(node) || state.slist.empty()) return;
     ++stats.virtual_path;
     const bool self = state.slist.HasSelf();
     const bool branch_point = node != root && state.slist.size() >= 2;
     if (self) ++stats.interested;
     if (branch_point) ++stats.branch_points;
     if (self || branch_point || node == root) ++stats.dup_tree;
-  }
+  });
   return stats;
 }
 
 void DupProtocol::VisitSubscriberStates(
     const std::function<void(NodeId, const SubscriberList&)>& fn) const {
-  std::vector<NodeId> nodes;
-  nodes.reserve(dup_states_.size());
-  for (const auto& [node, state] : dup_states_) nodes.push_back(node);
-  std::sort(nodes.begin(), nodes.end());
-  for (NodeId node : nodes) fn(node, dup_states_.find(node)->second.slist);
+  std::vector<std::pair<NodeId, const SubscriberList*>> lists;
+  dup_states_.ForEach([&lists](NodeId node, const DupNodeState& state) {
+    lists.emplace_back(node, &state.slist);
+  });
+  std::sort(lists.begin(), lists.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [node, slist] : lists) fn(node, *slist);
 }
 
 void DupProtocol::PruneEntriesNotAnnouncedSince(sim::SimTime cutoff) {
   // Collect first: the unsubscribe cascade mutates lists while we scan.
   // Sorted (node, branch) order keeps the emitted message burst
-  // deterministic regardless of map iteration order.
+  // deterministic regardless of slab slot order.
   std::vector<std::pair<NodeId, NodeId>> expired;
-  for (const auto& [node, state] : dup_states_) {
-    if (!tree()->Contains(node)) continue;
+  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
+    if (!tree()->Contains(node)) return;
     for (const auto& [branch, subscriber] : state.slist.entries()) {
       if (branch == kSelfBranch) continue;  // Local interest, not soft state.
       if (state.slist.AnnouncedAt(branch) < cutoff) {
         expired.emplace_back(node, branch);
       }
     }
-  }
+  });
   std::sort(expired.begin(), expired.end());
   for (const auto& [node, branch] : expired) {
     ProcessUnsubscribe(node, branch);

@@ -2,10 +2,11 @@
 #define DUP_CORE_DUP_PROTOCOL_H_
 
 #include <functional>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "core/node_registry.h"
 #include "core/subscriber_list.h"
 #include "proto/tree_protocol_base.h"
 
@@ -35,6 +36,12 @@ struct DupOptions {
 /// Tree maintenance uses the subscribe / unsubscribe / substitute messages
 /// of Figure 3; node arrival, departure and the five failure cases of
 /// Section III-C are handled in the churn overrides.
+///
+/// S_lists live in a core::NodeSlab indexed by the tree's NodeRegistry
+/// (docs/scaling.md): flat slot-addressed storage, created eagerly for
+/// every tree node (an empty S_list is observationally absent) with each
+/// list's capacity reserved to its degree bound, so the push and
+/// subscribe paths are allocation-free in steady state.
 class DupProtocol : public proto::TreeProtocolBase {
  public:
   DupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
@@ -139,7 +146,9 @@ class DupProtocol : public proto::TreeProtocolBase {
     IndexVersion last_forwarded = 0;
   };
 
-  DupNodeState& DupStateOf(NodeId node) { return dup_states_[node]; }
+  /// State of `node`, created (or re-initialised on a recycled slot) on
+  /// first access; for a departed node, its lingering state.
+  DupNodeState& DupStateOf(NodeId node);
 
   bool Interested(NodeId node);
 
@@ -163,9 +172,12 @@ class DupProtocol : public proto::TreeProtocolBase {
                 sim::SimTime expiry);
 
   DupOptions dup_options_;
-  std::unordered_map<NodeId, DupNodeState> dup_states_;
+  NodeSlab<DupNodeState> dup_states_;
   std::unordered_set<NodeId> forced_;
   DeliveryCallback delivery_callback_;
+  /// Reused snapshot of the pushing node's entries (PushToSubscribers) —
+  /// SendPush never reenters it, so one scratch vector serves every push.
+  std::vector<std::pair<NodeId, NodeId>> push_scratch_;
 };
 
 }  // namespace dupnet::core

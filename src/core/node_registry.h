@@ -1,0 +1,215 @@
+#ifndef DUP_CORE_NODE_REGISTRY_H_
+#define DUP_CORE_NODE_REGISTRY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/types.h"
+
+namespace dupnet::core {
+
+/// Maps sparse NodeIds onto dense storage slots so per-node protocol state
+/// can live in flat arrays instead of node-keyed hash maps.
+///
+/// Ids are issued monotonically (0..n-1 at startup, fresh ids under churn)
+/// and never reused; slots ARE reused, recycled through a LIFO free list
+/// when a node leaves. Two properties make the mapping safe:
+///
+///  * `slot_of_id_` keeps the id -> slot mapping even after Release, so
+///    state slabs can still reach a departed node's slot (soft state
+///    legitimately outlives the node — see audit::InvariantChecker's
+///    dup-departed-state check) and erase it by id.
+///  * every slot records its current owner, so a slab entry left behind by
+///    a departed node can never be mistaken for the state of the node that
+///    recycled the slot (NodeSlab compares owners on every access).
+///
+/// Memory: 4 bytes per id ever issued (the raw mapping) plus 4 bytes per
+/// slot high-water (the owner column). Lookups are two array indexations.
+class NodeRegistry {
+ public:
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  /// Assigns a slot (recycled if one is free) to a brand-new id.
+  /// Pre: `id` is valid and not currently registered.
+  uint32_t Acquire(NodeId id) {
+    DUP_CHECK_NE(id, kInvalidNode);
+    DUP_CHECK(!Contains(id)) << "id " << id << " already registered";
+    uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(owner_of_slot_.size());
+      owner_of_slot_.push_back(kInvalidNode);
+    }
+    if (slot_of_id_.size() <= id) {
+      slot_of_id_.resize(static_cast<size_t>(id) + 1, kNoSlot);
+    }
+    slot_of_id_[id] = slot;
+    owner_of_slot_[slot] = id;
+    ++live_;
+    return slot;
+  }
+
+  /// Frees `id`'s slot for recycling. The raw id -> slot mapping survives
+  /// (ids are never reused) so slabs can still locate lingering state.
+  /// Pre: Contains(id).
+  void Release(NodeId id) {
+    const uint32_t slot = SlotOf(id);
+    DUP_CHECK_NE(slot, kNoSlot) << "id " << id << " not registered";
+    owner_of_slot_[slot] = kInvalidNode;
+    free_slots_.push_back(slot);
+    --live_;
+  }
+
+  bool Contains(NodeId id) const { return SlotOf(id) != kNoSlot; }
+
+  /// The slot currently owned by `id`; kNoSlot when `id` is not live.
+  uint32_t SlotOf(NodeId id) const {
+    if (id >= slot_of_id_.size()) return kNoSlot;
+    const uint32_t slot = slot_of_id_[id];
+    if (slot == kNoSlot || owner_of_slot_[slot] != id) return kNoSlot;
+    return slot;
+  }
+
+  /// The slot last mapped to `id`, live or released; kNoSlot when `id` was
+  /// never registered. Slab erase/introspection of departed nodes.
+  uint32_t RawSlotOf(NodeId id) const {
+    return id < slot_of_id_.size() ? slot_of_id_[id] : kNoSlot;
+  }
+
+  /// The live owner of `slot`; kInvalidNode while the slot is free.
+  NodeId OwnerOfSlot(uint32_t slot) const {
+    DUP_CHECK_LT(slot, owner_of_slot_.size());
+    return owner_of_slot_[slot];
+  }
+
+  /// Currently registered ids.
+  size_t live_count() const { return live_; }
+
+  /// Slots ever allocated (the slab high-water mark all NodeSlabs track).
+  size_t slot_count() const { return owner_of_slot_.size(); }
+
+  /// Pre-sizes the id map and slot columns (avoids growth reallocation in
+  /// steady state; purely an optimisation).
+  void Reserve(size_t max_id, size_t slots) {
+    slot_of_id_.reserve(max_id);
+    owner_of_slot_.reserve(slots);
+    free_slots_.reserve(slots);
+  }
+
+ private:
+  std::vector<uint32_t> slot_of_id_;   ///< id -> slot, never un-mapped.
+  std::vector<NodeId> owner_of_slot_;  ///< slot -> live owner id.
+  std::vector<uint32_t> free_slots_;   ///< LIFO recycled slots.
+  size_t live_ = 0;
+};
+
+/// Flat per-node state storage indexed by NodeRegistry slots: the dense-id
+/// replacement for `unordered_map<NodeId, T>`. Entries are tagged with the
+/// owning id, so
+///
+///  * a recycled slot never aliases: accessing the new owner's state finds
+///    the stale tag and re-initialises in place (capacity preserved),
+///  * state erased by id after the node left the registry is still found
+///    through the raw id -> slot mapping, and
+///  * iteration surfaces departed-but-unerased state exactly like the old
+///    maps did (soft state lingers until explicitly erased), which the
+///    invariant auditor's departed-state check relies on.
+///
+/// `GetOrInit` passes recycled/new entries through the caller's `reinit`
+/// callback instead of copy-assigning a fresh T, so vector capacities
+/// inside T survive slot reuse — steady-state access allocates nothing.
+template <typename T>
+class NodeSlab {
+ public:
+  /// State of `id`, creating it if absent. For live ids this is the slab
+  /// slot (re-initialised via `reinit(T&)` when newly claimed); for
+  /// departed ids it returns the lingering state, which must still exist.
+  template <typename Reinit>
+  T& GetOrInit(const NodeRegistry& registry, NodeId id, Reinit&& reinit) {
+    const uint32_t slot = registry.SlotOf(id);
+    if (slot != kNoSlotLocal) {
+      if (entries_.size() <= slot) entries_.resize(registry.slot_count());
+      Entry& entry = entries_[slot];
+      if (!entry.live || entry.owner != id) {
+        entry.owner = id;
+        entry.live = true;
+        reinit(entry.value);
+      }
+      return entry.value;
+    }
+    // Departed node: only lingering (not yet erased) state is reachable.
+    T* lingering = FindRaw(registry, id);
+    DUP_CHECK(lingering != nullptr)
+        << "no state for departed node " << id;
+    return *lingering;
+  }
+
+  /// State of `id` if present (live, or departed-but-unerased); else null.
+  const T* Find(const NodeRegistry& registry, NodeId id) const {
+    return const_cast<NodeSlab*>(this)->FindRaw(registry, id);
+  }
+  T* Find(const NodeRegistry& registry, NodeId id) {
+    return FindRaw(registry, id);
+  }
+
+  /// Drops `id`'s state; returns false when absent. The entry's storage
+  /// (and T's internal capacity) stays in the slab for the next owner.
+  bool Erase(const NodeRegistry& registry, NodeId id) {
+    T* value = FindRaw(registry, id);
+    if (value == nullptr) return false;
+    const uint32_t slot = registry.RawSlotOf(id);
+    entries_[slot].live = false;
+    return true;
+  }
+
+  /// Visits every live entry as fn(owner, value), in slot order. Callers
+  /// needing ascending-id order collect and sort, as they did over the
+  /// hash maps (the determinism contract lives at those call sites).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& entry : entries_) {
+      if (entry.live) fn(entry.owner, entry.value);
+    }
+  }
+
+  /// Entries currently live (diagnostics).
+  size_t live_entries() const {
+    size_t n = 0;
+    for (const Entry& entry : entries_) n += entry.live ? 1 : 0;
+    return n;
+  }
+
+  /// Pre-sizes the slab to the registry's current slot count.
+  void Reserve(const NodeRegistry& registry) {
+    if (entries_.size() < registry.slot_count()) {
+      entries_.resize(registry.slot_count());
+    }
+  }
+
+ private:
+  static constexpr uint32_t kNoSlotLocal = NodeRegistry::kNoSlot;
+
+  struct Entry {
+    NodeId owner = kInvalidNode;
+    bool live = false;
+    T value{};
+  };
+
+  T* FindRaw(const NodeRegistry& registry, NodeId id) {
+    const uint32_t slot = registry.RawSlotOf(id);
+    if (slot == kNoSlotLocal || slot >= entries_.size()) return nullptr;
+    Entry& entry = entries_[slot];
+    if (!entry.live || entry.owner != id) return nullptr;
+    return &entry.value;
+  }
+
+  std::vector<Entry> entries_;  ///< Indexed by registry slot.
+};
+
+}  // namespace dupnet::core
+
+#endif  // DUP_CORE_NODE_REGISTRY_H_

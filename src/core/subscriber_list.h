@@ -62,6 +62,18 @@ class SubscriberList {
   /// True iff some entry's subscriber equals `subscriber`.
   bool ContainsSubscriber(NodeId subscriber) const;
 
+  /// Drops all entries, keeping capacity (slab slot recycling).
+  void Clear() {
+    entries_.clear();
+    announced_.clear();
+  }
+
+  /// Pre-sizes for `branches` entries (child degree + the self entry).
+  void Reserve(size_t branches) {
+    entries_.reserve(branches);
+    announced_.reserve(branches);
+  }
+
  private:
   // Degree-bounded (the paper: "at most equal to the number of direct
   // children"), so a flat vector beats a hash map. `announced_` runs

@@ -121,6 +121,24 @@ struct ExperimentConfig {
 
   uint64_t seed = 42;
 
+  /// Steady-state preallocation hints (all 0 = none). Pure capacity
+  /// reservations applied before any traffic — RunMetrics are bit-identical
+  /// with or without them. Feed them the high-water marks of an identical
+  /// prior run (bench_micro's two-run allocation census) and the whole
+  /// simulation performs zero heap allocations from the first event on.
+  struct PreallocHints {
+    size_t event_slots = 0;       ///< Engine event pool (ReserveEvents).
+    size_t message_slots = 0;     ///< Network in-flight message slab.
+    size_t route_capacity = 0;    ///< Route entries reserved per slab slot.
+    size_t pair_clock_slots = 0;  ///< FIFO pair-clock links (live pairs).
+    size_t max_node_id = 0;       ///< Down-marker table sized to this id.
+    bool any() const {
+      return event_slots > 0 || message_slots > 0 || route_capacity > 0 ||
+             pair_clock_slots > 0 || max_node_id > 0;
+    }
+  };
+  PreallocHints prealloc;
+
   /// When non-empty, the driver attaches a trace::JsonlTraceWriter to the
   /// overlay network and streams every observed send/deliver/drop there
   /// (sampled per message class, see trace_sample). Batch runners derive a

@@ -87,6 +87,13 @@ Status SimulationDriver::Init() {
   network_ = std::make_unique<net::OverlayNetwork>(
       &engine_, &rng_, &recorder_, config_.hop_latency_mean);
   network_->set_faults(config_.faults);
+  if (config_.prealloc.any()) {
+    engine_.ReserveEvents(config_.prealloc.event_slots);
+    network_->Prewarm(config_.prealloc.message_slots,
+                      config_.prealloc.route_capacity,
+                      config_.prealloc.pair_clock_slots,
+                      config_.prealloc.max_node_id);
+  }
   if (!config_.trace_path.empty()) {
     auto sampling = trace::TraceSampling::Parse(config_.trace_sample);
     DUP_RETURN_IF_ERROR(sampling.status());

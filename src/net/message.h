@@ -86,6 +86,22 @@ struct Message {
   /// the query is in flight. kReply: remaining nodes to visit, origin last.
   std::vector<NodeId> route;
 
+  /// Returns every field to its default but keeps the route vector's
+  /// storage: scratch messages on the hot send paths are reused across
+  /// sends instead of constructed, so steady state allocates nothing.
+  void ResetKeepRoute() {
+    type = MessageType::kRequest;
+    from = to = origin = kInvalidNode;
+    hops = 0;
+    version = 0;
+    expiry = 0.0;
+    stale = false;
+    free_ride = false;
+    seq = 0;
+    subject = subject2 = kInvalidNode;
+    route.clear();
+  }
+
   std::string ToString() const;
 };
 

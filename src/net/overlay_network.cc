@@ -33,7 +33,9 @@ void OverlayNetwork::set_faults(const FaultConfig& config) {
   faults_ = config;
 }
 
-void OverlayNetwork::Send(Message message) { SendMultiHop(std::move(message), 0); }
+void OverlayNetwork::Send(const Message& message) {
+  SendMultiHop(message, 0);
+}
 
 uint32_t OverlayNetwork::AcquireInFlight(const Message& message) {
   uint32_t slot;
@@ -68,16 +70,18 @@ void OverlayNetwork::OnSimEvent(uint32_t code, uint64_t arg) {
   }
 }
 
-void OverlayNetwork::SendMultiHop(Message message, uint32_t extra_hops) {
+void OverlayNetwork::SendMultiHop(const Message& message,
+                                  uint32_t extra_hops) {
   DUP_CHECK(sink_ != nullptr || handler_ != nullptr) << "no handler installed";
   DUP_CHECK_NE(message.to, kInvalidNode);
   if (faults_.reliable() && NeedsAck(message.type) && message.seq == 0) {
-    message.seq = ++next_seq_;
-    Pending& pending = pending_[message.seq];
-    pending.message = message;
+    const uint64_t seq = ++next_seq_;
+    Pending& pending = pending_[seq];
+    pending.message = message;  // Copy first; the caller's stays seq-less.
+    pending.message.seq = seq;
     pending.extra_hops = extra_hops;
-    Transmit(message, extra_hops);
-    ScheduleRetry(message.seq);
+    Transmit(pending.message, extra_hops);
+    ScheduleRetry(seq);
     return;
   }
   Transmit(message, extra_hops);
@@ -127,9 +131,8 @@ void OverlayNetwork::Transmit(const Message& message, uint32_t extra_hops) {
   }
   sim::SimTime deliver_at = engine_->Now() + latency;
   if (fifo_pairs_) {
-    sim::SimTime& last = pair_last_delivery_[PairKey(message.from, message.to)];
-    deliver_at = std::max(deliver_at, last);
-    last = deliver_at;
+    deliver_at = pair_clock_.Advance(PairKey(message.from, message.to),
+                                     deliver_at, engine_->Now());
   }
   if (lost) {
     ++messages_dropped_;
@@ -209,15 +212,30 @@ void OverlayNetwork::OnRetryTimer(uint64_t seq) {
 }
 
 void OverlayNetwork::SetNodeDown(NodeId node, bool down) {
-  if (down) {
-    down_.insert(node);
-  } else {
-    down_.erase(node);
+  if (down_.size() <= node) {
+    if (!down) return;  // Beyond the map means up; nothing to record.
+    down_.resize(static_cast<size_t>(node) + 1, 0);
   }
+  down_[node] = down ? 1 : 0;
 }
 
 bool OverlayNetwork::IsDown(NodeId node) const {
-  return down_.find(node) != down_.end();
+  return node < down_.size() && down_[node] != 0;
+}
+
+void OverlayNetwork::Prewarm(size_t in_flight_slots, size_t route_capacity,
+                             size_t pair_slots, size_t max_node_id) {
+  in_flight_free_.reserve(std::max(in_flight_free_.capacity(),
+                                   in_flight_slots));
+  while (in_flight_.size() < in_flight_slots) {
+    in_flight_free_.push_back(static_cast<uint32_t>(in_flight_.size()));
+    in_flight_.emplace_back();
+  }
+  for (Message& slot : in_flight_) slot.route.reserve(route_capacity);
+  pair_clock_.Reserve(pair_slots, engine_->Now());
+  if (max_node_id > 0 && down_.size() <= max_node_id) {
+    down_.resize(max_node_id + 1, 0);
+  }
 }
 
 }  // namespace dupnet::net

@@ -1,15 +1,17 @@
 #ifndef DUP_NET_OVERLAY_NETWORK_H_
 #define DUP_NET_OVERLAY_NETWORK_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 #include "metrics/recorder.h"
 #include "net/fault_injection.h"
 #include "net/message.h"
+#include "net/pair_clock.h"
 #include "sim/engine.h"
 #include "util/rng.h"
 
@@ -94,13 +96,15 @@ class OverlayNetwork : public sim::EventTarget {
 
   /// Sends one overlay hop: charges the hop, draws a latency, schedules
   /// delivery (or retransmission bookkeeping when reliability is armed).
-  void Send(Message message);
+  /// The message is copied into internal storage; callers may reuse theirs
+  /// (scratch-message idiom) as soon as the call returns.
+  void Send(const Message& message);
 
   /// Sends a message that logically traverses `1 + extra_hops` overlay hops
   /// (used for the no-shortcut DUP ablation, where a push must walk the
   /// index search tree). Charges all hops and draws one latency sample per
   /// hop.
-  void SendMultiHop(Message message, uint32_t extra_hops);
+  void SendMultiHop(const Message& message, uint32_t extra_hops);
 
   /// When true (default), deliveries between the same ordered node pair are
   /// FIFO, modelling a TCP connection per overlay link. DUP's substitute
@@ -128,6 +132,25 @@ class OverlayNetwork : public sim::EventTarget {
   }
   /// In-flight message slots ever allocated (pool high-water mark).
   size_t message_pool_slots() const { return in_flight_.size(); }
+  /// Longest route vector held by any in-flight slot (prewarm sizing).
+  size_t max_route_capacity() const {
+    size_t cap = 0;
+    for (const Message& m : in_flight_) cap = std::max(cap, m.route.capacity());
+    return cap;
+  }
+  /// FIFO pair-clock table slots (prewarm sizing / bytes-per-node audit).
+  size_t pair_clock_capacity() const { return pair_clock_.capacity(); }
+  /// Fresh links ever inserted into the pair clock (see PairClock::inserts;
+  /// feed `inserts() + 1` to Prewarm's pair_slots for a rehash-free replay).
+  uint64_t pair_clock_inserts() const { return pair_clock_.inserts(); }
+
+  /// Pre-sizes the internal pools so a steady-state run allocates nothing:
+  /// `in_flight_slots` message slots, each with room for `route_capacity`
+  /// route entries; `pair_slots` FIFO link clocks; down-markers for ids up
+  /// to `max_node_id`. Feed it the high-water marks of an identical prior
+  /// run (the two-run allocation census in bench_micro) or an upper bound.
+  void Prewarm(size_t in_flight_slots, size_t route_capacity,
+               size_t pair_slots, size_t max_node_id);
 
   sim::Engine* engine() const { return engine_; }
   metrics::Recorder* recorder() const { return recorder_; }
@@ -168,8 +191,9 @@ class OverlayNetwork : public sim::EventTarget {
   FaultConfig faults_;
   LossFilter loss_filter_;
   /// Last scheduled delivery time per ordered (from, to) pair.
-  std::unordered_map<uint64_t, sim::SimTime> pair_last_delivery_;
-  std::unordered_set<NodeId> down_;
+  PairClock pair_clock_;
+  /// Down markers indexed by NodeId (ids are dense-issued; one byte each).
+  std::vector<uint8_t> down_;
   /// Unacked reliable transmissions, keyed by sequence number.
   std::unordered_map<uint64_t, Pending> pending_;
   /// In-flight message slab, indexed by kEventDeliver's arg. A deque so

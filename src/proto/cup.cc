@@ -21,19 +21,91 @@ std::string_view CupPushPolicyToString(CupPushPolicy policy) {
   return "unknown";
 }
 
+CupProtocol::CupProtocol(net::OverlayNetwork* network,
+                         topo::IndexSearchTree* tree,
+                         const ProtocolOptions& options,
+                         const CupOptions& cup_options)
+    : TreeProtocolBase(network, tree, options), cup_options_(cup_options) {
+  // Eager interest tables for every current tree node, with an inactive
+  // slot per child: steady-state demand recording touches preallocated
+  // storage only. (+1 headroom absorbs one churn-gained branch.)
+  for (NodeId node : tree->NodesPreOrder()) {
+    CupNodeState& state = CupStateOf(node);
+    const auto& children = tree->Children(node);
+    state.branches.reserve(children.size() + 1);
+    for (NodeId child : children) {
+      BranchSlot& slot = state.branches.emplace_back();
+      slot.child = child;
+      slot.demand.Reset(this->options().ttl, DemandRingThreshold());
+    }
+  }
+}
+
+uint32_t CupProtocol::DemandRingThreshold() const {
+  // kDemandWindow asks "count > 0" (bar 0); kPopularityThreshold asks
+  // "count >= p", which saturating at p answers exactly (bar p - 1);
+  // kInvestmentReturn never reads the ring.
+  if (cup_options_.policy == CupPushPolicy::kPopularityThreshold &&
+      cup_options_.popularity_threshold > 0) {
+    return cup_options_.popularity_threshold - 1;
+  }
+  return 0;
+}
+
+CupProtocol::CupNodeState& CupProtocol::CupStateOf(NodeId node) {
+  return cup_states_.GetOrInit(tree()->registry(), node,
+                               [](CupNodeState& state) {
+                                 state.branches.clear();
+                                 state.interest_notified = false;
+                                 state.last_forwarded = 0;
+                               });
+}
+
+CupProtocol::BranchSlot* CupProtocol::FindBranch(CupNodeState& state,
+                                                 NodeId child) {
+  for (BranchSlot& slot : state.branches) {
+    if (slot.child == child && slot.active) return &slot;
+  }
+  return nullptr;
+}
+
+const CupProtocol::BranchSlot* CupProtocol::FindBranch(
+    const CupNodeState& state, NodeId child) const {
+  for (const BranchSlot& slot : state.branches) {
+    if (slot.child == child && slot.active) return &slot;
+  }
+  return nullptr;
+}
+
+CupProtocol::BranchSlot& CupProtocol::ActivateBranch(CupNodeState& state,
+                                                     NodeId child) {
+  BranchSlot* inactive = nullptr;
+  for (BranchSlot& slot : state.branches) {
+    if (slot.child == child) {
+      if (slot.active) return slot;
+      inactive = &slot;
+      break;
+    }
+  }
+  BranchSlot& slot =
+      inactive != nullptr ? *inactive : state.branches.emplace_back();
+  slot.child = child;
+  slot.active = true;
+  slot.credit = 0.0;
+  slot.demand.Reset(options().ttl, DemandRingThreshold());
+  return slot;
+}
+
 void CupProtocol::RecordDemand(NodeId at, NodeId from_child) {
-  BranchState& branch = CupStateOf(at).branches[from_child];
-  branch.demand.push_back(Now());
+  BranchSlot& branch = ActivateBranch(CupStateOf(at), from_child);
+  branch.demand.RecordQuery(Now());
   branch.credit = std::min(branch.credit + 1.0, cup_options_.max_credit);
 }
 
 uint32_t CupProtocol::BranchDemandCount(CupNodeState& state, NodeId child) {
-  auto it = state.branches.find(child);
-  if (it == state.branches.end()) return 0;
-  std::deque<sim::SimTime>& demand = it->second.demand;
-  const sim::SimTime cutoff = Now() - options().ttl;
-  while (!demand.empty() && demand.front() <= cutoff) demand.pop_front();
-  return static_cast<uint32_t>(demand.size());
+  const BranchSlot* branch = FindBranch(state, child);
+  if (branch == nullptr) return 0;
+  return branch->demand.CountInWindow(Now());
 }
 
 bool CupProtocol::DecidePush(CupNodeState& state, NodeId child) {
@@ -44,10 +116,10 @@ bool CupProtocol::DecidePush(CupNodeState& state, NodeId child) {
       return BranchDemandCount(state, child) >=
              cup_options_.popularity_threshold;
     case CupPushPolicy::kInvestmentReturn: {
-      auto it = state.branches.find(child);
-      if (it == state.branches.end()) return false;
-      if (it->second.credit < 1.0) return false;
-      it->second.credit -= 1.0;  // A push spends one earned credit.
+      BranchSlot* branch = FindBranch(state, child);
+      if (branch == nullptr) return false;
+      if (branch->credit < 1.0) return false;
+      branch->credit -= 1.0;  // A push spends one earned credit.
       return true;
     }
   }
@@ -58,8 +130,8 @@ bool CupProtocol::WouldPushTo(NodeId node, NodeId child) {
   CupNodeState& state = CupStateOf(node);
   // Probe without side effects: investment-return would spend credit.
   if (cup_options_.policy == CupPushPolicy::kInvestmentReturn) {
-    auto it = state.branches.find(child);
-    return it != state.branches.end() && it->second.credit >= 1.0;
+    const BranchSlot* branch = FindBranch(state, child);
+    return branch != nullptr && branch->credit >= 1.0;
   }
   return DecidePush(state, child);
 }
@@ -80,7 +152,7 @@ void CupProtocol::AfterQueryObserved(NodeId node) {
   msg.from = node;
   msg.to = tree()->Parent(node);
   msg.subject = node;
-  network()->Send(std::move(msg));
+  network()->Send(msg);
 }
 
 void CupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
@@ -101,7 +173,7 @@ void CupProtocol::ForwardPush(NodeId at, IndexVersion version,
     push.to = child;
     push.version = version;
     push.expiry = expiry;
-    network()->Send(std::move(push));
+    network()->Send(push);
   }
 }
 
@@ -123,7 +195,7 @@ void CupProtocol::HandleProtocolMessage(const Message& message) {
         Message forward = message;
         forward.to = parent;
         forward.seq = 0;  // A fresh transmission, reliably re-tracked.
-        network()->Send(std::move(forward));
+        network()->Send(forward);
         return;
       }
       // An explicit notification counts as one unit of branch demand.
@@ -147,12 +219,13 @@ void CupProtocol::HandlePush(const Message& message) {
 
 void CupProtocol::OnSoftStateRefresh() {
   std::vector<NodeId> notified;
-  for (const auto& [node, state] : cup_states_) {
-    if (!state.interest_notified) continue;
-    if (!tree()->Contains(node) || node == tree()->root()) continue;
+  cup_states_.ForEach([&](NodeId node, const CupNodeState& state) {
+    if (!state.interest_notified) return;
+    if (!tree()->Contains(node) || node == tree()->root()) return;
     notified.push_back(node);
-  }
-  // Map order is unspecified; sort so the refresh burst is deterministic.
+  });
+  // Slab slot order is churn-dependent; sort so the refresh burst is
+  // deterministic.
   std::sort(notified.begin(), notified.end());
   for (NodeId node : notified) {
     Message msg;
@@ -160,32 +233,36 @@ void CupProtocol::OnSoftStateRefresh() {
     msg.from = node;
     msg.to = tree()->Parent(node);
     msg.subject = node;
-    network()->Send(std::move(msg));
+    network()->Send(msg);
   }
 }
 
 void CupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
-  auto parent_it = cup_states_.find(parent);
-  if (parent_it == cup_states_.end()) return;
-  auto branch_it = parent_it->second.branches.find(child);
-  if (branch_it == parent_it->second.branches.end()) return;
+  CupNodeState* parent_state = cup_states_.Find(tree()->registry(), parent);
+  if (parent_state == nullptr) return;
+  BranchSlot* branch = FindBranch(*parent_state, child);
+  if (branch == nullptr) return;
   // The parent's demand record for the split branch now describes the edge
   // to the newcomer, and the newcomer inherits a copy for the child, so
   // neither endpoint of the old edge loses the branch's push eligibility —
   // in particular a child whose one-shot interest notification already
   // fired stays registered along its (new) upstream path. A one-hop local
   // handover between neighbours, mirroring DUP's OnSplitJoined.
-  BranchState inherited = std::move(branch_it->second);
-  parent_it->second.branches.erase(branch_it);
-  CupStateOf(node).branches[child] = inherited;
-  CupStateOf(parent).branches[node] = std::move(inherited);
+  const double credit = branch->credit;
+  const cache::AccessTracker demand = branch->demand;
+  branch->child = node;  // Re-key in place: same payload, new branch.
+  BranchSlot& inherited = ActivateBranch(CupStateOf(node), child);
+  inherited.credit = credit;
+  inherited.demand = demand;
   recorder()->AddHops(metrics::HopClass::kControl);
 }
 
 void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
                                 const std::vector<NodeId>& former_children,
                                 bool /*was_root*/, NodeId /*new_root*/) {
-  cup_states_.erase(node);
+  // The tree already released the node's registry slot; the raw id -> slot
+  // mapping still resolves its lingering state for these erases.
+  cup_states_.Erase(tree()->registry(), node);
   EraseState(node);
   // Orphans whose own interest was registered with the dead parent
   // re-notify their new parent; pure demand tracking re-converges by
@@ -199,23 +276,23 @@ void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
     msg.from = child;
     msg.to = tree()->Parent(child);
     msg.subject = child;
-    network()->Send(std::move(msg));
+    network()->Send(msg);
   }
 }
 
 std::vector<NodeId> CupProtocol::NotifiedNodes() const {
   std::vector<NodeId> notified;
-  for (const auto& [node, state] : cup_states_) {
+  cup_states_.ForEach([&notified](NodeId node, const CupNodeState& state) {
     if (state.interest_notified) notified.push_back(node);
-  }
+  });
   std::sort(notified.begin(), notified.end());
   return notified;
 }
 
 bool CupProtocol::HasBranchEntry(NodeId node, NodeId child) const {
-  auto it = cup_states_.find(node);
-  if (it == cup_states_.end()) return false;
-  return it->second.branches.find(child) != it->second.branches.end();
+  const CupNodeState* state = cup_states_.Find(tree()->registry(), node);
+  if (state == nullptr) return false;
+  return FindBranch(*state, child) != nullptr;
 }
 
 }  // namespace dupnet::proto

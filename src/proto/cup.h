@@ -1,11 +1,11 @@
 #ifndef DUP_PROTO_CUP_H_
 #define DUP_PROTO_CUP_H_
 
-#include <deque>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "cache/access_tracker.h"
+#include "core/node_registry.h"
 #include "proto/tree_protocol_base.h"
 
 namespace dupnet::proto {
@@ -60,13 +60,22 @@ struct CupOptions {
 ///    from the update information"), re-exposing it to PCX-style misses
 ///    roughly every other update cycle. This is what bounds CUP's cost
 ///    saving near 50%.
+///
+/// Interest tables live in a core::NodeSlab indexed by the tree's
+/// NodeRegistry (docs/scaling.md): each node holds a flat, degree-bounded
+/// vector of branch slots (linear scan beats hashing at tree degrees), and
+/// per-branch demand uses the same bounded timestamp ring as the interest
+/// tracker — every DecidePush outcome is exactly what the unbounded
+/// history would produce, since each policy only compares the in-window
+/// count against a fixed bar. Slots are preallocated per current child but
+/// stay *inactive* until the branch first shows demand, replicating
+/// map-entry existence (HasBranchEntry and the cup-registration audit
+/// invariant read entry existence, not slot presence).
 class CupProtocol : public TreeProtocolBase {
  public:
   CupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
               const ProtocolOptions& options,
-              const CupOptions& cup_options = CupOptions())
-      : TreeProtocolBase(network, tree, options),
-        cup_options_(cup_options) {}
+              const CupOptions& cup_options = CupOptions());
 
   std::string_view name() const override { return "cup"; }
 
@@ -101,26 +110,46 @@ class CupProtocol : public TreeProtocolBase {
   void HandleProtocolMessage(const net::Message& message) override;
 
  private:
-  struct BranchState {
-    /// Most recent demand timestamps, trimmed to the TTL window lazily.
-    std::deque<sim::SimTime> demand;
+  struct BranchSlot {
+    NodeId child = kInvalidNode;
+    /// Replicates hash-map entry existence: a slot is preallocated per
+    /// child but only *active* once the branch first records demand.
+    bool active = false;
     /// kInvestmentReturn: current credit balance.
     double credit = 0.0;
+    /// Bounded ring of the newest demand timestamps (window = TTL).
+    cache::AccessTracker demand;
   };
 
   struct CupNodeState {
-    std::unordered_map<NodeId, BranchState> branches;
+    std::vector<BranchSlot> branches;  ///< Degree-bounded; linear scan.
     /// Whether this node already notified its parent of its own interest.
     bool interest_notified = false;
     IndexVersion last_forwarded = 0;
   };
 
-  CupNodeState& CupStateOf(NodeId node) { return cup_states_[node]; }
+  /// State of `node`, created (or re-initialised on a recycled slot) on
+  /// first access; for a departed node, its lingering state.
+  CupNodeState& CupStateOf(NodeId node);
+
+  /// The demand ring's saturation bar: every policy only compares the
+  /// in-window count against a fixed threshold, so the ring need keep no
+  /// more stamps than that threshold.
+  uint32_t DemandRingThreshold() const;
+
+  /// The (active) slot for `child`, or null.
+  BranchSlot* FindBranch(CupNodeState& state, NodeId child);
+  const BranchSlot* FindBranch(const CupNodeState& state, NodeId child) const;
+
+  /// The slot for `child`, activated (fresh credit/ring) if it was not an
+  /// entry yet — the flat equivalent of `branches[child]`.
+  BranchSlot& ActivateBranch(CupNodeState& state, NodeId child);
 
   /// Records one unit of demand from `from_child` at `at`.
   void RecordDemand(NodeId at, NodeId from_child);
 
-  /// Demand events within the last TTL window for `child` at this node.
+  /// Demand events within the last TTL window for `child` at this node,
+  /// saturating at the policy's decision bar (exact for every decision).
   uint32_t BranchDemandCount(CupNodeState& state, NodeId child);
 
   /// Applies the configured policy; for kInvestmentReturn a positive
@@ -131,7 +160,7 @@ class CupProtocol : public TreeProtocolBase {
   void ForwardPush(NodeId at, IndexVersion version, sim::SimTime expiry);
 
   CupOptions cup_options_;
-  std::unordered_map<NodeId, CupNodeState> cup_states_;
+  core::NodeSlab<CupNodeState> cup_states_;
 };
 
 }  // namespace dupnet::proto

@@ -1,6 +1,7 @@
 #include "proto/tree_protocol_base.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
@@ -17,21 +18,27 @@ TreeProtocolBase::TreeProtocolBase(net::OverlayNetwork* network,
   DUP_CHECK(network != nullptr);
   DUP_CHECK(tree != nullptr);
   DUP_CHECK_GT(options.ttl, 0.0);
+  // Eager state for every current tree node: fresh state is observationally
+  // absent state, and pre-sizing the slab here keeps first touches on the
+  // query hot path allocation-free.
+  states_.Reserve(tree->registry());
+  for (NodeId node : tree->NodesPreOrder()) StateOf(node);
+  scratch_.route.reserve(tree->MaxDepth() + 2);
 }
 
 TreeProtocolBase::BaseNodeState& TreeProtocolBase::StateOf(NodeId node) {
-  auto it = states_.find(node);
-  if (it == states_.end()) {
-    it = states_.emplace(node, BaseNodeState(options_)).first;
-  }
-  return it->second;
+  return states_.GetOrInit(
+      tree_->registry(), node,
+      [this](BaseNodeState& state) { state.Reset(options_); });
 }
 
 bool TreeProtocolBase::HasState(NodeId node) const {
-  return states_.find(node) != states_.end();
+  return states_.Find(tree_->registry(), node) != nullptr;
 }
 
-void TreeProtocolBase::EraseState(NodeId node) { states_.erase(node); }
+void TreeProtocolBase::EraseState(NodeId node) {
+  states_.Erase(tree_->registry(), node);
+}
 
 const cache::IndexCache& TreeProtocolBase::CacheOf(NodeId node) {
   return StateOf(node).cache;
@@ -43,11 +50,13 @@ bool TreeProtocolBase::NodeInterested(NodeId node) {
 
 void TreeProtocolBase::VisitCaches(
     const std::function<void(NodeId, const cache::IndexCache&)>& fn) const {
-  std::vector<NodeId> nodes;
-  nodes.reserve(states_.size());
-  for (const auto& [node, state] : states_) nodes.push_back(node);
-  std::sort(nodes.begin(), nodes.end());
-  for (NodeId node : nodes) fn(node, states_.find(node)->second.cache);
+  std::vector<std::pair<NodeId, const cache::IndexCache*>> caches;
+  states_.ForEach([&caches](NodeId node, const BaseNodeState& state) {
+    caches.emplace_back(node, &state.cache);
+  });
+  std::sort(caches.begin(), caches.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [node, cache] : caches) fn(node, *cache);
 }
 
 void TreeProtocolBase::AfterRequestObserved(NodeId /*at*/,
@@ -94,14 +103,15 @@ void TreeProtocolBase::OnLocalQuery(NodeId node) {
     return;
   }
 
-  Message request;
+  Message& request = scratch_;
+  request.ResetKeepRoute();
   request.type = MessageType::kRequest;
   request.from = node;
   request.to = tree_->Parent(node);
   request.origin = node;
   request.hops = 1;  // Hops traveled once this send is delivered.
-  request.route = {node};
-  network_->Send(std::move(request));
+  request.route.push_back(node);
+  network_->Send(request);
 }
 
 void TreeProtocolBase::OnMessage(const Message& message) {
@@ -137,18 +147,20 @@ void TreeProtocolBase::HandleRequest(const Message& message) {
   }
 
   // Cache miss: keep climbing toward the authority.
-  Message forward = message;
+  Message& forward = scratch_;
+  forward = message;  // Route copy-assign reuses the scratch capacity.
   forward.from = at;
   forward.to = tree_->Parent(at);
   forward.hops = message.hops + 1;
   forward.route.push_back(at);
-  network_->Send(std::move(forward));
+  network_->Send(forward);
 }
 
 void TreeProtocolBase::SendReply(NodeId server, const Message& request,
                                  const cache::IndexEntry& entry) {
   DUP_CHECK(!request.route.empty());
-  Message reply;
+  Message& reply = scratch_;
+  reply.ResetKeepRoute();
   reply.type = MessageType::kReply;
   reply.origin = request.origin;
   reply.hops = request.hops;  // Frozen: the paper's latency metric.
@@ -159,7 +171,7 @@ void TreeProtocolBase::SendReply(NodeId server, const Message& request,
   reply.from = server;
   reply.to = reply.route.back();
   reply.route.pop_back();
-  network_->Send(std::move(reply));
+  network_->Send(reply);
 }
 
 void TreeProtocolBase::HandleReply(const Message& message) {
@@ -173,11 +185,12 @@ void TreeProtocolBase::HandleReply(const Message& message) {
     return;
   }
   DUP_CHECK(!message.route.empty());
-  Message forward = message;
+  Message& forward = scratch_;
+  forward = message;
   forward.from = at;
   forward.to = forward.route.back();
   forward.route.pop_back();
-  network_->Send(std::move(forward));
+  network_->Send(forward);
 }
 
 }  // namespace dupnet::proto

@@ -2,10 +2,10 @@
 #define DUP_PROTO_TREE_PROTOCOL_BASE_H_
 
 #include <functional>
-#include <unordered_map>
 
 #include "cache/access_tracker.h"
 #include "cache/index_cache.h"
+#include "core/node_registry.h"
 #include "net/overlay_network.h"
 #include "proto/protocol.h"
 #include "topo/tree.h"
@@ -23,6 +23,14 @@ namespace dupnet::proto {
 /// always serves the current version. Query latency is the hop count the
 /// request traveled; every message hop is charged to the cost metric by the
 /// network layer.
+///
+/// Per-node state lives in a core::NodeSlab indexed by the tree's
+/// NodeRegistry (flat slot-addressed storage; docs/scaling.md). State for
+/// every tree node is created eagerly at construction — a fresh state is
+/// observationally identical to an absent one (empty cache, idle tracker),
+/// and eager slots keep the query hot path allocation-free. Request and
+/// reply forwarding reuse one scratch message, so a full steady-state run
+/// performs no heap allocation in this layer.
 class TreeProtocolBase : public Protocol {
  public:
   TreeProtocolBase(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
@@ -53,8 +61,12 @@ class TreeProtocolBase : public Protocol {
     cache::IndexCache cache;
     cache::AccessTracker tracker;
 
-    explicit BaseNodeState(const ProtocolOptions& options)
-        : tracker(options.ttl, options.threshold_c) {}
+    /// Returns the state to its initial condition in place (slab slot
+    /// recycling after churn; preserves the tracker ring's capacity).
+    void Reset(const ProtocolOptions& options) {
+      cache.Reset();
+      tracker.Reset(options.ttl, options.threshold_c);
+    }
   };
 
   /// Called after any query (local or forwarded request) is observed at
@@ -76,6 +88,8 @@ class TreeProtocolBase : public Protocol {
   metrics::Recorder* recorder() const { return network_->recorder(); }
   sim::SimTime Now() const { return engine()->Now(); }
 
+  /// State of `node`, created (or re-initialised on a recycled slot) on
+  /// first access; for a departed node, its lingering state.
   BaseNodeState& StateOf(NodeId node);
   bool HasState(NodeId node) const;
   void EraseState(NodeId node);
@@ -105,9 +119,13 @@ class TreeProtocolBase : public Protocol {
   net::OverlayNetwork* network_;
   topo::IndexSearchTree* tree_;
   ProtocolOptions options_;
-  std::unordered_map<NodeId, BaseNodeState> states_;
+  core::NodeSlab<BaseNodeState> states_;
   IndexVersion latest_version_ = 0;
   sim::SimTime latest_expiry_ = 0.0;
+  /// Reused for every request/reply build and forward. Safe because the
+  /// four paths that use it never nest: Send copies into the network's
+  /// in-flight pool before returning.
+  net::Message scratch_;
 };
 
 }  // namespace dupnet::proto

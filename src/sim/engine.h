@@ -62,6 +62,10 @@ class Engine {
   /// Event-pool high-water mark (see EventQueue::pool_slots()).
   size_t pool_slots() const { return queue_.pool_slots(); }
 
+  /// Pre-sizes the event queue for `events` simultaneously pending events
+  /// (see EventQueue::Reserve()).
+  void ReserveEvents(size_t events) { queue_.Reserve(events); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;

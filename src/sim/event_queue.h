@@ -85,6 +85,16 @@ class EventQueue {
   /// verify the pool stops growing in steady state.
   size_t pool_slots() const { return pool_.size(); }
 
+  /// Pre-sizes the heap, payload slab and free list for `events`
+  /// simultaneously pending events, so every typed push from the first
+  /// event onward is allocation-free. Feed it a prior identical run's
+  /// pool_slots() (the two-run census in bench_micro) or an upper bound.
+  void Reserve(size_t events) {
+    heap_.reserve(events);
+    pool_.reserve(events);
+    free_slots_.reserve(events);
+  }
+
  private:
   /// Heap element. POD on purpose: heap sifts move 24-byte values and the
   /// comparator only ever reads live scalars.

@@ -13,24 +13,30 @@ using util::Status;
 
 IndexSearchTree::IndexSearchTree(NodeId root) : root_(root) {
   DUP_CHECK_NE(root, kInvalidNode);
-  nodes_.emplace(root, NodeRecord{});
+  AcquireRecord(root, kInvalidNode);
 }
 
-bool IndexSearchTree::Contains(NodeId node) const {
-  return nodes_.find(node) != nodes_.end();
+IndexSearchTree::NodeRecord& IndexSearchTree::AcquireRecord(NodeId node,
+                                                            NodeId parent) {
+  const uint32_t slot = registry_.Acquire(node);
+  if (records_.size() <= slot) records_.resize(registry_.slot_count());
+  NodeRecord& rec = records_[slot];
+  rec.parent = parent;
+  rec.children.clear();  // Keeps the prior owner's capacity.
+  return rec;
 }
 
 IndexSearchTree::NodeRecord& IndexSearchTree::RecordOf(NodeId node) {
-  auto it = nodes_.find(node);
-  DUP_CHECK(it != nodes_.end()) << "unknown node " << node;
-  return it->second;
+  const uint32_t slot = registry_.SlotOf(node);
+  DUP_CHECK_NE(slot, core::NodeRegistry::kNoSlot) << "unknown node " << node;
+  return records_[slot];
 }
 
 const IndexSearchTree::NodeRecord& IndexSearchTree::RecordOf(
     NodeId node) const {
-  auto it = nodes_.find(node);
-  DUP_CHECK(it != nodes_.end()) << "unknown node " << node;
-  return it->second;
+  const uint32_t slot = registry_.SlotOf(node);
+  DUP_CHECK_NE(slot, core::NodeRegistry::kNoSlot) << "unknown node " << node;
+  return records_[slot];
 }
 
 NodeId IndexSearchTree::Parent(NodeId node) const {
@@ -47,7 +53,7 @@ uint32_t IndexSearchTree::Depth(NodeId node) const {
   while (cur != root_) {
     cur = Parent(cur);
     ++depth;
-    DUP_CHECK_LE(depth, nodes_.size()) << "cycle detected at node " << node;
+    DUP_CHECK_LE(depth, size()) << "cycle detected at node " << node;
   }
   return depth;
 }
@@ -59,7 +65,7 @@ std::vector<NodeId> IndexSearchTree::PathToRoot(NodeId node) const {
   while (cur != root_) {
     cur = Parent(cur);
     path.push_back(cur);
-    DUP_CHECK_LE(path.size(), nodes_.size() + 1)
+    DUP_CHECK_LE(path.size(), size() + 1)
         << "cycle detected at node " << node;
   }
   return path;
@@ -85,7 +91,7 @@ NodeId IndexSearchTree::NearestCommonAncestor(NodeId a, NodeId b) const {
 
 std::vector<NodeId> IndexSearchTree::NodesPreOrder() const {
   std::vector<NodeId> order;
-  order.reserve(nodes_.size());
+  order.reserve(size());
   std::vector<NodeId> stack = {root_};
   while (!stack.empty()) {
     const NodeId cur = stack.back();
@@ -111,7 +117,7 @@ Status IndexSearchTree::AttachLeaf(NodeId parent, NodeId child) {
   if (child == kInvalidNode) {
     return Status::InvalidArgument("child id is the invalid sentinel");
   }
-  nodes_.emplace(child, NodeRecord{parent, {}});
+  AcquireRecord(child, parent);
   RecordOf(parent).children.push_back(child);
   return Status::OK();
 }
@@ -131,12 +137,13 @@ Status IndexSearchTree::SplitEdge(NodeId parent, NodeId child, NodeId mid) {
     return Status::InvalidArgument(
         util::StrFormat("%u is not the parent of %u", parent, child));
   }
+  NodeRecord& mid_rec = AcquireRecord(mid, parent);
+  mid_rec.children.push_back(child);
   NodeRecord& parent_rec = RecordOf(parent);
   auto slot = std::find(parent_rec.children.begin(),
                         parent_rec.children.end(), child);
   DUP_CHECK(slot != parent_rec.children.end());
   *slot = mid;
-  nodes_.emplace(mid, NodeRecord{parent, {child}});
   RecordOf(child).parent = mid;
   return Status::OK();
 }
@@ -145,13 +152,13 @@ Result<NodeId> IndexSearchTree::RemoveNode(NodeId node) {
   if (!Contains(node)) {
     return Status::NotFound(util::StrFormat("node %u not in tree", node));
   }
-  if (nodes_.size() == 1) {
+  if (size() == 1) {
     return Status::FailedPrecondition("cannot remove the last node");
   }
 
   if (node == root_) {
     // Promote the first child; re-attach the remaining children under it.
-    NodeRecord rec = RecordOf(node);
+    const NodeRecord rec = RecordOf(node);
     DUP_CHECK(!rec.children.empty());
     const NodeId promoted = rec.children.front();
     NodeRecord& promoted_rec = RecordOf(promoted);
@@ -161,7 +168,7 @@ Result<NodeId> IndexSearchTree::RemoveNode(NodeId node) {
       RecordOf(sibling).parent = promoted;
       promoted_rec.children.push_back(sibling);
     }
-    nodes_.erase(node);
+    registry_.Release(node);
     root_ = promoted;
     return promoted;
   }
@@ -181,7 +188,7 @@ Result<NodeId> IndexSearchTree::RemoveNode(NodeId node) {
   for (NodeId child : rec.children) {
     RecordOf(child).parent = parent;
   }
-  nodes_.erase(node);
+  registry_.Release(node);
   return parent;
 }
 
@@ -195,7 +202,7 @@ double IndexSearchTree::AverageDepth() const {
     total += depth;
     for (NodeId child : Children(cur)) stack.push_back({child, depth + 1});
   }
-  return static_cast<double>(total) / static_cast<double>(nodes_.size());
+  return static_cast<double>(total) / static_cast<double>(size());
 }
 
 uint32_t IndexSearchTree::MaxDepth() const {
@@ -208,6 +215,11 @@ uint32_t IndexSearchTree::MaxDepth() const {
     for (NodeId child : Children(cur)) stack.push_back({child, depth + 1});
   }
   return max_depth;
+}
+
+void IndexSearchTree::Reserve(size_t nodes) {
+  registry_.Reserve(/*max_id=*/nodes, /*slots=*/nodes);
+  records_.reserve(nodes);
 }
 
 Status IndexSearchTree::Validate() const {
@@ -235,10 +247,9 @@ Status IndexSearchTree::Validate() const {
       stack.push_back(child);
     }
   }
-  if (seen.size() != nodes_.size()) {
+  if (seen.size() != size()) {
     return Status::Internal(
-        util::StrFormat("%zu nodes reachable of %zu", seen.size(),
-                        nodes_.size()));
+        util::StrFormat("%zu nodes reachable of %zu", seen.size(), size()));
   }
   return Status::OK();
 }

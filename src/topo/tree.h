@@ -2,9 +2,9 @@
 #define DUP_TOPO_TREE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "core/node_registry.h"
 #include "util/status.h"
 #include "util/types.h"
 
@@ -22,14 +22,23 @@ namespace dupnet::topo {
 ///  * RemoveNode      — a node leaves or fails; its children re-attach to
 ///                      its parent (for the root, the first child is
 ///                      promoted and becomes the new root/authority).
+///
+/// Storage is flat: the tree owns the simulation's `core::NodeRegistry`
+/// (NodeId -> dense slot, slots recycled across churn) and keeps
+/// parent/children records in a slot-indexed vector. Protocol layers and
+/// caches index their own `core::NodeSlab`s with the same registry, so one
+/// id translation serves every per-node table (docs/scaling.md).
 class IndexSearchTree {
  public:
   /// Creates a tree containing only the root (the authority node).
   explicit IndexSearchTree(NodeId root);
 
   NodeId root() const { return root_; }
-  size_t size() const { return nodes_.size(); }
-  bool Contains(NodeId node) const;
+  size_t size() const { return registry_.live_count(); }
+  bool Contains(NodeId node) const { return registry_.Contains(node); }
+
+  /// The id -> dense-slot registry shared with protocol state slabs.
+  const core::NodeRegistry& registry() const { return registry_; }
 
   /// Parent of `node`; kInvalidNode for the root. Pre: Contains(node).
   NodeId Parent(NodeId node) const;
@@ -69,6 +78,9 @@ class IndexSearchTree {
   /// Maximum depth over all nodes.
   uint32_t MaxDepth() const;
 
+  /// Pre-sizes the registry and record storage for `nodes` ids/slots.
+  void Reserve(size_t nodes);
+
   /// Internal-consistency audit (parent/child symmetry, single root,
   /// acyclicity, full reachability). Cheap enough for tests after every
   /// mutation.
@@ -80,11 +92,16 @@ class IndexSearchTree {
     std::vector<NodeId> children;
   };
 
+  /// Claims a slot for a new node and resets its record in place (the
+  /// children vector keeps any capacity left by the slot's prior owner).
+  NodeRecord& AcquireRecord(NodeId node, NodeId parent);
+
   NodeRecord& RecordOf(NodeId node);
   const NodeRecord& RecordOf(NodeId node) const;
 
   NodeId root_;
-  std::unordered_map<NodeId, NodeRecord> nodes_;
+  core::NodeRegistry registry_;
+  std::vector<NodeRecord> records_;  ///< Indexed by registry slot.
 };
 
 }  // namespace dupnet::topo
