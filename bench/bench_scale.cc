@@ -15,6 +15,13 @@
 // live/peak byte counters are maintained exactly — no sampling, no
 // RSS noise.
 //
+// A scheduler-only microbench rides along: for each N it holds N pending
+// events in a bare sim::EventQueue and measures steady pop/push cycles
+// under BOTH the calendar scheduler and the reference binary heap, so the
+// engine-level speedup is visible separately from protocol work. The
+// whole-run sweep itself honours DUP_SCHEDULER=heap|calendar (default
+// calendar) for A/B comparisons.
+//
 // The JSON record lands in results/bench_scale.json (override with
 // DUP_BENCH_SCALE_JSON); the committed baseline in results/baseline/ makes
 // it part of the `reproduce.sh --check-against` benchdiff gate.
@@ -34,8 +41,10 @@
 #include "experiment/driver.h"
 #include "experiment/manifest.h"
 #include "metrics/run_manifest.h"
+#include "sim/event_queue.h"
 #include "util/check.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/str.h"
 
 // --------------------------------------------------------------------------
@@ -110,6 +119,18 @@ struct ScalePoint {
   }
 };
 
+/// The whole-run scheduler, from DUP_SCHEDULER (default calendar).
+sim::SchedulerKind RunScheduler() {
+  const char* env = std::getenv("DUP_SCHEDULER");
+  if (env == nullptr || *env == '\0') return sim::SchedulerKind::kCalendar;
+  const auto kind = experiment::ParseScheduler(env);
+  if (!kind.ok()) {
+    std::fprintf(stderr, "bench_scale: bad DUP_SCHEDULER \"%s\"\n", env);
+    std::exit(2);
+  }
+  return *kind;
+}
+
 /// One TTL period at a constant per-node query rate, so event volume —
 /// and with it the throughput figure — scales with the network instead of
 /// being dominated by fixed publish traffic.
@@ -121,7 +142,58 @@ experiment::ExperimentConfig ScaleConfig(experiment::Scheme scheme,
   config.lambda = 0.005 * static_cast<double>(nodes);
   config.warmup_time = 0.0;
   config.measure_time = 3540.0;
+  config.scheduler = RunScheduler();
   return config;
+}
+
+// --------------------------------------------------------------------------
+// Scheduler-only microbench: a bare EventQueue holding `held` pending
+// events, cycled pop -> push (hold model, exponential inter-event gaps).
+// Isolates the engine's scheduling cost from protocol dispatch.
+// --------------------------------------------------------------------------
+
+struct NullTarget : sim::EventTarget {
+  void OnSimEvent(uint32_t, uint64_t) override {}
+};
+
+struct SchedulerPoint {
+  size_t held = 0;
+  const char* kind = "";
+  uint64_t ops = 0;
+  double wall_seconds = 0.0;
+  double ops_per_second() const {
+    return wall_seconds > 0.0 ? static_cast<double>(ops) / wall_seconds : 0.0;
+  }
+};
+
+SchedulerPoint MeasureSchedulerOnly(sim::SchedulerKind kind, const char* name,
+                                    size_t held) {
+  sim::EventQueue queue;
+  queue.set_scheduler(kind);
+  queue.Reserve(held);
+  NullTarget target;
+  util::Rng rng(0x5eedu + static_cast<uint64_t>(held));
+  // Mean gap 1/held keeps the pending set spanning ~1 sim-second at every
+  // scale, like a constant-rate simulation holding `held` events.
+  const double mean_gap = 1.0 / static_cast<double>(held);
+  for (size_t i = 0; i < held; ++i) {
+    queue.Push(rng.UniformDouble(0.0, 1.0), &target, 0, i);
+  }
+
+  SchedulerPoint point;
+  point.held = held;
+  point.kind = name;
+  point.ops = 1u << 22;
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < point.ops; ++i) {
+    const sim::Event e = queue.Pop();
+    queue.Push(e.time + rng.Exponential(mean_gap) * static_cast<double>(held),
+               &target, 0, e.arg);
+  }
+  const auto end = std::chrono::steady_clock::now();
+  point.wall_seconds = std::chrono::duration<double>(end - start).count();
+  while (!queue.empty()) queue.Pop();
+  return point;
 }
 
 ScalePoint MeasureScale(experiment::Scheme scheme, const char* name,
@@ -178,10 +250,27 @@ int main() {
   const std::vector<size_t> sizes = SweepSizes(settings.full);
 
   std::printf("=== bench_scale — dense-id storage scaling sweep ===\n");
+  std::printf("scheduler: %s (override with DUP_SCHEDULER=heap|calendar)\n",
+              std::string(experiment::SchedulerToString(RunScheduler()))
+                  .c_str());
   std::printf("sizes:");
   for (size_t n : sizes) std::printf(" %zu", n);
   std::printf("  (override with DUP_BENCH_SCALE_NODES, extend with "
               "DUP_BENCH_FULL=1)\n\n");
+
+  // Scheduler-only throughput first: same pending-set sizes, no protocol.
+  std::vector<SchedulerPoint> scheduler_points;
+  for (size_t held : sizes) {
+    for (const auto& [kind, kind_name] :
+         {std::pair{sim::SchedulerKind::kHeap, "heap"},
+          std::pair{sim::SchedulerKind::kCalendar, "calendar"}}) {
+      const SchedulerPoint point = MeasureSchedulerOnly(kind, kind_name, held);
+      std::printf("queue n=%-8zu %-8s: %8.3gM ops/s\n", point.held,
+                  point.kind, point.ops_per_second() / 1e6);
+      scheduler_points.push_back(point);
+    }
+  }
+  std::printf("\n");
 
   struct SchemeCase {
     experiment::Scheme scheme;
@@ -232,10 +321,21 @@ int main() {
     sweep.Append(std::move(entry));
   }
 
+  util::JsonValue scheduler_sweep = util::JsonValue::MakeArray();
+  for (const SchedulerPoint& point : scheduler_points) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("held", static_cast<uint64_t>(point.held));
+    entry.Set("kind", point.kind);
+    entry.Set("ops", point.ops);
+    entry.Set("ops_per_second", point.ops_per_second());
+    scheduler_sweep.Append(std::move(entry));
+  }
+
   util::JsonValue doc = util::JsonValue::MakeObject();
   doc.Set("manifest", manifest.ToJson());
   doc.Set("exhibit", "scale_sweep");
   doc.Set("sweep", std::move(sweep));
+  doc.Set("scheduler_sweep", std::move(scheduler_sweep));
   bench::WriteJsonArtifact(doc, "results/bench_scale.json",
                            "DUP_BENCH_SCALE_JSON");
   return 0;

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Documentation lint for the repo's markdown set.
+
+Three checks, all cheap enough for the CI hygiene job:
+
+1. Index coverage — every file under docs/ must have a row in the
+   README "Documentation" table, so new docs cannot be added invisibly.
+2. Link integrity — every intra-repo markdown link and every `path`
+   mentioned in backticks that looks like a repo file must exist, so
+   renames cannot silently strand references.
+3. Measurement provenance — any markdown section quoting throughput
+   numbers (events/s, ops/s, M events) must mention the measurement
+   environment ("1-core" container caveat) somewhere in the same file,
+   so benchmark claims stay honest about where they came from.
+
+Exit code 0 = clean, 1 = findings (printed one per line as
+``file:line: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Markdown files that carry documentation content. CHANGES.md is a log,
+# PAPERS/SNIPPETS are retrieval artifacts — exempt from the lint.
+DOC_FILES = sorted(REPO.glob("docs/*.md")) + [
+    REPO / "README.md",
+    REPO / "DESIGN.md",
+    REPO / "EXPERIMENTS.md",
+    REPO / "ROADMAP.md",
+]
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(#[^)\s]*)?\)")
+# `src/foo/bar.h` or `docs/x.md` style backticked repo paths (with an
+# extension and a slash, so `jobs=N` or `bench_scale` don't match).
+TICKED_PATH = re.compile(r"`([A-Za-z0-9_.\-]+/[A-Za-z0-9_./\-]+\.[a-z]{1,4})`")
+# Million-scale rate claims ("~51 M events/s", "2.2M ev/s", "851,609
+# events/s") — workload parameters like "0.2 churn events/s" don't match.
+THROUGHPUT = re.compile(
+    r"(\d\s*[MG]\s*(events?|ops?|ev)\s*(/s|/sec)"
+    r"|\d{1,3},\d{3}(,\d{3})?\s*(events?|ops?|ev)\s*(/s|/sec)"
+    r"|[MG]\s*events per second)", re.I)
+CAVEAT = re.compile(r"1-core", re.I)
+
+# Paths that docs legitimately reference but that are generated, not
+# tracked (build trees, result artifacts produced by running benches).
+GENERATED_PREFIXES = ("build", "results/", "/tmp/", "traces/")
+
+
+def fail(findings: list[str], path: Path, line: int, msg: str) -> None:
+    findings.append(f"{path.relative_to(REPO)}:{line}: {msg}")
+
+
+def check_index_coverage(findings: list[str]) -> None:
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    for doc in sorted(REPO.glob("docs/*.md")):
+        rel = f"docs/{doc.name}"
+        if rel not in readme:
+            fail(findings, REPO / "README.md", 1,
+                 f"{rel} missing from the README documentation index")
+
+
+def path_exists(target: str) -> bool:
+    if target.startswith(GENERATED_PREFIXES):
+        return True
+    return (REPO / target).exists()
+
+
+def check_links_and_paths(findings: list[str], path: Path) -> None:
+    rel_dir = path.parent
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1):
+        for match in MD_LINK.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            # Links resolve relative to the file, falling back to the
+            # repo root (README-style links used from docs/ pages).
+            if not ((rel_dir / target).exists() or path_exists(target)):
+                fail(findings, path, lineno, f"broken link: {target}")
+        for match in TICKED_PATH.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith(GENERATED_PREFIXES):
+                continue
+            if not ((rel_dir / target).exists() or (REPO / target).exists()):
+                fail(findings, path, lineno, f"dangling path reference: `{target}`")
+
+
+def check_throughput_caveat(findings: list[str], path: Path) -> None:
+    text = path.read_text(encoding="utf-8")
+    if CAVEAT.search(text):
+        return
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if THROUGHPUT.search(line):
+            fail(findings, path, lineno,
+                 "throughput figure without a measurement-environment "
+                 "caveat (mention the 1-core container)")
+            return  # one finding per file is enough to flag it
+
+
+def main() -> int:
+    findings: list[str] = []
+    check_index_coverage(findings)
+    for path in DOC_FILES:
+        if not path.exists():
+            fail(findings, REPO, 1, f"expected doc file missing: {path.name}")
+            continue
+        check_links_and_paths(findings, path)
+        check_throughput_caveat(findings, path)
+    if findings:
+        print(f"doc_lint: {len(findings)} finding(s)")
+        for finding in findings:
+            print(finding)
+        return 1
+    print(f"doc_lint: clean ({len(DOC_FILES)} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

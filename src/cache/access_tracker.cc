@@ -10,27 +10,40 @@ void AccessTracker::Reset(sim::SimTime window, uint32_t threshold) {
   count_ = 0;
 }
 
-void AccessTracker::RecordQuery(sim::SimTime now) {
-  const uint32_t cap = static_cast<uint32_t>(ring_.size());
-  if (count_ == cap) {
+void AccessTracker::RecordStamp(sim::SimTime now, sim::SimTime* ring,
+                                uint32_t capacity, uint32_t* head,
+                                uint32_t* count) {
+  if (*count == capacity) {
     // Ring full: the oldest stamp can no longer affect Interested().
-    head_ = (head_ + 1) % cap;
-    --count_;
+    *head = (*head + 1) % capacity;
+    --*count;
   }
-  ring_[(head_ + count_) % cap] = now;
-  ++count_;
+  ring[(*head + *count) % capacity] = now;
+  ++*count;
 }
 
-uint32_t AccessTracker::CountInWindow(sim::SimTime now) const {
-  const uint32_t cap = static_cast<uint32_t>(ring_.size());
-  const sim::SimTime cutoff = now - window_;
+uint32_t AccessTracker::CountStamps(sim::SimTime now, sim::SimTime window,
+                                    const sim::SimTime* ring,
+                                    uint32_t capacity, uint32_t head,
+                                    uint32_t count) {
+  const sim::SimTime cutoff = now - window;
   uint32_t in_window = 0;
-  // Stamps are nondecreasing from head_; newest-first scan exits early.
-  for (uint32_t i = count_; i > 0; --i) {
-    if (ring_[(head_ + i - 1) % cap] <= cutoff) break;
+  // Stamps are nondecreasing from head; newest-first scan exits early.
+  for (uint32_t i = count; i > 0; --i) {
+    if (ring[(head + i - 1) % capacity] <= cutoff) break;
     ++in_window;
   }
   return in_window;
+}
+
+void AccessTracker::RecordQuery(sim::SimTime now) {
+  RecordStamp(now, ring_.data(), static_cast<uint32_t>(ring_.size()), &head_,
+              &count_);
+}
+
+uint32_t AccessTracker::CountInWindow(sim::SimTime now) const {
+  return CountStamps(now, window_, ring_.data(),
+                     static_cast<uint32_t>(ring_.size()), head_, count_);
 }
 
 bool AccessTracker::Interested(sim::SimTime now) const {

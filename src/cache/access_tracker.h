@@ -50,6 +50,23 @@ class AccessTracker {
   sim::SimTime window() const { return window_; }
   uint32_t threshold() const { return threshold_; }
 
+  // --- Ring primitives over external storage. ------------------------------
+  // The same policy applied to a caller-owned ring of `capacity` stamps —
+  // used by TreeProtocolBase, whose per-node rings live packed in one
+  // strided arena (hot/cold slab split, docs/scaling.md) instead of one
+  // heap vector per node. The member functions above delegate here, so the
+  // two storage layouts can never diverge.
+
+  /// Appends one stamp; evicts the oldest when full (it can no longer
+  /// affect a threshold `capacity - 1` decision). Stamps nondecreasing.
+  static void RecordStamp(sim::SimTime now, sim::SimTime* ring,
+                          uint32_t capacity, uint32_t* head, uint32_t* count);
+
+  /// Stamps in (now - window, now], saturating at `capacity`.
+  static uint32_t CountStamps(sim::SimTime now, sim::SimTime window,
+                              const sim::SimTime* ring, uint32_t capacity,
+                              uint32_t head, uint32_t count);
+
  private:
   sim::SimTime window_ = 0.0;
   uint32_t threshold_ = 0;

@@ -22,18 +22,22 @@ DupProtocol::DupProtocol(net::OverlayNetwork* network,
   size_t max_degree = 0;
   for (NodeId node : tree->NodesPreOrder()) {
     const size_t degree = tree->Children(node).size();
-    DupStateOf(node).slist.Reserve(degree + 1);
+    SlistOf(node).Reserve(degree + 1);
     max_degree = std::max(max_degree, degree);
   }
   push_scratch_.reserve(max_degree + 1);
 }
 
-DupProtocol::DupNodeState& DupProtocol::DupStateOf(NodeId node) {
-  return dup_states_.GetOrInit(tree()->registry(), node,
-                               [](DupNodeState& state) {
-                                 state.slist.Clear();
-                                 state.last_forwarded = 0;
-                               });
+uint32_t DupProtocol::DupSlotOf(NodeId node) {
+  return dup_states_.SlotOrInit(tree()->registry(), node,
+                                [](DupHot& hot, DupCold& cold) {
+                                  hot.last_forwarded = 0;
+                                  cold.slist.Clear();
+                                });
+}
+
+SubscriberList& DupProtocol::SlistOf(NodeId node) {
+  return dup_states_.ColdAt(DupSlotOf(node)).slist;
 }
 
 bool DupProtocol::Interested(NodeId node) {
@@ -45,14 +49,14 @@ bool DupProtocol::Interested(NodeId node) {
 // ---------------------------------------------------------------------------
 
 void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
-  DupNodeState& state = DupStateOf(at);
+  SubscriberList& slist = SlistOf(at);
   const bool is_root = at == tree()->root();
 
-  if (state.slist.HasBranch(branch)) {
+  if (slist.HasBranch(branch)) {
     // The branch is already represented; this is a representative change
     // (e.g. a nearer node subscribed, or a churn re-announcement).
-    state.slist.Set(branch, subject, Now());
-    if (!is_root && state.slist.size() == 1) {
+    slist.Set(branch, subject, Now());
+    if (!is_root && slist.size() == 1) {
       // Pass-through virtual-path node: the new representative must reach
       // whoever actually pushes for this branch.
       SendUp(at, MessageType::kSubscribe, subject);
@@ -63,15 +67,15 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
   // Remember the old sole subscriber N_k before the list grows (Figure 3,
   // process_subscribe).
   NodeId old_sole = kInvalidNode;
-  if (state.slist.size() == 1) old_sole = state.slist.Sole().second;
+  if (slist.size() == 1) old_sole = slist.Sole().second;
 
-  state.slist.Set(branch, subject, Now());
+  slist.Set(branch, subject, Now());
   if (is_root) return;
 
-  if (state.slist.size() == 1) {
+  if (slist.size() == 1) {
     // Had no subscriber, now has one: extend the virtual path upstream.
     SendUp(at, MessageType::kSubscribe, subject);
-  } else if (state.slist.size() == 2) {
+  } else if (slist.size() == 2) {
     // Had one subscriber, now two: this node becomes a DUP-tree branch
     // point and replaces the old subscriber upstream. When the old sole
     // subscriber was this node itself (its own self entry), upstream
@@ -85,18 +89,18 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
 }
 
 void DupProtocol::ProcessUnsubscribe(NodeId at, NodeId branch) {
-  DupNodeState& state = DupStateOf(at);
-  if (!state.slist.Remove(branch)) return;  // Idempotent (churn re-delivery).
+  SubscriberList& slist = SlistOf(at);
+  if (!slist.Remove(branch)) return;  // Idempotent (churn re-delivery).
   if (at == tree()->root()) return;
 
-  if (state.slist.empty()) {
+  if (slist.empty()) {
     // No subscriber left: clear this stretch of the virtual path.
     SendUp(at, MessageType::kUnsubscribe, at);
-  } else if (state.slist.size() == 1) {
+  } else if (slist.size() == 1) {
     // One subscriber left: stop being a branch point; upstream should push
     // directly to the survivor. Suppressed when the survivor is this node
     // itself (upstream already points here).
-    const NodeId survivor = state.slist.Sole().second;
+    const NodeId survivor = slist.Sole().second;
     if (survivor != at) {
       SendUp(at, MessageType::kSubstitute, at, survivor);
     }
@@ -107,11 +111,11 @@ void DupProtocol::ProcessUnsubscribe(NodeId at, NodeId branch) {
 void DupProtocol::ProcessSubstitute(NodeId at, NodeId branch,
                                     NodeId old_subscriber,
                                     NodeId replacement) {
-  DupNodeState& state = DupStateOf(at);
-  if (!state.slist.HasBranch(branch)) return;  // Stale after churn.
-  state.slist.Set(branch, replacement, Now());
+  SubscriberList& slist = SlistOf(at);
+  if (!slist.HasBranch(branch)) return;  // Stale after churn.
+  slist.Set(branch, replacement, Now());
   if (at == tree()->root()) return;
-  if (state.slist.size() == 1) {
+  if (slist.size() == 1) {
     // Not a DUP-tree node: the actual pusher is further upstream.
     SendUp(at, MessageType::kSubstitute, old_subscriber, replacement);
   }
@@ -124,8 +128,7 @@ void DupProtocol::ProcessSubstitute(NodeId at, NodeId branch,
 void DupProtocol::AfterQueryObserved(NodeId node) {
   if (node == tree()->root()) return;
   if (!Interested(node)) return;
-  DupNodeState& state = DupStateOf(node);
-  if (state.slist.HasSelf()) return;
+  if (SlistOf(node).HasSelf()) return;
   ProcessSubscribe(node, kSelfBranch, node);
 }
 
@@ -179,14 +182,15 @@ void DupProtocol::HandleProtocolMessage(const Message& message) {
 void DupProtocol::HandlePush(const Message& message) {
   const NodeId at = message.to;
   StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
-  DupNodeState& state = DupStateOf(at);
-  if (message.version <= state.last_forwarded) return;  // Duplicate.
-  state.last_forwarded = message.version;
+  const uint32_t slot = DupSlotOf(at);
+  DupHot& hot = dup_states_.HotAt(slot);
+  if (message.version <= hot.last_forwarded) return;  // Duplicate.
+  hot.last_forwarded = message.version;
   if (delivery_callback_) delivery_callback_(at, message.version);
 
   // Interest decay check: a node that stopped being interested leaves the
   // DUP tree the next time it would have been served a push.
-  if (state.slist.HasSelf() && !Interested(at)) {
+  if (dup_states_.ColdAt(slot).slist.HasSelf() && !Interested(at)) {
     ProcessUnsubscribe(at, kSelfBranch);
   }
   PushToSubscribers(at, message.version, message.expiry);
@@ -194,7 +198,7 @@ void DupProtocol::HandlePush(const Message& message) {
 
 void DupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
   TreeProtocolBase::OnRootPublish(version, expiry);
-  DupStateOf(tree()->root()).last_forwarded = version;
+  dup_states_.HotAt(DupSlotOf(tree()->root())).last_forwarded = version;
   PushToSubscribers(tree()->root(), version, expiry);
 }
 
@@ -203,7 +207,7 @@ void DupProtocol::PushToSubscribers(NodeId from, IndexVersion version,
   // Snapshot into the scratch: SendPush never mutates the list, but the
   // entries vector may move if a callback reenters; stay safe. The scratch
   // keeps its capacity across pushes (degree-bounded).
-  const auto& entries = DupStateOf(from).slist.entries();
+  const auto& entries = SlistOf(from).entries();
   push_scratch_.assign(entries.begin(), entries.end());
   for (const auto& [branch, subscriber] : push_scratch_) {
     if (subscriber == from) continue;  // Self entry.
@@ -257,15 +261,13 @@ void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
 void DupProtocol::ForceSubscribe(NodeId node) {
   forced_.insert(node);
   if (node == tree()->root()) return;
-  DupNodeState& state = DupStateOf(node);
-  if (!state.slist.HasSelf()) ProcessSubscribe(node, kSelfBranch, node);
+  if (!SlistOf(node).HasSelf()) ProcessSubscribe(node, kSelfBranch, node);
 }
 
 void DupProtocol::ForceUnsubscribe(NodeId node) {
   forced_.erase(node);
   if (node == tree()->root()) return;
-  DupNodeState& state = DupStateOf(node);
-  if (state.slist.HasSelf() && !Interested(node)) {
+  if (SlistOf(node).HasSelf() && !Interested(node)) {
     ProcessUnsubscribe(node, kSelfBranch);
   }
 }
@@ -275,33 +277,38 @@ void DupProtocol::ForceUnsubscribe(NodeId node) {
 // ---------------------------------------------------------------------------
 
 void DupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
-  DupNodeState& parent_state = DupStateOf(parent);
-  const auto inherited = parent_state.slist.Get(child);
+  // Resolve both slots before taking references: creating the newcomer's
+  // state may grow the slab arrays.
+  const uint32_t parent_slot = DupSlotOf(parent);
+  const uint32_t node_slot = DupSlotOf(node);
+  SubscriberList& parent_slist = dup_states_.ColdAt(parent_slot).slist;
+  const auto inherited = parent_slist.Get(child);
   if (!inherited.has_value()) return;
   // The parent's entry for the split branch is re-keyed to the newcomer,
   // which inherits it and becomes an intermediate virtual-path node. This
   // is a one-hop local handover between neighbours ("N3 notifies N3' that
   // N6 is in its subscriber list").
-  parent_state.slist.Remove(child);
-  parent_state.slist.Set(node, *inherited, Now());
-  DupStateOf(node).slist.Set(child, *inherited, Now());
+  parent_slist.Remove(child);
+  parent_slist.Set(node, *inherited, Now());
+  dup_states_.ColdAt(node_slot).slist.Set(child, *inherited, Now());
   recorder()->AddHops(metrics::HopClass::kControl);
 }
 
 void DupProtocol::OnGracefulLeave(NodeId node) {
   // End-of-virtual-path courtesy: withdraw own interest before departing
   // so upstream state is cleaned by messages rather than timeouts.
-  DupNodeState& state = DupStateOf(node);
-  if (node != tree()->root() && state.slist.HasSelf()) {
+  if (node != tree()->root() && SlistOf(node).HasSelf()) {
     ProcessUnsubscribe(node, kSelfBranch);
   }
 }
 
 NodeId DupProtocol::RepresentativeOf(NodeId node) const {
-  const DupNodeState* state = dup_states_.Find(tree()->registry(), node);
-  if (state == nullptr || state->slist.empty()) return kInvalidNode;
-  if (state->slist.size() >= 2) return node;
-  return state->slist.Sole().second;
+  const uint32_t slot = dup_states_.FindSlot(tree()->registry(), node);
+  if (slot == decltype(dup_states_)::kNoSlot) return kInvalidNode;
+  const SubscriberList& slist = dup_states_.ColdAt(slot).slist;
+  if (slist.empty()) return kInvalidNode;
+  if (slist.size() >= 2) return node;
+  return slist.Sole().second;
 }
 
 void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
@@ -335,9 +342,9 @@ void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
 void DupProtocol::OnSoftStateRefresh() {
   const NodeId root = tree()->root();
   std::vector<NodeId> on_path;
-  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
+  dup_states_.ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
     if (node == root || !tree()->Contains(node)) return;
-    if (state.slist.empty()) return;
+    if (cold.slist.empty()) return;
     on_path.push_back(node);
   });
   // Slab iteration follows slot order, which churn scrambles; sort so the
@@ -360,31 +367,32 @@ void DupProtocol::OnSoftStateRefresh() {
 // ---------------------------------------------------------------------------
 
 bool DupProtocol::InDupTree(NodeId node) {
-  DupNodeState& state = DupStateOf(node);
-  if (node == tree()->root()) return !state.slist.empty();
-  return state.slist.size() >= 2 || state.slist.HasSelf();
+  const SubscriberList& slist = SlistOf(node);
+  if (node == tree()->root()) return !slist.empty();
+  return slist.size() >= 2 || slist.HasSelf();
 }
 
 bool DupProtocol::OnVirtualPath(NodeId node) {
-  return !DupStateOf(node).slist.empty();
+  return !SlistOf(node).empty();
 }
 
 size_t DupProtocol::MaxSubscriberListSize() const {
   size_t max_size = 0;
-  dup_states_.ForEach([&max_size](NodeId, const DupNodeState& state) {
-    max_size = std::max(max_size, state.slist.size());
-  });
+  dup_states_.ForEach(
+      [&max_size](NodeId, const DupHot&, const DupCold& cold) {
+        max_size = std::max(max_size, cold.slist.size());
+      });
   return max_size;
 }
 
 DupProtocol::TreeStats DupProtocol::ComputeTreeStats() const {
   TreeStats stats;
   const NodeId root = tree()->root();
-  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
-    if (!tree()->Contains(node) || state.slist.empty()) return;
+  dup_states_.ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
+    if (!tree()->Contains(node) || cold.slist.empty()) return;
     ++stats.virtual_path;
-    const bool self = state.slist.HasSelf();
-    const bool branch_point = node != root && state.slist.size() >= 2;
+    const bool self = cold.slist.HasSelf();
+    const bool branch_point = node != root && cold.slist.size() >= 2;
     if (self) ++stats.interested;
     if (branch_point) ++stats.branch_points;
     if (self || branch_point || node == root) ++stats.dup_tree;
@@ -395,9 +403,10 @@ DupProtocol::TreeStats DupProtocol::ComputeTreeStats() const {
 void DupProtocol::VisitSubscriberStates(
     const std::function<void(NodeId, const SubscriberList&)>& fn) const {
   std::vector<std::pair<NodeId, const SubscriberList*>> lists;
-  dup_states_.ForEach([&lists](NodeId node, const DupNodeState& state) {
-    lists.emplace_back(node, &state.slist);
-  });
+  dup_states_.ForEach(
+      [&lists](NodeId node, const DupHot&, const DupCold& cold) {
+        lists.emplace_back(node, &cold.slist);
+      });
   std::sort(lists.begin(), lists.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [node, slist] : lists) fn(node, *slist);
@@ -408,11 +417,11 @@ void DupProtocol::PruneEntriesNotAnnouncedSince(sim::SimTime cutoff) {
   // Sorted (node, branch) order keeps the emitted message burst
   // deterministic regardless of slab slot order.
   std::vector<std::pair<NodeId, NodeId>> expired;
-  dup_states_.ForEach([&](NodeId node, const DupNodeState& state) {
+  dup_states_.ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
     if (!tree()->Contains(node)) return;
-    for (const auto& [branch, subscriber] : state.slist.entries()) {
+    for (const auto& [branch, subscriber] : cold.slist.entries()) {
       if (branch == kSelfBranch) continue;  // Local interest, not soft state.
-      if (state.slist.AnnouncedAt(branch) < cutoff) {
+      if (cold.slist.AnnouncedAt(branch) < cutoff) {
         expired.emplace_back(node, branch);
       }
     }

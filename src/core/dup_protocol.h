@@ -37,11 +37,15 @@ struct DupOptions {
 /// of Figure 3; node arrival, departure and the five failure cases of
 /// Section III-C are handled in the churn overrides.
 ///
-/// S_lists live in a core::NodeSlab indexed by the tree's NodeRegistry
-/// (docs/scaling.md): flat slot-addressed storage, created eagerly for
-/// every tree node (an empty S_list is observationally absent) with each
-/// list's capacity reserved to its degree bound, so the push and
-/// subscribe paths are allocation-free in steady state.
+/// Per-node DUP state lives in a core::SplitNodeSlab indexed by the tree's
+/// NodeRegistry (docs/scaling.md): flat slot-addressed storage, created
+/// eagerly for every tree node (an empty S_list is observationally absent)
+/// with each list's capacity reserved to its degree bound, so the push and
+/// subscribe paths are allocation-free in steady state. The slab is
+/// hot/cold split (docs/profiling.md): the duplicate-push version check —
+/// run on every push delivery, including the duplicates it filters — reads
+/// only the packed hot array; the S_lists sit in the parallel cold array
+/// touched by subscription machinery and actual forwards.
 class DupProtocol : public proto::TreeProtocolBase {
  public:
   DupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
@@ -85,7 +89,7 @@ class DupProtocol : public proto::TreeProtocolBase {
   // --- Introspection (tests, reports). -----------------------------------
 
   const SubscriberList& SubscriberListOf(NodeId node) {
-    return DupStateOf(node).slist;
+    return SlistOf(node);
   }
 
   /// True iff `node` participates in update propagation: it is the root
@@ -141,14 +145,20 @@ class DupProtocol : public proto::TreeProtocolBase {
   void HandleProtocolMessage(const net::Message& message) override;
 
  private:
-  struct DupNodeState {
-    SubscriberList slist;
+  /// Hot half: read on every push delivery (duplicate filtering).
+  struct DupHot {
     IndexVersion last_forwarded = 0;
   };
+  /// Cold half: only subscription changes and actual forwards touch it.
+  struct DupCold {
+    SubscriberList slist;
+  };
 
-  /// State of `node`, created (or re-initialised on a recycled slot) on
-  /// first access; for a departed node, its lingering state.
-  DupNodeState& DupStateOf(NodeId node);
+  /// Slab slot of `node`'s state, created (or re-initialised on a recycled
+  /// slot) on first access; for a departed node, its lingering state.
+  uint32_t DupSlotOf(NodeId node);
+  /// `node`'s subscriber list (creates state like DupSlotOf).
+  SubscriberList& SlistOf(NodeId node);
 
   bool Interested(NodeId node);
 
@@ -172,7 +182,7 @@ class DupProtocol : public proto::TreeProtocolBase {
                 sim::SimTime expiry);
 
   DupOptions dup_options_;
-  NodeSlab<DupNodeState> dup_states_;
+  SplitNodeSlab<DupHot, DupCold> dup_states_;
   std::unordered_set<NodeId> forced_;
   DeliveryCallback delivery_callback_;
   /// Reused snapshot of the pushing node's entries (PushToSubscribers) —

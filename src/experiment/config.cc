@@ -86,6 +86,23 @@ Result<ArrivalKind> ParseArrival(std::string_view name) {
       util::StrFormat("unknown arrival \"%s\"", std::string(name).c_str()));
 }
 
+std::string_view SchedulerToString(sim::SchedulerKind kind) {
+  switch (kind) {
+    case sim::SchedulerKind::kHeap:
+      return "heap";
+    case sim::SchedulerKind::kCalendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+Result<sim::SchedulerKind> ParseScheduler(std::string_view name) {
+  if (name == "heap") return sim::SchedulerKind::kHeap;
+  if (name == "calendar") return sim::SchedulerKind::kCalendar;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown scheduler \"%s\"", std::string(name).c_str()));
+}
+
 Status ExperimentConfig::Validate() const {
   if (num_nodes < 2) {
     return Status::InvalidArgument("num_nodes must be at least 2");
@@ -148,6 +165,10 @@ std::string ExperimentConfig::ToString() const {
       static_cast<unsigned long long>(seed),
       dup.shortcut_push ? "" : " no-shortcut",
       churn.enabled() ? " churn" : "");
+  if (scheduler != sim::SchedulerKind::kCalendar) {
+    out += util::StrFormat(
+        " scheduler=%s", std::string(SchedulerToString(scheduler)).c_str());
+  }
   if (faults.active() || faults.refresh_interval > 0.0) {
     out += util::StrFormat(" loss=%g jitter=%g retry_max=%u refresh=%g",
                            faults.loss_rate, faults.jitter, faults.retry_max,

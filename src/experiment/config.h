@@ -8,6 +8,7 @@
 #include "core/dup_protocol.h"
 #include "net/fault_injection.h"
 #include "proto/cup.h"
+#include "sim/event_queue.h"
 #include "topo/churn.h"
 #include "util/status.h"
 
@@ -49,6 +50,8 @@ std::string_view TopologyToString(TopologyKind kind);
 util::Result<TopologyKind> ParseTopology(std::string_view name);
 std::string_view ArrivalToString(ArrivalKind kind);
 util::Result<ArrivalKind> ParseArrival(std::string_view name);
+std::string_view SchedulerToString(sim::SchedulerKind kind);
+util::Result<sim::SchedulerKind> ParseScheduler(std::string_view name);
 
 /// Full description of one simulation run. Defaults follow the paper's
 /// Table I; the measurement horizon is scaled down from the paper's
@@ -120,6 +123,12 @@ struct ExperimentConfig {
   net::FaultConfig faults;
 
   uint64_t seed = 42;
+
+  /// Event-queue scheduler backing the engine. Calendar (amortised O(1)
+  /// push/pop) is the default; the binary heap is kept as the reference
+  /// implementation. Both produce bit-identical RunMetrics — the knob
+  /// exists for A/B benchmarking (bench_scale) and equivalence tests.
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCalendar;
 
   /// Steady-state preallocation hints (all 0 = none). Pure capacity
   /// reservations applied before any traffic — RunMetrics are bit-identical

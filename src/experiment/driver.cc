@@ -39,6 +39,10 @@ Status SimulationDriver::Init() {
   DUP_RETURN_IF_ERROR(config_.Validate());
   initialized_ = true;
 
+  // Must precede the first ScheduleAt below: the queue only accepts a
+  // scheduler change while empty.
+  engine_.set_scheduler(config_.scheduler);
+
   // --- Topology ---------------------------------------------------------
   switch (config_.topology) {
     case TopologyKind::kRandomTree: {

@@ -57,6 +57,7 @@ util::JsonValue ConfigToJson(const ExperimentConfig& config) {
   json.Set("retry_backoff", config.faults.retry_backoff);
   json.Set("refresh_interval", config.faults.refresh_interval);
   json.Set("seed", std::to_string(config.seed));
+  json.Set("scheduler", std::string(SchedulerToString(config.scheduler)));
   if (!config.trace_path.empty()) {
     json.Set("trace_path", config.trace_path);
     json.Set("trace_sample", config.trace_sample);

@@ -52,6 +52,11 @@ uint32_t OverlayNetwork::AcquireInFlight(const Message& message) {
   return slot;
 }
 
+void OverlayNetwork::PrefetchSimEvent(uint32_t code, uint64_t arg) {
+  if (code != kEventDeliver) return;
+  __builtin_prefetch(&in_flight_[static_cast<uint32_t>(arg)]);
+}
+
 void OverlayNetwork::OnSimEvent(uint32_t code, uint64_t arg) {
   switch (code) {
     case kEventDeliver: {
@@ -212,15 +217,22 @@ void OverlayNetwork::OnRetryTimer(uint64_t seq) {
 }
 
 void OverlayNetwork::SetNodeDown(NodeId node, bool down) {
-  if (down_.size() <= node) {
+  const size_t word = node >> 6;
+  if (down_.size() <= word) {
     if (!down) return;  // Beyond the map means up; nothing to record.
-    down_.resize(static_cast<size_t>(node) + 1, 0);
+    down_.resize(word + 1, 0);
   }
-  down_[node] = down ? 1 : 0;
+  const uint64_t bit = uint64_t{1} << (node & 63);
+  if (down) {
+    down_[word] |= bit;
+  } else {
+    down_[word] &= ~bit;
+  }
 }
 
 bool OverlayNetwork::IsDown(NodeId node) const {
-  return node < down_.size() && down_[node] != 0;
+  const size_t word = node >> 6;
+  return word < down_.size() && (down_[word] >> (node & 63)) & 1;
 }
 
 void OverlayNetwork::Prewarm(size_t in_flight_slots, size_t route_capacity,
@@ -233,8 +245,8 @@ void OverlayNetwork::Prewarm(size_t in_flight_slots, size_t route_capacity,
   }
   for (Message& slot : in_flight_) slot.route.reserve(route_capacity);
   pair_clock_.Reserve(pair_slots, engine_->Now());
-  if (max_node_id > 0 && down_.size() <= max_node_id) {
-    down_.resize(max_node_id + 1, 0);
+  if (max_node_id > 0 && down_.size() <= (max_node_id >> 6)) {
+    down_.resize((max_node_id >> 6) + 1, 0);
   }
 }
 

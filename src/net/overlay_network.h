@@ -85,6 +85,11 @@ class OverlayNetwork : public sim::EventTarget {
   /// sim engine calls this.
   void OnSimEvent(uint32_t code, uint64_t arg) override;
 
+  /// Called by the engine one event ahead of OnSimEvent with the same
+  /// (code, arg): pulls the next delivery's in-flight message toward the
+  /// cache while the current event is still dispatching (docs/profiling.md).
+  void PrefetchSimEvent(uint32_t code, uint64_t arg) override;
+
   /// Arms fault injection and/or reliable delivery. Call before traffic
   /// starts; `config` must Validate().
   void set_faults(const FaultConfig& config);
@@ -192,8 +197,10 @@ class OverlayNetwork : public sim::EventTarget {
   LossFilter loss_filter_;
   /// Last scheduled delivery time per ordered (from, to) pair.
   PairClock pair_clock_;
-  /// Down markers indexed by NodeId (ids are dense-issued; one byte each).
-  std::vector<uint8_t> down_;
+  /// Down markers, one bit per NodeId (ids are dense-issued). Packed so
+  /// the two IsDown checks on every transmit stay within a couple of cache
+  /// lines even at millions of nodes (almost-all-up is the common case).
+  std::vector<uint64_t> down_;
   /// Unacked reliable transmissions, keyed by sequence number.
   std::unordered_map<uint64_t, Pending> pending_;
   /// In-flight message slab, indexed by kEventDeliver's arg. A deque so

@@ -7,6 +7,7 @@
 
 #include "sim/event_queue.h"
 #include "util/check.h"
+#include "util/hugepage.h"
 
 namespace dupnet::net {
 
@@ -87,6 +88,8 @@ class PairClock {
   }
 
   void Clear(size_t capacity) {
+    util::ReserveWithHugePages(keys_, capacity);
+    util::ReserveWithHugePages(clocks_, capacity);
     keys_.assign(capacity, kEmpty);
     clocks_.assign(capacity, 0.0);
     size_ = 0;

@@ -30,11 +30,12 @@ CupProtocol::CupProtocol(net::OverlayNetwork* network,
   // slot per child: steady-state demand recording touches preallocated
   // storage only. (+1 headroom absorbs one churn-gained branch.)
   for (NodeId node : tree->NodesPreOrder()) {
-    CupNodeState& state = CupStateOf(node);
+    std::vector<BranchSlot>& branches =
+        cup_states_.ColdAt(CupSlotOf(node)).branches;
     const auto& children = tree->Children(node);
-    state.branches.reserve(children.size() + 1);
+    branches.reserve(children.size() + 1);
     for (NodeId child : children) {
-      BranchSlot& slot = state.branches.emplace_back();
+      BranchSlot& slot = branches.emplace_back();
       slot.child = child;
       slot.demand.Reset(this->options().ttl, DemandRingThreshold());
     }
@@ -52,43 +53,42 @@ uint32_t CupProtocol::DemandRingThreshold() const {
   return 0;
 }
 
-CupProtocol::CupNodeState& CupProtocol::CupStateOf(NodeId node) {
-  return cup_states_.GetOrInit(tree()->registry(), node,
-                               [](CupNodeState& state) {
-                                 state.branches.clear();
-                                 state.interest_notified = false;
-                                 state.last_forwarded = 0;
-                               });
+uint32_t CupProtocol::CupSlotOf(NodeId node) {
+  return cup_states_.SlotOrInit(tree()->registry(), node,
+                                [](CupHot& hot, CupCold& cold) {
+                                  hot.interest_notified = false;
+                                  hot.last_forwarded = 0;
+                                  cold.branches.clear();
+                                });
 }
 
-CupProtocol::BranchSlot* CupProtocol::FindBranch(CupNodeState& state,
-                                                 NodeId child) {
-  for (BranchSlot& slot : state.branches) {
+CupProtocol::BranchSlot* CupProtocol::FindBranch(
+    std::vector<BranchSlot>& branches, NodeId child) {
+  for (BranchSlot& slot : branches) {
     if (slot.child == child && slot.active) return &slot;
   }
   return nullptr;
 }
 
 const CupProtocol::BranchSlot* CupProtocol::FindBranch(
-    const CupNodeState& state, NodeId child) const {
-  for (const BranchSlot& slot : state.branches) {
+    const std::vector<BranchSlot>& branches, NodeId child) const {
+  for (const BranchSlot& slot : branches) {
     if (slot.child == child && slot.active) return &slot;
   }
   return nullptr;
 }
 
-CupProtocol::BranchSlot& CupProtocol::ActivateBranch(CupNodeState& state,
-                                                     NodeId child) {
+CupProtocol::BranchSlot& CupProtocol::ActivateBranch(
+    std::vector<BranchSlot>& branches, NodeId child) {
   BranchSlot* inactive = nullptr;
-  for (BranchSlot& slot : state.branches) {
+  for (BranchSlot& slot : branches) {
     if (slot.child == child) {
       if (slot.active) return slot;
       inactive = &slot;
       break;
     }
   }
-  BranchSlot& slot =
-      inactive != nullptr ? *inactive : state.branches.emplace_back();
+  BranchSlot& slot = inactive != nullptr ? *inactive : branches.emplace_back();
   slot.child = child;
   slot.active = true;
   slot.credit = 0.0;
@@ -97,26 +97,28 @@ CupProtocol::BranchSlot& CupProtocol::ActivateBranch(CupNodeState& state,
 }
 
 void CupProtocol::RecordDemand(NodeId at, NodeId from_child) {
-  BranchSlot& branch = ActivateBranch(CupStateOf(at), from_child);
+  BranchSlot& branch = ActivateBranch(
+      cup_states_.ColdAt(CupSlotOf(at)).branches, from_child);
   branch.demand.RecordQuery(Now());
   branch.credit = std::min(branch.credit + 1.0, cup_options_.max_credit);
 }
 
-uint32_t CupProtocol::BranchDemandCount(CupNodeState& state, NodeId child) {
-  const BranchSlot* branch = FindBranch(state, child);
+uint32_t CupProtocol::BranchDemandCount(std::vector<BranchSlot>& branches,
+                                        NodeId child) {
+  const BranchSlot* branch = FindBranch(branches, child);
   if (branch == nullptr) return 0;
   return branch->demand.CountInWindow(Now());
 }
 
-bool CupProtocol::DecidePush(CupNodeState& state, NodeId child) {
+bool CupProtocol::DecidePush(std::vector<BranchSlot>& branches, NodeId child) {
   switch (cup_options_.policy) {
     case CupPushPolicy::kDemandWindow:
-      return BranchDemandCount(state, child) > 0;
+      return BranchDemandCount(branches, child) > 0;
     case CupPushPolicy::kPopularityThreshold:
-      return BranchDemandCount(state, child) >=
+      return BranchDemandCount(branches, child) >=
              cup_options_.popularity_threshold;
     case CupPushPolicy::kInvestmentReturn: {
-      BranchSlot* branch = FindBranch(state, child);
+      BranchSlot* branch = FindBranch(branches, child);
       if (branch == nullptr) return false;
       if (branch->credit < 1.0) return false;
       branch->credit -= 1.0;  // A push spends one earned credit.
@@ -127,13 +129,14 @@ bool CupProtocol::DecidePush(CupNodeState& state, NodeId child) {
 }
 
 bool CupProtocol::WouldPushTo(NodeId node, NodeId child) {
-  CupNodeState& state = CupStateOf(node);
+  std::vector<BranchSlot>& branches =
+      cup_states_.ColdAt(CupSlotOf(node)).branches;
   // Probe without side effects: investment-return would spend credit.
   if (cup_options_.policy == CupPushPolicy::kInvestmentReturn) {
-    const BranchSlot* branch = FindBranch(state, child);
+    const BranchSlot* branch = FindBranch(branches, child);
     return branch != nullptr && branch->credit >= 1.0;
   }
-  return DecidePush(state, child);
+  return DecidePush(branches, child);
 }
 
 void CupProtocol::AfterRequestObserved(NodeId at, NodeId from_child) {
@@ -142,11 +145,11 @@ void CupProtocol::AfterRequestObserved(NodeId at, NodeId from_child) {
 
 void CupProtocol::AfterQueryObserved(NodeId node) {
   if (node == tree()->root()) return;
-  CupNodeState& state = CupStateOf(node);
-  if (state.interest_notified || !NodeInterested(node)) return;
+  CupHot& hot = cup_states_.HotAt(CupSlotOf(node));
+  if (hot.interest_notified || !NodeInterested(node)) return;
   // One-shot explicit interest notification toward the parent, so a node
   // whose queries are all served locally still gets the next push.
-  state.interest_notified = true;
+  hot.interest_notified = true;
   Message msg;
   msg.type = MessageType::kInterestRegister;
   msg.from = node;
@@ -157,16 +160,17 @@ void CupProtocol::AfterQueryObserved(NodeId node) {
 
 void CupProtocol::OnRootPublish(IndexVersion version, sim::SimTime expiry) {
   TreeProtocolBase::OnRootPublish(version, expiry);
-  CupStateOf(tree()->root()).last_forwarded = version;
+  cup_states_.HotAt(CupSlotOf(tree()->root())).last_forwarded = version;
   ForwardPush(tree()->root(), version, expiry);
 }
 
 void CupProtocol::ForwardPush(NodeId at, IndexVersion version,
                               sim::SimTime expiry) {
   if (!tree()->Contains(at)) return;
-  CupNodeState& state = CupStateOf(at);
+  std::vector<BranchSlot>& branches =
+      cup_states_.ColdAt(CupSlotOf(at)).branches;
   for (NodeId child : tree()->Children(at)) {
-    if (!DecidePush(state, child)) continue;
+    if (!DecidePush(branches, child)) continue;
     Message push;
     push.type = MessageType::kPush;
     push.from = at;
@@ -211,16 +215,16 @@ void CupProtocol::HandleProtocolMessage(const Message& message) {
 void CupProtocol::HandlePush(const Message& message) {
   const NodeId at = message.to;
   StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
-  CupNodeState& state = CupStateOf(at);
-  if (message.version <= state.last_forwarded) return;
-  state.last_forwarded = message.version;
+  CupHot& hot = cup_states_.HotAt(CupSlotOf(at));
+  if (message.version <= hot.last_forwarded) return;
+  hot.last_forwarded = message.version;
   ForwardPush(at, message.version, message.expiry);
 }
 
 void CupProtocol::OnSoftStateRefresh() {
   std::vector<NodeId> notified;
-  cup_states_.ForEach([&](NodeId node, const CupNodeState& state) {
-    if (!state.interest_notified) return;
+  cup_states_.ForEach([&](NodeId node, const CupHot& hot, const CupCold&) {
+    if (!hot.interest_notified) return;
     if (!tree()->Contains(node) || node == tree()->root()) return;
     notified.push_back(node);
   });
@@ -238,9 +242,10 @@ void CupProtocol::OnSoftStateRefresh() {
 }
 
 void CupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
-  CupNodeState* parent_state = cup_states_.Find(tree()->registry(), parent);
-  if (parent_state == nullptr) return;
-  BranchSlot* branch = FindBranch(*parent_state, child);
+  const uint32_t parent_slot = cup_states_.FindSlot(tree()->registry(), parent);
+  if (parent_slot == decltype(cup_states_)::kNoSlot) return;
+  BranchSlot* branch =
+      FindBranch(cup_states_.ColdAt(parent_slot).branches, child);
   if (branch == nullptr) return;
   // The parent's demand record for the split branch now describes the edge
   // to the newcomer, and the newcomer inherits a copy for the child, so
@@ -251,7 +256,9 @@ void CupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
   const double credit = branch->credit;
   const cache::AccessTracker demand = branch->demand;
   branch->child = node;  // Re-key in place: same payload, new branch.
-  BranchSlot& inherited = ActivateBranch(CupStateOf(node), child);
+  // `branch` dies here: creating the newcomer's state may grow the slab.
+  BranchSlot& inherited =
+      ActivateBranch(cup_states_.ColdAt(CupSlotOf(node)).branches, child);
   inherited.credit = credit;
   inherited.demand = demand;
   recorder()->AddHops(metrics::HopClass::kControl);
@@ -269,8 +276,7 @@ void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
   // itself as query traffic flows.
   for (NodeId child : former_children) {
     if (!tree()->Contains(child) || child == tree()->root()) continue;
-    CupNodeState& child_state = CupStateOf(child);
-    if (!child_state.interest_notified) continue;
+    if (!cup_states_.HotAt(CupSlotOf(child)).interest_notified) continue;
     Message msg;
     msg.type = MessageType::kInterestRegister;
     msg.from = child;
@@ -282,17 +288,18 @@ void CupProtocol::OnNodeRemoved(NodeId node, NodeId /*former_parent*/,
 
 std::vector<NodeId> CupProtocol::NotifiedNodes() const {
   std::vector<NodeId> notified;
-  cup_states_.ForEach([&notified](NodeId node, const CupNodeState& state) {
-    if (state.interest_notified) notified.push_back(node);
-  });
+  cup_states_.ForEach(
+      [&notified](NodeId node, const CupHot& hot, const CupCold&) {
+        if (hot.interest_notified) notified.push_back(node);
+      });
   std::sort(notified.begin(), notified.end());
   return notified;
 }
 
 bool CupProtocol::HasBranchEntry(NodeId node, NodeId child) const {
-  const CupNodeState* state = cup_states_.Find(tree()->registry(), node);
-  if (state == nullptr) return false;
-  return FindBranch(*state, child) != nullptr;
+  const uint32_t slot = cup_states_.FindSlot(tree()->registry(), node);
+  if (slot == decltype(cup_states_)::kNoSlot) return false;
+  return FindBranch(cup_states_.ColdAt(slot).branches, child) != nullptr;
 }
 
 }  // namespace dupnet::proto

@@ -61,7 +61,7 @@ struct CupOptions {
 ///    roughly every other update cycle. This is what bounds CUP's cost
 ///    saving near 50%.
 ///
-/// Interest tables live in a core::NodeSlab indexed by the tree's
+/// Interest tables live in a core::SplitNodeSlab indexed by the tree's
 /// NodeRegistry (docs/scaling.md): each node holds a flat, degree-bounded
 /// vector of branch slots (linear scan beats hashing at tree degrees), and
 /// per-branch demand uses the same bounded timestamp ring as the interest
@@ -70,7 +70,11 @@ struct CupOptions {
 /// count against a fixed bar. Slots are preallocated per current child but
 /// stay *inactive* until the branch first shows demand, replicating
 /// map-entry existence (HasBranchEntry and the cup-registration audit
-/// invariant read entry existence, not slot presence).
+/// invariant read entry existence, not slot presence). The slab is
+/// hot/cold split (docs/profiling.md): the duplicate-push check and the
+/// notified-interest flag — touched on every push delivery and every
+/// query — pack into the hot array; the branch tables live in the
+/// parallel cold array only demand recording and push fan-out stride.
 class CupProtocol : public TreeProtocolBase {
  public:
   CupProtocol(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
@@ -121,46 +125,52 @@ class CupProtocol : public TreeProtocolBase {
     cache::AccessTracker demand;
   };
 
-  struct CupNodeState {
-    std::vector<BranchSlot> branches;  ///< Degree-bounded; linear scan.
+  /// Hot half: read on every push delivery (duplicate filtering) and every
+  /// local query (one-shot notification gate).
+  struct CupHot {
     /// Whether this node already notified its parent of its own interest.
     bool interest_notified = false;
     IndexVersion last_forwarded = 0;
   };
+  /// Cold half: only demand recording and push fan-out stride it.
+  struct CupCold {
+    std::vector<BranchSlot> branches;  ///< Degree-bounded; linear scan.
+  };
 
-  /// State of `node`, created (or re-initialised on a recycled slot) on
-  /// first access; for a departed node, its lingering state.
-  CupNodeState& CupStateOf(NodeId node);
+  /// Slab slot of `node`'s state, created (or re-initialised on a recycled
+  /// slot) on first access; for a departed node, its lingering state.
+  uint32_t CupSlotOf(NodeId node);
 
   /// The demand ring's saturation bar: every policy only compares the
   /// in-window count against a fixed threshold, so the ring need keep no
   /// more stamps than that threshold.
   uint32_t DemandRingThreshold() const;
 
-  /// The (active) slot for `child`, or null.
-  BranchSlot* FindBranch(CupNodeState& state, NodeId child);
-  const BranchSlot* FindBranch(const CupNodeState& state, NodeId child) const;
+  /// The (active) slot for `child` in a node's branch table, or null.
+  BranchSlot* FindBranch(std::vector<BranchSlot>& branches, NodeId child);
+  const BranchSlot* FindBranch(const std::vector<BranchSlot>& branches,
+                               NodeId child) const;
 
   /// The slot for `child`, activated (fresh credit/ring) if it was not an
   /// entry yet — the flat equivalent of `branches[child]`.
-  BranchSlot& ActivateBranch(CupNodeState& state, NodeId child);
+  BranchSlot& ActivateBranch(std::vector<BranchSlot>& branches, NodeId child);
 
   /// Records one unit of demand from `from_child` at `at`.
   void RecordDemand(NodeId at, NodeId from_child);
 
-  /// Demand events within the last TTL window for `child` at this node,
-  /// saturating at the policy's decision bar (exact for every decision).
-  uint32_t BranchDemandCount(CupNodeState& state, NodeId child);
+  /// Demand events within the last TTL window for `child`, saturating at
+  /// the policy's decision bar (exact for every decision).
+  uint32_t BranchDemandCount(std::vector<BranchSlot>& branches, NodeId child);
 
   /// Applies the configured policy; for kInvestmentReturn a positive
   /// decision spends one credit.
-  bool DecidePush(CupNodeState& state, NodeId child);
+  bool DecidePush(std::vector<BranchSlot>& branches, NodeId child);
 
   void HandlePush(const net::Message& message);
   void ForwardPush(NodeId at, IndexVersion version, sim::SimTime expiry);
 
   CupOptions cup_options_;
-  core::NodeSlab<CupNodeState> cup_states_;
+  core::SplitNodeSlab<CupHot, CupCold> cup_states_;
 };
 
 }  // namespace dupnet::proto

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/hugepage.h"
 
 namespace dupnet::proto {
 
@@ -14,22 +15,45 @@ using net::MessageType;
 TreeProtocolBase::TreeProtocolBase(net::OverlayNetwork* network,
                                    topo::IndexSearchTree* tree,
                                    const ProtocolOptions& options)
-    : network_(network), tree_(tree), options_(options) {
+    : network_(network),
+      tree_(tree),
+      options_(options),
+      tracker_stride_(options.threshold_c + 1) {
   DUP_CHECK(network != nullptr);
   DUP_CHECK(tree != nullptr);
   DUP_CHECK_GT(options.ttl, 0.0);
   // Eager state for every current tree node: fresh state is observationally
-  // absent state, and pre-sizing the slab here keeps first touches on the
-  // query hot path allocation-free.
+  // absent state, and pre-sizing the slab (and the stamp arena with it)
+  // here keeps first touches on the query hot path allocation-free.
   states_.Reserve(tree->registry());
   for (NodeId node : tree->NodesPreOrder()) StateOf(node);
   scratch_.route.reserve(tree->MaxDepth() + 2);
 }
 
-TreeProtocolBase::BaseNodeState& TreeProtocolBase::StateOf(NodeId node) {
-  return states_.GetOrInit(
+uint32_t TreeProtocolBase::StateSlotOf(NodeId node) {
+  const uint32_t slot = states_.SlotOrInit(
       tree_->registry(), node,
-      [this](BaseNodeState& state) { state.Reset(options_); });
+      [](BaseNodeState& state) { state.Reset(); });
+  const size_t need = (static_cast<size_t>(slot) + 1) * tracker_stride_;
+  if (tracker_stamps_.size() < need) {
+    // Grow to cover the whole registry at once so churn cannot trigger a
+    // resize per joining node.
+    util::ResizeWithHugePages(
+        tracker_stamps_,
+        std::max(need, tree_->registry().slot_count() *
+                           static_cast<size_t>(tracker_stride_)));
+  }
+  return slot;
+}
+
+void TreeProtocolBase::RecordQueryAt(uint32_t slot, BaseNodeState& state) {
+  cache::AccessTracker::RecordStamp(
+      Now(), &tracker_stamps_[static_cast<size_t>(slot) * tracker_stride_],
+      tracker_stride_, &state.tracker_head, &state.tracker_count);
+}
+
+TreeProtocolBase::BaseNodeState& TreeProtocolBase::StateOf(NodeId node) {
+  return states_.AtSlot(StateSlotOf(node));
 }
 
 bool TreeProtocolBase::HasState(NodeId node) const {
@@ -45,7 +69,13 @@ const cache::IndexCache& TreeProtocolBase::CacheOf(NodeId node) {
 }
 
 bool TreeProtocolBase::NodeInterested(NodeId node) {
-  return StateOf(node).tracker.Interested(Now());
+  const uint32_t slot = StateSlotOf(node);
+  const BaseNodeState& state = states_.AtSlot(slot);
+  return cache::AccessTracker::CountStamps(
+             Now(), options_.ttl,
+             &tracker_stamps_[static_cast<size_t>(slot) * tracker_stride_],
+             tracker_stride_, state.tracker_head,
+             state.tracker_count) > options_.threshold_c;
 }
 
 void TreeProtocolBase::VisitCaches(
@@ -89,8 +119,9 @@ void TreeProtocolBase::OnRootPublish(IndexVersion version,
 
 void TreeProtocolBase::OnLocalQuery(NodeId node) {
   recorder()->OnQueryIssued();
-  BaseNodeState& state = StateOf(node);
-  state.tracker.RecordQuery(Now());
+  const uint32_t slot = StateSlotOf(node);
+  BaseNodeState& state = states_.AtSlot(slot);
+  RecordQueryAt(slot, state);
   AfterQueryObserved(node);
 
   if (node == tree_->root()) {
@@ -130,9 +161,10 @@ void TreeProtocolBase::OnMessage(const Message& message) {
 
 void TreeProtocolBase::HandleRequest(const Message& message) {
   const NodeId at = message.to;
-  BaseNodeState& state = StateOf(at);
+  const uint32_t slot = StateSlotOf(at);
+  BaseNodeState& state = states_.AtSlot(slot);
   if (options_.count_forwarded_queries) {
-    state.tracker.RecordQuery(Now());
+    RecordQueryAt(slot, state);
   }
   AfterRequestObserved(at, message.from);
   AfterQueryObserved(at);

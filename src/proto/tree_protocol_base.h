@@ -31,6 +31,13 @@ namespace dupnet::proto {
 /// and eager slots keep the query hot path allocation-free. Request and
 /// reply forwarding reuse one scratch message, so a full steady-state run
 /// performs no heap allocation in this layer.
+///
+/// The layout is cache-conscious (docs/profiling.md): the slab entry holds
+/// only what a dispatch touches — the cache entry with its hit/miss
+/// counters and the interest-ring cursors — while the ring timestamps live
+/// packed in one protocol-owned arena, strided by slab slot. A query
+/// therefore costs one slab line plus one arena line, instead of striding
+/// a large struct and chasing a per-node heap-allocated ring.
 class TreeProtocolBase : public Protocol {
  public:
   TreeProtocolBase(net::OverlayNetwork* network, topo::IndexSearchTree* tree,
@@ -57,15 +64,21 @@ class TreeProtocolBase : public Protocol {
   const ProtocolOptions& options() const { return options_; }
 
  protected:
+  /// Per-dispatch node state, packed for one-cache-line access. The
+  /// interest tracker's timestamps live in the strided stamp arena (see
+  /// class comment); only the ring cursors sit here.
   struct BaseNodeState {
     cache::IndexCache cache;
-    cache::AccessTracker tracker;
+    uint32_t tracker_head = 0;
+    uint32_t tracker_count = 0;
 
     /// Returns the state to its initial condition in place (slab slot
-    /// recycling after churn; preserves the tracker ring's capacity).
-    void Reset(const ProtocolOptions& options) {
+    /// recycling after churn). Stale arena stamps are masked by the zero
+    /// count.
+    void Reset() {
       cache.Reset();
-      tracker.Reset(options.ttl, options.threshold_c);
+      tracker_head = 0;
+      tracker_count = 0;
     }
   };
 
@@ -116,10 +129,22 @@ class TreeProtocolBase : public Protocol {
   void SendReply(NodeId server, const net::Message& request,
                  const cache::IndexEntry& entry);
 
+  /// Slab slot of `node`'s state (creating/re-initialising like StateOf),
+  /// with the stamp arena guaranteed to cover it.
+  uint32_t StateSlotOf(NodeId node);
+  /// Records one observed query in slot `slot`'s interest ring.
+  void RecordQueryAt(uint32_t slot, BaseNodeState& state);
+
   net::OverlayNetwork* network_;
   topo::IndexSearchTree* tree_;
   ProtocolOptions options_;
   core::NodeSlab<BaseNodeState> states_;
+  /// Interest-ring timestamps for every slab slot, packed contiguously:
+  /// slot i owns [i * tracker_stride_, (i + 1) * tracker_stride_).
+  std::vector<sim::SimTime> tracker_stamps_;
+  /// Ring capacity per slot: threshold_c + 1 (see cache::AccessTracker —
+  /// that bound is exact for the interest decision).
+  uint32_t tracker_stride_;
   IndexVersion latest_version_ = 0;
   sim::SimTime latest_expiry_ = 0.0;
   /// Reused for every request/reply build and forward. Safe because the

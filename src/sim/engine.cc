@@ -7,7 +7,8 @@
 namespace dupnet::sim {
 
 void Engine::ScheduleAt(SimTime time, std::function<void()> action) {
-  DUP_CHECK_GE(time, now_);
+  DUP_DCHECK_GE(time, now_) << "ScheduleAt in the past";
+  if (time < now_) time = now_;
   queue_.Push(time, std::move(action));
 }
 
@@ -18,7 +19,8 @@ void Engine::ScheduleAfter(SimTime delay, std::function<void()> action) {
 
 void Engine::ScheduleAt(SimTime time, EventTarget* target, uint32_t code,
                         uint64_t arg) {
-  DUP_CHECK_GE(time, now_);
+  DUP_DCHECK_GE(time, now_) << "ScheduleAt in the past";
+  if (time < now_) time = now_;
   queue_.Push(time, target, code, arg);
 }
 
@@ -33,6 +35,9 @@ bool Engine::Step() {
   Event e = queue_.Pop();
   now_ = e.time;
   ++processed_;
+  // Let the *next* event's target start pulling its state into cache while
+  // the current event's dispatch runs (see EventTarget::PrefetchSimEvent).
+  queue_.StageNext();
   e.Fire();
   if (post_event_hook_) post_event_hook_();
   return true;

@@ -26,8 +26,16 @@ class Engine {
   /// Current simulated time in seconds.
   SimTime Now() const { return now_; }
 
-  /// Schedules `action` at absolute simulated time `time`. Scheduling in the
-  /// past is a programming error.
+  /// Selects the event-queue scheduler (calendar by default, heap kept as
+  /// the reference implementation). Only legal before the first event is
+  /// scheduled; both produce bit-identical execution orders.
+  void set_scheduler(SchedulerKind kind) { queue_.set_scheduler(kind); }
+  SchedulerKind scheduler() const { return queue_.scheduler(); }
+
+  /// Schedules `action` at absolute simulated time `time`. Scheduling in
+  /// the past is a contract violation: it fires a DUP_DCHECK in sanitizer
+  /// builds and is repaired by clamping `time` to Now() in release builds
+  /// (the event still runs, after everything already scheduled for Now()).
   void ScheduleAt(SimTime time, std::function<void()> action);
 
   /// Schedules `action` `delay` seconds from Now(). Pre: delay >= 0.

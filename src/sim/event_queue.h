@@ -1,6 +1,7 @@
 #ifndef DUP_SIM_EVENT_QUEUE_H_
 #define DUP_SIM_EVENT_QUEUE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -20,6 +21,16 @@ class EventTarget {
  public:
   virtual ~EventTarget() = default;
   virtual void OnSimEvent(uint32_t code, uint64_t arg) = 0;
+
+  /// Cache-warming hook: while one event fires, the engine announces the
+  /// *next* pending typed event to its target, giving the target a chance
+  /// to prefetch the state that dispatch will touch (see
+  /// net::OverlayNetwork). Implementations must not mutate any simulation
+  /// state. Default: no-op.
+  virtual void PrefetchSimEvent(uint32_t code, uint64_t arg) {
+    (void)code;
+    (void)arg;
+  }
 };
 
 /// One dequeued event: either a typed payload (`target` non-null) or a
@@ -45,18 +56,62 @@ struct Event {
   }
 };
 
-/// Min-heap of events ordered by (time, seq).
+/// Scheduler backing for EventQueue. Both produce the exact same total
+/// order — ascending (time, seq) — so golden RunMetrics are bit-identical
+/// under either; the heap is kept as the obviously-correct reference
+/// implementation and as the comparison arm for bench_scale's
+/// scheduler-only microbench.
+enum class SchedulerKind {
+  kHeap,      ///< Binary min-heap: O(log n) push/pop, the PR 3 engine.
+  kCalendar,  ///< Calendar queue: amortised O(1) push/pop (the default).
+};
+
+/// Priority queue of events ordered by ascending (time, seq).
 ///
-/// The heap itself holds only trivially-copyable (time, seq, slot)
-/// references — sifting never touches payloads, so there is no moved-from
-/// comparator hazard — while payloads live in a slab recycled through a
-/// free list. Once the slab has grown to the simulation's peak in-flight
-/// event count, typed pushes and pops perform zero allocations.
+/// Payloads live in a slab recycled through a free list: once the slab has
+/// grown to the simulation's peak in-flight event count, typed pushes and
+/// pops perform zero allocations under both schedulers.
+///
+/// The calendar scheduler (default) splits pending events three ways:
+///
+///  - a near-future **lane**: a small array of (time, seq, slot) refs kept
+///    sorted descending, so the next event to fire is always `lane_.back()`
+///    and popping it is O(1);
+///  - a **year** of `B` (power of two) width-`width_` timestamp buckets
+///    covering `[year_start_, year_start_ + B * width_)`; each bucket is an
+///    unsorted intrusive chain threaded through the payload slab
+///    (`Node::next`), so pushing is O(1) and touches only the payload the
+///    caller just wrote plus one bucket-head word;
+///  - an **overflow** chain for events beyond the year, redistributed
+///    lazily when the year drains (far-future spill: soft-state refresh
+///    timers, retry backoffs).
+///
+/// A bucket is sorted only when it becomes the nearest non-empty one and is
+/// moved wholesale into the lane. Classification is a single FP multiply:
+/// `fidx = (time - year_start_) * inv_width_`, compared against the current
+/// bucket cursor and `B`. `fidx` is monotone in `time`, so bucket order
+/// refines timestamp order and the (time, seq) sort inside each bucket
+/// yields the exact global FIFO total order — the heap and calendar pop
+/// streams are identical, event for event.
+///
+/// `width_` is sized from the observed event-rate: on every rebuild the
+/// pending set is sorted and the mean gap up to the 75th-percentile event
+/// (doubled) becomes the new bucket width, so a bucket holds ~a handful of
+/// events regardless of load. Rebuilds trigger when the pending count
+/// outgrows 2*B (the only allocating path: the bucket array doubles), and
+/// — allocation-free — when the lane itself accumulates a quarter of all
+/// pending events spanning a nonzero time range (a sign the year anchor is
+/// stale, e.g. after a burst of pushes behind the current cursor).
 class EventQueue {
  public:
-  EventQueue() = default;
+  EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Selects the scheduler. Only legal while the queue is empty (the driver
+  /// sets it once, before scheduling the first event).
+  void set_scheduler(SchedulerKind kind);
+  SchedulerKind scheduler() const { return kind_; }
 
   /// Enqueues a typed event for `target` to fire at absolute time `time`.
   /// Steady-state allocation-free.
@@ -67,15 +122,23 @@ class EventQueue {
   /// allocate).
   void Push(SimTime time, std::function<void()> action);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
 
   /// Pre: !empty(). Timestamp of the next event without removing it.
-  SimTime PeekTime() const;
+  /// Non-const: the calendar scheduler may need to surface the nearest
+  /// bucket into the lane to answer.
+  SimTime PeekTime();
 
   /// Pre: !empty(). Removes and returns the next event; its payload slot is
   /// recycled immediately.
   Event Pop();
+
+  /// Pre-dispatch staging: announces the next pending typed event to its
+  /// target via EventTarget::PrefetchSimEvent, so the target can warm the
+  /// cache lines that dispatch will touch while the *current* event fires.
+  /// No-op when the queue is empty or the next event is a boxed closure.
+  void StageNext();
 
   /// Total number of events ever pushed.
   uint64_t pushed() const { return next_seq_; }
@@ -85,30 +148,34 @@ class EventQueue {
   /// verify the pool stops growing in steady state.
   size_t pool_slots() const { return pool_.size(); }
 
-  /// Pre-sizes the heap, payload slab and free list for `events`
-  /// simultaneously pending events, so every typed push from the first
-  /// event onward is allocation-free. Feed it a prior identical run's
-  /// pool_slots() (the two-run census in bench_micro) or an upper bound.
-  void Reserve(size_t events) {
-    heap_.reserve(events);
-    pool_.reserve(events);
-    free_slots_.reserve(events);
-  }
+  /// Pre-sizes the payload slab, free list, lane/scratch buffers and the
+  /// bucket array for `events` simultaneously pending events, so every
+  /// typed push from the first event onward is allocation-free. Feed it a
+  /// prior identical run's pool_slots() (the two-run census in bench_micro)
+  /// or an upper bound.
+  void Reserve(size_t events);
 
  private:
-  /// Heap element. POD on purpose: heap sifts move 24-byte values and the
-  /// comparator only ever reads live scalars.
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  /// Lane/heap element. POD on purpose: sorts and sifts move 24-byte
+  /// values and the comparators only ever read live scalars.
   struct Ref {
     SimTime time;
     uint64_t seq;
     uint32_t slot;
   };
 
-  /// Pooled payload.
+  /// Pooled payload. `time`/`seq` are duplicated here so bucket chains can
+  /// be rebuilt from slots alone; `next` threads the intrusive bucket and
+  /// overflow chains.
   struct Node {
     EventTarget* target = nullptr;
-    uint32_t code = 0;
     uint64_t arg = 0;
+    SimTime time = 0.0;
+    uint64_t seq = 0;
+    uint32_t code = 0;
+    uint32_t next = kNilSlot;
     std::function<void()> action;
   };
 
@@ -118,13 +185,65 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Earlier {
+    bool operator()(const Ref& a, const Ref& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      return a.seq < b.seq;
+    }
+  };
 
-  /// Takes a recycled payload slot, or grows the slab.
+  static size_t NextPow2(size_t v) {
+    size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  /// Takes a recycled payload slot, or grows the slab (and keeps the
+  /// lane/scratch buffers large enough to hold every live payload, so
+  /// calendar rebuilds stay allocation-free once the pool stops growing).
   uint32_t AcquireSlot();
-  /// Pushes the (time, seq, slot) reference onto the heap.
-  void PushRef(SimTime time, uint32_t slot);
+  /// Stamps (time, seq) into the payload and routes it to the active
+  /// scheduler.
+  void Enqueue(SimTime time, uint32_t slot);
+  /// Calendar: files one ref into lane, current-year bucket or overflow.
+  void Place(const Ref& ref);
+  /// Calendar: sorted insert into the near-future lane (descending order).
+  void LaneInsert(const Ref& ref);
+  /// Calendar: ensures the lane holds the next event (moves the nearest
+  /// non-empty bucket in, advancing years over the overflow chain as
+  /// needed). Post: lane non-empty unless the queue is empty.
+  void Settle();
+  /// Calendar: drains bucket `b`'s chain into the (empty) lane and sorts.
+  void MoveBucketToLane(size_t b);
+  /// Calendar: gathers every pending event into scratch_, re-derives the
+  /// year anchor and bucket width from the sorted set, and redistributes.
+  /// Allocation-free unless `num_buckets` exceeds the current array.
+  void Rebuild(size_t num_buckets);
+  /// Calendar: collects lane + buckets + overflow into scratch_ (cleared
+  /// first) and empties them.
+  void GatherAll();
+  /// Calendar: re-derives width_ from ascending-sorted scratch_ (mean gap
+  /// up to the 75th-percentile event, doubled); keeps the old width when
+  /// the span is degenerate (all-equal timestamps).
+  void ComputeWidth();
 
-  std::vector<Ref> heap_;          ///< Binary min-heap by (time, seq).
+  SchedulerKind kind_ = SchedulerKind::kCalendar;
+  size_t size_ = 0;  ///< Pending events, both schedulers.
+
+  std::vector<Ref> heap_;  ///< kHeap: binary min-heap by (time, seq).
+
+  std::vector<Ref> lane_;  ///< kCalendar: sorted descending; pop from back.
+  std::vector<uint32_t> bucket_head_;  ///< kCalendar: intrusive chain heads.
+  uint32_t overflow_head_ = kNilSlot;  ///< kCalendar: beyond-year chain.
+  size_t overflow_count_ = 0;
+  size_t in_year_ = 0;      ///< Events currently filed in buckets.
+  size_t cur_bucket_ = 0;   ///< Buckets below this are drained into the lane.
+  SimTime year_start_ = 0.0;
+  double width_ = 1.0;      ///< Bucket width in sim-seconds (> 0).
+  double inv_width_ = 1.0;
+  bool anchored_ = false;   ///< year_start_ valid (first push anchors).
+  std::vector<Ref> scratch_;  ///< Rebuild staging buffer.
+
   std::vector<Node> pool_;         ///< Payload slab, indexed by Ref::slot.
   std::vector<uint32_t> free_slots_;  ///< Recycled slab indices.
   uint64_t next_seq_ = 0;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "util/check.h"
+#include "util/hugepage.h"
 #include "util/str.h"
 
 namespace dupnet::topo {
@@ -19,7 +20,9 @@ IndexSearchTree::IndexSearchTree(NodeId root) : root_(root) {
 IndexSearchTree::NodeRecord& IndexSearchTree::AcquireRecord(NodeId node,
                                                             NodeId parent) {
   const uint32_t slot = registry_.Acquire(node);
-  if (records_.size() <= slot) records_.resize(registry_.slot_count());
+  if (records_.size() <= slot) {
+    util::ResizeWithHugePages(records_, registry_.slot_count());
+  }
   NodeRecord& rec = records_[slot];
   rec.parent = parent;
   rec.children.clear();  // Keeps the prior owner's capacity.
@@ -219,7 +222,7 @@ uint32_t IndexSearchTree::MaxDepth() const {
 
 void IndexSearchTree::Reserve(size_t nodes) {
   registry_.Reserve(/*max_id=*/nodes, /*slots=*/nodes);
-  records_.reserve(nodes);
+  util::ReserveWithHugePages(records_, nodes);
 }
 
 Status IndexSearchTree::Validate() const {

@@ -59,4 +59,24 @@ class CheckMessageBuilder {
     DUP_CHECK(_dup_s.ok()) << _dup_s.ToString();              \
   } while (0)
 
+/// Debug-only assertion: fatal when DUP_ENABLE_DCHECKS is defined (the
+/// sanitizer presets turn it on), compiled to nothing in plain builds —
+/// the condition is type-checked but never evaluated. Use it for contracts
+/// that release builds deliberately repair instead of aborting on (e.g.
+/// Engine::ScheduleAt clamping a past timestamp to now).
+#ifdef DUP_ENABLE_DCHECKS
+#define DUP_DCHECK(cond) DUP_CHECK(cond)
+#else
+#define DUP_DCHECK(cond)                                               \
+  while (false && !(cond))                                             \
+  ::dupnet::util::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+#endif
+
+#define DUP_DCHECK_EQ(a, b) DUP_DCHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_DCHECK_NE(a, b) DUP_DCHECK((a) != (b))
+#define DUP_DCHECK_LT(a, b) DUP_DCHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_DCHECK_LE(a, b) DUP_DCHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_DCHECK_GT(a, b) DUP_DCHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define DUP_DCHECK_GE(a, b) DUP_DCHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
 #endif  // DUP_UTIL_CHECK_H_

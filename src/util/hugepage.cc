@@ -1,0 +1,87 @@
+#include "util/hugepage.h"
+
+#include <cstdint>
+
+#ifdef __linux__
+#include <sys/mman.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace dupnet::util {
+
+namespace {
+
+constexpr uintptr_t kPageSize = 4096;
+constexpr size_t kHugePageSize = size_t{2} << 20;
+constexpr size_t kMinAdviseBytes = kHugePageSize;
+
+#ifdef __linux__
+
+/// Does this kernel actually deliver transparent huge pages for
+/// madvise'd anonymous memory? Touching an advised range on a kernel
+/// that advertises THP but cannot produce it (common in micro-VM
+/// containers) is actively harmful: with `defrag=madvise` every fault
+/// in the advised VMA attempts synchronous compaction, turning a
+/// hundreds-of-MB slab's first touch into minutes of kernel time. So
+/// probe once — map 4 MiB, advise, touch, and ask /proc/self/smaps
+/// whether any AnonHugePages materialised — and only hand out advice
+/// when the answer is yes.
+bool ProbeThpOnce() {
+  const size_t len = 2 * kHugePageSize;
+  void* mem = mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return false;
+  if (madvise(mem, len, MADV_HUGEPAGE) != 0) {
+    munmap(mem, len);
+    return false;
+  }
+  memset(mem, 1, len);
+
+  bool huge = false;
+  if (FILE* smaps = fopen("/proc/self/smaps", "r")) {
+    const uintptr_t begin = reinterpret_cast<uintptr_t>(mem);
+    char line[256];
+    bool in_region = false;
+    while (fgets(line, sizeof(line), smaps) != nullptr) {
+      uintptr_t lo = 0, hi = 0;
+      if (sscanf(line, "%lx-%lx ", &lo, &hi) == 2) {
+        in_region = lo <= begin && begin < hi;
+      } else if (in_region &&
+                 strncmp(line, "AnonHugePages:", 14) == 0) {
+        size_t kb = 0;
+        if (sscanf(line + 14, "%zu", &kb) == 1 && kb > 0) huge = true;
+        break;
+      }
+    }
+    fclose(smaps);
+  }
+  munmap(mem, len);
+  return huge;
+}
+
+bool ThpUsable() {
+  static const bool usable = ProbeThpOnce();
+  return usable;
+}
+
+#endif  // __linux__
+
+}  // namespace
+
+void AdviseHugePages(const void* ptr, size_t bytes) {
+#ifdef __linux__
+  if (ptr == nullptr || bytes < kMinAdviseBytes || !ThpUsable()) return;
+  const uintptr_t raw = reinterpret_cast<uintptr_t>(ptr);
+  const uintptr_t begin = (raw + kPageSize - 1) & ~(kPageSize - 1);
+  const uintptr_t end = (raw + bytes) & ~(kPageSize - 1);
+  if (end <= begin) return;
+  (void)madvise(reinterpret_cast<void*>(begin), end - begin, MADV_HUGEPAGE);
+#else
+  (void)ptr;
+  (void)bytes;
+#endif
+}
+
+}  // namespace dupnet::util

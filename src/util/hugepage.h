@@ -1,0 +1,53 @@
+#ifndef DUP_UTIL_HUGEPAGE_H_
+#define DUP_UTIL_HUGEPAGE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dupnet::util {
+
+/// Best-effort transparent-huge-page request for [ptr, ptr + bytes).
+///
+/// At 10^6 nodes the flat per-node slabs span hundreds of megabytes and
+/// every event touches a few of them at random offsets, so with 4 KiB
+/// pages each access pays a TLB miss (a multi-level page walk) on top of
+/// the cache miss. Backing the big arrays with 2 MiB pages shrinks the
+/// working set to a few hundred TLB entries. Rounds the range inward to
+/// page boundaries and ignores ranges below one huge page. A one-time
+/// probe verifies the kernel actually delivers THP before any advice is
+/// handed out (kernels that advertise THP but cannot produce it pay
+/// synchronous compaction on every fault in an advised range — worse
+/// than no advice at all); on probe failure, non-Linux, or THP
+/// disabled, calls are silent no-ops. Purely a performance hint, never
+/// affects behaviour.
+void AdviseHugePages(const void* ptr, size_t bytes);
+
+/// Reserves capacity for at least `n` elements and, when that
+/// reallocates, requests huge pages for the new backing store *before*
+/// it is first touched (advice after first touch only takes effect
+/// whenever khugepaged gets around to collapsing the range — far too
+/// late for a bench run). Growth is geometric — at least double the old
+/// capacity — so call sites that grow a slab one slot at a time keep
+/// vector's amortised-O(1) append instead of degrading to a
+/// reallocate-and-copy per element (quadratic over a million-node
+/// build). A one-shot pre-size to a known high-water mark is unaffected:
+/// there `n` dominates and the reservation is exact.
+template <typename Vec>
+void ReserveWithHugePages(Vec& v, size_t n) {
+  if (v.capacity() < n) {
+    v.reserve(std::max(n, 2 * v.capacity()));
+    AdviseHugePages(v.data(), v.capacity() * sizeof(typename Vec::value_type));
+  }
+}
+
+/// Grows `v` to `n` value-initialised elements via ReserveWithHugePages,
+/// so slab growth lands on huge pages from the first touch.
+template <typename Vec>
+void ResizeWithHugePages(Vec& v, size_t n) {
+  ReserveWithHugePages(v, n);
+  v.resize(n);
+}
+
+}  // namespace dupnet::util
+
+#endif  // DUP_UTIL_HUGEPAGE_H_

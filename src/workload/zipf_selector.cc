@@ -1,9 +1,11 @@
 #include "workload/zipf_selector.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "util/check.h"
+#include "util/hugepage.h"
 
 namespace dupnet::workload {
 
@@ -15,7 +17,9 @@ ZipfNodeSelector::ZipfNodeSelector(std::vector<NodeId> nodes, double theta,
   DUP_CHECK(perm_rng != nullptr);
   perm_rng->Shuffle(&ranked_nodes_);
 
-  cdf_.resize(ranked_nodes_.size());
+  util::AdviseHugePages(ranked_nodes_.data(),
+                        ranked_nodes_.size() * sizeof(NodeId));
+  util::ResizeWithHugePages(cdf_, ranked_nodes_.size());
   double total = 0.0;
   for (size_t i = 0; i < ranked_nodes_.size(); ++i) {
     total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
@@ -24,10 +28,11 @@ ZipfNodeSelector::ZipfNodeSelector(std::vector<NodeId> nodes, double theta,
   raw_total_ = total;
   for (double& c : cdf_) c /= total;
   cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+  RebuildEytzinger();
 }
 
 void ZipfNodeSelector::RecomputeCdf() {
-  cdf_.resize(ranked_nodes_.size());
+  util::ResizeWithHugePages(cdf_, ranked_nodes_.size());
   double total = 0.0;
   for (size_t i = 0; i < ranked_nodes_.size(); ++i) {
     total += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
@@ -37,13 +42,56 @@ void ZipfNodeSelector::RecomputeCdf() {
   for (double& c : cdf_) c /= total;
   cdf_.back() = 1.0;
   ++exact_recomputes_;
+  RebuildEytzinger();
+}
+
+void ZipfNodeSelector::RebuildEytzinger() {
+  const size_t n = cdf_.size();
+  util::ResizeWithHugePages(eyt_keys_, n + 1);
+  util::ResizeWithHugePages(eyt_nodes_, n + 1);
+  eyt_keys_[0] = 0.0;
+  eyt_nodes_[0] = 0;
+  size_t next_rank = 0;
+  FillEytzinger(1, &next_rank);
+}
+
+/// In-order walk of the implicit tree assigns ranks left-to-right, so the
+/// in-order sequence of (eyt_keys_, eyt_nodes_) is exactly
+/// (cdf_, ranked_nodes_). Depth is ~log2(n): safe to recurse.
+void ZipfNodeSelector::FillEytzinger(size_t k, size_t* next_rank) {
+  if (k > cdf_.size()) return;
+  FillEytzinger(2 * k, next_rank);
+  eyt_keys_[k] = cdf_[*next_rank];
+  eyt_nodes_[k] = ranked_nodes_[*next_rank];
+  ++*next_rank;
+  FillEytzinger(2 * k + 1, next_rank);
 }
 
 NodeId ZipfNodeSelector::Sample(util::Rng* rng) const {
   const double u = rng->NextDouble();
-  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-  const size_t idx = static_cast<size_t>(it - cdf_.begin());
-  return ranked_nodes_[std::min(idx, ranked_nodes_.size() - 1)];
+  // Lower-bound descent in Eytzinger order: take the right child when the
+  // key is < u; after the walk, stripping the trailing right-turns (and
+  // the final step) leaves the last left-turn — the in-order-first key
+  // >= u, i.e. exactly std::lower_bound(cdf_, u). k == 0 means every key
+  // is < u, which the sorted search clamped to the last rank. Keys are
+  // bitwise copies of cdf_ values, so the comparison outcomes — and with
+  // them the draw-to-node mapping and every golden metric — are
+  // unchanged; only the probe addresses differ. The 16*k prefetch pulls
+  // the great-great-grandchildren while the current probe's load is in
+  // flight, hiding the deep levels' DRAM misses four levels ahead.
+  const size_t n = cdf_.size();
+  const double* keys = eyt_keys_.data();
+  size_t k = 1;
+  while (k <= n) {
+    const size_t ahead = 16 * k;
+    if (ahead <= n) {
+      __builtin_prefetch(keys + ahead);
+      __builtin_prefetch(keys + std::min(ahead + 15, n));
+    }
+    k = 2 * k + (keys[k] < u);
+  }
+  k >>= (std::countr_one(k) + 1);
+  return k == 0 ? ranked_nodes_.back() : eyt_nodes_[k];
 }
 
 double ZipfNodeSelector::ProbabilityOfRank(size_t rank) const {
@@ -64,6 +112,7 @@ void ZipfNodeSelector::ReplaceNode(NodeId old_node, NodeId new_node) {
   auto it = std::find(ranked_nodes_.begin(), ranked_nodes_.end(), old_node);
   if (it == ranked_nodes_.end()) return;
   *it = new_node;
+  RebuildEytzinger();  // O(n), same as the find above.
 }
 
 void ZipfNodeSelector::AddNode(NodeId node) {
@@ -85,7 +134,9 @@ void ZipfNodeSelector::AddNode(NodeId node) {
       1.0 / std::pow(static_cast<double>(ranked_nodes_.size()), theta_);
   const double exact_head = 1.0 / raw_total_;
   if (std::abs(cdf_[0] - exact_head) > kMaxHeadMassDrift) {
-    RecomputeCdf();
+    RecomputeCdf();  // Rebuilds the Eytzinger mirror itself.
+  } else {
+    RebuildEytzinger();
   }
 }
 

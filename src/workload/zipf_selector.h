@@ -57,9 +57,24 @@ class ZipfNodeSelector {
   /// the constructor).
   void RecomputeCdf();
 
+  /// Rebuilds the Eytzinger-ordered search mirror from cdf_ and
+  /// ranked_nodes_ (see Sample). Called whenever either changes.
+  void RebuildEytzinger();
+  void FillEytzinger(size_t k, size_t* next_rank);
+
   double theta_;
   std::vector<NodeId> ranked_nodes_;  ///< index i holds the (i+1)-th rank.
   std::vector<double> cdf_;           ///< cumulative P over ranks.
+  /// Sample-path mirror of (cdf_, ranked_nodes_) in Eytzinger (BFS heap)
+  /// order, 1-based. A binary search down this layout touches one
+  /// contiguous hot region for the top levels and can prefetch four
+  /// levels ahead for the deep ones, where the sorted array's probes are
+  /// serialized cache misses; at 10^6 ranks this is the difference
+  /// between ~10 and ~2 stalls per draw. Keys are bit-identical copies
+  /// of cdf_ values, so every draw maps to exactly the node the sorted
+  /// search would return (golden metrics unchanged).
+  std::vector<double> eyt_keys_;
+  std::vector<NodeId> eyt_nodes_;
   /// Exact (unnormalized) sum_{k=1..n} 1/k^theta for the current n,
   /// maintained incrementally across joins; 1/raw_total_ is the exact
   /// rank-1 probability the approximation is checked against.

@@ -127,6 +127,36 @@ TEST(SimDeterminismTest, MatchesPrePoolingEngineGoldenValues) {
   }
 }
 
+// The calendar scheduler (the default, exercised by every other test here)
+// and the reference binary heap must produce the same execution order —
+// the goldens hold bit-for-bit under BOTH scheduler settings, serially and
+// in the parallel runner (see also sim_scheduler_equivalence_test.cc for
+// the queue-level property tests).
+TEST(SimDeterminismTest, GoldenValuesHoldUnderBothSchedulers) {
+  for (sim::SchedulerKind kind :
+       {sim::SchedulerKind::kHeap, sim::SchedulerKind::kCalendar}) {
+    std::vector<ExperimentConfig> batch;
+    for (const GoldenRow& row : kGolden) {
+      ExperimentConfig config = ConfigFor(row);
+      config.scheduler = kind;
+      batch.push_back(config);
+    }
+    for (size_t jobs : {1u, 4u}) {
+      ParallelRunner runner(jobs);
+      const auto outcomes = runner.RunBatch(batch);
+      ASSERT_EQ(outcomes.size(), std::size(kGolden));
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        SCOPED_TRACE("scheduler=" +
+                     std::string(SchedulerToString(batch[i].scheduler)) +
+                     " jobs=" + std::to_string(jobs));
+        ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+        ExpectMatchesGolden(outcomes[i].metrics, kGolden[i],
+                            RowName(kGolden[i]));
+      }
+    }
+  }
+}
+
 TEST(SimDeterminismTest, GoldenValuesHoldAtAnyJobCount) {
   std::vector<ExperimentConfig> batch;
   for (const GoldenRow& row : kGolden) batch.push_back(ConfigFor(row));

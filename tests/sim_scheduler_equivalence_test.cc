@@ -1,0 +1,175 @@
+// Property tests pinning the calendar scheduler to the binary heap: both
+// must produce the exact (time, seq) FIFO total order for any push/pop
+// interleaving, because golden RunMetrics (regression_test.cc) are
+// bit-identical only if the schedulers are pop-for-pop interchangeable.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace dupnet::sim {
+namespace {
+
+struct RecordingTarget : EventTarget {
+  void OnSimEvent(uint32_t, uint64_t) override {}
+};
+
+struct PoppedEvent {
+  SimTime time;
+  uint64_t seq;
+  uint64_t arg;
+
+  bool operator==(const PoppedEvent& other) const {
+    return time == other.time && seq == other.seq && arg == other.arg;
+  }
+};
+
+/// One scripted op: push `count` events at `time`, then pop `pops` events.
+struct Op {
+  SimTime time = 0.0;
+  uint32_t pushes = 0;
+  uint32_t pops = 0;
+};
+
+/// Runs the same op stream through one queue and returns its pop order.
+std::vector<PoppedEvent> Drive(SchedulerKind kind, const std::vector<Op>& ops,
+                               bool reserve) {
+  EventQueue queue;
+  queue.set_scheduler(kind);
+  if (reserve) queue.Reserve(64);
+  RecordingTarget target;
+  std::vector<PoppedEvent> popped;
+  uint64_t next_arg = 0;
+  for (const Op& op : ops) {
+    for (uint32_t i = 0; i < op.pushes; ++i) {
+      queue.Push(op.time, &target, /*code=*/0, next_arg++);
+    }
+    for (uint32_t i = 0; i < op.pops && !queue.empty(); ++i) {
+      const Event e = queue.Pop();
+      popped.push_back({e.time, e.seq, e.arg});
+    }
+  }
+  while (!queue.empty()) {
+    const Event e = queue.Pop();
+    popped.push_back({e.time, e.seq, e.arg});
+  }
+  return popped;
+}
+
+void ExpectIdenticalPopOrder(const std::vector<Op>& ops) {
+  for (bool reserve : {false, true}) {
+    const auto heap = Drive(SchedulerKind::kHeap, ops, reserve);
+    const auto calendar = Drive(SchedulerKind::kCalendar, ops, reserve);
+    ASSERT_EQ(heap.size(), calendar.size());
+    for (size_t i = 0; i < heap.size(); ++i) {
+      ASSERT_EQ(heap[i], calendar[i])
+          << "divergence at pop " << i << " (reserve=" << reserve << ")";
+    }
+  }
+}
+
+TEST(SchedulerEquivalenceTest, SameTimestampBurstsPopInFifoOrder) {
+  // Many events at identical timestamps: the order must be pure FIFO, the
+  // case the calendar's same-time lane handling could most easily break.
+  std::vector<Op> ops;
+  for (int round = 0; round < 8; ++round) {
+    ops.push_back({1.0, /*pushes=*/32, /*pops=*/0});
+    ops.push_back({1.0, /*pushes=*/32, /*pops=*/16});
+    ops.push_back({2.0, /*pushes=*/16, /*pops=*/48});
+  }
+  ExpectIdenticalPopOrder(ops);
+}
+
+TEST(SchedulerEquivalenceTest, FarFutureSpillRedistributes) {
+  // A near-term working set plus events far beyond the calendar year
+  // (soft-state refresh timers, retry backoffs): the overflow chain must
+  // redistribute into later years in exact order.
+  std::vector<Op> ops;
+  for (int i = 0; i < 64; ++i) {
+    ops.push_back({0.001 * i, /*pushes=*/4, /*pops=*/0});
+    ops.push_back({1000.0 + 17.0 * i, /*pushes=*/2, /*pops=*/3});
+  }
+  ops.push_back({2000.0, /*pushes=*/1, /*pops=*/64});
+  ExpectIdenticalPopOrder(ops);
+}
+
+TEST(SchedulerEquivalenceTest, RandomisedChurnMatchesHeapExactly) {
+  // Randomised interleavings with monotone "now", duplicate timestamps,
+  // bursts, and occasional far-future pushes — the full contract.
+  util::Rng rng(0xfeed5eedu);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Op> ops;
+    SimTime now = 0.0;
+    for (int step = 0; step < 200; ++step) {
+      Op op;
+      const double kind = rng.UniformDouble(0.0, 1.0);
+      if (kind < 0.70) {
+        op.time = now + rng.UniformDouble(0.0, 2.0);
+      } else if (kind < 0.85) {
+        op.time = now;  // Same-timestamp burst.
+      } else {
+        op.time = now + rng.UniformDouble(100.0, 5000.0);  // Far future.
+      }
+      op.pushes = static_cast<uint32_t>(rng.UniformInt(0, 8));
+      op.pops = static_cast<uint32_t>(rng.UniformInt(0, 6));
+      ops.push_back(op);
+      now += rng.UniformDouble(0.0, 0.5);
+    }
+    ExpectIdenticalPopOrder(ops);
+  }
+}
+
+TEST(SchedulerEquivalenceTest, DrainToEmptyAndReanchor) {
+  // Repeatedly drain the queue completely, then push behind/ahead of the
+  // previous anchor: the calendar must re-anchor at the new first event.
+  std::vector<Op> ops;
+  for (int round = 0; round < 10; ++round) {
+    const double base = 50.0 * round;
+    ops.push_back({base + 5.0, /*pushes=*/8, /*pops=*/0});
+    ops.push_back({base + 0.5, /*pushes=*/8, /*pops=*/100});  // Drain all.
+  }
+  ExpectIdenticalPopOrder(ops);
+}
+
+TEST(SchedulerEquivalenceTest, EngineRunsIdenticallyOnBothSchedulers) {
+  // End-to-end: the same closure workload on two engines, one per
+  // scheduler, fires in the same order at the same times.
+  for (SchedulerKind kind : {SchedulerKind::kHeap, SchedulerKind::kCalendar}) {
+    Engine engine;
+    engine.set_scheduler(kind);
+    std::vector<int> order;
+    engine.ScheduleAt(2.0, [&order] { order.push_back(1); });
+    engine.ScheduleAt(1.0, [&order, &engine] {
+      order.push_back(2);
+      engine.ScheduleAt(1.0, [&order] { order.push_back(3); });  // Same time.
+      engine.ScheduleAt(1.5, [&order] { order.push_back(4); });
+    });
+    engine.Run();
+    EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 1}))
+        << "scheduler kind " << static_cast<int>(kind);
+  }
+}
+
+#ifndef DUP_ENABLE_DCHECKS
+TEST(SchedulerEquivalenceTest, ScheduleAtInThePastClampsToNow) {
+  // Release-build contract (docs/simulator.md): a past timestamp is
+  // clamped to now (debug builds assert instead — hence the gate above).
+  Engine engine;
+  std::vector<SimTime> fired_at;
+  engine.ScheduleAt(5.0, [&] {
+    engine.ScheduleAt(1.0, [&] { fired_at.push_back(engine.Now()); });
+  });
+  engine.ScheduleAt(6.0, [&] { fired_at.push_back(engine.Now()); });
+  engine.Run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[0], 5.0);  // Clamped, not 1.0 — and time never ran
+  EXPECT_EQ(fired_at[1], 6.0);  // backwards for the later event.
+}
+#endif  // DUP_ENABLE_DCHECKS
+
+}  // namespace
+}  // namespace dupnet::sim

@@ -15,7 +15,8 @@
 // alpha[1.2] theta[0.8] c[6] ttl[3600] lead[60] hoplat[0.1] warmup[3600]
 // measure[10620] reps[3] jobs[1] seed[42] shortcut[1] piggyback[0]
 // percopy[1] passrep[0] fwd[1] cup_policy[demand-window] join/leave/fail[0]
-// detect[30] csv[] json[]
+// detect[30] csv[] json[] scheduler[calendar|heap] (DUP_SCHEDULER is the
+// env fallback; both schedulers are bit-identical, see docs/simulator.md)
 //
 // Observability (docs/observability.md): trace_out[] streams every
 // observed message event as JSONL (decimated by trace_sample[1], "N" or
@@ -110,6 +111,12 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
   config.audit_interval = args.GetDouble(
       "audit_interval",
       env_audit_interval != nullptr ? std::atof(env_audit_interval) : 0.0);
+
+  const char* env_scheduler = std::getenv("DUP_SCHEDULER");
+  auto scheduler = experiment::ParseScheduler(args.GetString(
+      "scheduler", env_scheduler != nullptr ? env_scheduler : "calendar"));
+  DUP_CHECK(scheduler.ok()) << scheduler.status().ToString();
+  config.scheduler = *scheduler;
 
   auto topology =
       experiment::ParseTopology(args.GetString("topology", "random-tree"));
