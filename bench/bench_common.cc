@@ -35,6 +35,12 @@ BenchSettings BenchSettings::FromEnv() {
         << jobs << "\"";
     settings.jobs = static_cast<size_t>(value);
   }
+  if (const char* shards = std::getenv("DUP_SHARDS")) {
+    int64_t value = 0;
+    DUP_CHECK(util::ParseInt64(shards, &value) && value > 0)
+        << "DUP_SHARDS must be a positive integer, got \"" << shards << "\"";
+    settings.shards = static_cast<size_t>(value);
+  }
   if (const char* trace = std::getenv("DUP_TRACE_OUT")) {
     settings.trace_out = trace;
   }

@@ -35,12 +35,17 @@ namespace dupnet::bench {
 /// run, checkpointed every DUP_AUDIT_INTERVAL sim-seconds (0 = once per
 /// TTL); see docs/invariants.md. Auditing is likewise metrics-neutral, but
 /// an invariant violation aborts the bench with its diagnostic.
+///
+/// DUP_SHARDS sets the intra-run engine shard count for benches driving the
+/// sharded multikey simulation (1 = unsharded, the default). Merged metrics
+/// are bit-identical for every shard count; only wall-clock changes.
 struct BenchSettings {
   size_t replications = 2;
   double warmup_time = 3600.0;
   double measure_time = 3 * 3540.0;
   bool full = false;
   size_t jobs = 0;  ///< 0 = all hardware threads.
+  size_t shards = 1;  ///< Intra-run engine shards (multikey benches).
   std::string trace_out;        ///< Empty = no trace export.
   std::string trace_sample = "1";
   audit::AuditMode audit_mode = audit::AuditMode::kOff;

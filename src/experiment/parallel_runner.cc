@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "experiment/driver.h"
+#include "util/rng.h"
 
 namespace dupnet::experiment {
 
@@ -17,14 +18,26 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
 }  // namespace
+
+BatchTiming BatchTiming::FromOutcomes(size_t jobs, double wall_seconds,
+                                      const std::vector<RunOutcome>& outcomes) {
+  BatchTiming timing;
+  timing.jobs = jobs;
+  timing.runs = outcomes.size();
+  timing.wall_seconds = wall_seconds;
+  bool first = true;
+  for (const RunOutcome& out : outcomes) {
+    timing.total_run_seconds += out.wall_seconds;
+    timing.min_run_seconds =
+        first ? out.wall_seconds
+              : std::min(timing.min_run_seconds, out.wall_seconds);
+    timing.max_run_seconds =
+        std::max(timing.max_run_seconds, out.wall_seconds);
+    first = false;
+  }
+  return timing;
+}
 
 double BatchTiming::runs_per_second() const {
   return wall_seconds > 0.0 ? static_cast<double>(runs) / wall_seconds : 0.0;
@@ -50,8 +63,35 @@ uint64_t ParallelRunner::SeedForRun(uint64_t base_seed, uint64_t sweep_index,
   const uint64_t point_seed =
       sweep_index == 0
           ? base_seed
-          : SplitMix64(base_seed ^ (0xA0761D6478BD642FULL * sweep_index));
+          : util::SplitMix64(base_seed ^ (0xA0761D6478BD642FULL * sweep_index));
   return point_seed + 0x9E3779B97F4A7C15ULL * (rep + 1);
+}
+
+void ParallelRunner::RunTasks(size_t count,
+                              const std::function<void(size_t)>& task) {
+  if (count == 0) return;
+
+  // Work queue: a shared atomic cursor over the index range. Each worker
+  // claims the next unclaimed index, so no locking is needed and completion
+  // order cannot affect results as long as tasks are index-disjoint.
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      task(i);
+    }
+  };
+
+  const size_t workers = std::min(jobs_, count);
+  if (workers <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
 }
 
 std::vector<RunOutcome> ParallelRunner::RunBatch(
@@ -59,50 +99,25 @@ std::vector<RunOutcome> ParallelRunner::RunBatch(
   std::vector<RunOutcome> outcomes(configs.size());
   const auto batch_start = std::chrono::steady_clock::now();
 
-  // Work queue: a shared atomic cursor over the config array. Each worker
-  // claims the next unclaimed index and writes only its own slot, so no
-  // locking is needed and completion order cannot affect results.
-  std::atomic<size_t> next{0};
-  auto worker = [&]() {
-    for (;;) {
-      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= configs.size()) return;
-      RunOutcome& out = outcomes[i];
-      out.seed = configs[i].seed;
-      const auto run_start = std::chrono::steady_clock::now();
-      auto metrics = SimulationDriver::Run(configs[i]);
-      out.wall_seconds = SecondsSince(run_start);
-      if (metrics.ok()) {
-        out.metrics = std::move(*metrics);
-      } else {
-        out.status = metrics.status();
-      }
+  // Each task writes only its own outcome slot (shared-nothing runs), so
+  // RunTasks' index-disjointness requirement holds trivially.
+  RunTasks(configs.size(), [&](size_t i) {
+    RunOutcome& out = outcomes[i];
+    out.seed = configs[i].seed;
+    const auto run_start = std::chrono::steady_clock::now();
+    auto metrics = SimulationDriver::Run(configs[i]);
+    out.wall_seconds = SecondsSince(run_start);
+    if (metrics.ok()) {
+      out.metrics = std::move(*metrics);
+    } else {
+      out.status = metrics.status();
     }
-  };
+  });
 
-  const size_t workers = std::min(jobs_, std::max<size_t>(1, configs.size()));
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  timing_ = BatchTiming{};
-  timing_.jobs = workers;
-  timing_.runs = outcomes.size();
-  timing_.wall_seconds = SecondsSince(batch_start);
-  for (const RunOutcome& out : outcomes) {
-    timing_.total_run_seconds += out.wall_seconds;
-    timing_.min_run_seconds = timing_.min_run_seconds == 0.0
-                                  ? out.wall_seconds
-                                  : std::min(timing_.min_run_seconds,
-                                             out.wall_seconds);
-    timing_.max_run_seconds =
-        std::max(timing_.max_run_seconds, out.wall_seconds);
-  }
+  const size_t workers =
+      std::min(jobs_, std::max<size_t>(1, configs.size()));
+  timing_ =
+      BatchTiming::FromOutcomes(workers, SecondsSince(batch_start), outcomes);
   return outcomes;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "experiment/config.h"
@@ -28,6 +29,13 @@ struct BatchTiming {
   double total_run_seconds = 0.0;  ///< Sum of per-run wall clocks.
   double min_run_seconds = 0.0;    ///< Fastest single run.
   double max_run_seconds = 0.0;    ///< Slowest single run.
+
+  /// Builds the per-run aggregates from a finished batch. Tracks "first
+  /// outcome seen" explicitly instead of treating 0.0 as an unset sentinel,
+  /// so a legitimately 0.0-second run (coarse clock, trivial config) is
+  /// still the minimum after slower runs are folded in.
+  static BatchTiming FromOutcomes(size_t jobs, double wall_seconds,
+                                  const std::vector<RunOutcome>& outcomes);
 
   /// Aggregate throughput; 0 when nothing ran.
   double runs_per_second() const;
@@ -55,6 +63,14 @@ class ParallelRunner {
   /// sweep indices get SplitMix64-decorrelated stream families.
   static uint64_t SeedForRun(uint64_t base_seed, uint64_t sweep_index,
                              size_t rep);
+
+  /// Runs `task(i)` for every i in [0, count) on the worker pool: a shared
+  /// atomic cursor hands out indices, each worker loops until the range is
+  /// drained. `task` must be safe to call concurrently for distinct indices
+  /// (shared-nothing per index, or index-sliced writes). Blocks until all
+  /// tasks finish. This is the raw fan-out primitive under RunBatch; the
+  /// sharded multikey driver uses it to drive one engine per shard.
+  void RunTasks(size_t count, const std::function<void(size_t)>& task);
 
   /// Runs every config (seeds must already be set by the caller) and
   /// returns outcomes in input order. Individual failures are recorded in

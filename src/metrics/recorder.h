@@ -85,6 +85,11 @@ struct DeliveryCounters {
 /// so the driver can discard the cache-cold transient before measuring.
 class Recorder {
  public:
+  /// Bucket layout of the latency histogram. RunMetrics snapshots carry a
+  /// histogram with the same layout so that RunMetrics::Merge (which
+  /// requires identical layouts) composes across recorders.
+  static constexpr uint64_t kLatencyHistogramMaxTracked = 128;
+
   Recorder() = default;
 
   /// Enables/disables accumulation. While disabled, all record calls are
@@ -147,7 +152,7 @@ class Recorder {
   HopCounters hops_;
   DeliveryCounters delivery_;
   util::RunningStats latency_;
-  util::Histogram latency_histogram_{/*max_tracked=*/128};
+  util::Histogram latency_histogram_{kLatencyHistogramMaxTracked};
 };
 
 }  // namespace dupnet::metrics

@@ -33,6 +33,7 @@ util::JsonValue RunManifest::ToJson() const {
   // Decimal string: a JSON double cannot hold a full 64-bit seed exactly.
   json.Set("seed", std::to_string(seed));
   json.Set("jobs", jobs);
+  json.Set("shards", shards);
   json.Set("hardware_concurrency", hardware_concurrency);
   json.Set("wall_seconds", wall_seconds);
   json.Set("config", config);
@@ -97,6 +98,15 @@ util::Result<RunManifest> RunManifest::FromJson(const util::JsonValue& json) {
   }
   manifest.jobs = static_cast<uint64_t>(jobs);
   manifest.hardware_concurrency = static_cast<uint64_t>(hardware);
+  // Optional for backward compatibility: artifacts pinned before intra-run
+  // sharding existed carry no "shards" field and mean an unsharded run.
+  field = json.Find("shards");
+  if (field != nullptr) {
+    if (!field->is_number()) {
+      return util::Status::InvalidArgument("manifest shards must be a number");
+    }
+    manifest.shards = static_cast<uint64_t>(field->AsDouble());
+  }
 
   field = json.Find("config");
   if (field == nullptr || !field->is_object()) return MissingField("config");

@@ -28,6 +28,7 @@ struct RunManifest {
   std::string git_commit = CurrentGitCommit();
   uint64_t seed = 0;
   uint64_t jobs = 1;               ///< Worker threads the batch ran on.
+  uint64_t shards = 1;             ///< Intra-run engine shards (1 = unsharded).
   uint64_t hardware_concurrency = 0;  ///< Hardware threads of the host.
   double wall_seconds = 0.0;       ///< Wall clock of the producing batch.
   util::JsonValue config = util::JsonValue::MakeObject();

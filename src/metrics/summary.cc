@@ -20,7 +20,64 @@ RunMetrics RunMetrics::FromRecorder(const Recorder& recorder) {
     m.latency_p99 = recorder.latency_histogram().Percentile99();
     m.latency_max = recorder.latency_histogram().Max();
   }
+  m.queries_issued = recorder.queries_issued();
+  m.local_hits = recorder.local_hits();
+  m.stale_serves = recorder.stale_serves();
+  m.latency_stats = recorder.latency_stats();
+  m.latency_hist = recorder.latency_histogram();
   return m;
+}
+
+util::Status RunMetrics::Merge(const RunMetrics& other) {
+  if (hop_classes != other.hop_classes) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "hop class layout mismatch: %d vs %d classes", hop_classes,
+        other.hop_classes));
+  }
+  if (latency_hist.max_tracked() != other.latency_hist.max_tracked()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "latency histogram layout mismatch: max_tracked %llu vs %llu",
+        static_cast<unsigned long long>(latency_hist.max_tracked()),
+        static_cast<unsigned long long>(other.latency_hist.max_tracked())));
+  }
+  // Exact integer sums. All checks passed above, so nothing below fails.
+  queries += other.queries;
+  queries_issued += other.queries_issued;
+  local_hits += other.local_hits;
+  stale_serves += other.stale_serves;
+  for (int i = 0; i < kNumHopClasses; ++i) {
+    hops.counts[i] += other.hops.counts[i];
+    delivery.sent[i] += other.delivery.sent[i];
+    delivery.delivered[i] += other.delivery.delivered[i];
+    delivery.dropped[i] += other.delivery.dropped[i];
+    delivery.retries[i] += other.delivery.retries[i];
+    delivery.giveups[i] += other.delivery.giveups[i];
+  }
+  latency_stats.Merge(other.latency_stats);
+  util::Status hist_status = latency_hist.Merge(other.latency_hist);
+  if (!hist_status.ok()) return hist_status;
+
+  // Recompute every derived field from the merged accumulators. The
+  // histogram's sum/count pair is exact, so the mean (and every rate below)
+  // depends only on the merged totals, not on the merge order.
+  avg_latency_hops = queries == 0 ? 0.0 : latency_hist.Mean();
+  avg_cost_hops = queries == 0 ? 0.0
+                               : static_cast<double>(hops.total()) /
+                                     static_cast<double>(queries);
+  local_hit_rate = queries == 0 ? 0.0
+                                : static_cast<double>(local_hits) /
+                                      static_cast<double>(queries);
+  stale_rate = queries == 0 ? 0.0
+                            : static_cast<double>(stale_serves) /
+                                  static_cast<double>(queries);
+  delivery_ratio = delivery.delivery_ratio();
+  if (latency_hist.count() > 0) {
+    latency_p50 = latency_hist.Percentile50();
+    latency_p95 = latency_hist.Percentile95();
+    latency_p99 = latency_hist.Percentile99();
+    latency_max = latency_hist.Max();
+  }
+  return util::Status::OK();
 }
 
 std::string RunMetrics::ToString() const {

@@ -6,11 +6,20 @@
 #include <vector>
 
 #include "metrics/recorder.h"
+#include "util/histogram.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 namespace dupnet::metrics {
 
 /// Immutable snapshot of one simulation run's measured quantities.
+///
+/// Carries both derived rates (for reporting) and the exact raw
+/// accumulators they were derived from, so snapshots compose: `Merge`
+/// sums the raw counters of two disjoint partitions of a run and
+/// recomputes every derived field, making merge(partitions) equal to a
+/// snapshot of the whole — the invariant the sharded multikey driver
+/// leans on.
 struct RunMetrics {
   uint64_t queries = 0;
   double avg_latency_hops = 0.0;
@@ -28,8 +37,28 @@ struct RunMetrics {
   uint64_t latency_p99 = 0;
   uint64_t latency_max = 0;
 
+  /// Raw accumulators backing the derived rates above.
+  uint64_t queries_issued = 0;
+  uint64_t local_hits = 0;
+  uint64_t stale_serves = 0;
+  util::RunningStats latency_stats;
+  util::Histogram latency_hist{Recorder::kLatencyHistogramMaxTracked};
+  /// Schema guard: number of hop classes the counters were recorded under.
+  /// Merge refuses snapshots recorded with a different class layout.
+  int hop_classes = kNumHopClasses;
+
   /// Captures the current state of `recorder`.
   static RunMetrics FromRecorder(const Recorder& recorder);
+
+  /// Folds `other` (a disjoint partition of the same logical run) into this
+  /// snapshot: integer counters are summed exactly, the latency histogram
+  /// and Welford stats are merged, and every derived rate/percentile is
+  /// recomputed from the merged accumulators. Deterministic: a fixed merge
+  /// order yields bit-identical results regardless of how the partitions
+  /// were produced. Fails with InvalidArgument — before mutating anything —
+  /// when the two snapshots disagree on hop-class count or latency
+  /// histogram bucket layout.
+  util::Status Merge(const RunMetrics& other);
 
   std::string ToString() const;
 };

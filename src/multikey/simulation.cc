@@ -6,6 +6,7 @@
 
 #include "chord/tree_builder.h"
 #include "core/dup_protocol.h"
+#include "experiment/parallel_runner.h"
 #include "proto/cup.h"
 #include "proto/pcx.h"
 #include "util/check.h"
@@ -29,17 +30,32 @@ Status MultiKeyConfig::Validate() const {
   if (measure_time <= 0 || warmup_time < 0) {
     return Status::InvalidArgument("invalid horizon");
   }
+  if (shards < 1 || shards > num_keys) {
+    return Status::InvalidArgument(
+        "shards must be in [1, num_keys]: a shard without keys has no work "
+        "and a key cannot span shards");
+  }
+  DUP_RETURN_IF_ERROR(faults.Validate());
   return Status::OK();
 }
 
 MultiKeySimulation::MultiKeySimulation(const MultiKeyConfig& config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config) {}
 
 Result<MultiKeyResult> MultiKeySimulation::Run(const MultiKeyConfig& config) {
   MultiKeySimulation sim(config);
   DUP_RETURN_IF_ERROR(sim.Init());
   sim.RunToCompletion();
   return sim.Collect();
+}
+
+uint64_t MultiKeySimulation::KeyStreamSeed(uint64_t base_seed,
+                                           size_t key_index) {
+  // Same shape as ParallelRunner::SeedForRun's sweep decorrelation: xor the
+  // base with an odd-constant multiple of the stream index, then finalize
+  // through SplitMix64 so adjacent keys land in unrelated stream families.
+  return util::SplitMix64(base_seed ^
+                          (0xD1B54A32D192ED03ULL * (key_index + 1)));
 }
 
 Status MultiKeySimulation::Init() {
@@ -58,17 +74,58 @@ Status MultiKeySimulation::Init() {
   options.ttl = config_.ttl;
   options.threshold_c = config_.threshold_c;
 
+  // Key popularity masses (rank k+1 gets mass ∝ 1/(k+1)^theta). Each key's
+  // arrival process runs at lambda x mass, so the network-wide stream is
+  // the same Poisson superposition the single-stream design produced —
+  // but pre-split per key, which is what makes sharding order-free.
+  std::vector<double> key_mass(config_.num_keys);
+  double total_mass = 0.0;
+  for (size_t k = 0; k < config_.num_keys; ++k) {
+    key_mass[k] =
+        1.0 / std::pow(static_cast<double>(k + 1), config_.key_zipf_theta);
+    total_mass += key_mass[k];
+  }
+  for (double& m : key_mass) m /= total_mass;
+
+  std::vector<NodeId> nodes(config_.num_nodes);
+  for (size_t i = 0; i < config_.num_nodes; ++i) {
+    nodes[i] = static_cast<NodeId>(i);
+  }
+
+  // Round-robin key -> shard assignment spreads the Zipf-hot head keys
+  // across shards instead of packing them into shard 0.
+  shards_.clear();
+  shards_.reserve(config_.shards);
+  for (size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->sim = this;
+    shards_.push_back(std::move(shard));
+  }
+
+  // Resize once up front: per-key Rng/recorder addresses handed to the
+  // networks below must stay stable.
   keys_.resize(config_.num_keys);
   for (size_t k = 0; k < config_.num_keys; ++k) {
     KeyState& key = keys_[k];
+    Shard& shard = *shards_[k % config_.shards];
+    key.shard = &shard;
+    shard.key_indices.push_back(k);
+
     key.name = util::StrFormat("key-%zu", k);
+    // The key's entire event stream — arrivals, node picks, selector
+    // permutation, network latency draws — comes from this one stream,
+    // fully determined by (seed, key index). No other key touches it.
+    key.rng = util::Rng(KeyStreamSeed(config_.seed, k));
+
     auto tree = chord::ChordTreeBuilder::BuildForKeyName(*ring, key.name);
     DUP_RETURN_IF_ERROR(tree.status());
     key.tree = std::make_unique<topo::IndexSearchTree>(std::move(*tree));
     key.recorder = std::make_unique<metrics::Recorder>();
     key.recorder->set_enabled(false);
     key.network = std::make_unique<net::OverlayNetwork>(
-        &engine_, &rng_, key.recorder.get(), config_.hop_latency_mean);
+        &shard.engine, &key.rng, key.recorder.get(),
+        config_.hop_latency_mean);
+    key.network->set_faults(config_.faults);
     switch (config_.scheme) {
       case experiment::Scheme::kPcx:
         key.protocol = std::make_unique<proto::PcxProtocol>(
@@ -84,125 +141,129 @@ Status MultiKeySimulation::Init() {
         break;
     }
     key.network->set_sink(key.protocol.get());
+
+    util::Rng perm = key.rng.Fork();
+    key.selector = std::make_unique<workload::ZipfNodeSelector>(
+        nodes, config_.node_zipf_theta, &perm);
+    key.arrivals = std::make_unique<workload::ExponentialArrivals>(
+        config_.lambda * key_mass[k]);
+
     // Stagger version boundaries uniformly across keys.
     key.phase_offset = schedule_->period() * static_cast<double>(k) /
                        static_cast<double>(config_.num_keys);
   }
 
-  // Key popularity CDF (rank k+1 gets mass ∝ 1/(k+1)^theta).
-  key_cdf_.resize(config_.num_keys);
-  double total = 0;
-  for (size_t k = 0; k < config_.num_keys; ++k) {
-    total += 1.0 / std::pow(static_cast<double>(k + 1),
-                            config_.key_zipf_theta);
-    key_cdf_[k] = total;
+  // Schedule each shard's warmup-end first so it wins the FIFO tie against
+  // any key event landing exactly at warmup_time, under every shard count.
+  for (auto& shard : shards_) {
+    shard->engine.ScheduleAt(config_.warmup_time, shard.get(),
+                             kEventWarmupEnd);
   }
-  for (double& c : key_cdf_) c /= total;
-  key_cdf_.back() = 1.0;
-
-  std::vector<NodeId> nodes(config_.num_nodes);
-  for (size_t i = 0; i < config_.num_nodes; ++i) {
-    nodes[i] = static_cast<NodeId>(i);
-  }
-  util::Rng perm = rng_.Fork();
-  node_selector_ = std::make_unique<workload::ZipfNodeSelector>(
-      nodes, config_.node_zipf_theta, &perm);
-
-  arrivals_ =
-      std::make_unique<workload::ExponentialArrivals>(config_.lambda);
-
-  engine_.ScheduleAt(config_.warmup_time, this, kEventWarmupEnd);
   for (size_t k = 0; k < config_.num_keys; ++k) {
+    KeyState& key = keys_[k];
     // First version at the key's phase offset; keys start cold before it.
-    engine_.ScheduleAt(keys_[k].phase_offset, this, kEventPublish, k);
+    key.shard->engine.ScheduleAt(key.phase_offset, key.shard, kEventPublish,
+                                 k);
+    ScheduleNextQuery(k);
   }
-  ScheduleNextQuery();
   return Status::OK();
 }
 
-void MultiKeySimulation::OnSimEvent(uint32_t code, uint64_t arg) {
+void MultiKeySimulation::Shard::OnSimEvent(uint32_t code, uint64_t arg) {
   switch (code) {
     case kEventWarmupEnd:
-      for (KeyState& key : keys_) {
-        key.recorder->Reset();
-        key.recorder->set_enabled(true);
-      }
+      sim->EndWarmup(this);
       break;
     case kEventQuery:
-      FireQuery();
+      sim->FireQuery(static_cast<size_t>(arg));
       break;
     case kEventPublish:
-      FirePublish(static_cast<size_t>(arg));
+      sim->FirePublish(static_cast<size_t>(arg));
       break;
     default:
       DUP_CHECK(false) << "unknown multikey event code " << code;
   }
 }
 
-void MultiKeySimulation::ScheduleNextQuery() {
-  if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_), this, kEventQuery);
+void MultiKeySimulation::EndWarmup(Shard* shard) {
+  for (size_t k : shard->key_indices) {
+    keys_[k].recorder->Reset();
+    keys_[k].recorder->set_enabled(true);
+  }
 }
 
-void MultiKeySimulation::FireQuery() {
-  ScheduleNextQuery();
-  // Pick the key by popularity, the querying node by the node law.
-  const double u = rng_.NextDouble();
-  const size_t key_index = static_cast<size_t>(
-      std::lower_bound(key_cdf_.begin(), key_cdf_.end(), u) -
-      key_cdf_.begin());
-  KeyState& key = keys_[std::min(key_index, keys_.size() - 1)];
+void MultiKeySimulation::ScheduleNextQuery(size_t key_index) {
+  KeyState& key = keys_[key_index];
+  const sim::SimTime next =
+      key.shard->engine.Now() + key.arrivals->NextInterArrival(&key.rng);
+  // Strictly before the horizon: an event at t == horizon_end_ would be
+  // both scheduled and fired by RunUntil, half a measurement interval past
+  // the last full one (the old <=/>= mismatch this replaces).
+  if (next < horizon_end_) {
+    key.shard->engine.ScheduleAt(next, key.shard, kEventQuery, key_index);
+  }
+}
+
+void MultiKeySimulation::FireQuery(size_t key_index) {
+  ScheduleNextQuery(key_index);
+  KeyState& key = keys_[key_index];
   if (key.next_version == 1) return;  // Key not yet published.
-  key.protocol->OnLocalQuery(node_selector_->Sample(&rng_));
+  key.protocol->OnLocalQuery(key.selector->Sample(&key.rng));
 }
 
 void MultiKeySimulation::FirePublish(size_t key_index) {
   KeyState& key = keys_[key_index];
+  sim::Engine& engine = key.shard->engine;
   const IndexVersion version = key.next_version++;
-  key.protocol->OnRootPublish(version, engine_.Now() + config_.ttl);
-  const sim::SimTime next = engine_.Now() + schedule_->period();
-  if (next <= horizon_end_) {
-    engine_.ScheduleAt(next, this, kEventPublish, key_index);
+  ++key.publishes;
+  key.protocol->OnRootPublish(version, engine.Now() + config_.ttl);
+  const sim::SimTime next = engine.Now() + schedule_->period();
+  if (next < horizon_end_) {
+    engine.ScheduleAt(next, key.shard, kEventPublish, key_index);
   }
 }
 
-void MultiKeySimulation::RunToCompletion() { engine_.RunUntil(horizon_end_); }
+void MultiKeySimulation::RunToCompletion() {
+  // One task per shard on the runner's worker pool. Shards are
+  // shared-nothing at runtime (each touches only its own engine and its
+  // keys' state; config_/schedule_/horizon_end_ are read-only), so
+  // completion order and thread count cannot affect any metric.
+  experiment::ParallelRunner runner(config_.jobs);
+  runner.RunTasks(shards_.size(),
+                  [&](size_t s) { shards_[s]->engine.RunUntil(horizon_end_); });
+}
 
 MultiKeyResult MultiKeySimulation::Collect() const {
   MultiKeyResult result;
-  metrics::Recorder aggregate;
+  result.shards = config_.shards;
+  for (const auto& shard : shards_) {
+    // Each shard processes exactly one warmup-end bookkeeping event; count
+    // only simulation events so the total is shard-layout-invariant.
+    result.events_processed += shard->engine.processed() - 1;
+  }
+
   std::unordered_map<NodeId, size_t> authority_counts;
   for (const KeyState& key : keys_) {
     KeyStats stats;
     stats.key_name = key.name;
     stats.authority = key.tree->root();
+    stats.publishes = key.publishes;
     stats.metrics = metrics::RunMetrics::FromRecorder(*key.recorder);
     ++authority_counts[stats.authority];
     result.keys.push_back(std::move(stats));
   }
 
-  // Aggregate across keys (weighted by queries).
+  // Aggregate = deterministic merge of per-key metrics in ascending key
+  // order — the same fold under every shard count, which is exactly the
+  // bit-identity invariant the shard tests pin. Layouts always match here
+  // (every recorder uses the same histogram geometry), so Merge cannot
+  // fail.
   metrics::RunMetrics total;
-  uint64_t served = 0;
-  double latency_weighted = 0.0;
-  uint64_t hops_total = 0;
   for (const KeyStats& key : result.keys) {
-    served += key.metrics.queries;
-    latency_weighted += key.metrics.avg_latency_hops *
-                        static_cast<double>(key.metrics.queries);
-    for (int c = 0; c < metrics::kNumHopClasses; ++c) {
-      total.hops.counts[c] += key.metrics.hops.counts[c];
-    }
-    hops_total += key.metrics.hops.total();
+    const Status merged = total.Merge(key.metrics);
+    DUP_CHECK(merged.ok()) << merged.ToString();
   }
-  total.queries = served;
-  total.avg_latency_hops =
-      served == 0 ? 0.0 : latency_weighted / static_cast<double>(served);
-  total.avg_cost_hops =
-      served == 0 ? 0.0
-                  : static_cast<double>(hops_total) /
-                        static_cast<double>(served);
-  result.aggregate = total;
+  result.aggregate = std::move(total);
 
   result.distinct_authorities = authority_counts.size();
   for (const auto& [node, count] : authority_counts) {

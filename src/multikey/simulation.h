@@ -10,6 +10,7 @@
 #include "experiment/config.h"
 #include "metrics/recorder.h"
 #include "metrics/summary.h"
+#include "net/fault_injection.h"
 #include "net/overlay_network.h"
 #include "proto/tree_protocol_base.h"
 #include "sim/engine.h"
@@ -31,7 +32,9 @@ struct MultiKeyConfig {
   size_t num_keys = 16;
   experiment::Scheme scheme = experiment::Scheme::kDup;
 
-  /// Total query rate across all keys (queries/s network-wide).
+  /// Total query rate across all keys (queries/s network-wide). Each key
+  /// runs an independent Poisson stream at lambda x (its popularity mass);
+  /// the superposition is a Poisson process at lambda.
   double lambda = 10.0;
   /// Popularity skew across keys (key rank r gets mass ∝ 1/r^theta).
   double key_zipf_theta = 0.8;
@@ -43,9 +46,21 @@ struct MultiKeyConfig {
   uint32_t threshold_c = 6;
   double hop_latency_mean = 0.1;
 
+  /// Message-level fault model applied to every key's network (default:
+  /// strict no-op, zero extra RNG draws). Must Validate().
+  net::FaultConfig faults;
+
   double warmup_time = 3600.0;
   double measure_time = 10620.0;
   uint64_t seed = 42;
+
+  /// Number of engine shards the K keys are partitioned over (round-robin).
+  /// Each shard owns a private sim::Engine and runs on its own worker;
+  /// merged results are bit-identical for every value in [1, num_keys]
+  /// because each key's event stream is derived only from (seed, key).
+  size_t shards = 1;
+  /// Worker threads driving the shards; 0 = one per hardware thread.
+  size_t jobs = 0;
 
   util::Status Validate() const;
 };
@@ -54,6 +69,9 @@ struct MultiKeyConfig {
 struct KeyStats {
   std::string key_name;
   NodeId authority = kInvalidNode;
+  /// Root publishes fired for this key over the whole horizon (including
+  /// warm-up; independent of the recorder's enable window).
+  uint64_t publishes = 0;
   metrics::RunMetrics metrics;
 };
 
@@ -66,37 +84,65 @@ struct MultiKeyResult {
   size_t max_keys_per_authority = 0;
   /// Distinct nodes acting as an authority.
   size_t distinct_authorities = 0;
+  /// Shard count the run executed with (layout-invariant metrics above).
+  size_t shards = 1;
+  /// Simulation events processed across all shard engines.
+  uint64_t events_processed = 0;
 };
 
-/// Runs a multi-key simulation to completion.
+/// Runs a multi-key simulation to completion, optionally sharded across
+/// worker threads.
 ///
-/// Each key gets its own index search tree (derived from the shared Chord
-/// ring), its own protocol instance and its own hop accounting; the clock,
-/// the node population and the query process are shared. Update schedules
-/// are phase-staggered across keys so version boundaries do not
-/// synchronise artificially.
-class MultiKeySimulation : public sim::EventTarget {
+/// The unit of determinism is the key: each key owns its own index search
+/// tree (derived from the shared Chord ring), protocol instance, overlay
+/// network, recorder, Zipf node selector, arrival process and — crucially —
+/// its own SplitMix64-decorrelated RNG stream seeded by (seed, key). Keys
+/// share no mutable state, so the K per-key event sequences are independent
+/// of how keys are grouped onto engines. Shards merely partition keys
+/// round-robin onto S private engines driven concurrently; Collect() merges
+/// per-key metrics in ascending key order, so the merged RunMetrics are
+/// bit-identical for every shard count (pinned by tests/multikey_test.cc).
+///
+/// Update schedules are phase-staggered across keys so version boundaries
+/// do not synchronise artificially.
+class MultiKeySimulation {
  public:
   static util::Result<MultiKeyResult> Run(const MultiKeyConfig& config);
 
-  /// Typed event dispatch (warmup/query/publish). Internal — only the sim
-  /// engine calls this.
-  void OnSimEvent(uint32_t code, uint64_t arg) override;
-
  private:
-  /// Typed event codes (OnSimEvent). kEventPublish's arg is the key index.
+  /// Typed event codes. kEventQuery/kEventPublish carry the global key
+  /// index in arg; kEventWarmupEnd is per shard.
   static constexpr uint32_t kEventWarmupEnd = 0;
   static constexpr uint32_t kEventQuery = 1;
   static constexpr uint32_t kEventPublish = 2;
 
+  struct Shard;
+
+  /// Everything one key owns. No member is touched by any other key, which
+  /// is what makes the shard partition free to choose.
   struct KeyState {
     std::string name;
+    util::Rng rng{0};  ///< Reseeded from (config seed, key index) in Init.
     std::unique_ptr<topo::IndexSearchTree> tree;
     std::unique_ptr<metrics::Recorder> recorder;
     std::unique_ptr<net::OverlayNetwork> network;
     std::unique_ptr<proto::TreeProtocolBase> protocol;
+    std::unique_ptr<workload::ZipfNodeSelector> selector;
+    std::unique_ptr<workload::ArrivalProcess> arrivals;
     IndexVersion next_version = 1;
+    uint64_t publishes = 0;
     double phase_offset = 0.0;
+    Shard* shard = nullptr;  ///< Engine this key's events run on.
+  };
+
+  /// One engine plus the keys assigned to it. The EventTarget lives here so
+  /// concurrent shards never dispatch through shared simulation state.
+  struct Shard : public sim::EventTarget {
+    MultiKeySimulation* sim = nullptr;
+    sim::Engine engine;
+    std::vector<size_t> key_indices;  ///< Global key indices, ascending.
+
+    void OnSimEvent(uint32_t code, uint64_t arg) override;
   };
 
   explicit MultiKeySimulation(const MultiKeyConfig& config);
@@ -105,18 +151,21 @@ class MultiKeySimulation : public sim::EventTarget {
   void RunToCompletion();
   MultiKeyResult Collect() const;
 
-  void ScheduleNextQuery();
-  void FireQuery();
-  void SchedulePublish(size_t key_index);
+  /// Draws the key's next inter-arrival and schedules the query iff it
+  /// lands strictly before the horizon (events at t == horizon are never
+  /// scheduled — the strict-boundary contract pinned by the boundary test).
+  void ScheduleNextQuery(size_t key_index);
+  void FireQuery(size_t key_index);
   void FirePublish(size_t key_index);
+  void EndWarmup(Shard* shard);
+
+  /// Per-key decorrelated stream seed: SplitMix64 over (seed, key index),
+  /// mirroring ParallelRunner::SeedForRun's stream-family scheme.
+  static uint64_t KeyStreamSeed(uint64_t base_seed, size_t key_index);
 
   MultiKeyConfig config_;
-  util::Rng rng_;
-  sim::Engine engine_;
   std::vector<KeyState> keys_;
-  std::unique_ptr<workload::ZipfNodeSelector> node_selector_;
-  std::vector<double> key_cdf_;  ///< Zipf popularity across keys.
-  std::unique_ptr<workload::ArrivalProcess> arrivals_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::optional<workload::UpdateSchedule> schedule_;
   sim::SimTime horizon_end_ = 0.0;
 };

@@ -23,8 +23,13 @@ void Histogram::Add(uint64_t value) {
   }
 }
 
-void Histogram::Merge(const Histogram& other) {
-  DUP_CHECK_EQ(buckets_.size(), other.buckets_.size());
+Status Histogram::Merge(const Histogram& other) {
+  if (buckets_.size() != other.buckets_.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "histogram bucket layout mismatch: max_tracked %llu vs %llu",
+        static_cast<unsigned long long>(max_tracked()),
+        static_cast<unsigned long long>(other.max_tracked())));
+  }
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -33,6 +38,7 @@ void Histogram::Merge(const Histogram& other) {
   overflow_max_ = std::max(overflow_max_, other.overflow_max_);
   count_ += other.count_;
   sum_ += other.sum_;
+  return Status::OK();
 }
 
 void Histogram::Reset() {

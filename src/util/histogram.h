@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace dupnet::util {
 
 /// Fixed-resolution histogram for non-negative integer-ish observations
@@ -20,10 +22,20 @@ class Histogram {
   explicit Histogram(uint64_t max_tracked = 256);
 
   void Add(uint64_t value);
-  void Merge(const Histogram& other);
+
+  /// Adds every observation of `other` into this histogram. Exact: counters
+  /// are integer sums, so merging partitions equals observing the
+  /// concatenation. Fails with InvalidArgument when the bucket layouts
+  /// differ (different max_tracked) — summing incompatible accumulators
+  /// would silently misplace observations.
+  Status Merge(const Histogram& other);
+
   void Reset();
 
   uint64_t count() const { return count_; }
+  /// Largest value tracked exactly (the bucket layout identity Merge
+  /// requires both sides to share).
+  uint64_t max_tracked() const { return buckets_.size() - 1; }
   double Mean() const;
 
   /// Smallest recorded value v such that at least `quantile` of the

@@ -7,20 +7,25 @@
 namespace dupnet::util {
 namespace {
 
-uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
 uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
+  // Matches the classic stateful SplitMix64 expansion: the i-th state word
+  // is SplitMix64(seed + i * golden-ratio increment).
   uint64_t sm = seed;
-  for (auto& word : state_) word = SplitMix64(&sm);
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+    sm += 0x9E3779B97F4A7C15ULL;
+  }
 }
 
 uint64_t Rng::NextUInt64() {

@@ -8,6 +8,12 @@
 
 namespace dupnet::util {
 
+/// Stateless SplitMix64 finalizer: one well-mixed 64-bit value per input.
+/// The canonical way to derive decorrelated stream-family seeds from a base
+/// seed plus a stream index (ParallelRunner::SeedForRun, the multikey
+/// per-key streams) without consuming draws from any live generator.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic pseudo-random generator (xoshiro256++) with the sampling
 /// primitives the simulation needs. A seeded Rng fully determines a run, so
 /// every experiment is reproducible from its seed.

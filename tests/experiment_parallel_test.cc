@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "experiment/config.h"
@@ -104,6 +105,67 @@ TEST(ParallelRunnerTest, TimingAccountsForEveryRun) {
   EXPECT_GT(timing.total_run_seconds, 0.0);
   EXPECT_GT(timing.runs_per_second(), 0.0);
   EXPECT_LE(timing.min_run_seconds, timing.max_run_seconds);
+}
+
+TEST(BatchTimingTest, ZeroSecondFirstRunStaysTheMinimum) {
+  // Regression: min_run_seconds used 0.0 as an "unset" sentinel, so a first
+  // run measured at exactly 0s (coarse clock, trivial config) was silently
+  // overwritten by any later, slower run.
+  std::vector<RunOutcome> outcomes(2);
+  outcomes[0].wall_seconds = 0.0;
+  outcomes[1].wall_seconds = 5.0;
+  const BatchTiming timing = BatchTiming::FromOutcomes(1, 5.0, outcomes);
+  EXPECT_DOUBLE_EQ(timing.min_run_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(timing.max_run_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(timing.total_run_seconds, 5.0);
+  EXPECT_EQ(timing.runs, 2u);
+}
+
+TEST(BatchTimingTest, FromOutcomesAggregates) {
+  std::vector<RunOutcome> outcomes(3);
+  outcomes[0].wall_seconds = 2.0;
+  outcomes[1].wall_seconds = 0.5;
+  outcomes[2].wall_seconds = 1.5;
+  const BatchTiming timing = BatchTiming::FromOutcomes(2, 2.5, outcomes);
+  EXPECT_EQ(timing.jobs, 2u);
+  EXPECT_DOUBLE_EQ(timing.min_run_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(timing.max_run_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(timing.total_run_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(timing.runs_per_second(), 3.0 / 2.5);
+  EXPECT_DOUBLE_EQ(timing.parallel_efficiency(), 4.0 / (2.5 * 2.0));
+}
+
+TEST(BatchTimingTest, EmptyBatchIsAllZeros) {
+  const BatchTiming timing = BatchTiming::FromOutcomes(4, 0.0, {});
+  EXPECT_EQ(timing.runs, 0u);
+  EXPECT_DOUBLE_EQ(timing.min_run_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(timing.max_run_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(timing.runs_per_second(), 0.0);
+}
+
+TEST(ParallelRunnerTest, RunTasksVisitsEveryIndexExactlyOnce) {
+  for (size_t jobs : {1u, 4u}) {
+    ParallelRunner runner(jobs);
+    constexpr size_t kCount = 100;
+    // Index-sliced writes: each task owns its slot, exactly the contract
+    // RunTasks documents (worker joins publish the writes).
+    std::vector<int> visits(kCount, 0);
+    runner.RunTasks(kCount, [&](size_t i) { ++visits[i]; });
+    for (size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(visits[i], 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, RunTasksHandlesEmptyAndSingleRanges) {
+  ParallelRunner runner(8);
+  runner.RunTasks(0, [](size_t) { FAIL() << "no task should run"; });
+  std::atomic<int> calls{0};
+  runner.RunTasks(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
 }
 
 TEST(ReplicatorParallelTest, JobsOneAndEightProduceIdenticalRuns) {

@@ -148,6 +148,97 @@ TEST(RunMetricsTest, FromRecorderCapturesDelivery) {
   EXPECT_NE(m.ToString().find("delivery"), std::string::npos);
 }
 
+TEST(RunMetricsTest, MergeSumsCountersAndRecomputesRates) {
+  // Two disjoint "partitions" of one logical run, recorded separately.
+  Recorder ra;
+  ra.OnQueryIssued();
+  ra.OnQueryServed(0, false);  // Local hit.
+  ra.AddHops(HopClass::kRequest, 2);
+  ra.OnMessageSent(HopClass::kRequest);
+  ra.OnMessageDelivered(HopClass::kRequest);
+
+  Recorder rb;
+  rb.OnQueryIssued();
+  rb.OnQueryServed(4, true);  // Stale, 4 hops.
+  rb.AddHops(HopClass::kReply, 4);
+  rb.OnMessageSent(HopClass::kReply);
+  rb.OnMessageDropped(HopClass::kReply);
+
+  RunMetrics merged = RunMetrics::FromRecorder(ra);
+  ASSERT_TRUE(merged.Merge(RunMetrics::FromRecorder(rb)).ok());
+
+  // A recorder that saw the concatenated stream must agree exactly.
+  Recorder whole;
+  whole.OnQueryIssued();
+  whole.OnQueryServed(0, false);
+  whole.AddHops(HopClass::kRequest, 2);
+  whole.OnMessageSent(HopClass::kRequest);
+  whole.OnMessageDelivered(HopClass::kRequest);
+  whole.OnQueryIssued();
+  whole.OnQueryServed(4, true);
+  whole.AddHops(HopClass::kReply, 4);
+  whole.OnMessageSent(HopClass::kReply);
+  whole.OnMessageDropped(HopClass::kReply);
+  const RunMetrics expect = RunMetrics::FromRecorder(whole);
+
+  EXPECT_EQ(merged.queries, expect.queries);
+  EXPECT_EQ(merged.queries_issued, expect.queries_issued);
+  EXPECT_EQ(merged.local_hits, expect.local_hits);
+  EXPECT_EQ(merged.stale_serves, expect.stale_serves);
+  for (int c = 0; c < kNumHopClasses; ++c) {
+    EXPECT_EQ(merged.hops.counts[c], expect.hops.counts[c]);
+    EXPECT_EQ(merged.delivery.sent[c], expect.delivery.sent[c]);
+    EXPECT_EQ(merged.delivery.delivered[c], expect.delivery.delivered[c]);
+    EXPECT_EQ(merged.delivery.dropped[c], expect.delivery.dropped[c]);
+  }
+  EXPECT_DOUBLE_EQ(merged.avg_latency_hops, 2.0);
+  EXPECT_DOUBLE_EQ(merged.avg_cost_hops, 3.0);
+  EXPECT_DOUBLE_EQ(merged.local_hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(merged.stale_rate, 0.5);
+  EXPECT_DOUBLE_EQ(merged.delivery_ratio, 0.5);
+  EXPECT_EQ(merged.latency_p50, expect.latency_p50);
+  EXPECT_EQ(merged.latency_p95, expect.latency_p95);
+  EXPECT_EQ(merged.latency_p99, expect.latency_p99);
+  EXPECT_EQ(merged.latency_max, expect.latency_max);
+  EXPECT_EQ(merged.latency_hist.count(), expect.latency_hist.count());
+  EXPECT_EQ(merged.latency_stats.count(), expect.latency_stats.count());
+}
+
+TEST(RunMetricsTest, MergeIntoDefaultIsIdentity) {
+  Recorder r;
+  r.OnQueryIssued();
+  r.OnQueryServed(3, false);
+  r.AddHops(HopClass::kRequest, 3);
+  const RunMetrics snapshot = RunMetrics::FromRecorder(r);
+  RunMetrics total;
+  ASSERT_TRUE(total.Merge(snapshot).ok());
+  EXPECT_EQ(total.queries, snapshot.queries);
+  EXPECT_DOUBLE_EQ(total.avg_latency_hops, snapshot.avg_latency_hops);
+  EXPECT_DOUBLE_EQ(total.avg_cost_hops, snapshot.avg_cost_hops);
+  EXPECT_EQ(total.latency_max, snapshot.latency_max);
+}
+
+TEST(RunMetricsTest, MergeRejectsMismatchedHistogramLayout) {
+  RunMetrics a, b;
+  a.latency_hist = util::Histogram(/*max_tracked=*/8);
+  a.queries = 1;
+  b.queries = 2;
+  const auto status = a.Merge(b);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  // Rejection happens before any mutation.
+  EXPECT_EQ(a.queries, 1u);
+}
+
+TEST(RunMetricsTest, MergeRejectsMismatchedHopClasses) {
+  RunMetrics a, b;
+  a.queries = 1;
+  b.queries = 2;
+  b.hop_classes = kNumHopClasses + 1;  // Recorded under a different schema.
+  const auto status = a.Merge(b);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_EQ(a.queries, 1u);
+}
+
 TEST(ReplicationSummaryTest, AggregatesDeliveryRatio) {
   RunMetrics a, b;
   a.delivery_ratio = 0.9;

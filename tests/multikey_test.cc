@@ -35,6 +35,15 @@ TEST(MultiKeyConfigTest, Rejections) {
   config = MultiKeyConfig();
   config.push_lead = config.ttl;
   EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.shards = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.shards = config.num_keys + 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = MultiKeyConfig();
+  config.faults.loss_rate = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
 }
 
 TEST(MultiKeyTest, RunsAndReportsPerKeyStats) {
@@ -117,6 +126,154 @@ TEST(MultiKeyTest, DeterministicForSeed) {
   EXPECT_EQ(a->aggregate.queries, b->aggregate.queries);
   EXPECT_DOUBLE_EQ(a->aggregate.avg_cost_hops, b->aggregate.avg_cost_hops);
 }
+
+TEST(MultiKeyTest, HorizonBoundaryPublishIsExcluded) {
+  // period = ttl - push_lead = 500; with a 1000s horizon, publishes land at
+  // t = 0 and t = 500. The next one falls exactly ON the horizon and must
+  // not fire: scheduling is strictly-before-horizon on both the publish and
+  // the query path (the old <=/>= mismatch scheduled it, and RunUntil
+  // processes events at exactly the end time).
+  MultiKeyConfig config;
+  config.num_nodes = 16;
+  config.num_keys = 1;
+  config.lambda = 1.0;
+  config.ttl = 600.0;
+  config.push_lead = 100.0;
+  config.warmup_time = 0.0;
+  config.measure_time = 1000.0;
+  config.seed = 7;
+  auto result = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->keys[0].publishes, 2u);
+}
+
+// --- Shard determinism: the PR's load-bearing invariant. -------------------
+//
+// Each key's event stream is derived only from (seed, key index): its own
+// RNG, arrival process, node selector, network and protocol. Shards merely
+// group keys onto engines, so ANY shard count must produce bit-identical
+// merged metrics. These tests pin shards ∈ {1, 2, 4} across all schemes and
+// lossless/lossy networks.
+
+void ExpectBitIdentical(const MultiKeyResult& a, const MultiKeyResult& b) {
+  const metrics::RunMetrics& ma = a.aggregate;
+  const metrics::RunMetrics& mb = b.aggregate;
+  EXPECT_EQ(ma.queries, mb.queries);
+  EXPECT_EQ(ma.queries_issued, mb.queries_issued);
+  EXPECT_EQ(ma.local_hits, mb.local_hits);
+  EXPECT_EQ(ma.stale_serves, mb.stale_serves);
+  // EXPECT_EQ on doubles is exact equality — bit-identity, not tolerance.
+  EXPECT_EQ(ma.avg_latency_hops, mb.avg_latency_hops);
+  EXPECT_EQ(ma.avg_cost_hops, mb.avg_cost_hops);
+  EXPECT_EQ(ma.local_hit_rate, mb.local_hit_rate);
+  EXPECT_EQ(ma.stale_rate, mb.stale_rate);
+  EXPECT_EQ(ma.delivery_ratio, mb.delivery_ratio);
+  for (int c = 0; c < metrics::kNumHopClasses; ++c) {
+    EXPECT_EQ(ma.hops.counts[c], mb.hops.counts[c]);
+    EXPECT_EQ(ma.delivery.sent[c], mb.delivery.sent[c]);
+    EXPECT_EQ(ma.delivery.delivered[c], mb.delivery.delivered[c]);
+    EXPECT_EQ(ma.delivery.dropped[c], mb.delivery.dropped[c]);
+    EXPECT_EQ(ma.delivery.retries[c], mb.delivery.retries[c]);
+    EXPECT_EQ(ma.delivery.giveups[c], mb.delivery.giveups[c]);
+  }
+  EXPECT_EQ(ma.latency_p50, mb.latency_p50);
+  EXPECT_EQ(ma.latency_p95, mb.latency_p95);
+  EXPECT_EQ(ma.latency_p99, mb.latency_p99);
+  EXPECT_EQ(ma.latency_max, mb.latency_max);
+  ASSERT_EQ(ma.latency_hist.max_tracked(), mb.latency_hist.max_tracked());
+  EXPECT_EQ(ma.latency_hist.count(), mb.latency_hist.count());
+  EXPECT_EQ(ma.latency_hist.overflow_count(), mb.latency_hist.overflow_count());
+  for (uint64_t v = 0; v <= ma.latency_hist.max_tracked(); ++v) {
+    EXPECT_EQ(ma.latency_hist.CountAt(v), mb.latency_hist.CountAt(v))
+        << "latency bucket " << v;
+  }
+  EXPECT_EQ(ma.latency_stats.count(), mb.latency_stats.count());
+  if (ma.latency_stats.count() > 0) {
+    EXPECT_EQ(ma.latency_stats.Mean(), mb.latency_stats.Mean());
+    EXPECT_EQ(ma.latency_stats.Min(), mb.latency_stats.Min());
+    EXPECT_EQ(ma.latency_stats.Max(), mb.latency_stats.Max());
+  }
+  // Per-key streams, not just the fold: every key saw the same history.
+  ASSERT_EQ(a.keys.size(), b.keys.size());
+  for (size_t k = 0; k < a.keys.size(); ++k) {
+    EXPECT_EQ(a.keys[k].authority, b.keys[k].authority) << "key " << k;
+    EXPECT_EQ(a.keys[k].publishes, b.keys[k].publishes) << "key " << k;
+    EXPECT_EQ(a.keys[k].metrics.queries, b.keys[k].metrics.queries)
+        << "key " << k;
+    EXPECT_EQ(a.keys[k].metrics.avg_latency_hops,
+              b.keys[k].metrics.avg_latency_hops)
+        << "key " << k;
+    EXPECT_EQ(a.keys[k].metrics.hops.total(), b.keys[k].metrics.hops.total())
+        << "key " << k;
+  }
+  // The union of per-shard engines processes exactly the same event set.
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+class MultiKeyShardTest
+    : public ::testing::TestWithParam<experiment::Scheme> {};
+
+TEST_P(MultiKeyShardTest, ShardCountIsMetricsInvariantLossless) {
+  MultiKeyConfig config = SmallConfig();
+  config.scheme = GetParam();
+  auto reference = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_EQ(reference->shards, 1u);
+  EXPECT_GT(reference->aggregate.queries, 0u);
+  for (size_t shards : {2u, 4u}) {
+    MultiKeyConfig sharded = config;
+    sharded.shards = shards;
+    auto result = MultiKeySimulation::Run(sharded);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->shards, shards);
+    SCOPED_TRACE(::testing::Message() << "shards=" << shards);
+    ExpectBitIdentical(*reference, *result);
+  }
+}
+
+TEST_P(MultiKeyShardTest, ShardCountIsMetricsInvariantLossy) {
+  MultiKeyConfig config = SmallConfig();
+  config.scheme = GetParam();
+  config.faults.loss_rate = 0.05;
+  config.faults.jitter = 0.02;
+  config.faults.retry_max = 2;
+  auto reference = MultiKeySimulation::Run(config);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  EXPECT_GT(reference->aggregate.delivery.total_dropped(), 0u);
+  for (size_t shards : {2u, 4u}) {
+    MultiKeyConfig sharded = config;
+    sharded.shards = shards;
+    auto result = MultiKeySimulation::Run(sharded);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    SCOPED_TRACE(::testing::Message() << "shards=" << shards);
+    ExpectBitIdentical(*reference, *result);
+  }
+}
+
+TEST_P(MultiKeyShardTest, MultiThreadedShardsMatchSingleThreaded) {
+  // Same shard count, different worker counts: completion order must not
+  // leak into any metric (shards are shared-nothing at runtime).
+  MultiKeyConfig serial = SmallConfig();
+  serial.scheme = GetParam();
+  serial.shards = 4;
+  serial.jobs = 1;
+  MultiKeyConfig threaded = serial;
+  threaded.jobs = 4;
+  auto a = MultiKeySimulation::Run(serial);
+  auto b = MultiKeySimulation::Run(threaded);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectBitIdentical(*a, *b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, MultiKeyShardTest,
+                         ::testing::Values(experiment::Scheme::kPcx,
+                                           experiment::Scheme::kCup,
+                                           experiment::Scheme::kDup),
+                         [](const auto& info) {
+                           return std::string(
+                               experiment::SchemeToString(info.param));
+                         });
 
 }  // namespace
 }  // namespace dupnet::multikey

@@ -112,11 +112,51 @@ TEST(HistogramTest, MergeCombines) {
   a.Add(2);
   b.Add(3);
   b.Add(100);  // Overflow.
-  a.Merge(b);
+  ASSERT_TRUE(a.Merge(b).ok());
   EXPECT_EQ(a.count(), 4u);
   EXPECT_DOUBLE_EQ(a.Mean(), 106.0 / 4.0);
   EXPECT_EQ(a.Max(), 100u);
   EXPECT_EQ(a.CountAt(3), 1u);
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBucketLayout) {
+  Histogram a(16), b(32);
+  a.Add(1);
+  b.Add(2);
+  const auto status = a.Merge(b);
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  // The failed merge must not have touched the destination.
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.CountAt(2), 0u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 1.0);
+}
+
+TEST(HistogramTest, MergeOfPartitionsEqualsConcatenation) {
+  // Exact-composition property: splitting one observation stream into two
+  // partitions and merging must reproduce every counter of the unsplit
+  // histogram, including the overflow bucket's sum/max.
+  const uint64_t values[] = {0, 1, 1, 7, 16, 17, 200, 3, 900, 5};
+  Histogram whole(16), left(16), right(16);
+  for (size_t i = 0; i < 10; ++i) {
+    whole.Add(values[i]);
+    (i % 2 == 0 ? left : right).Add(values[i]);
+  }
+  ASSERT_TRUE(left.Merge(right).ok());
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_EQ(left.overflow_count(), whole.overflow_count());
+  EXPECT_EQ(left.Max(), whole.Max());
+  EXPECT_DOUBLE_EQ(left.Mean(), whole.Mean());
+  for (uint64_t v = 0; v <= 16; ++v) {
+    EXPECT_EQ(left.CountAt(v), whole.CountAt(v)) << "bucket " << v;
+  }
+  EXPECT_EQ(left.Percentile50(), whole.Percentile50());
+  EXPECT_EQ(left.Percentile95(), whole.Percentile95());
+  EXPECT_EQ(left.Percentile99(), whole.Percentile99());
+}
+
+TEST(HistogramTest, MaxTrackedReportsLayout) {
+  EXPECT_EQ(Histogram(16).max_tracked(), 16u);
+  EXPECT_EQ(Histogram().max_tracked(), 256u);
 }
 
 TEST(HistogramTest, ResetClears) {

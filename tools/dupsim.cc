@@ -41,6 +41,18 @@
 // (jobs=0 uses every hardware thread). Results are bit-identical for any
 // jobs value: each replication is a shared-nothing simulation whose RNG
 // stream depends only on (seed, replication index).
+//
+// Multi-key mode (docs/scaling.md "Sharded runs"): passing keys=K runs K
+// keys over one Chord ring instead of the single-index experiment.
+// Additional knobs: key_theta[0.8] (popularity skew across keys) and
+// shards[1] (engine shards the keys are partitioned over; DUP_SHARDS is
+// the env fallback). Merged metrics are bit-identical for every shards
+// value; jobs=N drives the shards concurrently. Shared knobs (nodes,
+// lambda, theta, c, ttl, lead, hoplat, warmup, measure, seed, scheme,
+// fault injection) keep their meaning; reps/topology/churn/audit/trace
+// apply only to the single-key mode.
+//
+//   dupsim keys=64 shards=4 jobs=4 scheme=all nodes=1024 lambda=20
 
 #include <chrono>
 #include <cstdio>
@@ -53,6 +65,7 @@
 #include "experiment/parallel_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
+#include "multikey/simulation.h"
 #include "util/check.h"
 #include "util/config.h"
 #include "util/csv.h"
@@ -172,6 +185,143 @@ std::string PerSchemeTracePath(const std::string& base,
   return base.substr(0, dot) + suffix + base.substr(dot);
 }
 
+/// keys=K mode: one sharded multi-key run per requested scheme, reported
+/// through the same table/json conventions as the single-key path.
+int RunMultiKey(const util::ConfigMap& args) {
+  multikey::MultiKeyConfig base;
+  base.num_keys = static_cast<size_t>(args.GetInt("keys", 16));
+  base.num_nodes = static_cast<size_t>(args.GetInt("nodes", 1024));
+  base.lambda = args.GetDouble("lambda", 10.0);
+  base.key_zipf_theta = args.GetDouble("key_theta", 0.8);
+  base.node_zipf_theta = args.GetDouble("theta", 0.8);
+  base.threshold_c = static_cast<uint32_t>(args.GetInt("c", 6));
+  base.ttl = args.GetDouble("ttl", 3600.0);
+  base.push_lead = args.GetDouble("lead", 60.0);
+  base.hop_latency_mean = args.GetDouble("hoplat", 0.1);
+  base.warmup_time = args.GetDouble("warmup", 3600.0);
+  base.measure_time = args.GetDouble("measure", 10620.0);
+  base.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  base.faults.loss_rate = args.GetDouble("loss_rate", 0.0);
+  base.faults.jitter = args.GetDouble("jitter", 0.0);
+  base.faults.retry_max =
+      static_cast<uint32_t>(args.GetInt("retry_max", 0));
+  base.faults.retry_timeout = args.GetDouble("retry_timeout", 2.0);
+  base.faults.retry_backoff = args.GetDouble("retry_backoff", 2.0);
+  base.faults.refresh_interval = args.GetDouble("refresh_interval", 0.0);
+
+  // Keys beat the environment so one-off overrides stay one-off.
+  const char* env_shards = std::getenv("DUP_SHARDS");
+  const int64_t shards_arg = args.GetInt(
+      "shards", env_shards != nullptr ? std::atoll(env_shards) : 1);
+  DUP_CHECK(shards_arg >= 1) << "shards must be >= 1";
+  base.shards = static_cast<size_t>(shards_arg);
+  const int64_t jobs_arg = args.GetInt("jobs", 1);
+  DUP_CHECK(jobs_arg >= 0) << "jobs must be >= 0";
+  base.jobs = static_cast<size_t>(jobs_arg);
+
+  const auto schemes = SchemesFor(args.GetString("scheme", "dup"));
+
+  experiment::TableReport table(
+      util::StrFormat("dupsim multikey results (%zu keys, %zu nodes, "
+                      "lambda=%.3g, shards=%zu)",
+                      base.num_keys, base.num_nodes, base.lambda,
+                      base.shards),
+      {"scheme", "latency (hops)", "cost (hops/q)", "local hit", "stale",
+       "queries", "authorities", "max keys/auth"});
+  util::CsvWriter csv({"scheme", "latency", "cost", "local_hit", "stale",
+                       "queries", "authorities", "max_keys_per_authority"});
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  util::JsonValue json_schemes = util::JsonValue::MakeObject();
+  for (experiment::Scheme scheme : schemes) {
+    multikey::MultiKeyConfig config = base;
+    config.scheme = scheme;
+    const auto scheme_start = std::chrono::steady_clock::now();
+    auto result = multikey::MultiKeySimulation::Run(config);
+    DUP_CHECK(result.ok()) << result.status().ToString();
+    const double scheme_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      scheme_start)
+            .count();
+    const std::string name(experiment::SchemeToString(scheme));
+    std::printf("%s: %llu events on %zu shard(s) in %.2fs wall\n",
+                name.c_str(),
+                static_cast<unsigned long long>(result->events_processed),
+                result->shards, scheme_seconds);
+
+    const metrics::RunMetrics& agg = result->aggregate;
+    table.AddRow({name, util::StrFormat("%.3f", agg.avg_latency_hops),
+                  util::StrFormat("%.3f", agg.avg_cost_hops),
+                  experiment::PercentCell(agg.local_hit_rate),
+                  experiment::PercentCell(agg.stale_rate),
+                  util::StrFormat("%llu",
+                                  static_cast<unsigned long long>(
+                                      agg.queries)),
+                  util::StrFormat("%zu", result->distinct_authorities),
+                  util::StrFormat("%zu", result->max_keys_per_authority)});
+    csv.AddRow({name, util::CsvWriter::Cell(agg.avg_latency_hops),
+                util::CsvWriter::Cell(agg.avg_cost_hops),
+                util::CsvWriter::Cell(agg.local_hit_rate),
+                util::CsvWriter::Cell(agg.stale_rate),
+                util::CsvWriter::Cell(agg.queries),
+                util::CsvWriter::Cell(result->distinct_authorities),
+                util::CsvWriter::Cell(result->max_keys_per_authority)});
+
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("latency_mean", agg.avg_latency_hops);
+    entry.Set("cost_mean", agg.avg_cost_hops);
+    entry.Set("local_hit_rate", agg.local_hit_rate);
+    entry.Set("stale_rate", agg.stale_rate);
+    entry.Set("queries", agg.queries);
+    entry.Set("distinct_authorities",
+              static_cast<uint64_t>(result->distinct_authorities));
+    entry.Set("max_keys_per_authority",
+              static_cast<uint64_t>(result->max_keys_per_authority));
+    entry.Set("events_processed", result->events_processed);
+    json_schemes.Set(name, std::move(entry));
+  }
+  const double total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  table.Print();
+
+  const std::string csv_path = args.GetString("csv", "");
+  if (!csv_path.empty()) {
+    DUP_CHECK_OK(csv.WriteToFile(csv_path));
+    std::printf("\nwrote %s\n", csv_path.c_str());
+  }
+
+  const std::string json_path = args.GetString("json", "");
+  if (!json_path.empty()) {
+    metrics::RunManifest manifest = metrics::RunManifest::Create(
+        "dupsim", "multikey:" + args.GetString("scheme", "dup"));
+    manifest.seed = base.seed;
+    manifest.jobs = base.jobs == 0
+                        ? experiment::ParallelRunner::DefaultJobs()
+                        : base.jobs;
+    manifest.shards = base.shards;
+    manifest.wall_seconds = total_seconds;
+    manifest.config.Set("num_nodes", static_cast<uint64_t>(base.num_nodes));
+    manifest.config.Set("num_keys", static_cast<uint64_t>(base.num_keys));
+    manifest.config.Set("lambda", base.lambda);
+    manifest.config.Set("key_zipf_theta", base.key_zipf_theta);
+    manifest.config.Set("node_zipf_theta", base.node_zipf_theta);
+    manifest.config.Set("warmup_time", base.warmup_time);
+    manifest.config.Set("measure_time", base.measure_time);
+    util::JsonValue doc = util::JsonValue::MakeObject();
+    doc.Set("manifest", manifest.ToJson());
+    doc.Set("schemes", std::move(json_schemes));
+    const std::string text = doc.Dump(2) + "\n";
+    std::FILE* file = std::fopen(json_path.c_str(), "w");
+    DUP_CHECK(file != nullptr) << "cannot write " << json_path;
+    std::fwrite(text.data(), 1, text.size(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,6 +331,8 @@ int main(int argc, char** argv) {
                  args.status().ToString().c_str());
     return 1;
   }
+
+  if (args->Has("keys")) return RunMultiKey(*args);
 
   const experiment::ExperimentConfig base = BuildConfig(*args);
   const auto schemes = SchemesFor(args->GetString("scheme", "dup"));
