@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/adaptive_protocol.h"
 #include "core/dup_protocol.h"
 #include "proto/cup.h"
 #include "util/check.h"
@@ -51,6 +52,7 @@ InvariantChecker::InvariantChecker(const topo::IndexSearchTree* tree,
       protocol_(protocol),
       dup_(dynamic_cast<const core::DupProtocol*>(protocol)),
       cup_(dynamic_cast<const proto::CupProtocol*>(protocol)),
+      adaptive_(dynamic_cast<const core::AdaptiveProtocol*>(protocol)),
       trace_(trace),
       options_(options) {
   DUP_CHECK(tree != nullptr);
@@ -101,20 +103,28 @@ size_t InvariantChecker::CheckNow(bool force_global) {
   if (quiescent() && (force_global || options_.allow_mid_global) &&
       !AnyTreeNodeDown()) {
     ++global_checks_run_;
-    CheckGlobal(now);
+    CheckGlobal(now, force_global);
   }
   return static_cast<size_t>(total_violations_ - before);
 }
 
 void InvariantChecker::CheckStable(sim::SimTime now) {
   CheckCaches(now);
-  if (dup_ != nullptr) CheckDupStable(now);
+  if (dup_ != nullptr) {
+    CheckDupStable(now);
+    CheckDupArity(now);
+  }
   if (cup_ != nullptr) CheckCupStable(now);
+  if (adaptive_ != nullptr) CheckAdaptiveStable(now);
 }
 
-void InvariantChecker::CheckGlobal(sim::SimTime now) {
-  if (dup_ != nullptr) CheckDupGlobal(now);
+void InvariantChecker::CheckGlobal(sim::SimTime now, bool force_global) {
+  if (dup_ != nullptr) {
+    CheckDupGlobal(now);
+    CheckDupFanOutGlobal(now);
+  }
   if (cup_ != nullptr) CheckCupGlobal(now);
+  if (adaptive_ != nullptr) CheckAdaptiveGlobal(now, force_global);
 }
 
 // ---------------------------------------------------------------------------
@@ -259,8 +269,15 @@ void InvariantChecker::CheckDupGlobal(sim::SimTime now) {
     }
   }
 
-  // Push reachability: following subscriber-list edges from the authority
-  // must reach every interested node (the DUP tree is connected).
+  // Push reachability: one update from the authority must reach every
+  // interested node. Follow exactly the edges PushToSubscribers uses — the
+  // non-delegated subscriber entries plus the accepted relay duties (with
+  // the arity cap off, that is every subscriber entry).
+  std::unordered_map<NodeId, core::DupProtocol::FanOutState> fan_out;
+  dup_->VisitFanOutStates(
+      [&](NodeId node, const core::DupProtocol::FanOutState& state) {
+        fan_out.emplace(node, state);
+      });
   std::unordered_set<NodeId> reached;
   std::deque<NodeId> frontier;
   reached.insert(root);
@@ -268,11 +285,22 @@ void InvariantChecker::CheckDupGlobal(sim::SimTime now) {
   while (!frontier.empty()) {
     const NodeId node = frontier.front();
     frontier.pop_front();
-    const auto it = lists.find(node);
-    if (it == lists.end()) continue;
-    for (const auto& [branch, subscriber] : it->second->entries()) {
+    const auto it = fan_out.find(node);
+    if (it == fan_out.end()) continue;
+    const auto& dels = *it->second.delegations;
+    for (const auto& [branch, subscriber] : it->second.slist->entries()) {
       if (subscriber == node) continue;  // Self entry: no outgoing push.
+      const auto del = std::lower_bound(
+          dels.begin(), dels.end(), subscriber,
+          [](const auto& d, NodeId t) { return d.first < t; });
+      if (del != dels.end() && del->first == subscriber) {
+        continue;  // Delegated: served by the delegate's relay duty.
+      }
       if (reached.insert(subscriber).second) frontier.push_back(subscriber);
+    }
+    for (const auto& [delegator, target] : *it->second.relays) {
+      if (target == node) continue;
+      if (reached.insert(target).second) frontier.push_back(target);
     }
   }
   for (const auto& [node, slist] : lists) {
@@ -280,6 +308,106 @@ void InvariantChecker::CheckDupGlobal(sim::SimTime now) {
     if (reached.count(node) == 0) {
       Report(now, "dup-push-reachability", node, kInvalidNode,
              "interested node reachable from the authority", "unreachable");
+    }
+  }
+}
+
+void InvariantChecker::CheckDupArity(sim::SimTime now) {
+  const uint32_t cap = dup_->dup_options().max_arity;
+  if (cap == 0) return;
+  dup_->VisitFanOutStates([&](NodeId node,
+                              const core::DupProtocol::FanOutState& state) {
+    if (!tree_->Contains(node)) return;
+    // The plan is a pure function of the sorted subscriber set, recomputed
+    // synchronously at every S_list mutation, so it must match exactly
+    // after every completed event — which bounds the node's direct
+    // (non-delegated) push fan-out by the cap.
+    const std::vector<NodeId> targets = state.slist->SubscribersSorted(node);
+    std::vector<std::pair<NodeId, NodeId>> expected;
+    for (size_t i = cap; i < targets.size(); ++i) {
+      expected.emplace_back(targets[i], targets[i / cap - 1]);
+    }
+    if (*state.delegations != expected) {
+      Report(now, "dup-arity-plan", node, kInvalidNode,
+             util::StrFormat("the cap-%u plan over %zu subscribers "
+                             "(%zu delegations)",
+                             cap, targets.size(), expected.size()),
+             util::StrFormat("%zu delegations",
+                             state.delegations->size()));
+      return;
+    }
+    const size_t direct = targets.size() - expected.size();
+    if (direct > cap) {
+      Report(now, "dup-arity-bound", node, kInvalidNode,
+             util::StrFormat("direct fan-out <= %u", cap),
+             util::StrFormat("%zu", direct));
+    }
+  });
+}
+
+void InvariantChecker::CheckDupFanOutGlobal(sim::SimTime now) {
+  const uint32_t cap = dup_->dup_options().max_arity;
+  if (cap == 0) return;
+  std::unordered_map<NodeId, core::DupProtocol::FanOutState> fan_out;
+  dup_->VisitFanOutStates(
+      [&](NodeId node, const core::DupProtocol::FanOutState& state) {
+        fan_out.emplace(node, state);
+      });
+
+  // Delegator -> delegate: every plan entry has the matching relay duty
+  // installed (a missing one would leave its target without pushes).
+  // Entries naming departed nodes are churn transients the removal sweep
+  // re-plans; skip them.
+  for (const auto& [node, state] : fan_out) {
+    if (!tree_->Contains(node)) continue;
+    for (const auto& [target, delegate] : *state.delegations) {
+      if (!tree_->Contains(delegate) || !tree_->Contains(target)) continue;
+      const auto it = fan_out.find(delegate);
+      const bool held =
+          it != fan_out.end() &&
+          std::binary_search(it->second.relays->begin(),
+                             it->second.relays->end(),
+                             std::make_pair(node, target));
+      if (!held) {
+        Report(now, "dup-delegation-consistency", node, target,
+               util::StrFormat("relay duty held at delegate %u", delegate),
+               "absent");
+      }
+    }
+  }
+
+  // Delegate -> delegator: every relay duty is backed by a live plan entry
+  // (anything else is a stale duty that would duplicate pushes), and each
+  // delegate holds at most `cap` duties per delegator — the D³-tree load
+  // bound the plan construction promises.
+  for (const auto& [node, state] : fan_out) {
+    if (!tree_->Contains(node)) continue;
+    NodeId run_delegator = kInvalidNode;
+    size_t run_length = 0;
+    for (const auto& [delegator, target] : *state.relays) {
+      if (delegator == run_delegator) {
+        ++run_length;
+      } else {
+        run_delegator = delegator;
+        run_length = 1;
+      }
+      if (run_length == static_cast<size_t>(cap) + 1) {
+        Report(now, "dup-relay-load", node, delegator,
+               util::StrFormat("<= %u relay duties per delegator", cap),
+               util::StrFormat("at least %zu", run_length));
+      }
+      if (!tree_->Contains(delegator) || !tree_->Contains(target)) continue;
+      const auto it = fan_out.find(delegator);
+      const bool planned =
+          it != fan_out.end() &&
+          std::binary_search(it->second.delegations->begin(),
+                             it->second.delegations->end(),
+                             std::make_pair(target, node));
+      if (!planned) {
+        Report(now, "dup-stale-relay", node, target,
+               util::StrFormat("plan entry at delegator %u", delegator),
+               "absent");
+      }
     }
   }
 }
@@ -310,6 +438,61 @@ void InvariantChecker::CheckCupGlobal(sim::SimTime now) {
              "demand-branch entry for notified child", "absent");
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive regime controller (core::AdaptiveProtocol).
+// ---------------------------------------------------------------------------
+
+void InvariantChecker::CheckAdaptiveStable(sim::SimTime now) {
+  for (NodeId node : adaptive_->NotifiedNodes()) {
+    if (!tree_->Contains(node)) {
+      Report(now, "adaptive-departed-state", node, kInvalidNode,
+             "no interest state for a departed node", "notified");
+    }
+  }
+}
+
+void InvariantChecker::CheckAdaptiveGlobal(sim::SimTime now,
+                                           bool force_global) {
+  // CUP-regime registration consistency, the adaptive analogue of
+  // CheckCupGlobal: a notified node is represented by an active
+  // demand-branch entry at its current parent.
+  if (adaptive_->regime() == proto::AdaptiveRegime::kCup) {
+    for (NodeId node : adaptive_->NotifiedNodes()) {
+      if (!tree_->Contains(node) || node == tree_->root()) continue;
+      const NodeId parent = tree_->Parent(node);
+      if (!adaptive_->HasDemandBranch(parent, node)) {
+        Report(now, "adaptive-registration", parent, node,
+               "demand-branch entry for notified child", "absent");
+      }
+    }
+  }
+
+  // Handover completeness: outside the DUP regime the DUP tree must be
+  // provably gone — every subscriber list, delegation plan and relay set
+  // empty, no subscriber left stranded. Only at the end-of-run forced pass:
+  // mid-run, in-flight subscribes can legitimately cross a migration and
+  // linger until the next controller tick sweeps them.
+  if (!force_global || adaptive_->regime() == proto::AdaptiveRegime::kDup) {
+    return;
+  }
+  adaptive_->VisitFanOutStates(
+      [&](NodeId node, const core::DupProtocol::FanOutState& state) {
+        if (!tree_->Contains(node)) return;
+        if (!state.slist->empty()) {
+          Report(now, "adaptive-handover", node, kInvalidNode,
+                 "empty S_list outside the DUP regime",
+                 util::StrFormat("%zu entries", state.slist->size()));
+        }
+        if (!state.delegations->empty() || !state.relays->empty()) {
+          Report(now, "adaptive-handover-fanout", node, kInvalidNode,
+                 "no delegation state outside the DUP regime",
+                 util::StrFormat("%zu delegations, %zu relays",
+                                 state.delegations->size(),
+                                 state.relays->size()));
+        }
+      });
 }
 
 std::string InvariantChecker::Summary() const {

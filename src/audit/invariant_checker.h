@@ -13,6 +13,7 @@
 #include "util/status.h"
 
 namespace dupnet::core {
+class AdaptiveProtocol;
 class DupProtocol;
 }
 namespace dupnet::proto {
@@ -55,6 +56,9 @@ struct Violation {
 ///  - DUP branch keys are kSelfBranch or current children of the node —
 ///    the invariant that pins the split-race orphan bug;
 ///  - DUP self entries name the node itself;
+///  - with DupOptions::max_arity on: each node's delegation plan equals
+///    the deterministic cap-ary plan over its sorted subscribers — which
+///    bounds its direct (non-delegated) push fan-out by the cap;
 ///  - cache version monotonicity, never ahead of the authority, and no
 ///    valid entry outliving its TTL.
 ///
@@ -66,10 +70,23 @@ struct Violation {
 ///    lost interest — Section III-C's failure cases 1–5);
 ///  - DUP subscribers lie inside the subtree of the branch they were
 ///    announced over (implies substitute chains are acyclic);
-///  - DUP push reachability: the subscriber-list edges reach every
-///    interested node from the authority;
+///  - DUP push reachability: the non-delegated subscriber-list edges plus
+///    the accepted relay duties reach every interested node from the
+///    authority;
+///  - with max_arity on: delegation consistency in both directions —
+///    every plan entry at a delegator has the matching relay duty at its
+///    delegate and every relay duty is backed by a plan entry, and each
+///    delegate holds at most `cap` duties per delegator (the D³-tree
+///    bound);
 ///  - CUP registration consistency: every node whose one-shot interest
-///    notification fired has a demand-branch entry at its current parent.
+///    notification fired has a demand-branch entry at its current parent
+///    (the same check runs against the adaptive protocol in its CUP
+///    regime);
+///  - adaptive handover completeness, force-checked at end of run only
+///    (in-flight subscribes can legitimately cross a migration and linger
+///    until the next controller tick mid-run): when the regime is not DUP,
+///    every subscriber list, delegation plan and relay set is empty — the
+///    DUP tree is provably torn down, no subscriber left stranded.
 ///
 /// Mid-run global checks are additionally gated on `allow_mid_global` (the
 /// driver clears it for churn/lossy runs, whose quiescent states may
@@ -127,18 +144,25 @@ class InvariantChecker {
               NodeId key, std::string expected, std::string actual);
 
   void CheckStable(sim::SimTime now);
-  void CheckGlobal(sim::SimTime now);
+  void CheckGlobal(sim::SimTime now, bool force_global);
   void CheckCaches(sim::SimTime now);
   void CheckDupStable(sim::SimTime now);
+  void CheckDupArity(sim::SimTime now);
   void CheckDupGlobal(sim::SimTime now);
+  void CheckDupFanOutGlobal(sim::SimTime now);
   void CheckCupStable(sim::SimTime now);
   void CheckCupGlobal(sim::SimTime now);
+  void CheckAdaptiveStable(sim::SimTime now);
+  void CheckAdaptiveGlobal(sim::SimTime now, bool force_global);
 
   const topo::IndexSearchTree* tree_;
   const net::OverlayNetwork* network_;
   const proto::TreeProtocolBase* protocol_;
-  const core::DupProtocol* dup_;  ///< Non-null when protocol_ is DUP.
+  const core::DupProtocol* dup_;  ///< Non-null when protocol_ is DUP-based.
   const proto::CupProtocol* cup_; ///< Non-null when protocol_ is CUP.
+  /// Non-null when protocol_ is the adaptive regime controller (dup_ is
+  /// then non-null too — the DUP invariant set applies verbatim).
+  const core::AdaptiveProtocol* adaptive_;
   trace::JsonlTraceWriter* trace_;
   Options options_;
 

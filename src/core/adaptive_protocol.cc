@@ -1,0 +1,384 @@
+#include "core/adaptive_protocol.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dupnet::core {
+
+using net::Message;
+using net::MessageType;
+using proto::AdaptiveRegime;
+
+AdaptiveProtocol::AdaptiveProtocol(
+    net::OverlayNetwork* network, topo::IndexSearchTree* tree,
+    const proto::ProtocolOptions& options, const DupOptions& dup_options,
+    const proto::AdaptiveOptions& adaptive_options)
+    : DupProtocol(network, tree, options, dup_options),
+      controller_(adaptive_options) {
+  // Eager demand tables for every current tree node, one inactive slot per
+  // child, mirroring CupProtocol: steady-state demand recording touches
+  // preallocated storage only.
+  for (NodeId node : tree->NodesPreOrder()) {
+    AdaptiveState& state = adaptive_states_.AtSlot(AdaptiveSlotOf(node));
+    const auto& children = tree->Children(node);
+    state.branches.reserve(children.size() + 1);
+    for (NodeId child : children) {
+      DemandBranch& slot = state.branches.emplace_back();
+      slot.child = child;
+      slot.demand.Reset(this->options().ttl, 0);
+    }
+  }
+}
+
+uint32_t AdaptiveProtocol::AdaptiveSlotOf(NodeId node) {
+  return adaptive_states_.SlotOrInit(tree()->registry(), node,
+                                     [](AdaptiveState& state) {
+                                       state.interest_notified = false;
+                                       state.branches.clear();
+                                     });
+}
+
+// ---------------------------------------------------------------------------
+// Demand measurement (all regimes — keeps the CUP handover warm).
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::RecordDemand(NodeId at, NodeId from_child) {
+  AdaptiveState& state = adaptive_states_.AtSlot(AdaptiveSlotOf(at));
+  DemandBranch* found = nullptr;
+  for (DemandBranch& branch : state.branches) {
+    if (branch.child == from_child) {
+      found = &branch;
+      break;
+    }
+  }
+  if (found == nullptr) {
+    found = &state.branches.emplace_back();
+    found->child = from_child;
+  }
+  if (!found->active) {
+    found->active = true;
+    found->demand.Reset(options().ttl, 0);
+  }
+  found->demand.RecordQuery(Now());
+}
+
+bool AdaptiveProtocol::BranchHasDemand(NodeId at, NodeId child) {
+  AdaptiveState& state = adaptive_states_.AtSlot(AdaptiveSlotOf(at));
+  for (DemandBranch& branch : state.branches) {
+    if (branch.child == child && branch.active) {
+      return branch.demand.CountInWindow(Now()) > 0;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Hooks from the shared query flow.
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::AfterLocalQuery(NodeId /*node*/) {
+  controller_.RecordQuery(Now());
+}
+
+void AdaptiveProtocol::AfterRequestObserved(NodeId at, NodeId from_child) {
+  RecordDemand(at, from_child);
+}
+
+void AdaptiveProtocol::AfterQueryObserved(NodeId node) {
+  switch (controller_.regime()) {
+    case AdaptiveRegime::kDup:
+      DupProtocol::AfterQueryObserved(node);
+      return;
+    case AdaptiveRegime::kCup:
+      MaybeRegisterInterest(node);
+      return;
+    case AdaptiveRegime::kPcx:
+      return;
+  }
+}
+
+void AdaptiveProtocol::MaybeRegisterInterest(NodeId node) {
+  if (node == tree()->root()) return;
+  AdaptiveState& state = adaptive_states_.AtSlot(AdaptiveSlotOf(node));
+  if (state.interest_notified || !NodeInterested(node)) return;
+  // One-shot explicit interest notification toward the parent (CUP
+  // Section II-B), so a node whose queries are all served locally still
+  // gets the next push.
+  state.interest_notified = true;
+  Message msg;
+  msg.type = MessageType::kInterestRegister;
+  msg.from = node;
+  msg.to = tree()->Parent(node);
+  msg.subject = node;
+  network()->Send(msg);
+}
+
+// ---------------------------------------------------------------------------
+// Publish path: controller tick + regime dispatch.
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::OnRootPublish(IndexVersion version,
+                                     sim::SimTime expiry) {
+  controller_.RecordUpdate(Now());
+  const AdaptiveRegime before = controller_.regime();
+  const AdaptiveRegime after = controller_.Tick(Now());
+  if (after != before) MigrateRegime(before, after);
+
+  if (after == AdaptiveRegime::kDup) {
+    // Full DUP semantics: base publish + root dedupe stamp + subscriber
+    // fan-out (with the arity-capped relay plan when configured).
+    DupProtocol::OnRootPublish(version, expiry);
+    return;
+  }
+
+  TreeProtocolBase::OnRootPublish(version, expiry);
+  dup_states().HotAt(DupSlotOf(tree()->root())).last_forwarded = version;
+  // Straggler sweep: subscriptions that raced the DUP teardown (in-flight
+  // subscribes, churn re-announcements) withdraw at the next tick, so the
+  // DUP tree is provably gone while the key runs PCX or CUP.
+  SweepDupSubscriptions();
+  if (after == AdaptiveRegime::kCup) {
+    ForwardPushCup(tree()->root(), version, expiry);
+  }
+}
+
+void AdaptiveProtocol::ForwardPushCup(NodeId at, IndexVersion version,
+                                      sim::SimTime expiry) {
+  if (!tree()->Contains(at)) return;
+  for (NodeId child : tree()->Children(at)) {
+    if (!BranchHasDemand(at, child)) continue;
+    Message push;
+    push.type = MessageType::kPush;
+    push.from = at;
+    push.to = child;
+    push.version = version;
+    push.expiry = expiry;
+    network()->Send(push);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch.
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::HandleProtocolMessage(const Message& message) {
+  switch (message.type) {
+    case MessageType::kPush:
+      HandleAdaptivePush(message);
+      return;
+    case MessageType::kInterestRegister:
+      HandleInterestRegister(message);
+      return;
+    default:
+      // kSubscribe / kUnsubscribe / kSubstitute (including delegation
+      // control): the Figure 3 machinery stays live in every regime so
+      // in-flight handover messages always settle.
+      DupProtocol::HandleProtocolMessage(message);
+      return;
+  }
+}
+
+void AdaptiveProtocol::HandleAdaptivePush(const Message& message) {
+  if (controller_.regime() == AdaptiveRegime::kDup) {
+    DupProtocol::HandlePush(message);
+    return;
+  }
+  const NodeId at = message.to;
+  StateOf(at).cache.Put(MakeCacheEntry(message.version, message.expiry));
+  DupHot& hot = dup_states().HotAt(DupSlotOf(at));
+  if (message.version <= hot.last_forwarded) return;  // Duplicate.
+  hot.last_forwarded = message.version;
+  // Migration decay: a DUP subscription that survived the teardown sweep
+  // withdraws on first push contact (mirrors DupProtocol's interest-decay
+  // unsubscribe).
+  if (SlistOf(at).HasSelf()) ProcessUnsubscribe(at, kSelfBranch);
+  if (controller_.regime() == AdaptiveRegime::kCup) {
+    ForwardPushCup(at, message.version, message.expiry);
+  }
+}
+
+void AdaptiveProtocol::HandleInterestRegister(const Message& message) {
+  const NodeId at = message.to;
+  // Same in-flight topology-change handling as CupProtocol: stale senders
+  // drop, re-parented senders re-route to their current parent.
+  const NodeId from = message.from;
+  if (!tree()->Contains(from) || from == tree()->root()) return;
+  if (const NodeId parent = tree()->Parent(from); parent != at) {
+    Message forward = message;
+    forward.to = parent;
+    forward.seq = 0;  // A fresh transmission, reliably re-tracked.
+    network()->Send(forward);
+    return;
+  }
+  // An explicit notification counts as one unit of branch demand.
+  RecordDemand(at, from);
+}
+
+// ---------------------------------------------------------------------------
+// Regime handover.
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::MigrateRegime(AdaptiveRegime from, AdaptiveRegime to) {
+  if (from == AdaptiveRegime::kDup) SweepDupSubscriptions();
+  if (to == AdaptiveRegime::kDup) EnterDup();
+  if (to == AdaptiveRegime::kCup) RearmInterestNotifications();
+}
+
+void AdaptiveProtocol::EnterDup() {
+  // Every currently interested node self-subscribes with a real kSubscribe
+  // message, paying the honest tree-construction cost. Sorted ascending so
+  // the migration burst is identical across runs (determinism contract).
+  sweep_scratch_ = tree()->NodesPreOrder();
+  std::sort(sweep_scratch_.begin(), sweep_scratch_.end());
+  const NodeId root = tree()->root();
+  for (NodeId node : sweep_scratch_) {
+    if (node == root) continue;
+    if (!Interested(node)) continue;
+    if (SlistOf(node).HasSelf()) continue;
+    ProcessSubscribe(node, kSelfBranch, node);
+  }
+}
+
+void AdaptiveProtocol::SweepDupSubscriptions() {
+  sweep_scratch_.clear();
+  const NodeId root = tree()->root();
+  dup_states().ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
+    if (node == root || !tree()->Contains(node)) return;
+    if (cold.slist.HasSelf()) sweep_scratch_.push_back(node);
+  });
+  std::sort(sweep_scratch_.begin(), sweep_scratch_.end());
+  for (NodeId node : sweep_scratch_) {
+    ProcessUnsubscribe(node, kSelfBranch);
+  }
+}
+
+void AdaptiveProtocol::RearmInterestNotifications() {
+  // Re-arm the one-shot notifications so interested nodes re-register on
+  // their next query; the per-branch demand windows are already warm from
+  // live request traffic. Local flag flips only — no messages, so slot
+  // order is fine.
+  sweep_scratch_.clear();
+  adaptive_states_.ForEach([&](NodeId node, const AdaptiveState& state) {
+    if (state.interest_notified) sweep_scratch_.push_back(node);
+  });
+  for (NodeId node : sweep_scratch_) {
+    AdaptiveState* state = adaptive_states_.Find(tree()->registry(), node);
+    if (state != nullptr) state->interest_notified = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn.
+// ---------------------------------------------------------------------------
+
+void AdaptiveProtocol::OnSplitJoined(NodeId node, NodeId parent,
+                                     NodeId child) {
+  DupProtocol::OnSplitJoined(node, parent, child);
+  // CUP-side demand handover, mirroring CupProtocol::OnSplitJoined: the
+  // parent's demand record for the split branch now describes the edge to
+  // the newcomer, and the newcomer inherits a copy for the child. It rides
+  // the same one-hop local handover DupProtocol just charged, so no extra
+  // control hop.
+  const uint32_t parent_slot = AdaptiveSlotOf(parent);
+  AdaptiveState& parent_state = adaptive_states_.AtSlot(parent_slot);
+  DemandBranch* branch = nullptr;
+  for (DemandBranch& b : parent_state.branches) {
+    if (b.child == child && b.active) {
+      branch = &b;
+      break;
+    }
+  }
+  if (branch == nullptr) return;
+  // Deep copy before creating the newcomer's state: the slab may grow and
+  // invalidate `branch` (AccessTracker owns its ring outright, so the copy
+  // is slot-independent).
+  const cache::AccessTracker demand = branch->demand;
+  branch->child = node;  // Re-key in place: same payload, new branch.
+  AdaptiveState& node_state = adaptive_states_.AtSlot(AdaptiveSlotOf(node));
+  DemandBranch* inherited = nullptr;
+  for (DemandBranch& b : node_state.branches) {
+    if (b.child == child) {
+      inherited = &b;
+      break;
+    }
+  }
+  if (inherited == nullptr) {
+    inherited = &node_state.branches.emplace_back();
+    inherited->child = child;
+  }
+  inherited->active = true;
+  inherited->demand = demand;
+}
+
+void AdaptiveProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
+                                     const std::vector<NodeId>& former_children,
+                                     bool was_root, NodeId new_root) {
+  DupProtocol::OnNodeRemoved(node, former_parent, former_children, was_root,
+                             new_root);
+  adaptive_states_.Erase(tree()->registry(), node);
+  if (controller_.regime() != AdaptiveRegime::kCup) return;
+  // Orphans whose interest was registered with the dead parent re-notify
+  // their new parent (mirrors CupProtocol::OnNodeRemoved).
+  for (NodeId child : former_children) {
+    if (!tree()->Contains(child) || child == tree()->root()) continue;
+    const AdaptiveState* state =
+        adaptive_states_.Find(tree()->registry(), child);
+    if (state == nullptr || !state->interest_notified) continue;
+    Message msg;
+    msg.type = MessageType::kInterestRegister;
+    msg.from = child;
+    msg.to = tree()->Parent(child);
+    msg.subject = child;
+    network()->Send(msg);
+  }
+}
+
+void AdaptiveProtocol::OnSoftStateRefresh() {
+  if (controller_.regime() == AdaptiveRegime::kDup) {
+    DupProtocol::OnSoftStateRefresh();
+    return;
+  }
+  // Outside DUP the refresh is the migration safety net: tear down any
+  // lingering subscriptions (nothing re-announces them, so the driver's
+  // end-of-run prune then clears every non-self leftover), and in CUP
+  // refresh the registrations the demand windows depend on.
+  SweepDupSubscriptions();
+  if (controller_.regime() != AdaptiveRegime::kCup) return;
+  sweep_scratch_.clear();
+  adaptive_states_.ForEach([&](NodeId node, const AdaptiveState& state) {
+    if (!state.interest_notified) return;
+    if (!tree()->Contains(node) || node == tree()->root()) return;
+    sweep_scratch_.push_back(node);
+  });
+  std::sort(sweep_scratch_.begin(), sweep_scratch_.end());
+  for (NodeId node : sweep_scratch_) {
+    Message msg;
+    msg.type = MessageType::kInterestRegister;
+    msg.from = node;
+    msg.to = tree()->Parent(node);
+    msg.subject = node;
+    network()->Send(msg);
+  }
+}
+
+std::vector<NodeId> AdaptiveProtocol::NotifiedNodes() const {
+  std::vector<NodeId> notified;
+  adaptive_states_.ForEach([&notified](NodeId node,
+                                       const AdaptiveState& state) {
+    if (state.interest_notified) notified.push_back(node);
+  });
+  std::sort(notified.begin(), notified.end());
+  return notified;
+}
+
+bool AdaptiveProtocol::HasDemandBranch(NodeId node, NodeId child) const {
+  const AdaptiveState* state = adaptive_states_.Find(tree()->registry(), node);
+  if (state == nullptr) return false;
+  for (const DemandBranch& branch : state->branches) {
+    if (branch.child == child && branch.active) return true;
+  }
+  return false;
+}
+
+}  // namespace dupnet::core

@@ -33,6 +33,8 @@ uint32_t DupProtocol::DupSlotOf(NodeId node) {
                                 [](DupHot& hot, DupCold& cold) {
                                   hot.last_forwarded = 0;
                                   cold.slist.Clear();
+                                  cold.delegations.clear();
+                                  cold.relays.clear();
                                 });
 }
 
@@ -61,6 +63,7 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
       // whoever actually pushes for this branch.
       SendUp(at, MessageType::kSubscribe, subject);
     }
+    RebalanceFanOut(at);
     return;
   }
 
@@ -70,7 +73,10 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
   if (slist.size() == 1) old_sole = slist.Sole().second;
 
   slist.Set(branch, subject, Now());
-  if (is_root) return;
+  if (is_root) {
+    RebalanceFanOut(at);
+    return;
+  }
 
   if (slist.size() == 1) {
     // Had no subscriber, now has one: extend the virtual path upstream.
@@ -86,11 +92,13 @@ void DupProtocol::ProcessSubscribe(NodeId at, NodeId branch, NodeId subject) {
     }
   }
   // size > 2: already a branch point; nothing changes upstream.
+  RebalanceFanOut(at);
 }
 
 void DupProtocol::ProcessUnsubscribe(NodeId at, NodeId branch) {
   SubscriberList& slist = SlistOf(at);
   if (!slist.Remove(branch)) return;  // Idempotent (churn re-delivery).
+  RebalanceFanOut(at);
   if (at == tree()->root()) return;
 
   if (slist.empty()) {
@@ -114,6 +122,7 @@ void DupProtocol::ProcessSubstitute(NodeId at, NodeId branch,
   SubscriberList& slist = SlistOf(at);
   if (!slist.HasBranch(branch)) return;  // Stale after churn.
   slist.Set(branch, replacement, Now());
+  RebalanceFanOut(at);
   if (at == tree()->root()) return;
   if (slist.size() == 1) {
     // Not a DUP-tree node: the actual pusher is further upstream.
@@ -141,6 +150,16 @@ void DupProtocol::HandleProtocolMessage(const Message& message) {
     case MessageType::kSubscribe:
     case MessageType::kUnsubscribe:
     case MessageType::kSubstitute: {
+      // Delegation control (arity cap) is addressed to an arbitrary
+      // delegate, not the sender's parent, so intercept it before the
+      // re-route logic below. Marker: subject2 == from — tree subscribes /
+      // unsubscribes always carry subject2 == kInvalidNode, and while
+      // substitutes do use subject2, they are excluded here.
+      if (message.type != MessageType::kSubstitute &&
+          message.subject2 == message.from) {
+        HandleDelegationControl(message);
+        return;
+      }
       // A control message can cross a topology change while in flight.
       // Sender departed: its upstream entry was already repaired
       // synchronously by OnNodeRemoved, so the message is stale — drop it.
@@ -207,11 +226,31 @@ void DupProtocol::PushToSubscribers(NodeId from, IndexVersion version,
   // Snapshot into the scratch: SendPush never mutates the list, but the
   // entries vector may move if a callback reenters; stay safe. The scratch
   // keeps its capacity across pushes (degree-bounded).
-  const auto& entries = SlistOf(from).entries();
-  push_scratch_.assign(entries.begin(), entries.end());
+  const uint32_t slot = DupSlotOf(from);
+  const DupCold& cold = dup_states_.ColdAt(slot);
+  push_scratch_.assign(cold.slist.entries().begin(),
+                       cold.slist.entries().end());
+  const auto& dels = cold.delegations;  // Sorted by target; empty uncapped.
   for (const auto& [branch, subscriber] : push_scratch_) {
     if (subscriber == from) continue;  // Self entry.
+    if (!dels.empty()) {
+      // Delegated targets are served by their delegate's relay duty, not
+      // directly.
+      const auto it = std::lower_bound(
+          dels.begin(), dels.end(), subscriber,
+          [](const auto& d, NodeId t) { return d.first < t; });
+      if (it != dels.end() && it->first == subscriber) continue;
+    }
     SendPush(from, subscriber, version, expiry);
+  }
+  // Serve accepted relay duties: this node forwards the update onward on
+  // behalf of every delegator that overflowed its arity cap.
+  if (!cold.relays.empty()) {
+    relay_scratch_.assign(cold.relays.begin(), cold.relays.end());
+    for (const auto& [delegator, target] : relay_scratch_) {
+      if (target == from) continue;
+      SendPush(from, target, version, expiry);
+    }
   }
 }
 
@@ -255,6 +294,89 @@ void DupProtocol::SendPush(NodeId from, NodeId to, IndexVersion version,
 }
 
 // ---------------------------------------------------------------------------
+// Arity-capped fan-out (D³-Tree style load balancing).
+// ---------------------------------------------------------------------------
+
+void DupProtocol::RebalanceFanOut(NodeId node) {
+  const size_t cap = dup_options_.max_arity;
+  if (cap == 0) return;
+  if (!tree()->Contains(node)) return;
+  const uint32_t slot = DupSlotOf(node);
+  DupCold& cold = dup_states_.ColdAt(slot);
+
+  // The desired plan is a pure function of the sorted distinct subscriber
+  // ids: positions 0..cap-1 are pushed directly, position i >= cap is
+  // delegated to position i / cap - 1. Each delegate therefore relays for
+  // at most `cap` targets of this delegator, and the implied relay tree is
+  // cap-ary (depth O(log_cap fan_out)). No randomness — identical across
+  // shards, jobs and audit modes.
+  target_scratch_ = cold.slist.SubscribersSorted(node);
+  plan_scratch_.clear();
+  if (target_scratch_.size() > cap) {
+    plan_scratch_.reserve(target_scratch_.size() - cap);
+    for (size_t i = cap; i < target_scratch_.size(); ++i) {
+      plan_scratch_.emplace_back(target_scratch_[i],
+                                 target_scratch_[i / cap - 1]);
+    }
+    // Ascending targets in, ascending targets out: already sorted.
+  }
+  if (plan_scratch_ == cold.delegations) return;
+
+  // Diff installed vs desired by target and notify the affected delegates.
+  // Revokes go out before assigns so a delegate whose duty moves never
+  // holds two entries for the same target.
+  const auto& old_plan = cold.delegations;
+  const auto& new_plan = plan_scratch_;
+  for (const auto& [target, delegate] : old_plan) {
+    const auto it = std::lower_bound(
+        new_plan.begin(), new_plan.end(), target,
+        [](const auto& d, NodeId t) { return d.first < t; });
+    if (it == new_plan.end() || it->first != target ||
+        it->second != delegate) {
+      SendDelegation(node, delegate, target, /*assign=*/false);
+    }
+  }
+  for (const auto& [target, delegate] : new_plan) {
+    const auto it = std::lower_bound(
+        old_plan.begin(), old_plan.end(), target,
+        [](const auto& d, NodeId t) { return d.first < t; });
+    if (it == old_plan.end() || it->first != target ||
+        it->second != delegate) {
+      SendDelegation(node, delegate, target, /*assign=*/true);
+    }
+  }
+  cold.delegations = plan_scratch_;
+}
+
+void DupProtocol::HandleDelegationControl(const Message& message) {
+  const NodeId at = message.to;
+  // Delegator departed while the message was in flight: the relay sweep in
+  // OnNodeRemoved already cleared its duties; a late assign would strand
+  // an entry no revoke can ever reach.
+  if (!tree()->Contains(message.from)) return;
+  DupCold& cold = dup_states_.ColdAt(DupSlotOf(at));
+  const auto key = std::make_pair(message.from, message.subject);
+  auto it = std::lower_bound(cold.relays.begin(), cold.relays.end(), key);
+  if (message.type == MessageType::kSubscribe) {
+    if (it == cold.relays.end() || *it != key) cold.relays.insert(it, key);
+  } else {
+    if (it != cold.relays.end() && *it == key) cold.relays.erase(it);
+  }
+}
+
+void DupProtocol::SendDelegation(NodeId from, NodeId delegate, NodeId target,
+                                 bool assign) {
+  if (!tree()->Contains(delegate)) return;  // Churn repair pending.
+  Message msg;
+  msg.type = assign ? MessageType::kSubscribe : MessageType::kUnsubscribe;
+  msg.from = from;
+  msg.to = delegate;
+  msg.subject = target;
+  msg.subject2 = from;  // Delegation marker (see HandleProtocolMessage).
+  network()->Send(msg);
+}
+
+// ---------------------------------------------------------------------------
 // Explicit subscriptions (pub/sub extension).
 // ---------------------------------------------------------------------------
 
@@ -292,6 +414,10 @@ void DupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
   parent_slist.Set(node, *inherited, Now());
   dup_states_.ColdAt(node_slot).slist.Set(child, *inherited, Now());
   recorder()->AddHops(metrics::HopClass::kControl);
+  // Subscriber values are unchanged at the parent (only the branch key
+  // moved), so its plan is stable; the newcomer's list grew from empty.
+  RebalanceFanOut(node);
+  RebalanceFanOut(parent);
 }
 
 void DupProtocol::OnGracefulLeave(NodeId node) {
@@ -319,6 +445,46 @@ void DupProtocol::OnNodeRemoved(NodeId node, NodeId former_parent,
   dup_states_.Erase(tree()->registry(), node);
   EraseState(node);
   forced_.erase(node);
+
+  if (dup_options_.max_arity > 0) {
+    // Sweep delegation state that mentions the dead node: relay duties it
+    // delegated (or that target it) are void, and plans that used it as a
+    // delegate must re-route their overflow. Collect holders first (the
+    // slab's visitor is read-only), then mutate and re-plan each.
+    std::vector<NodeId> affected;
+    dup_states_.ForEach(
+        [&](NodeId holder, const DupHot&, const DupCold& cold) {
+          for (const auto& [delegator, target] : cold.relays) {
+            if (delegator == node || target == node) {
+              affected.push_back(holder);
+              return;
+            }
+          }
+          for (const auto& [target, delegate] : cold.delegations) {
+            if (target == node || delegate == node) {
+              affected.push_back(holder);
+              return;
+            }
+          }
+        });
+    std::sort(affected.begin(), affected.end());
+    for (NodeId holder : affected) {
+      DupCold& cold = dup_states_.ColdAt(DupSlotOf(holder));
+      auto mentions_dead = [node](const std::pair<NodeId, NodeId>& e) {
+        return e.first == node || e.second == node;
+      };
+      cold.relays.erase(std::remove_if(cold.relays.begin(),
+                                       cold.relays.end(), mentions_dead),
+                        cold.relays.end());
+      cold.delegations.erase(
+          std::remove_if(cold.delegations.begin(), cold.delegations.end(),
+                         mentions_dead),
+          cold.delegations.end());
+      // Re-plan immediately so the direct-fan-out bound holds even before
+      // the unsubscribe cascade repairs the subscriber entries.
+      RebalanceFanOut(holder);
+    }
+  }
 
   if (!was_root) {
     // Failure cases 2/3/4 upstream side: the parent's keep-alive to the
@@ -410,6 +576,57 @@ void DupProtocol::VisitSubscriberStates(
   std::sort(lists.begin(), lists.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   for (const auto& [node, slist] : lists) fn(node, *slist);
+}
+
+void DupProtocol::VisitFanOutStates(
+    const std::function<void(NodeId, const FanOutState&)>& fn) const {
+  std::vector<std::pair<NodeId, FanOutState>> states;
+  dup_states_.ForEach(
+      [&states](NodeId node, const DupHot&, const DupCold& cold) {
+        states.emplace_back(
+            node, FanOutState{&cold.slist, &cold.delegations, &cold.relays});
+      });
+  std::sort(states.begin(), states.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [node, state] : states) fn(node, state);
+}
+
+size_t DupProtocol::MaxDirectFanOut() const {
+  size_t max_fan_out = 0;
+  dup_states_.ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
+    if (!tree()->Contains(node)) return;
+    // Push messages this node sends for one update: its non-delegated
+    // subscribers plus the relay duties it accepted.
+    const size_t direct =
+        cold.slist.SubscribersSorted(node).size() - cold.delegations.size();
+    max_fan_out = std::max(max_fan_out, direct + cold.relays.size());
+  });
+  return max_fan_out;
+}
+
+void DupProtocol::ReconcileRelays() {
+  if (dup_options_.max_arity == 0) return;
+  // Authoritative state is the delegators' in-memory plans; every live
+  // delegate's relay set must be exactly the duties those plans assign it.
+  std::vector<std::pair<NodeId, std::pair<NodeId, NodeId>>> expected;
+  std::vector<NodeId> holders;
+  dup_states_.ForEach([&](NodeId node, const DupHot&, const DupCold& cold) {
+    if (!cold.relays.empty()) holders.push_back(node);
+    if (!tree()->Contains(node)) return;
+    for (const auto& [target, delegate] : cold.delegations) {
+      if (!tree()->Contains(delegate)) continue;
+      expected.push_back({delegate, {node, target}});
+    }
+  });
+  for (NodeId holder : holders) {
+    dup_states_.ColdAt(DupSlotOf(holder)).relays.clear();
+  }
+  // Sorted by (delegate, delegator, target), so each delegate's relay set
+  // is rebuilt in its canonical (delegator, target) order.
+  std::sort(expected.begin(), expected.end());
+  for (const auto& [delegate, duty] : expected) {
+    dup_states_.ColdAt(DupSlotOf(delegate)).relays.push_back(duty);
+  }
 }
 
 void DupProtocol::PruneEntriesNotAnnouncedSince(sim::SimTime cutoff) {

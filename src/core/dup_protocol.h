@@ -23,6 +23,18 @@ struct DupOptions {
   /// packet's interest bit (paper Section III-B) and costs no extra hops;
   /// explicit subscribe messages are the conservative default.
   bool piggyback_subscribe = false;
+
+  /// Maximum number of subscribers a node pushes to directly; 0 disables
+  /// the cap (the paper's unbounded fan-out, bit-identical to the
+  /// pre-cap behaviour). Under a flash crowd a branch node's fan-out can
+  /// reach thousands, so with a cap each overflowing node plans a
+  /// deterministic cap-ary relay tree over its own subscribers (D³-Tree
+  /// style load balancing): the first `max_arity` subscribers in id order
+  /// are pushed directly, subscriber at position i >= max_arity is
+  /// delegated to the subscriber at position i / max_arity - 1. Every
+  /// delegate relays to at most max_arity targets per delegator and relay
+  /// depth is O(log_max_arity fan_out).
+  uint32_t max_arity = 0;
 };
 
 /// Dynamic-tree based Update Propagation — the paper's contribution
@@ -124,6 +136,37 @@ class DupProtocol : public proto::TreeProtocolBase {
   /// children").
   size_t MaxSubscriberListSize() const;
 
+  /// Deterministically rebuilds every node's relay duties from the live
+  /// delegators' plans (the authoritative side), dropping stale entries and
+  /// restoring missing ones. Sends no messages. The delegation-state
+  /// counterpart of PruneEntriesNotAnnouncedSince: at-least-once delivery
+  /// can resurrect a revoked relay via a retransmitted assign, which a real
+  /// deployment would expire through the same keep-alive TTL as S_list
+  /// entries. Used by the driver's end-of-run reconvergence audit.
+  void ReconcileRelays();
+
+  // --- Arity-capped fan-out introspection (audit, bench). ----------------
+
+  /// Read-only view of one node's push fan-out plan: its subscriber list
+  /// plus the delegation plan (at the delegator: target -> delegate,
+  /// sorted by target) and the relay duties accepted from upstream
+  /// delegators (at the delegate: (delegator, target), sorted).
+  struct FanOutState {
+    const SubscriberList* slist = nullptr;
+    const std::vector<std::pair<NodeId, NodeId>>* delegations = nullptr;
+    const std::vector<std::pair<NodeId, NodeId>>* relays = nullptr;
+  };
+
+  /// Visits every node's fan-out state in ascending node order (never
+  /// creates state).
+  void VisitFanOutStates(
+      const std::function<void(NodeId, const FanOutState&)>& fn) const;
+
+  /// Largest number of push messages any single node sends for one update
+  /// (direct non-delegated subscribers plus accepted relay duties) — the
+  /// load-balancing headline of the bench_adaptive exhibit.
+  size_t MaxDirectFanOut() const;
+
   /// Snapshot of the propagation structures (Figure 2's taxonomy).
   struct TreeStats {
     size_t interested = 0;     ///< Nodes holding a SELF entry.
@@ -144,14 +187,23 @@ class DupProtocol : public proto::TreeProtocolBase {
   void AfterQueryObserved(NodeId node) override;
   void HandleProtocolMessage(const net::Message& message) override;
 
- private:
+  // The Figure 3 machinery below is protected (not private) so the
+  // adaptive regime controller (core::AdaptiveProtocol) can reuse it for
+  // scheme handover without duplicating the state machine.
+
   /// Hot half: read on every push delivery (duplicate filtering).
   struct DupHot {
     IndexVersion last_forwarded = 0;
   };
   /// Cold half: only subscription changes and actual forwards touch it.
+  /// `delegations` (target -> delegate, sorted by target) is this node's
+  /// current fan-out plan when DupOptions::max_arity caps it; `relays`
+  /// ((delegator, target), sorted) are the relay duties this node accepted
+  /// from overflowing delegators. Both stay empty with the cap off.
   struct DupCold {
     SubscriberList slist;
+    std::vector<std::pair<NodeId, NodeId>> delegations;
+    std::vector<std::pair<NodeId, NodeId>> relays;
   };
 
   /// Slab slot of `node`'s state, created (or re-initialised on a recycled
@@ -172,7 +224,9 @@ class DupProtocol : public proto::TreeProtocolBase {
 
   void HandlePush(const net::Message& message);
 
-  /// Pushes `version` from `from` to every subscriber in its list.
+  /// Pushes `version` from `from` to every subscriber in its list (minus
+  /// delegated targets when the arity cap is on), then serves this node's
+  /// accepted relay duties.
   void PushToSubscribers(NodeId from, IndexVersion version,
                          sim::SimTime expiry);
 
@@ -181,6 +235,23 @@ class DupProtocol : public proto::TreeProtocolBase {
   void SendPush(NodeId from, NodeId to, IndexVersion version,
                 sim::SimTime expiry);
 
+  SplitNodeSlab<DupHot, DupCold>& dup_states() { return dup_states_; }
+
+ private:
+  /// Recomputes `node`'s delegation plan after a subscriber-list change and
+  /// diffs it against the installed one, sending assign/revoke messages to
+  /// the affected delegates. No-op with the cap off. Deterministic: the
+  /// plan is a pure function of the sorted subscriber ids.
+  void RebalanceFanOut(NodeId node);
+
+  /// Installs or revokes one relay duty at the receiving delegate.
+  /// Delegation control rides kSubscribe/kUnsubscribe with the marker
+  /// subject2 == from (tree control always carries subject2 ==
+  /// kInvalidNode there).
+  void HandleDelegationControl(const net::Message& message);
+  void SendDelegation(NodeId from, NodeId delegate, NodeId target,
+                      bool assign);
+
   DupOptions dup_options_;
   SplitNodeSlab<DupHot, DupCold> dup_states_;
   std::unordered_set<NodeId> forced_;
@@ -188,6 +259,11 @@ class DupProtocol : public proto::TreeProtocolBase {
   /// Reused snapshot of the pushing node's entries (PushToSubscribers) —
   /// SendPush never reenters it, so one scratch vector serves every push.
   std::vector<std::pair<NodeId, NodeId>> push_scratch_;
+  /// Reused snapshot of the pushing node's relay duties, same contract.
+  std::vector<std::pair<NodeId, NodeId>> relay_scratch_;
+  /// Reused by RebalanceFanOut for the recomputed plan.
+  std::vector<NodeId> target_scratch_;
+  std::vector<std::pair<NodeId, NodeId>> plan_scratch_;
 };
 
 }  // namespace dupnet::core

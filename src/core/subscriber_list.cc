@@ -58,4 +58,16 @@ bool SubscriberList::ContainsSubscriber(NodeId subscriber) const {
                      [&](const auto& e) { return e.second == subscriber; });
 }
 
+std::vector<NodeId> SubscriberList::SubscribersSorted(NodeId exclude) const {
+  std::vector<NodeId> out;
+  out.reserve(entries_.size());
+  for (const auto& [branch, subscriber] : entries_) {
+    if (subscriber == exclude) continue;
+    out.push_back(subscriber);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace dupnet::core

@@ -62,6 +62,12 @@ class SubscriberList {
   /// True iff some entry's subscriber equals `subscriber`.
   bool ContainsSubscriber(NodeId subscriber) const;
 
+  /// Distinct subscriber ids in ascending order, excluding `exclude` (the
+  /// holding node's own id — a self entry is not a push target). This is
+  /// the deterministic push-target set the arity-capped fan-out planner
+  /// (DupOptions::max_arity) assigns relay duties over.
+  std::vector<NodeId> SubscribersSorted(NodeId exclude) const;
+
   /// Drops all entries, keeping capacity (slab slot recycling).
   void Clear() {
     entries_.clear();

@@ -16,6 +16,8 @@ std::string_view SchemeToString(Scheme scheme) {
       return "cup";
     case Scheme::kDup:
       return "dup";
+    case Scheme::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
 }
@@ -24,6 +26,7 @@ Result<Scheme> ParseScheme(std::string_view name) {
   if (name == "pcx") return Scheme::kPcx;
   if (name == "cup") return Scheme::kCup;
   if (name == "dup") return Scheme::kDup;
+  if (name == "adaptive") return Scheme::kAdaptive;
   return Status::InvalidArgument(
       util::StrFormat("unknown scheme \"%s\"", std::string(name).c_str()));
 }
@@ -151,6 +154,25 @@ Status ExperimentConfig::Validate() const {
   if (audit_interval < 0.0) {
     return Status::InvalidArgument("audit_interval must be non-negative");
   }
+  for (size_t i = 0; i < phases.size(); ++i) {
+    if (phases[i].lambda_scale <= 0.0) {
+      return Status::InvalidArgument("phase lambda_scale must be positive");
+    }
+    if (phases[i].at < 0.0) {
+      return Status::InvalidArgument("phase time must be non-negative");
+    }
+    if (i > 0 && phases[i].at <= phases[i - 1].at) {
+      return Status::InvalidArgument("phase times must be strictly ascending");
+    }
+  }
+  if (scheme == Scheme::kAdaptive) {
+    if (adaptive.demand_window <= 0.0 ||
+        adaptive.cup_enter_per_update <= 0.0 ||
+        adaptive.dup_enter_per_update < adaptive.cup_enter_per_update ||
+        adaptive.exit_fraction <= 0.0 || adaptive.exit_fraction >= 1.0) {
+      return Status::InvalidArgument("invalid adaptive controller options");
+    }
+  }
   return Status::OK();
 }
 
@@ -173,6 +195,17 @@ std::string ExperimentConfig::ToString() const {
     out += util::StrFormat(" loss=%g jitter=%g retry_max=%u refresh=%g",
                            faults.loss_rate, faults.jitter, faults.retry_max,
                            faults.refresh_interval);
+  }
+  if (!phases.empty()) {
+    out += util::StrFormat(" phases=%zu", phases.size());
+  }
+  if (scheme == Scheme::kAdaptive) {
+    out += util::StrFormat(" cup_enter=%g dup_enter=%g",
+                           adaptive.cup_enter_per_update,
+                           adaptive.dup_enter_per_update);
+  }
+  if (dup.max_arity > 0) {
+    out += util::StrFormat(" max_arity=%u", dup.max_arity);
   }
   if (audit_mode != audit::AuditMode::kOff) {
     out += util::StrFormat(

@@ -3,10 +3,12 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "audit/audit_mode.h"
 #include "core/dup_protocol.h"
 #include "net/fault_injection.h"
+#include "proto/adaptive_controller.h"
 #include "proto/cup.h"
 #include "sim/event_queue.h"
 #include "topo/churn.h"
@@ -14,8 +16,10 @@
 
 namespace dupnet::experiment {
 
-/// Which consistency scheme a run simulates.
-enum class Scheme { kPcx, kCup, kDup };
+/// Which consistency scheme a run simulates. kAdaptive runs the per-key
+/// regime controller (core::AdaptiveProtocol) that migrates the key
+/// between the three static schemes online.
+enum class Scheme { kPcx, kCup, kDup, kAdaptive };
 
 /// How the index search tree is obtained.
 enum class TopologyKind {
@@ -111,6 +115,24 @@ struct ExperimentConfig {
 
   /// CUP-specific options (push-decision policy).
   proto::CupOptions cup;
+
+  /// Adaptive-controller options (Scheme::kAdaptive only): regime entry /
+  /// exit bars on the queries-per-update ratio, hysteresis and dwell.
+  proto::AdaptiveOptions adaptive;
+
+  /// Piecewise workload modulation for flash-crowd / decay scenarios. At
+  /// each phase boundary the driver scales the query arrival rate by
+  /// `lambda_scale` (relative to the base `lambda`) and rotates the Zipf
+  /// popularity ranking by `zipf_shift` positions, drifting the hot set
+  /// deterministically (zero extra RNG draws — an empty `phases` list is
+  /// bit-identical to a run before this feature existed). Boundaries are
+  /// absolute sim times and must be strictly ascending.
+  struct WorkloadPhase {
+    sim::SimTime at = 0.0;
+    double lambda_scale = 1.0;
+    size_t zipf_shift = 0;
+  };
+  std::vector<WorkloadPhase> phases;
 
   /// Topology dynamics (all rates 0 = static network, the paper's
   /// evaluation setting).

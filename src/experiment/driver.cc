@@ -128,6 +128,18 @@ Status SimulationDriver::Init() {
       protocol_ = std::move(dup);
       break;
     }
+    case Scheme::kAdaptive: {
+      auto adaptive = std::make_unique<core::AdaptiveProtocol>(
+          network_.get(), tree_.get(), options, config_.dup,
+          config_.adaptive);
+      adaptive_protocol_ = adaptive.get();
+      // The adaptive protocol is-a DupProtocol: aliasing it here gives the
+      // end-of-run reconvergence (FinalizeAudit's refresh + prune) the DUP
+      // soft-state cleanup for free.
+      dup_protocol_ = adaptive.get();
+      protocol_ = std::move(adaptive);
+      break;
+    }
   }
   network_->set_sink(protocol_.get());
 
@@ -153,6 +165,9 @@ Status SimulationDriver::Init() {
   engine_.ScheduleAt(config_.warmup_time, this, kEventWarmupEnd);
   FirePublish();  // Version 1 at t = 0.
   ScheduleNextQuery();
+  if (!config_.phases.empty() && config_.phases[0].at < horizon_end_) {
+    engine_.ScheduleAt(config_.phases[0].at, this, kEventPhase);
+  }
   if (config_.churn.enabled()) {
     churn_planner_.emplace(config_.churn);
     ScheduleNextChurn();
@@ -221,6 +236,9 @@ void SimulationDriver::OnSimEvent(uint32_t code, uint64_t arg) {
     case kEventAudit:
       FireAudit();
       break;
+    case kEventPhase:
+      FirePhase();
+      break;
     default:
       DUP_CHECK(false) << "unknown driver event code " << code;
   }
@@ -232,7 +250,10 @@ void SimulationDriver::OnSimEvent(uint32_t code, uint64_t arg) {
 
 void SimulationDriver::ScheduleNextQuery() {
   if (engine_.Now() >= horizon_end_) return;
-  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_), this, kEventQuery);
+  // Dividing by lambda_scale_ == 1.0 is a bitwise no-op, so runs without
+  // workload phases stay bit-identical to pre-phase builds.
+  engine_.ScheduleAfter(arrivals_->NextInterArrival(&rng_) / lambda_scale_,
+                        this, kEventQuery);
 }
 
 void SimulationDriver::FireQuery() {
@@ -241,6 +262,18 @@ void SimulationDriver::FireQuery() {
   // A crashed (not yet replaced) node issues no queries.
   if (network_->IsDown(node) || !tree_->Contains(node)) return;
   protocol_->OnLocalQuery(node);
+}
+
+void SimulationDriver::FirePhase() {
+  DUP_CHECK(next_phase_ < config_.phases.size());
+  const ExperimentConfig::WorkloadPhase& phase = config_.phases[next_phase_];
+  lambda_scale_ = phase.lambda_scale;
+  if (phase.zipf_shift > 0) zipf_->RotateRanks(phase.zipf_shift);
+  ++next_phase_;
+  if (next_phase_ < config_.phases.size() &&
+      config_.phases[next_phase_].at < horizon_end_) {
+    engine_.ScheduleAt(config_.phases[next_phase_].at, this, kEventPhase);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -388,6 +421,9 @@ void SimulationDriver::FinalizeAudit() {
     if (dup_protocol_ != nullptr) {
       dup_protocol_->PruneEntriesNotAnnouncedSince(round_start);
       engine_.Run();
+      // Message-free local reconciliation of the delegation soft state (a
+      // retransmitted assign can resurrect a revoked relay duty).
+      dup_protocol_->ReconcileRelays();
     }
   }
   audit_checker_->CheckNow(/*force_global=*/true);

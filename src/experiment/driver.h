@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "audit/invariant_checker.h"
+#include "core/adaptive_protocol.h"
 #include "experiment/config.h"
 #include "metrics/recorder.h"
 #include "metrics/summary.h"
@@ -82,8 +83,12 @@ class SimulationDriver : public sim::EventTarget {
   util::Status AuditQuiescent() const {
     return audit::AuditQuiescent(*tree_, *network_, *protocol_);
   }
-  /// Non-null only when the configured scheme is DUP.
+  /// Non-null when the configured scheme is DUP or adaptive (the adaptive
+  /// protocol is-a DupProtocol; the alias lets the end-of-run soft-state
+  /// prune and DUP introspection work for both).
   core::DupProtocol* dup_protocol() { return dup_protocol_; }
+  /// Non-null only when the configured scheme is adaptive.
+  core::AdaptiveProtocol* adaptive_protocol() { return adaptive_protocol_; }
   const std::vector<NodeId>& live_nodes() const { return live_nodes_; }
   uint64_t churn_events_applied() const { return churn_events_applied_; }
 
@@ -97,6 +102,7 @@ class SimulationDriver : public sim::EventTarget {
   static constexpr uint32_t kEventChurnDetect = 4;
   static constexpr uint32_t kEventRefresh = 5;
   static constexpr uint32_t kEventAudit = 6;
+  static constexpr uint32_t kEventPhase = 7;
 
   void ScheduleNextQuery();
   void ScheduleNextPublish();
@@ -108,6 +114,7 @@ class SimulationDriver : public sim::EventTarget {
   void FireChurn();
   void FireRefresh();
   void FireAudit();
+  void FirePhase();
   /// End-of-run audit: drains the queue with the recorder disabled, runs
   /// one reconvergence round (lossless refresh + DUP keep-alive expiry)
   /// when faults or churn were active, then a forced global check.
@@ -126,12 +133,20 @@ class SimulationDriver : public sim::EventTarget {
   std::unique_ptr<trace::JsonlTraceWriter> trace_writer_;
   std::unique_ptr<proto::TreeProtocolBase> protocol_;
   std::unique_ptr<audit::InvariantChecker> audit_checker_;
-  core::DupProtocol* dup_protocol_ = nullptr;  // Aliases protocol_ if DUP.
+  /// Aliases protocol_ when the scheme is DUP or adaptive.
+  core::DupProtocol* dup_protocol_ = nullptr;
+  /// Aliases protocol_ when the scheme is adaptive.
+  core::AdaptiveProtocol* adaptive_protocol_ = nullptr;
 
   std::unique_ptr<workload::ArrivalProcess> arrivals_;
   std::unique_ptr<workload::ZipfNodeSelector> zipf_;
   std::optional<workload::UpdateSchedule> schedule_;
   IndexVersion next_version_ = 1;
+
+  /// Current query-rate multiplier (config.phases); 1.0 outside phased
+  /// runs, where dividing by it is a bitwise no-op.
+  double lambda_scale_ = 1.0;
+  size_t next_phase_ = 0;
 
   /// Workload generators stop seeding new events past this time so the
   /// queue can drain (engine().Run() terminates once in-flight traffic

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "chord/tree_builder.h"
+#include "core/adaptive_protocol.h"
 #include "core/dup_protocol.h"
 #include "experiment/parallel_runner.h"
 #include "proto/cup.h"
@@ -34,6 +35,13 @@ Status MultiKeyConfig::Validate() const {
     return Status::InvalidArgument(
         "shards must be in [1, num_keys]: a shard without keys has no work "
         "and a key cannot span shards");
+  }
+  if (scheme == experiment::Scheme::kAdaptive &&
+      (adaptive.demand_window <= 0.0 ||
+       adaptive.cup_enter_per_update <= 0.0 ||
+       adaptive.dup_enter_per_update < adaptive.cup_enter_per_update ||
+       adaptive.exit_fraction <= 0.0 || adaptive.exit_fraction >= 1.0)) {
+    return Status::InvalidArgument("invalid adaptive controller options");
   }
   DUP_RETURN_IF_ERROR(faults.Validate());
   return Status::OK();
@@ -137,7 +145,12 @@ Status MultiKeySimulation::Init() {
         break;
       case experiment::Scheme::kDup:
         key.protocol = std::make_unique<core::DupProtocol>(
-            key.network.get(), key.tree.get(), options);
+            key.network.get(), key.tree.get(), options, config_.dup);
+        break;
+      case experiment::Scheme::kAdaptive:
+        key.protocol = std::make_unique<core::AdaptiveProtocol>(
+            key.network.get(), key.tree.get(), options, config_.dup,
+            config_.adaptive);
         break;
     }
     key.network->set_sink(key.protocol.get());
@@ -249,6 +262,12 @@ MultiKeyResult MultiKeySimulation::Collect() const {
     stats.authority = key.tree->root();
     stats.publishes = key.publishes;
     stats.metrics = metrics::RunMetrics::FromRecorder(*key.recorder);
+    if (config_.scheme == experiment::Scheme::kAdaptive) {
+      stats.migrations =
+          static_cast<const core::AdaptiveProtocol*>(key.protocol.get())
+              ->controller()
+              .migrations();
+    }
     ++authority_counts[stats.authority];
     result.keys.push_back(std::move(stats));
   }

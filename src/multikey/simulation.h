@@ -12,6 +12,7 @@
 #include "metrics/summary.h"
 #include "net/fault_injection.h"
 #include "net/overlay_network.h"
+#include "proto/adaptive_controller.h"
 #include "proto/tree_protocol_base.h"
 #include "sim/engine.h"
 #include "topo/tree.h"
@@ -46,6 +47,12 @@ struct MultiKeyConfig {
   uint32_t threshold_c = 6;
   double hop_latency_mean = 0.1;
 
+  /// DUP-specific options (arity cap, shortcut ablation); also the DUP
+  /// regime of Scheme::kAdaptive.
+  core::DupOptions dup;
+  /// Adaptive-controller options (Scheme::kAdaptive only).
+  proto::AdaptiveOptions adaptive;
+
   /// Message-level fault model applied to every key's network (default:
   /// strict no-op, zero extra RNG draws). Must Validate().
   net::FaultConfig faults;
@@ -73,6 +80,11 @@ struct KeyStats {
   /// warm-up; independent of the recorder's enable window).
   uint64_t publishes = 0;
   metrics::RunMetrics metrics;
+  /// The key's regime-migration history (Scheme::kAdaptive only; empty
+  /// otherwise). A deterministic function of the key's event stream, so
+  /// bit-identical across shard and job counts — pinned by the adaptive
+  /// determinism tests.
+  std::vector<proto::AdaptiveController::Migration> migrations;
 };
 
 /// Whole-run outcome.

@@ -1,0 +1,76 @@
+#include "proto/adaptive_controller.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dupnet::proto {
+
+std::string_view AdaptiveRegimeToString(AdaptiveRegime regime) {
+  switch (regime) {
+    case AdaptiveRegime::kPcx:
+      return "pcx";
+    case AdaptiveRegime::kCup:
+      return "cup";
+    case AdaptiveRegime::kDup:
+      return "dup";
+  }
+  return "unknown";
+}
+
+AdaptiveController::AdaptiveController(const AdaptiveOptions& options)
+    : options_(options) {
+  DUP_CHECK_GT(options.demand_window, 0.0);
+  DUP_CHECK_GT(options.cup_enter_per_update, 0.0);
+  DUP_CHECK_GE(options.dup_enter_per_update, options.cup_enter_per_update);
+  DUP_CHECK_GT(options.exit_fraction, 0.0);
+  DUP_CHECK_LT(options.exit_fraction, 1.0);
+  queries_.Reset(options.demand_window, options.query_saturation);
+  updates_.Reset(options.demand_window, options.update_saturation);
+}
+
+AdaptiveRegime AdaptiveController::DesiredRegime(double ratio) const {
+  const double cup_enter = options_.cup_enter_per_update;
+  const double dup_enter = options_.dup_enter_per_update;
+  const double exit = options_.exit_fraction;
+  switch (regime_) {
+    case AdaptiveRegime::kPcx:
+      if (ratio >= dup_enter) return AdaptiveRegime::kDup;
+      if (ratio >= cup_enter) return AdaptiveRegime::kCup;
+      return AdaptiveRegime::kPcx;
+    case AdaptiveRegime::kCup:
+      if (ratio >= dup_enter) return AdaptiveRegime::kDup;
+      if (ratio < cup_enter * exit) return AdaptiveRegime::kPcx;
+      return AdaptiveRegime::kCup;
+    case AdaptiveRegime::kDup:
+      if (ratio >= dup_enter * exit) return AdaptiveRegime::kDup;
+      // Demotion from DUP re-applies the lower bars with the same dead
+      // band, so a collapsing flash crowd can fall straight through to PCX.
+      if (ratio >= cup_enter * exit) return AdaptiveRegime::kCup;
+      return AdaptiveRegime::kPcx;
+  }
+  return regime_;
+}
+
+AdaptiveRegime AdaptiveController::Tick(sim::SimTime now) {
+  ++ticks_;
+  // At least one update is assumed: the tick itself is driven by a publish,
+  // and a zero divisor would make a never-updated hot key undecidable.
+  const double updates =
+      std::max<uint32_t>(1, updates_.CountInWindow(now));
+  const double ratio = queries_.CountInWindow(now) / updates;
+  const AdaptiveRegime desired = DesiredRegime(ratio);
+  if (desired == regime_) return regime_;
+  // Dwell damping: the first migration is allowed immediately (tick
+  // arithmetic below is against tick 0), later ones must be spaced.
+  if (last_migration_tick_ != 0 &&
+      ticks_ - last_migration_tick_ < options_.dwell_updates) {
+    return regime_;
+  }
+  migrations_.push_back(Migration{now, regime_, desired});
+  regime_ = desired;
+  last_migration_tick_ = ticks_;
+  return regime_;
+}
+
+}  // namespace dupnet::proto

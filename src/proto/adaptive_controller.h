@@ -1,0 +1,123 @@
+#ifndef DUP_PROTO_ADAPTIVE_CONTROLLER_H_
+#define DUP_PROTO_ADAPTIVE_CONTROLLER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cache/access_tracker.h"
+#include "sim/event_queue.h"
+
+namespace dupnet::proto {
+
+/// The three propagation regimes a key can run in, ordered by push
+/// aggressiveness. The paper's Table II shows the cost ranking flips with
+/// the query/update rate ratio: pull-only PCX wins for cold keys, CUP's
+/// demand-driven hop-by-hop push wins in the middle, DUP's subscription
+/// tree wins when a key is hot relative to its update rate.
+enum class AdaptiveRegime : uint8_t {
+  kPcx = 0,  ///< Pull only; every miss climbs the tree.
+  kCup = 1,  ///< Demand-driven hop-by-hop push (Roussopoulos & Baker).
+  kDup = 2,  ///< Subscription tree with overlay shortcut pushes.
+};
+
+std::string_view AdaptiveRegimeToString(AdaptiveRegime regime);
+
+struct AdaptiveOptions {
+  /// Rate-measurement window (seconds of simulated time). Queries and
+  /// updates are counted over the same trailing window, so their ratio is
+  /// the paper's queries-per-update axis.
+  sim::SimTime demand_window = 3600.0;
+
+  /// Promote past PCX when in-window queries reach `cup_enter_per_update`
+  /// times the in-window update count (at least one update is assumed, so
+  /// a never-updated key still promotes once queried enough).
+  double cup_enter_per_update = 2.0;
+  /// Promote to DUP when the ratio reaches this bar.
+  double dup_enter_per_update = 16.0;
+
+  /// Hysteresis: a regime is only left when the ratio drops below its
+  /// entry bar scaled by this fraction (must be < 1 for a dead band).
+  double exit_fraction = 0.5;
+
+  /// Minimum number of controller ticks (one per published update) between
+  /// consecutive migrations — damping so churny ratios near a bar cannot
+  /// thrash the handover machinery.
+  uint32_t dwell_updates = 2;
+
+  /// Saturation bounds for the two counting rings. Counts are exact up to
+  /// the bound (see cache::AccessTracker); size the query bound at or
+  /// above dup_enter_per_update * (update_saturation + 1) so a saturated
+  /// query count can only occur when the decision is already DUP.
+  uint32_t query_saturation = 512;
+  uint32_t update_saturation = 16;
+};
+
+/// Per-key regime controller (ROADMAP item 4): watches the key's demand —
+/// query arrivals and published updates, each counted over a trailing
+/// window by a cache::AccessTracker ring — and decides which propagation
+/// regime the key should run in. Pure measurement + decision logic: the
+/// protocol-side handover (interest-register / subscribe / unsubscribe /
+/// substitute messages) lives in core::AdaptiveProtocol.
+///
+/// Decisions are a deterministic function of the recorded event stream (no
+/// randomness, no wall-clock), so a key's migration history is bit-identical
+/// across shard counts, worker counts and audit modes — the determinism
+/// contracts every prior PR pinned extend to the controller unchanged.
+class AdaptiveController {
+ public:
+  explicit AdaptiveController(const AdaptiveOptions& options);
+
+  /// Records one locally issued query for the key (any node).
+  void RecordQuery(sim::SimTime now) { queries_.RecordQuery(now); }
+
+  /// Records one published update (authority version bump).
+  void RecordUpdate(sim::SimTime now) { updates_.RecordQuery(now); }
+
+  /// One decision step, run after each published update is recorded.
+  /// Returns the regime the key should run in from now on (possibly
+  /// unchanged). Migrations are rate-limited by dwell_updates.
+  AdaptiveRegime Tick(sim::SimTime now);
+
+  AdaptiveRegime regime() const { return regime_; }
+
+  /// One completed migration (for determinism pinning and the bench
+  /// exhibit's timeline).
+  struct Migration {
+    sim::SimTime at = 0.0;
+    AdaptiveRegime from = AdaptiveRegime::kPcx;
+    AdaptiveRegime to = AdaptiveRegime::kPcx;
+
+    bool operator==(const Migration& other) const {
+      return at == other.at && from == other.from && to == other.to;
+    }
+  };
+  const std::vector<Migration>& migrations() const { return migrations_; }
+
+  /// Measurement introspection (tests).
+  uint32_t QueriesInWindow(sim::SimTime now) const {
+    return queries_.CountInWindow(now);
+  }
+  uint32_t UpdatesInWindow(sim::SimTime now) const {
+    return updates_.CountInWindow(now);
+  }
+
+  const AdaptiveOptions& options() const { return options_; }
+
+ private:
+  /// The regime the current ratio asks for, honouring hysteresis relative
+  /// to the current regime.
+  AdaptiveRegime DesiredRegime(double ratio) const;
+
+  AdaptiveOptions options_;
+  cache::AccessTracker queries_;
+  cache::AccessTracker updates_;
+  AdaptiveRegime regime_ = AdaptiveRegime::kPcx;
+  uint64_t ticks_ = 0;
+  uint64_t last_migration_tick_ = 0;
+  std::vector<Migration> migrations_;
+};
+
+}  // namespace dupnet::proto
+
+#endif  // DUP_PROTO_ADAPTIVE_CONTROLLER_H_

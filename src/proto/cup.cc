@@ -44,11 +44,15 @@ CupProtocol::CupProtocol(net::OverlayNetwork* network,
 
 uint32_t CupProtocol::DemandRingThreshold() const {
   // kDemandWindow asks "count > 0" (bar 0); kPopularityThreshold asks
-  // "count >= p", which saturating at p answers exactly (bar p - 1);
-  // kInvestmentReturn never reads the ring.
-  if (cup_options_.policy == CupPushPolicy::kPopularityThreshold &&
-      cup_options_.popularity_threshold > 0) {
-    return cup_options_.popularity_threshold - 1;
+  // "count >= p", which saturating at p answers exactly (bar p - 1).
+  // p == 0 is the degenerate "always push": ">= 0" holds even for a branch
+  // with no recorded demand at all, so the ring needs no stamps (bar 0) —
+  // it must NOT fall back to the demand-window bar, which would imply the
+  // ring is consulted. kInvestmentReturn never reads the ring.
+  if (cup_options_.policy == CupPushPolicy::kPopularityThreshold) {
+    return cup_options_.popularity_threshold == 0
+               ? 0
+               : cup_options_.popularity_threshold - 1;
   }
   return 0;
 }
@@ -115,6 +119,9 @@ bool CupProtocol::DecidePush(std::vector<BranchSlot>& branches, NodeId child) {
     case CupPushPolicy::kDemandWindow:
       return BranchDemandCount(branches, child) > 0;
     case CupPushPolicy::kPopularityThreshold:
+      // popularity_threshold == 0 pushes unconditionally: the comparison
+      // holds for an empty window (count 0) and even for a branch that
+      // never became an entry.
       return BranchDemandCount(branches, child) >=
              cup_options_.popularity_threshold;
     case CupPushPolicy::kInvestmentReturn: {
@@ -253,6 +260,10 @@ void CupProtocol::OnSplitJoined(NodeId node, NodeId parent, NodeId child) {
   // in particular a child whose one-shot interest notification already
   // fired stays registered along its (new) upstream path. A one-hop local
   // handover between neighbours, mirroring DUP's OnSplitJoined.
+  // Deep copies, taken while `branch` is still valid: AccessTracker owns
+  // its ring outright (plain timestamps, no slab/owner-tag references), so
+  // the copy stays valid across slab slots — including when the newcomer
+  // lands on a recycled slot whose previous owner's state was erased.
   const double credit = branch->credit;
   const cache::AccessTracker demand = branch->demand;
   branch->child = node;  // Re-key in place: same payload, new branch.

@@ -92,6 +92,8 @@ void TreeProtocolBase::VisitCaches(
 void TreeProtocolBase::AfterRequestObserved(NodeId /*at*/,
                                             NodeId /*from_child*/) {}
 
+void TreeProtocolBase::AfterLocalQuery(NodeId /*node*/) {}
+
 cache::IndexEntry TreeProtocolBase::AuthorityEntry() const {
   DUP_CHECK_GT(latest_version_, 0u) << "authority has not published yet";
   if (options_.per_copy_ttl) {
@@ -123,6 +125,7 @@ void TreeProtocolBase::OnLocalQuery(NodeId node) {
   BaseNodeState& state = states_.AtSlot(slot);
   RecordQueryAt(slot, state);
   AfterQueryObserved(node);
+  AfterLocalQuery(node);
 
   if (node == tree_->root()) {
     // The authority owns the index; its answer is always current.

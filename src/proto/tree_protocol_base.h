@@ -92,6 +92,11 @@ class TreeProtocolBase : public Protocol {
   /// per-branch demand; default no-op.
   virtual void AfterRequestObserved(NodeId at, NodeId from_child);
 
+  /// Called only for queries issued locally at `node` (not forwarded
+  /// requests), after AfterQueryObserved. The adaptive controller hooks
+  /// its query-rate measurement here; default no-op.
+  virtual void AfterLocalQuery(NodeId node);
+
   /// Messages the base flow does not consume (push, subscribe, ...).
   virtual void HandleProtocolMessage(const net::Message& message) = 0;
 

@@ -115,6 +115,15 @@ void ZipfNodeSelector::ReplaceNode(NodeId old_node, NodeId new_node) {
   RebuildEytzinger();  // O(n), same as the find above.
 }
 
+void ZipfNodeSelector::RotateRanks(size_t by) {
+  const size_t n = ranked_nodes_.size();
+  by %= n;
+  if (by == 0) return;
+  std::rotate(ranked_nodes_.begin(), ranked_nodes_.end() - by,
+              ranked_nodes_.end());
+  RebuildEytzinger();
+}
+
 void ZipfNodeSelector::AddNode(NodeId node) {
   // Recomputing the full CDF on every join would be O(n); instead the new
   // node inherits the tail rank's probability mass by extending the CDF

@@ -42,6 +42,13 @@ class ZipfNodeSelector {
   /// drifted by more than kMaxHeadMassDrift.
   void AddNode(NodeId node);
 
+  /// Deterministically drifts the hot set: rotates the rank->node map so
+  /// the `by` coldest nodes become the hottest (by % size() effective).
+  /// The CDF is untouched — only which node holds each rank changes — and
+  /// no RNG is consumed, so runs that never call this are unaffected.
+  /// Drives flash-crowd phases (experiment::ExperimentConfig::phases).
+  void RotateRanks(size_t by);
+
   size_t size() const { return ranked_nodes_.size(); }
   double theta() const { return theta_; }
 

@@ -331,5 +331,69 @@ TEST_F(CupTest, InvestmentReturnCreditIsCapped) {
   EXPECT_EQ(pushes, 2);
 }
 
+TEST_F(CupTest, PopularityThresholdZeroAlwaysPushes) {
+  // The degenerate bar "count >= 0" holds for a branch with no recorded
+  // demand at all — popularity_threshold == 0 must flood unconditionally,
+  // not be treated like the demand-window policy's "count > 0".
+  CupOptions cup_options;
+  cup_options.policy = CupPushPolicy::kPopularityThreshold;
+  cup_options.popularity_threshold = 0;
+  MakeProtocol(ProtocolOptions(), cup_options);
+  // No query was ever issued: every branch is still push-eligible.
+  EXPECT_TRUE(protocol_->WouldPushTo(1, 2));
+  EXPECT_TRUE(protocol_->WouldPushTo(5, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(6, 8));
+  const uint64_t before = PushHops();
+  harness_.Publish(1);
+  // Full flood: one push per tree edge (7 edges in the paper tree).
+  EXPECT_EQ(PushHops() - before, 7u);
+  EXPECT_EQ(protocol_->CacheOf(4).stored_version(), 1u);
+  EXPECT_EQ(protocol_->CacheOf(8).stored_version(), 1u);
+  const auto audit = harness_.Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+}
+
+TEST_F(CupTest, SplitInheritedDemandSurvivesSlotRecycling) {
+  // Regression for the split-inheritance copy under NodeSlab owner-tag
+  // recycling: the newcomer of a second split lands on a slab slot a
+  // removed node just vacated. The inherited AccessTracker must be a deep,
+  // slot-independent copy — a ring referencing the recycled slot's erased
+  // state would lose (or corrupt) the branch's demand.
+  ProtocolOptions options;
+  options.threshold_c = 2;
+  MakeProtocol(options);
+  harness_.Publish(1);
+  harness_.QueryAt(6, 4);  // Demand along 6 -> 5 -> 3 -> 2 -> 1.
+
+  // Split 1: N5' (56) takes over the 5-6 edge and inherits the demand.
+  ASSERT_TRUE(harness_.tree().SplitEdge(5, 6, 56).ok());
+  protocol_->OnSplitJoined(56, 5, 6);
+  harness_.Drain();
+  ASSERT_TRUE(protocol_->WouldPushTo(56, 6));
+
+  // A leaf leaves, vacating its slab slot for recycling.
+  ASSERT_TRUE(harness_.tree().RemoveNode(4).ok());
+  harness_.network().SetNodeDown(4, true);
+  protocol_->OnNodeRemoved(4, 3, {}, /*was_root=*/false,
+                           harness_.tree().root());
+  harness_.Drain();
+
+  // Split 2: N5'' (57) splits the 56-6 edge; its state lands on the
+  // recycled slot. The demand chain must survive end to end.
+  ASSERT_TRUE(harness_.tree().SplitEdge(56, 6, 57).ok());
+  protocol_->OnSplitJoined(57, 56, 6);
+  harness_.Drain();
+  EXPECT_TRUE(protocol_->HasBranchEntry(57, 6));
+  EXPECT_TRUE(protocol_->WouldPushTo(57, 6));
+  EXPECT_TRUE(protocol_->HasBranchEntry(56, 57));
+  EXPECT_FALSE(protocol_->HasBranchEntry(56, 6));
+  const auto audit = harness_.Audit();
+  EXPECT_TRUE(audit.ok()) << audit.ToString();
+  // The next update still reaches the interested node through both
+  // inherited hops: 5 -> 56 -> 57 -> 6.
+  harness_.Publish(2);
+  EXPECT_EQ(protocol_->CacheOf(6).stored_version(), 2u);
+}
+
 }  // namespace
 }  // namespace dupnet::proto

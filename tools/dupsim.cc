@@ -18,6 +18,18 @@
 // detect[30] csv[] json[] scheduler[calendar|heap] (DUP_SCHEDULER is the
 // env fallback; both schedulers are bit-identical, see docs/simulator.md)
 //
+// DUP fan-out load balancing (docs/adaptive.md): max_arity[0] caps the
+// number of subscribers any node pushes to directly (0 = the paper's
+// unbounded fan-out); overflow is delegated over a deterministic cap-ary
+// relay tree.
+//
+// Adaptive per-key scheme migration (docs/adaptive.md): scheme=adaptive
+// runs the regime controller that migrates the key online between PCX,
+// CUP and DUP by its measured queries-per-update ratio. Knobs:
+// cup_enter[2] dup_enter[16] exit_fraction[0.5] dwell[2]
+// demand_window[3600]. scheme=all stays the paper's three static schemes
+// (baseline compatibility); request adaptive explicitly.
+//
 // Observability (docs/observability.md): trace_out[] streams every
 // observed message event as JSONL (decimated by trace_sample[1], "N" or
 // "req,rep,push,ctl"); the DUP_TRACE_OUT / DUP_TRACE_SAMPLE environment
@@ -93,6 +105,13 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
   config.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   config.dup.shortcut_push = args.GetBool("shortcut", true);
   config.dup.piggyback_subscribe = args.GetBool("piggyback", false);
+  config.dup.max_arity = static_cast<uint32_t>(args.GetInt("max_arity", 0));
+  config.adaptive.demand_window = args.GetDouble("demand_window", 3600.0);
+  config.adaptive.cup_enter_per_update = args.GetDouble("cup_enter", 2.0);
+  config.adaptive.dup_enter_per_update = args.GetDouble("dup_enter", 16.0);
+  config.adaptive.exit_fraction = args.GetDouble("exit_fraction", 0.5);
+  config.adaptive.dwell_updates =
+      static_cast<uint32_t>(args.GetInt("dwell", 2));
   config.per_copy_ttl = args.GetBool("percopy", true);
   config.cache_passing_replies = args.GetBool("passrep", false);
   config.count_forwarded_queries = args.GetBool("fwd", true);
@@ -201,6 +220,15 @@ int RunMultiKey(const util::ConfigMap& args) {
   base.warmup_time = args.GetDouble("warmup", 3600.0);
   base.measure_time = args.GetDouble("measure", 10620.0);
   base.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  base.dup.shortcut_push = args.GetBool("shortcut", true);
+  base.dup.piggyback_subscribe = args.GetBool("piggyback", false);
+  base.dup.max_arity = static_cast<uint32_t>(args.GetInt("max_arity", 0));
+  base.adaptive.demand_window = args.GetDouble("demand_window", 3600.0);
+  base.adaptive.cup_enter_per_update = args.GetDouble("cup_enter", 2.0);
+  base.adaptive.dup_enter_per_update = args.GetDouble("dup_enter", 16.0);
+  base.adaptive.exit_fraction = args.GetDouble("exit_fraction", 0.5);
+  base.adaptive.dwell_updates =
+      static_cast<uint32_t>(args.GetInt("dwell", 2));
   base.faults.loss_rate = args.GetDouble("loss_rate", 0.0);
   base.faults.jitter = args.GetDouble("jitter", 0.0);
   base.faults.retry_max =
