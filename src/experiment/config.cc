@@ -1,5 +1,7 @@
 #include "experiment/config.h"
 
+#include <cmath>
+
 #include "trace/jsonl_writer.h"
 #include "util/str.h"
 
@@ -52,6 +54,23 @@ Result<TopologyKind> ParseTopology(std::string_view name) {
   if (name == "pastry") return TopologyKind::kPastry;
   return Status::InvalidArgument(
       util::StrFormat("unknown topology \"%s\"", std::string(name).c_str()));
+}
+
+std::string_view TransportKindToString(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kWire:
+      return "wire";
+  }
+  return "unknown";
+}
+
+Result<TransportKind> ParseTransportKind(std::string_view name) {
+  if (name == "sim") return TransportKind::kSim;
+  if (name == "wire" || name == "udp") return TransportKind::kWire;
+  return Status::InvalidArgument(
+      util::StrFormat("unknown transport \"%s\"", std::string(name).c_str()));
 }
 
 std::string_view UpdateModeToString(UpdateMode mode) {
@@ -154,6 +173,14 @@ Status ExperimentConfig::Validate() const {
   if (audit_interval < 0.0) {
     return Status::InvalidArgument("audit_interval must be non-negative");
   }
+  if (transport == TransportKind::kWire) {
+    if (wire_port < 1 || wire_port > 65535) {
+      return Status::InvalidArgument("wire_port must be in [1, 65535]");
+    }
+    if (!std::isfinite(wire_pace) || wire_pace <= 0.0) {
+      return Status::InvalidArgument("wire_pace must be finite and positive");
+    }
+  }
   for (size_t i = 0; i < phases.size(); ++i) {
     if (phases[i].lambda_scale <= 0.0) {
       return Status::InvalidArgument("phase lambda_scale must be positive");
@@ -206,6 +233,11 @@ std::string ExperimentConfig::ToString() const {
   }
   if (dup.max_arity > 0) {
     out += util::StrFormat(" max_arity=%u", dup.max_arity);
+  }
+  if (transport != TransportKind::kSim) {
+    out += util::StrFormat(" transport=%s port=%d pace=%g",
+                           std::string(TransportKindToString(transport)).c_str(),
+                           wire_port, wire_pace);
   }
   if (audit_mode != audit::AuditMode::kOff) {
     out += util::StrFormat(

@@ -45,6 +45,21 @@ enum class UpdateMode {
   kHostDriven,
 };
 
+/// Physical medium for overlay transmissions (net::Transport).
+enum class TransportKind {
+  /// Pure in-memory simulated medium — the default, and the only mode the
+  /// golden RunMetrics contract applies to.
+  kSim,
+  /// Loopback UDP socket: the process owns every node but each frame still
+  /// crosses a real socket in net::wire format, so protocol state is built
+  /// entirely from decoded bytes (paced against the wall clock; for wire
+  /// and audit validation, not metric comparisons).
+  kWire,
+};
+
+std::string_view TransportKindToString(TransportKind kind);
+util::Result<TransportKind> ParseTransportKind(std::string_view name);
+
 std::string_view UpdateModeToString(UpdateMode mode);
 util::Result<UpdateMode> ParseUpdateMode(std::string_view name);
 
@@ -145,6 +160,17 @@ struct ExperimentConfig {
   net::FaultConfig faults;
 
   uint64_t seed = 42;
+
+  /// Physical transport backend (dupsim transport=, DUP_TRANSPORT env).
+  TransportKind transport = TransportKind::kSim;
+  /// TransportKind::kWire only: loopback UDP port for the frame socket.
+  int wire_port = 17405;
+  /// TransportKind::kWire only: simulated seconds advanced per wall-clock
+  /// second while pacing the engine against the real socket.
+  double wire_pace = 200.0;
+  /// TransportKind::kWire only: when non-empty, every transmitted and
+  /// received frame is appended here in tools/dupwire's binary log format.
+  std::string wire_frame_log;
 
   /// Event-queue scheduler backing the engine. Calendar (amortised O(1)
   /// push/pop) is the default; the binary heap is kept as the reference

@@ -91,6 +91,7 @@ Status SimulationDriver::Init() {
   network_ = std::make_unique<net::OverlayNetwork>(
       &engine_, &rng_, &recorder_, config_.hop_latency_mean);
   network_->set_faults(config_.faults);
+  if (transport_ != nullptr) network_->set_transport(transport_);
   if (config_.prealloc.any()) {
     engine_.ReserveEvents(config_.prealloc.event_slots);
     network_->Prewarm(config_.prealloc.message_slots,
@@ -261,6 +262,8 @@ void SimulationDriver::FireQuery() {
   const NodeId node = zipf_->Sample(&rng_);
   // A crashed (not yet replaced) node issues no queries.
   if (network_->IsDown(node) || !tree_->Contains(node)) return;
+  // SPMD: a query fires only in the process that owns its issuing node.
+  if (node_filter_ && !node_filter_(node)) return;
   protocol_->OnLocalQuery(node);
 }
 
@@ -299,7 +302,11 @@ void SimulationDriver::FirePublish() {
   const sim::SimTime expiry = config_.update_mode == UpdateMode::kHostDriven
                                   ? engine_.Now() + config_.ttl
                                   : schedule_->ExpiryOf(version);
-  protocol_->OnRootPublish(version, expiry);
+  // SPMD: only the root's owner publishes; the version counter and the
+  // schedule advance identically in every process regardless.
+  if (!node_filter_ || node_filter_(tree_->root())) {
+    protocol_->OnRootPublish(version, expiry);
+  }
   ScheduleNextPublish();
 }
 

@@ -1,6 +1,7 @@
 #ifndef DUP_EXPERIMENT_DRIVER_H_
 #define DUP_EXPERIMENT_DRIVER_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_set>
@@ -51,6 +52,22 @@ class SimulationDriver : public sim::EventTarget {
 
   SimulationDriver(const SimulationDriver&) = delete;
   SimulationDriver& operator=(const SimulationDriver&) = delete;
+
+  /// SPMD ownership gate for distributed execution (tools/dupd): every
+  /// process builds the identical topology and workload schedule from the
+  /// same seed, but only fires local queries for nodes the filter owns,
+  /// and the root publish only in the process owning the root (the version
+  /// counter still advances everywhere, keeping schedules aligned). Must
+  /// be set before Init() — Init() itself fires the t=0 publish.
+  void set_node_filter(std::function<bool(NodeId)> filter) {
+    node_filter_ = std::move(filter);
+  }
+
+  /// Installs a physical transport (net::Transport) on the overlay network
+  /// as soon as Init() constructs it, so even the t=0 publish traffic uses
+  /// it. nullptr (default) keeps the pure simulated medium. Not owned;
+  /// must outlive the driver. Must be set before Init().
+  void set_transport(net::Transport* transport) { transport_ = transport; }
 
   /// Constructs topology, protocol and workload; schedules the initial
   /// events. Must be called exactly once before running.
@@ -127,6 +144,8 @@ class SimulationDriver : public sim::EventTarget {
   util::Rng rng_;
   sim::Engine engine_;
   metrics::Recorder recorder_;
+  std::function<bool(NodeId)> node_filter_;
+  net::Transport* transport_ = nullptr;
 
   std::unique_ptr<topo::IndexSearchTree> tree_;
   std::unique_ptr<net::OverlayNetwork> network_;

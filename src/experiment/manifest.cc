@@ -58,6 +58,11 @@ util::JsonValue ConfigToJson(const ExperimentConfig& config) {
   json.Set("refresh_interval", config.faults.refresh_interval);
   json.Set("seed", std::to_string(config.seed));
   json.Set("scheduler", std::string(SchedulerToString(config.scheduler)));
+  json.Set("transport", std::string(TransportKindToString(config.transport)));
+  if (config.transport != TransportKind::kSim) {
+    json.Set("wire_port", static_cast<uint64_t>(config.wire_port));
+    json.Set("wire_pace", config.wire_pace);
+  }
   if (!config.trace_path.empty()) {
     json.Set("trace_path", config.trace_path);
     json.Set("trace_sample", config.trace_sample);

@@ -1,25 +1,36 @@
 #include "net/fault_injection.h"
 
+#include <cmath>
+
 #include "util/str.h"
 
 namespace dupnet::net {
 
 util::Status FaultConfig::Validate() const {
-  if (loss_rate < 0.0 || loss_rate > 1.0) {
-    return util::Status::InvalidArgument("loss_rate must be in [0, 1]");
+  // Range checks are phrased as rejections so NaN cannot slip through:
+  // `loss_rate < 0.0 || loss_rate > 1.0` is false for NaN, which would
+  // arm the Bernoulli draw with a poisoned probability. Every double knob
+  // must be finite before its range is even considered.
+  if (!std::isfinite(loss_rate) || loss_rate < 0.0 || loss_rate > 1.0) {
+    return util::Status::InvalidArgument("loss_rate must be finite in [0, 1]");
   }
-  if (jitter < 0.0) {
-    return util::Status::InvalidArgument("jitter must be non-negative");
-  }
-  if (reliable() && retry_timeout <= 0.0) {
-    return util::Status::InvalidArgument("retry_timeout must be positive");
-  }
-  if (reliable() && retry_backoff < 1.0) {
-    return util::Status::InvalidArgument("retry_backoff must be >= 1");
-  }
-  if (refresh_interval < 0.0) {
+  if (!std::isfinite(jitter) || jitter < 0.0) {
     return util::Status::InvalidArgument(
-        "refresh_interval must be non-negative");
+        "jitter must be finite and non-negative");
+  }
+  // Finiteness is required even while reliability is off: a NaN timeout
+  // lying dormant in a config becomes live the moment retry_max flips on.
+  if (!std::isfinite(retry_timeout) || (reliable() && retry_timeout <= 0.0)) {
+    return util::Status::InvalidArgument(
+        "retry_timeout must be finite and positive");
+  }
+  if (!std::isfinite(retry_backoff) || (reliable() && retry_backoff < 1.0)) {
+    return util::Status::InvalidArgument(
+        "retry_backoff must be finite and >= 1");
+  }
+  if (!std::isfinite(refresh_interval) || refresh_interval < 0.0) {
+    return util::Status::InvalidArgument(
+        "refresh_interval must be finite and non-negative");
   }
   return util::Status::OK();
 }

@@ -66,10 +66,25 @@ metrics::HopClass HopClassOf(MessageType type) {
 }
 
 std::string Message::ToString() const {
-  return util::StrFormat(
-      "%s %u->%u origin=%u hops=%u v=%llu subject=%u subject2=%u",
+  // Render the complete field set (seq, free_ride, subject2 and the route
+  // were added piecemeal across PRs 2-9; a partial dump hides exactly the
+  // state a wire-trace or audit diagnostic is chasing).
+  std::string s = util::StrFormat(
+      "%s %u->%u origin=%u hops=%u v=%llu expiry=%.6g stale=%d free_ride=%d "
+      "seq=%llu subject=%u subject2=%u route[%zu]=",
       std::string(MessageTypeToString(type)).c_str(), from, to, origin, hops,
-      static_cast<unsigned long long>(version), subject, subject2);
+      static_cast<unsigned long long>(version), expiry, stale ? 1 : 0,
+      free_ride ? 1 : 0, static_cast<unsigned long long>(seq), subject,
+      subject2, route.size());
+  constexpr size_t kMaxRendered = 8;
+  s += '{';
+  for (size_t i = 0; i < route.size() && i < kMaxRendered; ++i) {
+    if (i > 0) s += ',';
+    s += util::StrFormat("%u", route[i]);
+  }
+  if (route.size() > kMaxRendered) s += ",...";
+  s += '}';
+  return s;
 }
 
 }  // namespace dupnet::net

@@ -102,7 +102,25 @@ struct Message {
     route.clear();
   }
 
+  /// Renders every field (docs/wire-format.md order), so decoded wire
+  /// traces and audit diagnostics never hide state. The route is shown as
+  /// its length plus up to the first eight entries.
   std::string ToString() const;
+
+  /// Field-wise equality over the full wire-visible field set, including
+  /// the route. This is the round-trip contract of net::wire:
+  /// Parse(Serialize(m)) == m for every serializable message.
+  friend bool operator==(const Message& a, const Message& b) {
+    return a.type == b.type && a.from == b.from && a.to == b.to &&
+           a.origin == b.origin && a.hops == b.hops &&
+           a.version == b.version && a.expiry == b.expiry &&
+           a.stale == b.stale && a.free_ride == b.free_ride &&
+           a.seq == b.seq && a.subject == b.subject &&
+           a.subject2 == b.subject2 && a.route == b.route;
+  }
+  friend bool operator!=(const Message& a, const Message& b) {
+    return !(a == b);
+  }
 };
 
 /// Receiver of delivered overlay messages. Protocols implement this so the

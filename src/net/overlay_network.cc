@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "net/transport.h"
 #include "util/check.h"
 
 namespace dupnet::net {
@@ -118,6 +119,19 @@ void OverlayNetwork::Transmit(const Message& message, uint32_t extra_hops) {
     recorder_->AddHops(hop_class, 1 + extra_hops);
   }
   if (counted) recorder_->OnMessageSent(hop_class);
+  if (transport_ != nullptr && !transport_->IsLocal(message.to)) {
+    // The destination lives in another process (or behind a loopback
+    // wire): latency and loss are now the real network's, so no simulated
+    // draws happen for this leg. Hop accounting already ran above; the
+    // retry timer armed by the caller covers a lost datagram.
+    const util::Status shipped = transport_->Ship(message);
+    if (!shipped.ok()) {
+      ++messages_dropped_;
+      if (counted) recorder_->OnMessageDropped(hop_class);
+      if (observer_ != nullptr) observer_->OnDrop(engine_->Now(), message);
+    }
+    return;
+  }
   double latency = rng_->Exponential(mean_hop_latency_);
   for (uint32_t i = 0; i < extra_hops; ++i) {
     latency += rng_->Exponential(mean_hop_latency_);

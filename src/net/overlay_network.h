@@ -17,6 +17,8 @@
 
 namespace dupnet::net {
 
+class Transport;
+
 /// Observer interface for message-level events (see trace::NetworkTracer
 /// for the standard ring-buffer implementation). Purely diagnostic: the
 /// observer must not mutate protocol or network state.
@@ -120,6 +122,21 @@ class OverlayNetwork : public sim::EventTarget {
   /// Installs a diagnostic observer (nullptr to detach). Not owned.
   void set_observer(MessageObserver* observer) { observer_ = observer; }
 
+  /// Installs a physical transport (nullptr, the default, keeps the pure
+  /// in-memory simulated medium — that path is untouched and stays
+  /// bit-identical to the committed goldens). With a transport installed,
+  /// a transmission whose destination is not transport->IsLocal() is
+  /// handed to Transport::Ship() after all hop/counter accounting instead
+  /// of drawing simulated latency/loss; real sockets provide both. Ack and
+  /// retry bookkeeping is unchanged on either path. Not owned.
+  void set_transport(Transport* transport) { transport_ = transport; }
+  Transport* transport() const { return transport_; }
+
+  /// Entry point for a frame that arrived over a real transport and was
+  /// decoded by net::wire: delivers it exactly as a simulated arrival
+  /// would (observer, delivery counters, ack generation, dispatch).
+  void ReceiveFrame(const Message& message) { Deliver(message); }
+
   /// Marks `node` down (crashed) or back up. Down nodes neither send nor
   /// receive.
   void SetNodeDown(NodeId node, bool down);
@@ -192,6 +209,7 @@ class OverlayNetwork : public sim::EventTarget {
   MessageSink* sink_ = nullptr;
   Handler handler_;
   MessageObserver* observer_ = nullptr;
+  Transport* transport_ = nullptr;
   bool fifo_pairs_ = true;
   FaultConfig faults_;
   LossFilter loss_filter_;

@@ -1,0 +1,53 @@
+#ifndef DUP_NET_TRANSPORT_H_
+#define DUP_NET_TRANSPORT_H_
+
+#include <string_view>
+
+#include "net/message.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace dupnet::net {
+
+/// The seam between overlay semantics and the physical medium.
+///
+/// net::OverlayNetwork owns everything the paper's cost model and the
+/// reliability machinery care about — hop accounting, FIFO pair ordering,
+/// sequence assignment, acks, retransmission timers — and delegates only
+/// the question "how does one already-accounted transmission reach the
+/// process that owns `message.to`?" to a Transport:
+///
+///  * The default (no transport installed) is the in-memory simulated
+///    medium: latency is drawn from Exp(mean_hop_latency), loss/jitter
+///    come from FaultConfig, and delivery is a scheduled engine event.
+///    This path is byte-for-byte the pre-transport code, so RunMetrics
+///    stay bit-identical to the committed goldens.
+///
+///  * UdpTransport (net/udp_transport.h) serializes the frame with
+///    net::wire and ships it over a real socket to the owning process,
+///    whose own OverlayNetwork re-enters it via ReceiveFrame(). Latency
+///    and loss are then real, so the simulated fault draws are skipped
+///    for remote legs; the ack/retry machinery carries over unchanged
+///    because it only ever assumed at-least-once delivery.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Backend name for logs and manifests ("udp", ...).
+  virtual std::string_view name() const = 0;
+
+  /// True when `node`'s protocol state lives in this process, i.e. frames
+  /// addressed to it are delivered through the local simulated medium. A
+  /// loopback-wire transport may return false for every node, forcing all
+  /// traffic through the serialize -> socket -> parse path.
+  virtual bool IsLocal(NodeId node) const = 0;
+
+  /// Ships one frame toward the owner of `message.to`. The network has
+  /// already charged the hop and counted the send; a non-OK status is
+  /// accounted as a drop (the retry machinery recovers reliable classes).
+  virtual util::Status Ship(const Message& message) = 0;
+};
+
+}  // namespace dupnet::net
+
+#endif  // DUP_NET_TRANSPORT_H_

@@ -4,6 +4,7 @@
 // faults are armed.
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -89,6 +90,47 @@ TEST(FaultConfigTest, ValidateRejectsBadValues) {
   faults = FaultConfig();
   faults.retry_max = 3;
   faults.retry_backoff = 0.5;
+  EXPECT_FALSE(faults.Validate().ok());
+}
+
+TEST(FaultConfigTest, ValidateRejectsNonFiniteKnobs) {
+  // Regression pin: the old range checks (`loss_rate < 0 || loss_rate > 1`
+  // style) were all false for NaN, so a NaN knob sailed through Validate()
+  // and poisoned every downstream latency/loss computation. Every double
+  // knob must now be rejected when NaN or infinite.
+  const double kBad[] = {std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity()};
+  for (const double bad : kBad) {
+    FaultConfig faults;
+    faults.loss_rate = bad;
+    EXPECT_FALSE(faults.Validate().ok()) << "loss_rate " << bad;
+    faults = FaultConfig();
+    faults.jitter = bad;
+    EXPECT_FALSE(faults.Validate().ok()) << "jitter " << bad;
+    faults = FaultConfig();
+    faults.refresh_interval = bad;
+    EXPECT_FALSE(faults.Validate().ok()) << "refresh_interval " << bad;
+    faults = FaultConfig();
+    faults.retry_max = 3;
+    faults.retry_timeout = bad;
+    EXPECT_FALSE(faults.Validate().ok()) << "retry_timeout " << bad;
+    faults = FaultConfig();
+    faults.retry_max = 3;
+    faults.retry_backoff = bad;
+    EXPECT_FALSE(faults.Validate().ok()) << "retry_backoff " << bad;
+  }
+}
+
+TEST(FaultConfigTest, ValidateRejectsDormantNonFiniteRetryKnobs) {
+  // Even with reliability off (retry_max == 0) the retry knobs must be
+  // finite: a NaN parked in a dormant knob would otherwise surface only
+  // when a later sweep arms retries.
+  FaultConfig faults;
+  faults.retry_timeout = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(faults.Validate().ok());
+  faults = FaultConfig();
+  faults.retry_backoff = std::numeric_limits<double>::infinity();
   EXPECT_FALSE(faults.Validate().ok());
 }
 

@@ -61,6 +61,42 @@ TEST(MessageTest, ToStringMentionsEndpoints) {
   EXPECT_NE(s.find("3->9"), std::string::npos);
 }
 
+TEST(MessageTest, ToStringRendersEveryField) {
+  // ToString() is the diagnostic rendering of decoded wire frames
+  // (docs/wire-format.md); no field may be silently dropped. This pins the
+  // regression where seq/free_ride/subject2/route were omitted.
+  Message m;
+  m.type = MessageType::kSubstitute;
+  m.from = 3;
+  m.to = 9;
+  m.origin = 12;
+  m.hops = 4;
+  m.version = 77;
+  m.expiry = 1.5;
+  m.stale = true;
+  m.free_ride = true;
+  m.seq = 123;
+  m.subject = 40;
+  m.subject2 = 41;
+  m.route = {12, 5, 9};
+  const std::string s = m.ToString();
+  for (const char* token :
+       {"Substitute", "3->9", "origin=12", "hops=4", "v=77", "expiry=1.5",
+        "stale=1", "free_ride=1", "seq=123", "subject=40", "subject2=41",
+        "route[3]=", "{12,5,9}"}) {
+    EXPECT_NE(s.find(token), std::string::npos)
+        << "missing '" << token << "' in: " << s;
+  }
+}
+
+TEST(MessageTest, ToStringElidesLongRoutes) {
+  Message m;
+  for (NodeId i = 0; i < 12; ++i) m.route.push_back(i);
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find("route[12]="), std::string::npos) << s;
+  EXPECT_NE(s.find(",..."), std::string::npos) << s;
+}
+
 TEST_F(OverlayNetworkTest, DeliversAfterLatency) {
   network_.Send(MakeMessage(MessageType::kRequest, 1, 2));
   EXPECT_TRUE(delivered_.empty());  // Not yet delivered.

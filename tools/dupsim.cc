@@ -42,6 +42,15 @@
 // All-zero defaults are a strict no-op, so baseline runs stay
 // bit-identical to a build without the fault layer.
 //
+// Wire transport (docs/wire-format.md): transport[sim|wire] selects the
+// physical medium (DUP_TRANSPORT is the env fallback). transport=wire
+// ships every overlay frame through a loopback UDP socket in the packed
+// net::wire format, paced at wire_pace[200] simulated seconds per wall
+// second on port wire_port[17405] (DUP_WIRE_PORT is the env fallback),
+// optionally logging frames to wire_frame_log[] for tools/dupwire; the
+// run ends with a full invariant audit over protocol state built entirely
+// from decoded bytes. Multi-process clusters are tools/dupd's job.
+//
 // Invariant auditing (docs/invariants.md): audit[off|checkpoints|paranoid]
 // walks every node's protocol/cache state and asserts the paper's
 // structural invariants (checkpoint spacing audit_interval[ttl] seconds);
@@ -73,11 +82,14 @@
 #include <vector>
 
 #include "experiment/config.h"
+#include "experiment/driver.h"
 #include "experiment/manifest.h"
 #include "experiment/parallel_runner.h"
+#include "experiment/realtime_runner.h"
 #include "experiment/replicator.h"
 #include "experiment/report.h"
 #include "multikey/simulation.h"
+#include "net/udp_transport.h"
 #include "util/check.h"
 #include "util/config.h"
 #include "util/csv.h"
@@ -144,6 +156,31 @@ experiment::ExperimentConfig BuildConfig(const util::ConfigMap& args) {
       "audit_interval",
       env_audit_interval != nullptr ? std::atof(env_audit_interval) : 0.0);
 
+  // Transport selection (docs/wire-format.md): sim (default) keeps the
+  // in-memory medium; wire ships every frame through a loopback UDP
+  // socket in net::wire format. A typo must not silently run the wrong
+  // medium, so malformed values are fatal, matching the bench harness's
+  // env contract.
+  const char* env_transport = std::getenv("DUP_TRANSPORT");
+  auto transport = experiment::ParseTransportKind(args.GetString(
+      "transport", env_transport != nullptr ? env_transport : "sim"));
+  DUP_CHECK(transport.ok()) << transport.status().ToString();
+  config.transport = *transport;
+  int64_t env_port_value = 17405;
+  if (const char* env_wire_port = std::getenv("DUP_WIRE_PORT")) {
+    DUP_CHECK(util::ParseInt64(env_wire_port, &env_port_value))
+        << "DUP_WIRE_PORT must be an integer, got \"" << env_wire_port
+        << "\"";
+  }
+  const int64_t wire_port = args.GetInt("wire_port", env_port_value);
+  DUP_CHECK(wire_port >= 1 && wire_port <= 65535)
+      << "wire_port must be in [1, 65535], got " << wire_port;
+  config.wire_port = static_cast<int>(wire_port);
+  config.wire_pace = args.GetDouble("wire_pace", 200.0);
+  DUP_CHECK(config.wire_pace > 0.0)
+      << "wire_pace must be positive, got " << config.wire_pace;
+  config.wire_frame_log = args.GetString("wire_frame_log", "");
+
   const char* env_scheduler = std::getenv("DUP_SCHEDULER");
   auto scheduler = experiment::ParseScheduler(args.GetString(
       "scheduler", env_scheduler != nullptr ? env_scheduler : "calendar"));
@@ -202,6 +239,67 @@ std::string PerSchemeTracePath(const std::string& base,
     return base + suffix;
   }
   return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
+/// transport=wire mode: one single-process run in which every overlay
+/// frame crosses a real loopback UDP socket in net::wire format, so the
+/// protocol state that the end-of-run invariant audit inspects was built
+/// entirely from decoded bytes. One scheme, one replication — this mode
+/// validates the wire and transport layers, not the paper's metrics (the
+/// golden RunMetrics contract belongs to transport=sim).
+int RunWire(const util::ConfigMap& args,
+            experiment::ExperimentConfig config) {
+  const auto schemes = SchemesFor(args.GetString("scheme", "dup"));
+  DUP_CHECK(schemes.size() == 1)
+      << "transport=wire runs one scheme at a time (not scheme=all)";
+  config.scheme = schemes[0];
+  DUP_CHECK_OK(config.Validate());
+
+  net::UdpTransport transport;
+  net::UdpTransport::Options topts;
+  topts.rank = 0;
+  topts.peers = {util::StrFormat("127.0.0.1:%d", config.wire_port)};
+  topts.loopback_wire = true;
+  topts.frame_log_path = config.wire_frame_log;
+  DUP_CHECK_OK(transport.Open(topts));
+
+  experiment::SimulationDriver driver(config);
+  driver.set_transport(&transport);
+  DUP_CHECK_OK(driver.Init());
+  transport.set_network(&driver.network());
+
+  experiment::RealtimeOptions ropts;
+  ropts.pace = config.wire_pace;
+  experiment::RealtimeRunner runner(&driver, &transport, ropts);
+  const auto wall_start = std::chrono::steady_clock::now();
+  DUP_CHECK_OK(runner.Run(config.warmup_time + config.measure_time));
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Every frame was round-trip-verified in flight; now assert the state
+  // they built satisfies the paper's structural invariants.
+  DUP_CHECK_OK(driver.AuditQuiescent());
+  DUP_CHECK(transport.frames_rejected() == 0)
+      << transport.frames_rejected() << " inbound frames failed to parse";
+
+  const metrics::RunMetrics metrics = driver.Collect();
+  std::printf(
+      "wire run (%s): %llu frames shipped, %llu received, %llu rejected "
+      "in %.2fs wall (pace=%g)\n",
+      std::string(experiment::SchemeToString(config.scheme)).c_str(),
+      static_cast<unsigned long long>(transport.frames_shipped()),
+      static_cast<unsigned long long>(transport.frames_received()),
+      static_cast<unsigned long long>(transport.frames_rejected()),
+      wall_seconds, config.wire_pace);
+  std::printf(
+      "latency=%.3f hops cost=%.3f hops/q local_hit=%.1f%% stale=%.1f%% "
+      "queries=%llu\naudit: clean\n",
+      metrics.avg_latency_hops, metrics.avg_cost_hops,
+      100.0 * metrics.local_hit_rate, 100.0 * metrics.stale_rate,
+      static_cast<unsigned long long>(metrics.queries));
+  return 0;
 }
 
 /// keys=K mode: one sharded multi-key run per requested scheme, reported
@@ -363,6 +461,9 @@ int main(int argc, char** argv) {
   if (args->Has("keys")) return RunMultiKey(*args);
 
   const experiment::ExperimentConfig base = BuildConfig(*args);
+  if (base.transport == experiment::TransportKind::kWire) {
+    return RunWire(*args, base);
+  }
   const auto schemes = SchemesFor(args->GetString("scheme", "dup"));
   const size_t reps = static_cast<size_t>(args->GetInt("reps", 3));
   const int64_t jobs_arg = args->GetInt("jobs", 1);

@@ -1,0 +1,195 @@
+// dupwire — offline validator for binary frame logs written by
+// net::UdpTransport (docs/wire-format.md).
+//
+//   dupwire LOG [LOG ...]
+//
+// Each log is a sequence of [dir byte 'T'|'R'][u32 length LE][frame bytes]
+// records. dupwire checks, across all logs together:
+//
+//   1. Every frame parses under net::wire::Parse and re-encodes to the
+//      exact bytes that were logged (byte-level round-trip).
+//   2. Every received frame was transmitted by someone: the multiset of
+//      'R' frames is contained in the multiset of 'T' frames (UDP may
+//      drop, duplicate-by-retry, or reorder, but never invent bytes).
+//   3. Ack pairing: every kAck acknowledges a transmitted reliable frame —
+//      a 'T' record with from == ack.to and the same nonzero seq exists.
+//   4. Route shape: kRequest and kReply frames with a non-empty route
+//      carry route.front() == origin — the request records the visited
+//      path origin-first, and the reply retraces it by popping from the
+//      back, so the origin stays at the front until the final hop.
+//
+// Exit status 0 with a per-type summary when every check passes; 1 with a
+// diagnostic naming the offending record otherwise.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "net/wire.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace dupnet;
+
+struct SeqKey {
+  NodeId from;
+  uint64_t seq;
+  bool operator<(const SeqKey& other) const {
+    return from != other.from ? from < other.from : seq < other.seq;
+  }
+};
+
+struct Stream {
+  std::map<std::vector<uint8_t>, int64_t> transmitted;
+  std::map<std::vector<uint8_t>, int64_t> received;
+  std::map<SeqKey, uint64_t> reliable_sent;  // -> transmission count
+  uint64_t per_type[16] = {};
+  uint64_t records = 0;
+};
+
+bool ReadExact(std::FILE* file, uint8_t* out, size_t size) {
+  return std::fread(out, 1, size, file) == size;
+}
+
+int Fail(const std::string& path, uint64_t record, const std::string& why) {
+  std::fprintf(stderr, "dupwire: %s record %llu: %s\n", path.c_str(),
+               static_cast<unsigned long long>(record), why.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s LOG [LOG ...]\n", argv[0]);
+    return 1;
+  }
+
+  Stream stream;
+  net::Message message;
+  std::vector<uint8_t> frame;
+  std::vector<uint8_t> reencoded;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "dupwire: cannot open %s\n", path.c_str());
+      return 1;
+    }
+    uint64_t record = 0;
+    for (;;) {
+      uint8_t header[5];
+      const size_t got = std::fread(header, 1, sizeof(header), file);
+      if (got == 0) break;  // Clean end of log.
+      ++record;
+      if (got != sizeof(header)) {
+        std::fclose(file);
+        return Fail(path, record, "truncated record header");
+      }
+      const char dir = static_cast<char>(header[0]);
+      if (dir != 'T' && dir != 'R') {
+        std::fclose(file);
+        return Fail(path, record, "unknown direction byte");
+      }
+      const uint32_t len = static_cast<uint32_t>(header[1]) |
+                           (static_cast<uint32_t>(header[2]) << 8) |
+                           (static_cast<uint32_t>(header[3]) << 16) |
+                           (static_cast<uint32_t>(header[4]) << 24);
+      if (len > net::wire::kMaxFrameSize) {
+        std::fclose(file);
+        return Fail(path, record, "record length exceeds kMaxFrameSize");
+      }
+      frame.resize(len);
+      if (!ReadExact(file, frame.data(), len)) {
+        std::fclose(file);
+        return Fail(path, record, "truncated frame payload");
+      }
+
+      // Check 1: parse + byte-level round-trip.
+      if (auto parsed = net::wire::Parse(frame.data(), frame.size(), &message);
+          !parsed.ok()) {
+        std::fclose(file);
+        return Fail(path, record, parsed.ToString());
+      }
+      DUP_CHECK_OK(net::wire::Serialize(message, &reencoded));
+      if (reencoded != frame) {
+        std::fclose(file);
+        return Fail(path, record,
+                    "re-encode differs from logged bytes: " +
+                        message.ToString());
+      }
+
+      // Check 4: route shape.
+      if ((message.type == net::MessageType::kRequest ||
+           message.type == net::MessageType::kReply) &&
+          !message.route.empty() && message.route.front() != message.origin) {
+        std::fclose(file);
+        return Fail(path, record,
+                    "request/reply route does not start at origin: " +
+                        message.ToString());
+      }
+
+      ++stream.records;
+      ++stream.per_type[net::wire::MsgCodeOf(message.type) & 0xF];
+      if (dir == 'T') {
+        ++stream.transmitted[frame];
+        if (message.seq != 0 && message.type != net::MessageType::kAck) {
+          ++stream.reliable_sent[SeqKey{message.from, message.seq}];
+        }
+      } else {
+        ++stream.received[frame];
+      }
+    }
+    std::fclose(file);
+  }
+
+  // Check 2: no received frame that nobody transmitted. Retransmissions
+  // make 'T' counts >= 'R' counts for reliable frames; best-effort frames
+  // cross at most once each.
+  for (const auto& [bytes, count] : stream.received) {
+    const auto it = stream.transmitted.find(bytes);
+    if (it == stream.transmitted.end() || it->second < count) {
+      net::Message m;
+      DUP_CHECK_OK(net::wire::Parse(bytes.data(), bytes.size(), &m));
+      std::fprintf(stderr,
+                   "dupwire: frame received %lld times but transmitted %lld "
+                   "times: %s\n",
+                   static_cast<long long>(count),
+                   static_cast<long long>(
+                       it == stream.transmitted.end() ? 0 : it->second),
+                   m.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Check 3: every ack pairs with a transmitted reliable frame.
+  for (const auto& [bytes, count] : stream.transmitted) {
+    net::Message m;
+    DUP_CHECK_OK(net::wire::Parse(bytes.data(), bytes.size(), &m));
+    if (m.type != net::MessageType::kAck) continue;
+    if (m.seq == 0 ||
+        stream.reliable_sent.find(SeqKey{m.to, m.seq}) ==
+            stream.reliable_sent.end()) {
+      std::fprintf(stderr, "dupwire: ack without a matching reliable send: %s\n",
+                   m.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("dupwire: %llu records clean\n",
+              static_cast<unsigned long long>(stream.records));
+  static const char* kNames[] = {"?",           "request",     "reply",
+                                 "push",        "subscribe",   "unsubscribe",
+                                 "substitute",  "int-register", "int-deregister",
+                                 "ack"};
+  for (int code = 1; code <= 9; ++code) {
+    if (stream.per_type[code] == 0) continue;
+    std::printf("  %-15s %llu\n", kNames[code],
+                static_cast<unsigned long long>(stream.per_type[code]));
+  }
+  return 0;
+}
